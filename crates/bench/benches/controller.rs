@@ -1,0 +1,68 @@
+//! Controller solve-time benchmarks: one EUCON MPC step (the per-period
+//! online cost, §6.1 notes its complexity is polynomial in
+//! tasks × processors × horizons).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eucon_control::{MpcConfig, MpcController, RateController};
+use eucon_math::Vector;
+use eucon_tasks::{rms_set_points, workloads, TaskSet};
+
+fn controller_for(set: &TaskSet, cfg: MpcConfig) -> MpcController {
+    let b = rms_set_points(set);
+    MpcController::new(set, b, cfg).expect("controller")
+}
+
+fn bench_paper_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_step");
+
+    let simple = workloads::simple();
+    let mut ctrl = controller_for(&simple, MpcConfig::simple());
+    let u = Vector::from_slice(&[0.5, 0.6]);
+    group.bench_function("simple_3tasks_2procs", |bch| {
+        bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step")))
+    });
+
+    let medium = workloads::medium();
+    let mut ctrl = controller_for(&medium, MpcConfig::medium());
+    let u = Vector::from_slice(&[0.5, 0.6, 0.4, 0.7]);
+    group.bench_function("medium_12tasks_4procs", |bch| {
+        bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step")))
+    });
+
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_step_scaling");
+    for (procs, tasks) in [(4usize, 12usize), (8, 24), (12, 36), (16, 48)] {
+        let set = workloads::RandomWorkload::new(procs, tasks).seed(7).generate();
+        let mut ctrl = controller_for(&set, MpcConfig::medium());
+        let u = Vector::filled(procs, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}procs_{tasks}tasks")),
+            &(),
+            |bch, ()| bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_horizons(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_step_horizons");
+    let set = workloads::medium();
+    for (p, m) in [(2usize, 1usize), (4, 2), (8, 4), (12, 6)] {
+        let mut ctrl = controller_for(&set, MpcConfig::medium().horizons(p, m));
+        let u = Vector::filled(4, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("P{p}_M{m}")),
+            &(),
+            |bch, ()| bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_configs, bench_scaling, bench_horizons);
+criterion_main!(benches);

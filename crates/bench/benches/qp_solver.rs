@@ -1,0 +1,55 @@
+//! QP substrate benchmarks: the dual active-set solver that replaces
+//! MATLAB `lsqlin`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eucon_math::{Matrix, Vector};
+use eucon_qp::ConstrainedLsq;
+
+/// A box-constrained least-squares instance of dimension `n` whose
+/// unconstrained optimum violates about half the bounds, forcing real
+/// active-set work.
+fn instance(n: usize) -> ConstrainedLsq {
+    let c = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            2.0
+        } else if i.abs_diff(j) == 1 {
+            0.5
+        } else {
+            0.0
+        }
+    });
+    let d = Vector::from_iter((0..n).map(|i| if i % 2 == 0 { 3.0 } else { -3.0 }));
+    ConstrainedLsq::new(c, d).bounds(&vec![-1.0; n], &vec![1.0; n])
+}
+
+fn bench_box_lsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsqlin_box");
+    for n in [4usize, 8, 16, 32] {
+        let problem = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(p.solve().expect("solve")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_constraint_count(c: &mut Criterion) {
+    // Fixed 8 variables, growing numbers of general inequality rows.
+    let mut group = c.benchmark_group("lsqlin_constraints");
+    let n = 8;
+    for rows in [8usize, 32, 128] {
+        let base = instance(n);
+        let g = Matrix::from_fn(rows, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let h = Vector::filled(rows, 4.0);
+        let problem = base.ineq(g, h);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &problem, |b, p| {
+            b.iter(|| black_box(p.solve().expect("solve")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_box_lsq, bench_constraint_count);
+criterion_main!(benches);

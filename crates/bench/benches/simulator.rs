@@ -1,0 +1,58 @@
+//! Simulator throughput benchmarks: wall-clock cost of simulating the
+//! paper's workloads (events are job releases, completions and guard
+//! wake-ups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eucon_sim::{ExecModel, SimConfig, Simulator};
+use eucon_tasks::workloads;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10_periods");
+    group.sample_size(20);
+
+    group.bench_function("simple", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(workloads::simple(), SimConfig::constant_etf(1.0));
+            sim.run_until(10_000.0);
+            black_box(sim.sample_utilizations())
+        })
+    });
+
+    group.bench_function("medium", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::constant_etf(1.0)
+                .exec_model(ExecModel::Uniform { half_width: 0.2 })
+                .seed(1);
+            let mut sim = Simulator::new(workloads::medium(), cfg);
+            sim.run_until(10_000.0);
+            black_box(sim.sample_utilizations())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_scaling");
+    group.sample_size(10);
+    for (procs, tasks) in [(4usize, 12usize), (8, 24), (16, 48)] {
+        let set = workloads::RandomWorkload::new(procs, tasks).seed(3).generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}procs_{tasks}tasks")),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(set.clone(), SimConfig::constant_etf(1.0));
+                    sim.run_until(10_000.0);
+                    black_box(sim.sample_utilizations())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Scaling study: centralized vs decentralized control cost as the
+//! system grows (the paper's §6.1 notes the controller's polynomial
+//! complexity and its conclusion calls for decentralization at scale).
+//!
+//! For each generated system size, measures the wall-clock cost of one
+//! control invocation for the centralized EUCON controller and the
+//! decentralized team, plus the largest local problem size — and verifies
+//! both still converge on the plant.
+
+use std::time::Instant;
+
+use eucon_control::{DecentralizedController, MpcConfig, MpcController, RateController};
+use eucon_core::{metrics, render, ClosedLoop, ControllerSpec};
+use eucon_math::Vector;
+use eucon_sim::SimConfig;
+use eucon_tasks::{rms_set_points, workloads::RandomWorkload};
+
+/// Median wall time of one `update` call, in microseconds.
+fn step_cost(ctrl: &mut dyn RateController, u: &Vector, reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = ctrl.update(u).expect("controller step");
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("== Scaling: centralized vs decentralized control ==\n");
+    let mut rows = Vec::new();
+    for (procs, tasks) in [(4usize, 12usize), (8, 24), (16, 48), (24, 72), (32, 96)] {
+        let set = RandomWorkload::new(procs, tasks).seed(11).generate();
+        let b = rms_set_points(&set);
+        let u = Vector::from_iter((0..procs).map(|p| 0.5 + 0.01 * (p % 7) as f64));
+
+        let mut central = MpcController::new(&set, b.clone(), MpcConfig::medium())
+            .expect("centralized controller");
+        let central_us = step_cost(&mut central, &u, 21);
+
+        let mut team = DecentralizedController::new(&set, b.clone(), MpcConfig::medium())
+            .expect("decentralized team");
+        let team_us = step_cost(&mut team, &u, 21);
+        // Per-node cost: the team runs sequentially here, but each node
+        // would run its own local problem in a real deployment.
+        let per_node_us = team_us / team.num_controllers() as f64;
+
+        // Convergence check (quality must not silently degrade at scale).
+        let mut cl = ClosedLoop::builder(set.clone())
+            .sim_config(SimConfig::constant_etf(0.5).seed(1))
+            .controller(ControllerSpec::Decentralized(MpcConfig::medium()))
+            .build()
+            .expect("loop");
+        let result = cl.run(120);
+        let mut worst = 0.0f64;
+        for p in 0..procs {
+            let s = metrics::window(&result.trace.utilization_series(p), 80, 120);
+            worst = worst.max((s.mean - b[p]).abs());
+        }
+
+        rows.push(vec![
+            format!("{procs}x{tasks}"),
+            format!("{central_us:.0}"),
+            format!("{team_us:.0}"),
+            format!("{per_node_us:.0}"),
+            team.max_local_tasks().to_string(),
+            render::f4(worst),
+        ]);
+    }
+    println!(
+        "{}",
+        render::table(
+            &[
+                "procs x tasks",
+                "central us/step",
+                "team total us/step",
+                "team us/node",
+                "max local tasks",
+                "DEUCON worst |mean-B|",
+            ],
+            &rows
+        )
+    );
+    eucon_bench::write_result(
+        "scaling.csv",
+        &render::csv(
+            &["size", "central_us", "team_us", "per_node_us", "max_local_tasks", "worst_err"],
+            &rows,
+        ),
+    );
+    println!("\nExpected shape: centralized cost grows superlinearly with system size;");
+    println!("per-node decentralized cost stays roughly flat (bounded local problems).");
+}

@@ -1,0 +1,69 @@
+//! Regenerates the paper's §6.2 stability example: the critical uniform
+//! gain of the SIMPLE system under the SIMPLE controller (paper reports
+//! 5.95, *measures* divergence at 6.5; our derivation gives 6.51 under
+//! hold-rate — see EXPERIMENTS.md), plus gain sweeps, the eq.-12
+//! convention variant, and the MEDIUM system's margin.
+
+use eucon_control::{stability, MpcConfig};
+use eucon_core::render;
+use eucon_math::Vector;
+use eucon_tasks::workloads;
+
+fn main() {
+    println!("== S1: closed-loop stability analysis (paper §6.2) ==\n");
+
+    let f_simple = workloads::simple().allocation_matrix();
+    let cfg_simple = MpcConfig::simple();
+    let g_simple = stability::critical_uniform_gain(&f_simple, &cfg_simple, 20.0, 1e-5)
+        .expect("SIMPLE analysis");
+    println!("SIMPLE  (P=2, M=1, Tref/Ts=4): critical uniform gain = {g_simple:.4}");
+    println!("        paper reports 5.95 analytically but measures divergence at 6.5;");
+    println!("        see EXPERIMENTS.md for the derivation note");
+    let g_delta = stability::critical_uniform_gain(
+        &f_simple,
+        &MpcConfig::simple().move_hold(eucon_control::MoveHold::Delta),
+        30.0,
+        1e-5,
+    )
+    .expect("SIMPLE delta analysis");
+    println!("        (eq.-12 hold-delta convention: {g_delta:.4})\n");
+
+    let f_medium = workloads::medium().allocation_matrix();
+    let cfg_medium = MpcConfig::medium();
+    let g_medium = stability::critical_uniform_gain(&f_medium, &cfg_medium, 50.0, 1e-5)
+        .expect("MEDIUM analysis");
+    println!("MEDIUM  (P=4, M=2, Tref/Ts=4): critical uniform gain = {g_medium:.4}\n");
+
+    println!("-- spectral radius vs uniform gain (SIMPLE) --\n");
+    let grid = Vector::from_iter((1..=40).map(|i| i as f64 * 0.25));
+    let sweep = stability::gain_sweep(&f_simple, &cfg_simple, &grid).expect("sweep");
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&(g, rho)| {
+            vec![
+                format!("{g:.2}"),
+                render::f4(rho),
+                if rho < 1.0 { "stable".into() } else { "UNSTABLE".into() },
+            ]
+        })
+        .collect();
+    println!("{}", render::table(&["gain", "spectral radius", "verdict"], &rows));
+    eucon_bench::write_result(
+        "stability_simple_sweep.csv",
+        &render::csv(&["gain", "spectral_radius", "stable"], &rows),
+    );
+
+    println!("\n-- horizon sensitivity (SIMPLE) --\n");
+    let mut rows = Vec::new();
+    for (p, m) in [(2usize, 1usize), (3, 1), (4, 1), (4, 2), (6, 3), (8, 4)] {
+        let cfg = MpcConfig::simple().horizons(p, m);
+        let g = stability::critical_uniform_gain(&f_simple, &cfg, 100.0, 1e-4)
+            .expect("horizon analysis");
+        rows.push(vec![p.to_string(), m.to_string(), format!("{g:.3}")]);
+    }
+    println!("{}", render::table(&["P", "M", "critical gain"], &rows));
+    eucon_bench::write_result(
+        "stability_horizons.csv",
+        &render::csv(&["P", "M", "critical_gain"], &rows),
+    );
+}

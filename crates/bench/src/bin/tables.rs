@@ -1,0 +1,78 @@
+//! Regenerates Table 1 (SIMPLE task parameters) and Table 2 (controller
+//! parameters) from the code, proving the encoded workloads match the
+//! paper.
+
+use eucon_core::render;
+use eucon_tasks::{rms_set_points, workloads, ProcessorId};
+
+fn main() {
+    println!("== Table 1: task parameters in SIMPLE ==\n");
+    let simple = workloads::simple();
+    let mut rows = Vec::new();
+    for (t, task) in simple.tasks().iter().enumerate() {
+        for (j, s) in task.subtasks().iter().enumerate() {
+            rows.push(vec![
+                format!("T{}{}", t + 1, j + 1),
+                s.processor.to_string(),
+                format!("{:.0}", s.estimated_time),
+                format!("{:.0}", 1.0 / task.rate_max()),
+                format!("{:.0}", 1.0 / task.rate_min()),
+                format!("{:.0}", 1.0 / task.initial_rate()),
+            ]);
+        }
+    }
+    let t1 = render::table(
+        &["Tij", "Proc", "cij", "1/Rmax", "1/Rmin", "1/r(0)"],
+        &rows,
+    );
+    println!("{t1}");
+    eucon_bench::write_result(
+        "table1_simple.csv",
+        &render::csv(&["Tij", "Proc", "cij", "inv_rmax", "inv_rmin", "inv_r0"], &rows),
+    );
+
+    println!("\n== Table 2: controller parameters ==\n");
+    let rows = vec![
+        vec!["SIMPLE".into(), "2".into(), "1".into(), "4".into(), "1000".into()],
+        vec!["MEDIUM".into(), "4".into(), "2".into(), "4".into(), "1000".into()],
+    ];
+    println!("{}", render::table(&["System", "P", "M", "Tref/Ts", "Ts"], &rows));
+
+    println!("\n== MEDIUM workload summary (synthesized per §7.1 invariants) ==\n");
+    let medium = workloads::medium();
+    let b = rms_set_points(&medium);
+    let mut rows = Vec::new();
+    for p in 0..medium.num_processors() {
+        rows.push(vec![
+            ProcessorId(p).to_string(),
+            medium.num_subtasks_on(ProcessorId(p)).to_string(),
+            render::f4(b[p]),
+        ]);
+    }
+    println!("{}", render::table(&["Proc", "subtasks", "set point B"], &rows));
+
+    let mut rows = Vec::new();
+    for (t, task) in medium.tasks().iter().enumerate() {
+        let chain: Vec<String> =
+            task.subtasks().iter().map(|s| s.processor.to_string()).collect();
+        let cs: Vec<String> =
+            task.subtasks().iter().map(|s| format!("{:.1}", s.estimated_time)).collect();
+        rows.push(vec![
+            format!("T{}", t + 1),
+            chain.join("->"),
+            cs.join(","),
+            format!("{:.0}", 1.0 / task.initial_rate()),
+            format!("{:.1}", 1.0 / task.rate_max()),
+            format!("{:.0}", 1.0 / task.rate_min()),
+        ]);
+    }
+    let tm = render::table(
+        &["Task", "chain", "cij", "1/r(0)", "1/Rmax", "1/Rmin"],
+        &rows,
+    );
+    println!("{tm}");
+    eucon_bench::write_result(
+        "table_medium.csv",
+        &render::csv(&["task", "chain", "cij", "inv_r0", "inv_rmax", "inv_rmin"], &rows),
+    );
+}

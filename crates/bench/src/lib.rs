@@ -1,0 +1,104 @@
+//! Shared helpers for the figure-regeneration binaries and benches.
+//!
+//! Every figure and table of the EUCON paper's evaluation section has a
+//! binary in `src/bin/` that regenerates it:
+//!
+//! | Artifact | Binary | Command |
+//! |----------|--------|---------|
+//! | Tables 1–2 | `tables` | `cargo run -p eucon-bench --bin tables` |
+//! | §6.2 stability example | `stability` | `cargo run -p eucon-bench --bin stability` |
+//! | Figure 3(a)/(b) | `fig3` | `cargo run -p eucon-bench --bin fig3` |
+//! | Figure 4 | `fig4` | `cargo run -p eucon-bench --bin fig4` |
+//! | Figure 5 | `fig5` | `cargo run -p eucon-bench --bin fig5` |
+//! | Figures 6–8 | `fig6_7_8` | `cargo run -p eucon-bench --bin fig6_7_8` |
+//! | §6.3 tuning tradeoff | `tuning` | `cargo run -p eucon-bench --bin tuning` |
+//! | Design ablations (extra) | `ablation` | `cargo run -p eucon-bench --bin ablation` |
+//! | Scaling: centralized vs DEUCON (extra) | `scaling` | `cargo run -p eucon-bench --bin scaling` |
+//!
+//! Each binary prints human-readable tables to stdout and writes CSV files
+//! under `results/` for plotting.  Criterion benchmarks (`cargo bench`)
+//! cover controller solve times, QP scaling, simulator throughput and the
+//! design ablations called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root) where figure CSVs land.
+pub const RESULTS_DIR: &str = "results";
+
+/// Resolves the results directory, creating it if needed.
+///
+/// Uses the workspace root (two levels above this crate's manifest) so
+/// the binaries can be run from any working directory.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let dir = root.join(RESULTS_DIR);
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes `contents` to `results/<name>` and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (acceptable in a report generator).
+pub fn write_result(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write result file");
+    println!("  [wrote {}]", path.display());
+}
+
+/// Standard etf grid of the paper's Figure 4 (SIMPLE sweep).
+pub fn fig4_etfs() -> Vec<f64> {
+    let mut v = vec![0.2, 0.5];
+    let mut x = 1.0;
+    while x <= 10.0 + 1e-9 {
+        v.push(x);
+        x += 0.5;
+    }
+    v
+}
+
+/// Standard etf grid of the paper's Figure 5 (MEDIUM sweep).
+pub fn fig5_etfs() -> Vec<f64> {
+    let mut v = vec![0.1, 0.2, 0.5];
+    let mut x = 1.0;
+    while x <= 6.0 + 1e-9 {
+        v.push(x);
+        x += 0.5;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn grids_cover_paper_ranges() {
+        let f4 = fig4_etfs();
+        assert_eq!(*f4.first().unwrap(), 0.2);
+        assert_eq!(*f4.last().unwrap(), 10.0);
+        let f5 = fig5_etfs();
+        assert_eq!(*f5.first().unwrap(), 0.1);
+        assert_eq!(*f5.last().unwrap(), 6.0);
+    }
+}

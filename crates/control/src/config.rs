@@ -1,0 +1,211 @@
+//! Controller configuration.
+
+use eucon_math::Vector;
+
+/// What the prediction model assumes about control moves beyond the
+/// control horizon `M`.
+///
+/// The paper's prose describes standard MPC (inputs held constant after
+/// the control horizon), while its eq. 12 literally shows the *move*
+/// `Δr(k)` being re-applied at every prediction step
+/// (`u(k+2|k) = u(k) + 2FΔr(k)` for M = 1).  Both conventions are
+/// implemented; [`MoveHold::Rate`] (hold the rate, moves vanish after M)
+/// is the default because it reproduces the paper's measured behaviour —
+/// Figure 4's divergence threshold of ≈ 6.5 matches its analytic critical
+/// gain of 6.51, where the eq.-12 reading gives 9.92.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MoveHold {
+    /// Hold the *rate* constant beyond the control horizon
+    /// (`Δr(k+i|k) = 0` for `i ≥ M`) — standard MPC.
+    Rate,
+    /// Hold the *move* constant beyond the control horizon
+    /// (`Δr(k+i|k) = Δr(k+M−1|k)` for `i ≥ M`) — the literal reading of
+    /// the paper's eq. 12.
+    Delta,
+}
+
+/// How the control-penalty term of the MPC cost is formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlPenalty {
+    /// Penalize changes of the control input between consecutive horizon
+    /// steps, `‖Δr(k+i|k) − Δr(k+i−1|k)‖²` — the paper's eq. 7/11.
+    MoveDelta,
+    /// Penalize the control input itself, `‖Δr(k+i|k)‖²` — a common MPC
+    /// variant used here for ablation studies.
+    Move,
+}
+
+/// Configuration of the EUCON model-predictive controller (paper §6.1,
+/// Table 2).
+///
+/// # Example
+///
+/// ```
+/// let cfg = eucon_control::MpcConfig::simple();
+/// assert_eq!(cfg.prediction_horizon, 2);
+/// assert_eq!(cfg.control_horizon, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcConfig {
+    /// Prediction horizon `P`.
+    pub prediction_horizon: usize,
+    /// Control horizon `M` (`1 ≤ M ≤ P`).
+    pub control_horizon: usize,
+    /// Reference-trajectory time constant relative to the sampling period,
+    /// `Tref / Ts` (paper uses 4).
+    pub tref_over_ts: f64,
+    /// Tracking-error weights, one per processor (`Q`); `None` means all 1.
+    pub tracking_weights: Option<Vector>,
+    /// Control-penalty weight (`R`); the paper uses 1.
+    pub control_penalty_weight: f64,
+    /// Shape of the control-penalty term.
+    pub control_penalty: ControlPenalty,
+    /// Prediction convention beyond the control horizon.
+    pub move_hold: MoveHold,
+    /// Whether to enforce the hard utilization constraints
+    /// `u_i(k+j|k) ≤ B_i` in the optimization (paper eq. 1).
+    pub utilization_constraints: bool,
+}
+
+impl MpcConfig {
+    /// The paper's controller for the SIMPLE configuration (Table 2):
+    /// `P = 2`, `M = 1`, `Tref/Ts = 4`.
+    pub fn simple() -> Self {
+        MpcConfig {
+            prediction_horizon: 2,
+            control_horizon: 1,
+            tref_over_ts: 4.0,
+            tracking_weights: None,
+            control_penalty_weight: 1.0,
+            control_penalty: ControlPenalty::MoveDelta,
+            move_hold: MoveHold::Rate,
+            utilization_constraints: true,
+        }
+    }
+
+    /// The paper's controller for the MEDIUM configuration (Table 2):
+    /// `P = 4`, `M = 2`, `Tref/Ts = 4`.
+    pub fn medium() -> Self {
+        MpcConfig { prediction_horizon: 4, control_horizon: 2, ..MpcConfig::simple() }
+    }
+
+    /// Sets the horizons.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ control ≤ prediction`.
+    pub fn horizons(mut self, prediction: usize, control: usize) -> Self {
+        assert!(control >= 1 && control <= prediction, "need 1 <= M <= P");
+        self.prediction_horizon = prediction;
+        self.control_horizon = control;
+        self
+    }
+
+    /// Sets per-processor tracking weights.
+    pub fn tracking_weights(mut self, weights: Vector) -> Self {
+        self.tracking_weights = Some(weights);
+        self
+    }
+
+    /// Sets the control-penalty weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative.
+    pub fn control_penalty_weight(mut self, weight: f64) -> Self {
+        assert!(weight >= 0.0, "penalty weight must be non-negative");
+        self.control_penalty_weight = weight;
+        self
+    }
+
+    /// Sets the control-penalty shape.
+    pub fn control_penalty(mut self, penalty: ControlPenalty) -> Self {
+        self.control_penalty = penalty;
+        self
+    }
+
+    /// Sets the beyond-horizon prediction convention.
+    pub fn move_hold(mut self, hold: MoveHold) -> Self {
+        self.move_hold = hold;
+        self
+    }
+
+    /// Enables or disables the hard utilization constraints.
+    pub fn utilization_constraints(mut self, enabled: bool) -> Self {
+        self.utilization_constraints = enabled;
+        self
+    }
+
+    /// The per-step decay of the exponential reference trajectory,
+    /// `λ = e^{−Ts/Tref}` (paper eq. 8).
+    pub fn reference_decay(&self) -> f64 {
+        (-1.0 / self.tref_over_ts).exp()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if horizons or the time constant are invalid.
+    pub fn assert_valid(&self) {
+        assert!(self.prediction_horizon >= 1, "P must be at least 1");
+        assert!(
+            self.control_horizon >= 1 && self.control_horizon <= self.prediction_horizon,
+            "need 1 <= M <= P"
+        );
+        assert!(
+            self.tref_over_ts > 0.0 && self.tref_over_ts.is_finite(),
+            "Tref/Ts must be positive"
+        );
+        assert!(self.control_penalty_weight >= 0.0, "penalty weight must be non-negative");
+    }
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig::simple()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_values() {
+        let s = MpcConfig::simple();
+        assert_eq!((s.prediction_horizon, s.control_horizon), (2, 1));
+        assert_eq!(s.tref_over_ts, 4.0);
+        let m = MpcConfig::medium();
+        assert_eq!((m.prediction_horizon, m.control_horizon), (4, 2));
+    }
+
+    #[test]
+    fn reference_decay_matches_formula() {
+        let cfg = MpcConfig::simple();
+        assert!((cfg.reference_decay() - (-0.25f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= M <= P")]
+    fn horizons_validated() {
+        let _ = MpcConfig::simple().horizons(2, 3);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = MpcConfig::simple()
+            .horizons(6, 3)
+            .control_penalty_weight(0.5)
+            .control_penalty(ControlPenalty::Move)
+            .utilization_constraints(false)
+            .tracking_weights(Vector::from_slice(&[2.0, 1.0]));
+        cfg.assert_valid();
+        assert_eq!(cfg.prediction_horizon, 6);
+        assert_eq!(cfg.control_penalty, ControlPenalty::Move);
+        assert!(!cfg.utilization_constraints);
+        assert_eq!(cfg.tracking_weights.unwrap().as_slice(), &[2.0, 1.0]);
+    }
+}

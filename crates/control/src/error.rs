@@ -1,0 +1,68 @@
+//! Error type for controllers.
+
+use std::error::Error;
+use std::fmt;
+
+use eucon_math::MathError;
+use eucon_qp::QpError;
+
+/// Errors produced by the controllers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// Inputs had inconsistent dimensions.
+    DimensionMismatch(String),
+    /// The constrained optimization failed (including genuine
+    /// infeasibility after all fallbacks).
+    Optimization(QpError),
+    /// A linear-algebra operation failed (stability analysis).
+    Math(MathError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ControlError::Optimization(e) => write!(f, "optimization failed: {e}"),
+            ControlError::Math(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Optimization(e) => Some(e),
+            ControlError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<QpError> for ControlError {
+    fn from(e: QpError) -> Self {
+        ControlError::Optimization(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<MathError> for ControlError {
+    fn from(e: MathError) -> Self {
+        ControlError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ControlError::Optimization(QpError::Infeasible);
+        assert!(e.to_string().contains("infeasible"));
+        assert!(Error::source(&e).is_some());
+        let e = ControlError::DimensionMismatch("x".into());
+        assert!(Error::source(&e).is_none());
+    }
+}

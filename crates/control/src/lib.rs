@@ -1,0 +1,97 @@
+//! Controllers for end-to-end utilization control — the EUCON paper's core
+//! contribution.
+//!
+//! * [`MpcController`] — the MIMO model-predictive controller of §6.1:
+//!   exponential reference trajectory, quadratic tracking + control-penalty
+//!   cost, hard utilization and rate constraints, solved each period as a
+//!   constrained least-squares problem (via `eucon-qp`), receding horizon.
+//! * [`MpcConfig`] — the controller parameters of Table 2 (`P`, `M`,
+//!   `Tref/Ts`, weights), with the paper's SIMPLE and MEDIUM presets.
+//! * [`stability`] — the closed-loop analysis of §6.2: unconstrained
+//!   control-law derivation, closed-loop matrix `A(G)`, spectral-radius
+//!   stability test and critical-gain search (≈ 5.0 for SIMPLE under our
+//!   re-derivation; the paper reports 5.95 — see `stability` module docs).
+//! * [`OpenLoop`] — the paper's OPEN baseline; [`IndependentPid`] — a
+//!   decoupled per-processor baseline for ablation.
+//! * [`DecentralizedController`] — the paper's future-work direction: a
+//!   team of per-processor local MPCs coordinating by last-move exchange
+//!   (DEUCON-style).
+//!
+//! All controllers implement [`RateController`] so experiments can swap
+//! them uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_control::{stability, MpcConfig};
+//! use eucon_tasks::workloads;
+//!
+//! # fn main() -> Result<(), eucon_control::ControlError> {
+//! // Reproduce the paper's stability example (§6.2): the loop tolerates
+//! // execution times several times the estimates.
+//! let f = workloads::simple().allocation_matrix();
+//! let g = stability::critical_uniform_gain(&f, &MpcConfig::simple(), 10.0, 1e-4)?;
+//! assert!(g > 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod config;
+mod decentralized;
+mod error;
+mod mpc;
+mod prediction;
+pub mod stability;
+
+pub use baselines::{IndependentPid, OpenLoop};
+pub use decentralized::DecentralizedController;
+pub use config::{ControlPenalty, MoveHold, MpcConfig};
+pub use error::ControlError;
+pub use mpc::{MpcController, MpcStepInfo};
+
+use eucon_math::Vector;
+
+/// Common interface of utilization controllers: once per sampling period,
+/// consume the measured utilization vector and produce new task rates.
+pub trait RateController {
+    /// Consumes the utilization measurement `u(k)` and returns the rate
+    /// vector to apply for the next sampling period.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report dimension mismatches and optimization
+    /// failures as [`ControlError`].
+    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError>;
+
+    /// The rates currently commanded by the controller.
+    fn rates(&self) -> Vector;
+
+    /// Short human-readable controller name (for experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_are_usable() {
+        use eucon_tasks::{rms_set_points, workloads};
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let mut controllers: Vec<Box<dyn RateController>> = vec![
+            Box::new(MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap()),
+            Box::new(OpenLoop::design(&set, &b).unwrap()),
+            Box::new(IndependentPid::new(&set, b, 0.5, 0.1).unwrap()),
+        ];
+        let u = Vector::from_slice(&[0.5, 0.5]);
+        for c in controllers.iter_mut() {
+            let r = c.update(&u).unwrap();
+            assert_eq!(r.len(), 3, "{} returned wrong arity", c.name());
+        }
+    }
+}

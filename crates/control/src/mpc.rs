@@ -1,0 +1,480 @@
+//! The EUCON model-predictive controller.
+
+use eucon_math::{Matrix, Vector};
+use eucon_qp::{ConstrainedLsq, QpError};
+use eucon_tasks::TaskSet;
+
+use crate::prediction::{constraints, Predictor};
+use crate::{ControlError, MpcConfig, RateController};
+
+/// Tiny Tikhonov weight keeping the least-squares problem strictly convex
+/// even when the tracking matrix is rank deficient and the control penalty
+/// is disabled.
+const REGULARIZATION: f64 = 1e-9;
+
+/// Diagnostics of the most recent controller invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MpcStepInfo {
+    /// Active-set iterations spent by the QP solver.
+    pub qp_iterations: usize,
+    /// Whether the hard utilization constraints had to be dropped because
+    /// the constrained problem was infeasible this period.
+    pub relaxed_utilization: bool,
+    /// Residual norm of the least-squares objective at the optimum.
+    pub residual: f64,
+}
+
+/// The EUCON MIMO model-predictive controller (paper §6.1).
+///
+/// Once per sampling period, [`MpcController::step`] receives the measured
+/// utilization vector `u(k)` and produces new task rates by solving the
+/// constrained least-squares problem
+///
+/// ```text
+/// min  Σᵢ ‖u(k+i|k) − ref(k+i|k)‖²_Q + Σᵢ ‖Δr(k+i|k) − Δr(k+i−1|k)‖²_R
+/// s.t. u(k+i|k) ≤ B          (utilization constraints, eq. 1)
+///      Rmin ≤ r(k+i|k) ≤ Rmax (rate constraints, eq. 2)
+/// ```
+///
+/// over the approximate model `u(k+1) = u(k) + F·Δr(k)` (the controller
+/// assumes unit utilization gains, `G = I`; robustness to `G ≠ I` is what
+/// the stability analysis quantifies).  Only the first move of the optimal
+/// trajectory is applied (receding horizon).
+///
+/// If the hard utilization constraints make the problem infeasible (e.g. a
+/// severe overload that rate adaptation cannot remove within one step),
+/// the controller retries without them — the tracking objective still
+/// drives utilization toward the set points, which mirrors `lsqlin`
+/// practice and keeps the loop alive; the event is reported in
+/// [`MpcController::last_step_info`].
+///
+/// # Example
+///
+/// ```
+/// use eucon_control::{MpcConfig, MpcController, RateController};
+/// use eucon_math::Vector;
+/// use eucon_tasks::{rms_set_points, workloads};
+///
+/// # fn main() -> Result<(), eucon_control::ControlError> {
+/// let simple = workloads::simple();
+/// let b = rms_set_points(&simple);
+/// let mut ctrl = MpcController::new(&simple, b, MpcConfig::simple())?;
+/// // Underutilized system → the controller raises rates.
+/// let before = ctrl.rates().sum();
+/// let after = ctrl.step(&Vector::from_slice(&[0.4, 0.4]))?.sum();
+/// assert!(after > before);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    f: Matrix,
+    b: Vector,
+    rmin: Vector,
+    rmax: Vector,
+    cfg: MpcConfig,
+    pred: Predictor,
+    rates: Vector,
+    prev_move: Vector,
+    last_info: MpcStepInfo,
+}
+
+impl MpcController {
+    /// Creates a controller for a task set, reading `F`, the rate bounds
+    /// and the initial rates from the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] when `set_points` does
+    /// not have one entry per processor.
+    pub fn new(set: &TaskSet, set_points: Vector, cfg: MpcConfig) -> Result<Self, ControlError> {
+        let (rmin, rmax) = set.rate_bounds();
+        Self::from_model(
+            set.allocation_matrix(),
+            set_points,
+            rmin,
+            rmax,
+            set.initial_rates(),
+            cfg,
+        )
+    }
+
+    /// Creates a controller from an explicit model (allocation matrix,
+    /// set points, rate bounds and initial rates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] on inconsistent sizes.
+    pub fn from_model(
+        f: Matrix,
+        set_points: Vector,
+        rmin: Vector,
+        rmax: Vector,
+        initial_rates: Vector,
+        cfg: MpcConfig,
+    ) -> Result<Self, ControlError> {
+        let n = f.rows();
+        let m = f.cols();
+        if set_points.len() != n {
+            return Err(ControlError::DimensionMismatch(format!(
+                "{} set points for {n} processors",
+                set_points.len()
+            )));
+        }
+        if rmin.len() != m || rmax.len() != m || initial_rates.len() != m {
+            return Err(ControlError::DimensionMismatch(format!(
+                "rate vectors must have {m} entries"
+            )));
+        }
+        cfg.assert_valid();
+        let pred = Predictor::new(&f, &cfg);
+        Ok(MpcController {
+            f,
+            b: set_points,
+            rmin,
+            rmax,
+            cfg,
+            pred,
+            rates: initial_rates,
+            prev_move: Vector::zeros(m),
+            last_info: MpcStepInfo::default(),
+        })
+    }
+
+    /// The utilization set points `B`.
+    pub fn set_points(&self) -> &Vector {
+        &self.b
+    }
+
+    /// Replaces the utilization set points (they can be changed online,
+    /// paper §3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length changes.
+    pub fn set_set_points(&mut self, b: Vector) {
+        assert_eq!(b.len(), self.b.len(), "set-point dimension cannot change");
+        self.b = b;
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.cfg
+    }
+
+    /// Diagnostics of the most recent [`MpcController::step`].
+    pub fn last_step_info(&self) -> MpcStepInfo {
+        self.last_info
+    }
+
+    /// Computes the control input `Δr(k)` for the measured utilization
+    /// `u(k)` and returns the new rate vector `r(k) = r(k−1) + Δr(k)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControlError::DimensionMismatch`] — `u` does not have one entry
+    ///   per processor.
+    /// * [`ControlError::Optimization`] — the QP failed even after
+    ///   dropping the utilization constraints (does not happen for valid
+    ///   rate boxes, which are always feasible at `Δr = 0`).
+    pub fn step(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+        if u.len() != self.pred.n {
+            return Err(ControlError::DimensionMismatch(format!(
+                "{} utilization samples for {} processors",
+                u.len(),
+                self.pred.n
+            )));
+        }
+        let error = u - &self.b;
+        let d = self.pred.rhs(&error, &self.prev_move);
+
+        let mut relaxed = false;
+        let solution = match self.solve(u, &d, self.cfg.utilization_constraints) {
+            Ok(sol) => sol,
+            Err(QpError::Infeasible) if self.cfg.utilization_constraints => {
+                relaxed = true;
+                self.solve(u, &d, false).map_err(ControlError::Optimization)?
+            }
+            Err(e) => return Err(ControlError::Optimization(e)),
+        };
+
+        // Receding horizon: apply only the first move.
+        let m = self.pred.m;
+        let dr = solution.x.subvector(0, m);
+        let mut new_rates = Vector::zeros(m);
+        for t in 0..m {
+            new_rates[t] = (self.rates[t] + dr[t]).clamp(self.rmin[t], self.rmax[t]);
+        }
+        self.prev_move = &new_rates - &self.rates;
+        self.rates = new_rates.clone();
+        self.last_info = MpcStepInfo {
+            qp_iterations: solution.iterations,
+            relaxed_utilization: relaxed,
+            residual: solution.residual,
+        };
+        Ok(new_rates)
+    }
+
+    fn solve(
+        &self,
+        u: &Vector,
+        d: &Vector,
+        utilization: bool,
+    ) -> Result<eucon_qp::LsqSolution, QpError> {
+        let (g, h) = constraints(
+            &self.f,
+            &self.cfg,
+            &self.rates,
+            &self.rmin,
+            &self.rmax,
+            u,
+            &self.b,
+            utilization,
+        );
+        ConstrainedLsq::new(self.pred.c.clone(), d.clone())
+            .ineq(g, h)
+            .regularization(REGULARIZATION)
+            .solve()
+    }
+}
+
+impl RateController for MpcController {
+    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+        self.step(u)
+    }
+
+    fn rates(&self) -> Vector {
+        self.rates.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "EUCON"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eucon_tasks::{rms_set_points, workloads};
+
+    fn simple_controller() -> MpcController {
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        MpcController::new(&set, b, MpcConfig::simple()).unwrap()
+    }
+
+    #[test]
+    fn underutilization_raises_rates() {
+        let mut c = simple_controller();
+        let r0 = c.rates();
+        let r1 = c.step(&Vector::from_slice(&[0.3, 0.3])).unwrap();
+        for t in 0..3 {
+            assert!(r1[t] >= r0[t] - 1e-12, "task {t} rate should not drop");
+        }
+        assert!(r1.sum() > r0.sum());
+    }
+
+    #[test]
+    fn overutilization_lowers_rates() {
+        let mut c = simple_controller();
+        let r0 = c.rates();
+        let r1 = c.step(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+        assert!(r1.sum() < r0.sum());
+    }
+
+    #[test]
+    fn at_set_point_rates_barely_move() {
+        let mut c = simple_controller();
+        let b = c.set_points().clone();
+        let r0 = c.rates();
+        let r1 = c.step(&b).unwrap();
+        // With zero tracking error and zero previous move the optimum is
+        // Δr = 0.
+        assert!((&r1 - &r0).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_always_stay_in_bounds() {
+        let mut c = simple_controller();
+        for u in [[0.0, 0.0], [1.0, 1.0], [0.9, 0.1], [0.1, 0.9]] {
+            let r = c.step(&Vector::from_slice(&u)).unwrap();
+            let set = workloads::simple();
+            for (t, task) in set.tasks().iter().enumerate() {
+                assert!(r[t] >= task.rate_min() - 1e-12);
+                assert!(r[t] <= task.rate_max() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn model_convergence_under_unit_gain() {
+        // Iterate the controller against its own model (G = I): u must
+        // converge to B.
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
+        let mut u = set.estimated_utilization(&set.initial_rates());
+        let mut prev_rates = c.rates();
+        for _ in 0..60 {
+            let rates = c.step(&u).unwrap();
+            let dr = &rates - &prev_rates;
+            u = &u + &f.mul_vec(&dr);
+            prev_rates = rates;
+        }
+        assert!((&u - &b).max_abs() < 1e-3, "u = {u}, B = {b}");
+    }
+
+    #[test]
+    fn model_convergence_with_gain_two() {
+        // G = 2·I is inside the stability region: still converges.
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
+        // Actual utilization responds twice as strongly as estimated.
+        let mut u = set.estimated_utilization(&set.initial_rates()).scale(2.0);
+        let mut prev_rates = c.rates();
+        for _ in 0..120 {
+            let rates = c.step(&u).unwrap();
+            let dr = &rates - &prev_rates;
+            u = &u + &f.mul_vec(&dr).scale(2.0);
+            prev_rates = rates;
+        }
+        assert!((&u - &b).max_abs() < 1e-2, "u = {u}, B = {b}");
+    }
+
+    #[test]
+    fn utilization_constraint_respected_in_prediction() {
+        // Start exactly at the set point; the predicted utilization after
+        // the move must not exceed B (model-wise).
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
+        let u = Vector::from_slice(&[0.5, 0.828]);
+        let r0 = c.rates();
+        let r1 = c.step(&u).unwrap();
+        let du = f.mul_vec(&(&r1 - &r0));
+        assert!(u[1] + du[1] <= b[1] + 1e-6, "P2 must not be pushed past its set point");
+    }
+
+    #[test]
+    fn infeasible_overload_falls_back_gracefully() {
+        // Overloaded processors with rates already at Rmin: utilization
+        // constraints cannot be met in one step; the controller must relax
+        // them instead of failing.
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let mut c = MpcController::new(&set, b, MpcConfig::simple()).unwrap();
+        // Drive rates to the floor first.
+        for _ in 0..50 {
+            let _ = c.step(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+        }
+        let r = c.step(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+        assert!(c.last_step_info().relaxed_utilization);
+        let set = workloads::simple();
+        for (t, task) in set.tasks().iter().enumerate() {
+            assert!((r[t] - task.rate_min()).abs() < 1e-9, "rates pinned at Rmin");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let set = workloads::simple();
+        let err = MpcController::new(&set, Vector::zeros(3), MpcConfig::simple());
+        assert!(matches!(err.unwrap_err(), ControlError::DimensionMismatch(_)));
+
+        let mut c = simple_controller();
+        let err = c.step(&Vector::zeros(3));
+        assert!(matches!(err.unwrap_err(), ControlError::DimensionMismatch(_)));
+    }
+
+    #[test]
+    fn online_set_point_change() {
+        let mut c = simple_controller();
+        // Converge to the default set points against the model first.
+        let set = workloads::simple();
+        let f = set.allocation_matrix();
+        let mut u = set.estimated_utilization(&set.initial_rates());
+        let mut prev = c.rates();
+        for _ in 0..50 {
+            let r = c.step(&u).unwrap();
+            u = &u + &f.mul_vec(&(&r - &prev));
+            prev = r;
+        }
+        // Lower the set point on P1 (overload-protection scenario §3.3).
+        c.set_set_points(Vector::from_slice(&[0.5, 0.828]));
+        for _ in 0..80 {
+            let r = c.step(&u).unwrap();
+            u = &u + &f.mul_vec(&(&r - &prev));
+            prev = r;
+        }
+        assert!((u[0] - 0.5).abs() < 1e-2, "P1 must track the new set point, got {}", u[0]);
+    }
+
+    mod properties {
+        use super::*;
+        use eucon_tasks::workloads::RandomWorkload;
+        use proptest::prelude::*;
+
+        proptest! {
+            // For any generated workload and any measured utilization,
+            // the controller returns in-bounds rates and never errors.
+            #[test]
+            fn controller_is_total_and_in_bounds(
+                seed in 0u64..40,
+                u_scale in 0.0..1.0f64,
+            ) {
+                let set = RandomWorkload::new(3, 7).seed(seed).generate();
+                let b = rms_set_points(&set);
+                let mut c = MpcController::new(&set, b, MpcConfig::medium()).unwrap();
+                for step in 0..5 {
+                    let u = Vector::filled(3, (u_scale + 0.13 * step as f64) % 1.0);
+                    let r = c.step(&u).unwrap();
+                    for (t, task) in set.tasks().iter().enumerate() {
+                        prop_assert!(r[t] >= task.rate_min() - 1e-10);
+                        prop_assert!(r[t] <= task.rate_max() + 1e-10);
+                    }
+                }
+            }
+
+            // Monotone response: measuring *lower* utilization never
+            // produces *lower* rates (from identical controller state).
+            #[test]
+            fn response_is_monotone_in_error(
+                seed in 0u64..20,
+                u_lo in 0.1..0.4f64,
+                gap in 0.05..0.4f64,
+            ) {
+                let set = RandomWorkload::new(2, 5).seed(seed).generate();
+                let b = rms_set_points(&set);
+                let mk = || MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
+                let mut c_lo = mk();
+                let mut c_hi = mk();
+                let r_lo = c_lo.step(&Vector::filled(2, u_lo)).unwrap();
+                let r_hi = c_hi.step(&Vector::filled(2, u_lo + gap)).unwrap();
+                prop_assert!(
+                    r_lo.sum() >= r_hi.sum() - 1e-9,
+                    "lower utilization must command at least as much rate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn medium_controller_converges_on_model() {
+        let set = workloads::medium();
+        let b = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let mut c = MpcController::new(&set, b.clone(), MpcConfig::medium()).unwrap();
+        let mut u = set.estimated_utilization(&set.initial_rates()).scale(0.5);
+        let mut prev = c.rates();
+        for _ in 0..100 {
+            let r = c.step(&u).unwrap();
+            u = &u + &f.mul_vec(&(&r - &prev)).scale(0.5);
+            prev = r;
+        }
+        assert!((&u - &b).max_abs() < 1e-2, "u = {u}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Construction of the MPC prediction and cost matrices.
+//!
+//! The controller's constrained optimization (paper §6.1) is transformed
+//! into the standard `lsqlin` form `min ‖C·X − d‖²` over the stacked move
+//! vector `X = [Δr(k); …; Δr(k+M−1)]`.  The right-hand side depends
+//! linearly on the current tracking error and the previous move:
+//! `d = A_u·(u(k) − B) + A_d·Δr(k−1)`.  This module builds `C`, `A_u` and
+//! `A_d` once per controller; they depend only on the model, not on
+//! measurements — which is also what makes the closed-loop stability
+//! analysis in [`crate::stability`] possible.
+
+use eucon_math::{Matrix, Vector};
+
+use crate::{ControlPenalty, MoveHold, MpcConfig};
+
+/// Precomputed cost matrices of the MPC least-squares problem.
+#[derive(Debug, Clone)]
+pub(crate) struct Predictor {
+    /// Stacked objective matrix: `n·P` tracking rows then `m·M` penalty
+    /// rows.
+    pub c: Matrix,
+    /// Linear map from the tracking error `u(k) − B` to the rhs `d`.
+    pub a_u: Matrix,
+    /// Linear map from the previous move `Δr(k−1)` to the rhs `d`.
+    pub a_d: Matrix,
+    /// Number of processors.
+    pub n: usize,
+    /// Number of tasks.
+    pub m: usize,
+}
+
+impl Predictor {
+    /// Builds the matrices for allocation matrix `f` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or the tracking-weight vector does not
+    /// have one entry per processor.
+    pub fn new(f: &Matrix, cfg: &MpcConfig) -> Self {
+        cfg.assert_valid();
+        let n = f.rows();
+        let m = f.cols();
+        let p = cfg.prediction_horizon;
+        let mh = cfg.control_horizon;
+        let lambda = cfg.reference_decay();
+
+        let sqrt_q: Vec<f64> = match &cfg.tracking_weights {
+            Some(w) => {
+                assert_eq!(w.len(), n, "one tracking weight per processor required");
+                w.iter().map(|&x| x.sqrt()).collect()
+            }
+            None => vec![1.0; n],
+        };
+        let sqrt_r = cfg.control_penalty_weight.sqrt();
+
+        let n_rows = n * p + m * mh;
+        let n_cols = m * mh;
+        let mut c = Matrix::zeros(n_rows, n_cols);
+        let mut a_u = Matrix::zeros(n_rows, n);
+        let a_d = {
+            let mut a_d = Matrix::zeros(n_rows, m);
+            if cfg.control_penalty == ControlPenalty::MoveDelta {
+                // Penalty row block i = 0 subtracts Δr(k−1): residual
+                // √R(X₀ − Δr(k−1)), so d gets +√R·Δr(k−1).
+                for t in 0..m {
+                    a_d[(n * p + t, t)] = sqrt_r;
+                }
+            }
+            a_d
+        };
+
+        // Tracking rows: block i (1-based step) applies move block j with
+        // multiplicity `move_multiplicity(i, j, M, hold)` (see MoveHold
+        // for the two beyond-horizon conventions).  The reference
+        // trajectory (paper eq. 8) starts at u(k) and decays to B, so the
+        // step-i residual carries the tracking error with coefficient
+        // (1 − λ^i): rhs block −√Q·(1 − λ^i)·(u − B).
+        for i in 1..=p {
+            let row0 = n * (i - 1);
+            for j in 0..mh {
+                let mult = move_multiplicity(i, j, mh, cfg.move_hold);
+                if mult == 0.0 {
+                    continue;
+                }
+                for r in 0..n {
+                    for t in 0..m {
+                        c[(row0 + r, j * m + t)] = mult * sqrt_q[r] * f[(r, t)];
+                    }
+                }
+            }
+            let err_coef = 1.0 - lambda.powi(i as i32);
+            for r in 0..n {
+                a_u[(row0 + r, r)] = -sqrt_q[r] * err_coef;
+            }
+        }
+
+        // Penalty rows.
+        for i in 0..mh {
+            let row0 = n * p + m * i;
+            for t in 0..m {
+                c[(row0 + t, i * m + t)] = sqrt_r;
+            }
+            if cfg.control_penalty == ControlPenalty::MoveDelta && i >= 1 {
+                for t in 0..m {
+                    c[(row0 + t, (i - 1) * m + t)] = -sqrt_r;
+                }
+            }
+        }
+
+        Predictor { c, a_u, a_d, n, m }
+    }
+
+    /// Evaluates the rhs `d` for the current tracking error and previous
+    /// move.
+    pub fn rhs(&self, error: &Vector, prev_move: &Vector) -> Vector {
+        &self.a_u.mul_vec(error) + &self.a_d.mul_vec(prev_move)
+    }
+}
+
+/// How many times move block `j` (0-based) has been applied to the
+/// utilization by prediction step `i` (1-based), under the chosen
+/// beyond-horizon convention.
+pub(crate) fn move_multiplicity(i: usize, j: usize, mh: usize, hold: MoveHold) -> f64 {
+    match hold {
+        MoveHold::Rate => {
+            // Each move is applied exactly once, from step j+1 onward.
+            if i > j {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        MoveHold::Delta => {
+            if j + 1 < mh {
+                if i > j {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                // The final move keeps being applied at every step ≥ M.
+                (i as isize - j as isize).max(0) as f64
+            }
+        }
+    }
+}
+
+/// Builds the inequality constraints of the MPC problem.
+///
+/// Returns `(G, h)` such that `G·X ≤ h` encodes, for each control-horizon
+/// step `i`:
+///
+/// * rate bounds `Rmin ≤ r(k−1) + Σ_{j≤i} Δr_j ≤ Rmax` (paper eq. 2), and,
+///   when `utilization` is true, for each prediction step,
+/// * utilization bounds `u(k) + F·S_i ≤ B` (paper eq. 1).
+#[allow(clippy::too_many_arguments)] // private helper mirroring the paper's symbol list
+pub(crate) fn constraints(
+    f: &Matrix,
+    cfg: &MpcConfig,
+    rates: &Vector,
+    rmin: &Vector,
+    rmax: &Vector,
+    u: &Vector,
+    b: &Vector,
+    utilization: bool,
+) -> (Matrix, Vector) {
+    let n = f.rows();
+    let m = f.cols();
+    let p = cfg.prediction_horizon;
+    let mh = cfg.control_horizon;
+    let n_cols = m * mh;
+
+    let util_rows = if utilization { n * p } else { 0 };
+    let mut g = Matrix::zeros(2 * m * mh + util_rows, n_cols);
+    let mut h = Vector::zeros(2 * m * mh + util_rows);
+
+    // Rate bounds: rows for upper, then lower, per step.
+    for i in 0..mh {
+        for t in 0..m {
+            let up = 2 * m * i + t;
+            let lo = 2 * m * i + m + t;
+            for j in 0..=i {
+                g[(up, j * m + t)] = 1.0;
+                g[(lo, j * m + t)] = -1.0;
+            }
+            h[up] = rmax[t] - rates[t];
+            h[lo] = rates[t] - rmin[t];
+        }
+    }
+
+    if utilization {
+        let base = 2 * m * mh;
+        for i in 1..=p {
+            let row0 = base + n * (i - 1);
+            for j in 0..mh {
+                let mult = move_multiplicity(i, j, mh, cfg.move_hold);
+                if mult == 0.0 {
+                    continue;
+                }
+                for r in 0..n {
+                    for t in 0..m {
+                        g[(row0 + r, j * m + t)] = mult * f[(r, t)];
+                    }
+                }
+            }
+            for r in 0..n {
+                h[row0 + r] = b[r] - u[r];
+            }
+        }
+    }
+    (g, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_f() -> Matrix {
+        // The paper's §5 example: F = [[c11, c21, 0], [0, c22, c31]].
+        Matrix::from_rows(&[&[35.0, 35.0, 0.0], &[0.0, 35.0, 45.0]])
+    }
+
+    #[test]
+    fn dimensions_match_horizons() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple(); // P=2, M=1
+        let pred = Predictor::new(&f, &cfg);
+        assert_eq!(pred.c.rows(), 2 * 2 + 3); // n·P tracking + m·M penalty rows
+        assert_eq!(pred.c.cols(), 3);
+        assert_eq!(pred.a_u.cols(), 2);
+        assert_eq!(pred.a_d.cols(), 3);
+    }
+
+    #[test]
+    fn tracking_blocks_hold_rate_and_decay() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple(); // MoveHold::Rate by default
+        let pred = Predictor::new(&f, &cfg);
+        let lambda = cfg.reference_decay();
+        // Hold-rate: the single move (M=1) is applied exactly once at
+        // every prediction step.
+        for i in 0..2 {
+            for r in 0..2 {
+                for t in 0..3 {
+                    assert_eq!(pred.c[(2 * i + r, t)], f[(r, t)]);
+                }
+            }
+        }
+        // a_u carries −(1 − λ^i) on the diagonal of each block (the
+        // reference starts at u(k), eq. 8).
+        assert!((pred.a_u[(0, 0)] + (1.0 - lambda)).abs() < 1e-15);
+        assert!((pred.a_u[(2, 0)] + (1.0 - lambda * lambda)).abs() < 1e-15);
+        assert_eq!(pred.a_u[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn tracking_blocks_hold_delta_accumulate() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple().move_hold(MoveHold::Delta);
+        let pred = Predictor::new(&f, &cfg);
+        // Hold-delta (the literal eq. 12): the move is re-applied each
+        // step, so step 2 carries 2F.
+        for i in 0..2 {
+            let mult = (i + 1) as f64;
+            for r in 0..2 {
+                for t in 0..3 {
+                    assert_eq!(pred.c[(2 * i + r, t)], mult * f[(r, t)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn move_delta_penalty_couples_prev_move() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple();
+        let pred = Predictor::new(&f, &cfg);
+        // Penalty block: identity on the move, identity map from Δr(k−1).
+        for t in 0..3 {
+            assert_eq!(pred.c[(4 + t, t)], 1.0);
+            assert_eq!(pred.a_d[(4 + t, t)], 1.0);
+        }
+    }
+
+    #[test]
+    fn move_penalty_has_no_prev_coupling() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple().control_penalty(ControlPenalty::Move);
+        let pred = Predictor::new(&f, &cfg);
+        assert_eq!(pred.a_d.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn multi_step_horizon_has_difference_chain() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple().horizons(4, 2).move_hold(MoveHold::Delta);
+        let pred = Predictor::new(&f, &cfg);
+        let m = 3;
+        let base = 2 * 4; // n*P tracking rows
+        // Second penalty block: +I at block 1, −I at block 0.
+        for t in 0..m {
+            assert_eq!(pred.c[(base + m + t, m + t)], 1.0);
+            assert_eq!(pred.c[(base + m + t, t)], -1.0);
+        }
+        // Step i = 1 uses only the first move; by i = 4 the first move has
+        // been applied once and the held second move three times (Delta).
+        assert_eq!(pred.c[(0, m)], 0.0);
+        assert_eq!(pred.c[(0, 0)], f[(0, 0)]);
+        let i4 = 2 * 3; // row block of step i = 4 (n = 2)
+        assert_eq!(pred.c[(i4, 0)], f[(0, 0)]);
+        assert_eq!(pred.c[(i4, m)], 3.0 * f[(0, 0)]);
+    }
+
+    #[test]
+    fn move_multiplicity_conventions() {
+        use MoveHold::{Delta, Rate};
+        // Rate: every move is applied exactly once from step j+1 onward.
+        assert_eq!(move_multiplicity(1, 0, 1, Rate), 1.0);
+        assert_eq!(move_multiplicity(3, 0, 1, Rate), 1.0);
+        assert_eq!(move_multiplicity(1, 1, 2, Rate), 0.0);
+        assert_eq!(move_multiplicity(4, 1, 2, Rate), 1.0);
+        // Delta, M = 1: the only move accumulates i times.
+        assert_eq!(move_multiplicity(1, 0, 1, Delta), 1.0);
+        assert_eq!(move_multiplicity(3, 0, 1, Delta), 3.0);
+        // Delta, M = 2: move 0 applies once; move 1 accumulates.
+        assert_eq!(move_multiplicity(1, 0, 2, Delta), 1.0);
+        assert_eq!(move_multiplicity(2, 0, 2, Delta), 1.0);
+        assert_eq!(move_multiplicity(1, 1, 2, Delta), 0.0);
+        assert_eq!(move_multiplicity(2, 1, 2, Delta), 1.0);
+        assert_eq!(move_multiplicity(4, 1, 2, Delta), 3.0);
+    }
+
+    #[test]
+    fn rhs_combines_error_and_prev_move() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple();
+        let pred = Predictor::new(&f, &cfg);
+        let err = Vector::from_slice(&[0.1, -0.2]);
+        let prev = Vector::from_slice(&[0.001, 0.0, -0.002]);
+        let d = pred.rhs(&err, &prev);
+        let lambda = cfg.reference_decay();
+        assert!((d[0] + (1.0 - lambda) * 0.1).abs() < 1e-15);
+        assert!((d[3] + (1.0 - lambda * lambda) * -0.2).abs() < 1e-15);
+        assert!((d[4] - 0.001).abs() < 1e-15);
+        assert!((d[6] + 0.002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tracking_weights_scale_rows() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple().tracking_weights(Vector::from_slice(&[4.0, 1.0]));
+        let pred = Predictor::new(&f, &cfg);
+        // √4 = 2 scales processor-0 rows.
+        assert_eq!(pred.c[(0, 0)], 2.0 * f[(0, 0)]);
+        assert_eq!(pred.c[(1, 1)], f[(1, 1)]);
+    }
+
+    #[test]
+    fn constraint_shapes_and_values() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple();
+        let rates = Vector::from_slice(&[0.01, 0.01, 0.01]);
+        let rmin = Vector::from_slice(&[0.001; 3]);
+        let rmax = Vector::from_slice(&[0.03; 3]);
+        let u = Vector::from_slice(&[0.9, 0.7]);
+        let b = Vector::from_slice(&[0.828, 0.828]);
+        let (g, h) = constraints(&f, &cfg, &rates, &rmin, &rmax, &u, &b, true);
+        // 2·m·M rate rows + n·P utilization rows.
+        assert_eq!(g.rows(), 6 + 4);
+        // Upper rate bound rows: Δr ≤ Rmax − r.
+        assert_eq!(g[(0, 0)], 1.0);
+        assert!((h[0] - 0.02).abs() < 1e-15);
+        // Lower: −Δr ≤ r − Rmin.
+        assert_eq!(g[(3, 0)], -1.0);
+        assert!((h[3] - 0.009).abs() < 1e-15);
+        // Utilization rows carry F and B − u (negative on the overloaded
+        // processor).
+        assert_eq!(g[(6, 0)], 35.0);
+        assert!((h[6] - (0.828 - 0.9)).abs() < 1e-12);
+        // Disabled utilization constraints shrink the system.
+        let (g2, _) = constraints(&f, &cfg, &rates, &rmin, &rmax, &u, &b, false);
+        assert_eq!(g2.rows(), 6);
+    }
+
+    #[test]
+    fn cumulative_rate_constraints_for_longer_horizon() {
+        let f = simple_f();
+        let cfg = MpcConfig::simple().horizons(4, 2);
+        let rates = Vector::from_slice(&[0.01; 3]);
+        let rmin = Vector::from_slice(&[0.001; 3]);
+        let rmax = Vector::from_slice(&[0.03; 3]);
+        let u = Vector::zeros(2);
+        let b = Vector::zeros(2);
+        let (g, _) = constraints(&f, &cfg, &rates, &rmin, &rmax, &u, &b, false);
+        // Step-1 upper row for task 0 sums both move blocks.
+        let row = 2 * 3; // first step-1 row
+        assert_eq!(g[(row, 0)], 1.0);
+        assert_eq!(g[(row, 3)], 1.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Integration of rate adaptation with admission control.
+//!
+//! Rate adaptation has a limit: when the overload is so severe that every
+//! task already runs at `Rmin` and utilization still exceeds the set
+//! points, no rate controller can help (paper §6.2: *"If the problem is
+//! infeasible ... the system may switch to a different control adaptation
+//! mechanism (e.g., admission control or task reallocation).  The
+//! integration of multiple adaptation mechanisms is part of our future
+//! work."*).
+//!
+//! [`AdaptiveLoop`] implements that integration: an EUCON feedback loop
+//! whose supervisor suspends tasks when rate adaptation is exhausted and
+//! re-admits them once headroom returns.
+//!
+//! Policy (documented in DESIGN.md):
+//!
+//! * **suspend** — if some processor stays above `B + margin` for
+//!   `patience` consecutive periods while every active task contributing
+//!   to it is pinned at `Rmin`, suspend the task with the largest
+//!   estimated utilization contribution to the worst processor;
+//! * **re-admit** — if every processor stays below `B − headroom` for
+//!   `patience` consecutive periods, re-admit the most recently suspended
+//!   task at its minimum rate (LIFO keeps reconfiguration local).
+//!
+//! Each admission change rebuilds the MPC controller over the active
+//! subset (controllers are cheap: milliseconds even for large systems).
+
+use eucon_control::{MpcConfig, MpcController};
+use eucon_math::{Matrix, Vector};
+use eucon_sim::{SimConfig, Simulator};
+use eucon_tasks::{rms_set_points, TaskId, TaskSet};
+
+use crate::{CoreError, Trace, TraceStep};
+
+/// Tunable thresholds of the admission supervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Overload margin above the set point that triggers suspension
+    /// consideration.
+    pub margin: f64,
+    /// Consecutive periods a condition must hold before acting.
+    pub patience: usize,
+    /// Required distance below the set points before re-admission.
+    pub readmit_headroom: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy { margin: 0.05, patience: 5, readmit_headroom: 0.1 }
+    }
+}
+
+/// An admission decision taken by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEvent {
+    /// A task was suspended at the given sampling period.
+    Suspended {
+        /// Sampling period of the decision.
+        period: usize,
+        /// The suspended task.
+        task: TaskId,
+    },
+    /// A task was re-admitted at the given sampling period.
+    Readmitted {
+        /// Sampling period of the decision.
+        period: usize,
+        /// The re-admitted task.
+        task: TaskId,
+    },
+}
+
+/// EUCON + admission control: a closed loop whose supervisor can shrink
+/// and re-grow the admitted task set when rate adaptation alone cannot
+/// meet the utilization constraints.
+///
+/// # Example
+///
+/// ```
+/// use eucon_core::admission::{AdaptiveLoop, AdmissionPolicy};
+/// use eucon_control::MpcConfig;
+/// use eucon_sim::SimConfig;
+/// use eucon_tasks::workloads;
+///
+/// # fn main() -> Result<(), eucon_core::CoreError> {
+/// let mut al = AdaptiveLoop::new(
+///     workloads::simple(),
+///     MpcConfig::simple(),
+///     AdmissionPolicy::default(),
+///     SimConfig::constant_etf(1.0),
+/// )?;
+/// al.run(20);
+/// assert_eq!(al.suspended_tasks().len(), 0, "no admissions needed at etf 1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveLoop {
+    sim: Simulator,
+    set: TaskSet,
+    f: Matrix,
+    set_points: Vector,
+    cfg: MpcConfig,
+    policy: AdmissionPolicy,
+    active: Vec<bool>,
+    /// Stack of suspended tasks (most recent last).
+    suspended: Vec<TaskId>,
+    ctrl: MpcController,
+    over_streak: usize,
+    under_streak: usize,
+    period: usize,
+    ts: f64,
+    trace: Trace,
+    events: Vec<AdmissionEvent>,
+}
+
+impl AdaptiveLoop {
+    /// Builds the loop with the RMS set points of the full task set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-construction failures.
+    pub fn new(
+        set: TaskSet,
+        cfg: MpcConfig,
+        policy: AdmissionPolicy,
+        sim_config: SimConfig,
+    ) -> Result<Self, CoreError> {
+        let set_points = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let active = vec![true; set.num_tasks()];
+        let sim = Simulator::new(set.clone(), sim_config);
+        let ctrl = Self::build_controller(&set, &f, &set_points, &active, &sim, &cfg)?;
+        Ok(AdaptiveLoop {
+            sim,
+            set,
+            f,
+            set_points,
+            cfg,
+            policy,
+            active,
+            suspended: Vec::new(),
+            ctrl,
+            over_streak: 0,
+            under_streak: 0,
+            period: 0,
+            ts: crate::DEFAULT_SAMPLING_PERIOD,
+            trace: Trace::new(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Builds an MPC controller over the active subset of tasks.
+    fn build_controller(
+        set: &TaskSet,
+        f: &Matrix,
+        set_points: &Vector,
+        active: &[bool],
+        sim: &Simulator,
+        cfg: &MpcConfig,
+    ) -> Result<MpcController, CoreError> {
+        let idx: Vec<usize> = (0..set.num_tasks()).filter(|&j| active[j]).collect();
+        let f_sub = Matrix::from_fn(set.num_processors(), idx.len(), |r, c| f[(r, idx[c])]);
+        let rates = sim.rates();
+        let ctrl = MpcController::from_model(
+            f_sub,
+            set_points.clone(),
+            Vector::from_iter(idx.iter().map(|&j| set.tasks()[j].rate_min())),
+            Vector::from_iter(idx.iter().map(|&j| set.tasks()[j].rate_max())),
+            Vector::from_iter(idx.iter().map(|&j| rates[j])),
+            cfg.clone(),
+        )?;
+        Ok(ctrl)
+    }
+
+    /// Currently suspended tasks (most recently suspended last).
+    pub fn suspended_tasks(&self) -> &[TaskId] {
+        &self.suspended
+    }
+
+    /// All admission decisions taken so far.
+    pub fn events(&self) -> &[AdmissionEvent] {
+        &self.events
+    }
+
+    /// The recorded per-period trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The live simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Runs one sampling period including the admission supervisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller fails (cannot happen for valid
+    /// configurations — the rate box is always feasible).
+    pub fn step(&mut self) {
+        self.period += 1;
+        self.sim.run_until(self.period as f64 * self.ts);
+        let u = self.sim.sample_utilizations();
+
+        // Rate adaptation over the active subset.
+        let idx: Vec<usize> =
+            (0..self.set.num_tasks()).filter(|&j| self.active[j]).collect();
+        if !idx.is_empty() {
+            let r_sub = self.ctrl.step(&u).expect("controller over a valid rate box");
+            for (c, &j) in idx.iter().enumerate() {
+                self.sim.set_rate(TaskId(j), r_sub[c]);
+            }
+        }
+
+        self.trace.push(TraceStep {
+            time: self.period as f64 * self.ts,
+            utilization: u.clone(),
+            rates: self.sim.rates(),
+        });
+
+        self.supervise(&u);
+    }
+
+    /// Runs `periods` sampling periods.
+    pub fn run(&mut self, periods: usize) {
+        for _ in 0..periods {
+            self.step();
+        }
+    }
+
+    fn supervise(&mut self, u: &Vector) {
+        let rates = self.sim.rates();
+
+        // Overload: a processor above B + margin with its contributors
+        // exhausted (at Rmin).
+        let mut worst: Option<(usize, f64)> = None;
+        for p in 0..u.len() {
+            let excess = u[p] - (self.set_points[p] + self.policy.margin);
+            if excess > 0.0 && worst.is_none_or(|(_, w)| excess > w) {
+                worst = Some((p, excess));
+            }
+        }
+        let exhausted_overload = worst.is_some_and(|(p, _)| {
+            (0..self.set.num_tasks()).all(|j| {
+                !self.active[j]
+                    || self.f[(p, j)] == 0.0
+                    || rates[j] <= self.set.tasks()[j].rate_min() * (1.0 + 1e-6)
+            })
+        });
+
+        if exhausted_overload {
+            self.over_streak += 1;
+            self.under_streak = 0;
+        } else {
+            self.over_streak = 0;
+            let all_headroom = (0..u.len())
+                .all(|p| u[p] <= self.set_points[p] - self.policy.readmit_headroom);
+            if all_headroom && !self.suspended.is_empty() {
+                self.under_streak += 1;
+            } else {
+                self.under_streak = 0;
+            }
+        }
+
+        if self.over_streak >= self.policy.patience {
+            if let Some((p, _)) = worst {
+                self.suspend_heaviest_on(p);
+                self.over_streak = 0;
+            }
+        } else if self.under_streak >= self.policy.patience {
+            self.readmit_last();
+            self.under_streak = 0;
+        }
+    }
+
+    fn suspend_heaviest_on(&mut self, p: usize) {
+        let rates = self.sim.rates();
+        let victim = (0..self.set.num_tasks())
+            .filter(|&j| self.active[j] && self.f[(p, j)] > 0.0)
+            .max_by(|&a, &b| {
+                (self.f[(p, a)] * rates[a]).total_cmp(&(self.f[(p, b)] * rates[b]))
+            });
+        let Some(victim) = victim else {
+            return;
+        };
+        // Never suspend the last active task.
+        if self.active.iter().filter(|&&a| a).count() <= 1 {
+            return;
+        }
+        self.active[victim] = false;
+        self.suspended.push(TaskId(victim));
+        self.sim.suspend_task(TaskId(victim));
+        self.events.push(AdmissionEvent::Suspended { period: self.period, task: TaskId(victim) });
+        self.rebuild();
+    }
+
+    fn readmit_last(&mut self) {
+        let Some(task) = self.suspended.pop() else {
+            return;
+        };
+        self.active[task.0] = true;
+        // Gentle re-entry at the minimum acceptable rate.
+        self.sim.set_rate(task, self.set.tasks()[task.0].rate_min());
+        self.sim.resume_task(task);
+        self.events.push(AdmissionEvent::Readmitted { period: self.period, task });
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        self.ctrl = Self::build_controller(
+            &self.set,
+            &self.f,
+            &self.set_points,
+            &self.active,
+            &self.sim,
+            &self.cfg,
+        )
+        .expect("active subset keeps valid dimensions");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use eucon_sim::EtfProfile;
+    use eucon_tasks::workloads;
+
+    #[test]
+    fn no_admission_activity_when_feasible() {
+        let mut al = AdaptiveLoop::new(
+            workloads::simple(),
+            MpcConfig::simple(),
+            AdmissionPolicy::default(),
+            SimConfig::constant_etf(0.5),
+        )
+        .unwrap();
+        al.run(100);
+        assert!(al.events().is_empty());
+        let s = metrics::window(&al.trace().utilization_series(0), 60, 100);
+        assert!((s.mean - 0.8284).abs() < 0.03, "normal EUCON behaviour preserved");
+    }
+
+    #[test]
+    fn severe_overload_triggers_suspension_and_recovery() {
+        // etf = 25: even Rmin leaves estimated demand far above the set
+        // points (max reduction is 20x for T1/T2), so rate adaptation is
+        // exhausted and the supervisor must shed load.
+        let mut al = AdaptiveLoop::new(
+            workloads::simple(),
+            MpcConfig::simple(),
+            AdmissionPolicy::default(),
+            SimConfig::constant_etf(25.0),
+        )
+        .unwrap();
+        al.run(150);
+        assert!(
+            al.events().iter().any(|e| matches!(e, AdmissionEvent::Suspended { .. })),
+            "supervisor must suspend under hopeless overload: {:?}",
+            al.events()
+        );
+        // With enough load shed, the remaining tasks fit under the bound.
+        let u1 = al.trace().utilization_series(0);
+        let tail = metrics::window(&u1, 120, 150);
+        assert!(
+            tail.mean < 0.8284 + 0.06,
+            "shedding must pull P1 back under its set point: {:.3}",
+            tail.mean
+        );
+    }
+
+    #[test]
+    fn relief_readmits_suspended_tasks() {
+        // Overload for 60 periods, then a huge relief: suspended tasks
+        // must come back.
+        let profile = EtfProfile::steps(&[(0.0, 25.0), (60_000.0, 0.5)]);
+        let mut al = AdaptiveLoop::new(
+            workloads::simple(),
+            MpcConfig::simple(),
+            AdmissionPolicy::default(),
+            SimConfig { exec_model: eucon_sim::ExecModel::Constant, etf: profile, seed: 0, release_guard: Default::default(), processor_speeds: None },
+        )
+        .unwrap();
+        al.run(200);
+        let suspensions =
+            al.events().iter().filter(|e| matches!(e, AdmissionEvent::Suspended { .. })).count();
+        let readmissions =
+            al.events().iter().filter(|e| matches!(e, AdmissionEvent::Readmitted { .. })).count();
+        assert!(suspensions > 0, "phase 1 must suspend: {:?}", al.events());
+        assert!(readmissions > 0, "phase 2 must re-admit: {:?}", al.events());
+        assert!(
+            al.suspended_tasks().is_empty(),
+            "all tasks back after relief: {:?}",
+            al.suspended_tasks()
+        );
+        // And the loop converges normally afterwards.
+        let u1 = al.trace().utilization_series(0);
+        let tail = metrics::window(&u1, 160, 200);
+        assert!((tail.mean - 0.8284).abs() < 0.05, "tail mean {:.3}", tail.mean);
+    }
+
+    #[test]
+    fn never_suspends_the_last_task() {
+        // Single-task workload under hopeless overload: the supervisor
+        // must keep it admitted.
+        let mut set = TaskSet::new(1);
+        let r = 1.0 / 100.0;
+        set.add_task(
+            eucon_tasks::Task::builder(r / 2.0, r * 2.0, r)
+                .subtask(eucon_tasks::ProcessorId(0), 50.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut al = AdaptiveLoop::new(
+            set,
+            MpcConfig::simple(),
+            AdmissionPolicy::default(),
+            SimConfig::constant_etf(10.0),
+        )
+        .unwrap();
+        al.run(60);
+        assert!(al.suspended_tasks().is_empty());
+    }
+}

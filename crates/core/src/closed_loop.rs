@@ -1,0 +1,576 @@
+//! The EUCON feedback loop: simulator + controller, one exchange per
+//! sampling period.
+
+use eucon_control::{
+    ControlError, DecentralizedController, IndependentPid, MpcConfig, MpcController, OpenLoop,
+    RateController,
+};
+use eucon_math::Vector;
+use eucon_sim::{DeadlineStats, SimConfig, Simulator};
+use eucon_tasks::{rms_set_points, TaskSet};
+
+use crate::lanes::LaneState;
+use crate::{CoreError, LaneModel, Trace, TraceStep};
+
+/// The sampling period used throughout the paper (Table 2): 1000 time
+/// units.
+pub const DEFAULT_SAMPLING_PERIOD: f64 = 1000.0;
+
+/// Which controller to close the loop with.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControllerSpec {
+    /// The EUCON model-predictive controller with the given configuration.
+    Eucon(MpcConfig),
+    /// The paper's OPEN baseline (fixed design-time rates).
+    Open,
+    /// The decoupled per-processor PI baseline with gains `(kp, ki)`.
+    Pid {
+        /// Proportional gain.
+        kp: f64,
+        /// Integral gain.
+        ki: f64,
+    },
+    /// The decentralized controller team (DEUCON-style): one local MPC
+    /// per processor, coordinating by move exchange.
+    Decentralized(MpcConfig),
+}
+
+impl ControllerSpec {
+    /// Instantiates the controller for a task set and set points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-construction failures.
+    pub fn build(
+        &self,
+        set: &TaskSet,
+        set_points: &Vector,
+    ) -> Result<Box<dyn RateController>, ControlError> {
+        Ok(match self {
+            ControllerSpec::Eucon(cfg) => {
+                Box::new(MpcController::new(set, set_points.clone(), cfg.clone())?)
+            }
+            ControllerSpec::Open => Box::new(OpenLoop::design(set, set_points)?),
+            ControllerSpec::Pid { kp, ki } => {
+                Box::new(IndependentPid::new(set, set_points.clone(), *kp, *ki)?)
+            }
+            ControllerSpec::Decentralized(cfg) => {
+                Box::new(DecentralizedController::new(set, set_points.clone(), cfg.clone())?)
+            }
+        })
+    }
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-period utilization and rate trace.
+    pub trace: Trace,
+    /// End-to-end deadline statistics over the whole run.
+    pub deadlines: DeadlineStats,
+    /// The utilization set points the controller tracked.
+    pub set_points: Vector,
+}
+
+/// The distributed feedback control loop of the paper's §4: at the end of
+/// every sampling period the utilization monitors report `u(k)` over their
+/// feedback lanes, the controller computes new rates, and the rate
+/// modulators apply them.
+///
+/// # Example
+///
+/// ```
+/// use eucon_core::{ClosedLoop, ControllerSpec};
+/// use eucon_sim::SimConfig;
+/// use eucon_tasks::workloads;
+///
+/// # fn main() -> Result<(), eucon_core::CoreError> {
+/// let mut cl = ClosedLoop::builder(workloads::simple())
+///     .sim_config(SimConfig::constant_etf(0.5))
+///     .controller(ControllerSpec::Eucon(eucon_control::MpcConfig::simple()))
+///     .build()?;
+/// let result = cl.run(150);
+/// // EUCON converges to the 0.828 set points despite etf = 0.5.
+/// let u1 = result.trace.utilization_series(0);
+/// let tail = eucon_core::metrics::window(&u1, 100, 150);
+/// assert!((tail.mean - 0.828).abs() < 0.03);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ClosedLoop {
+    sim: Simulator,
+    controller: Box<dyn RateController>,
+    ts: f64,
+    period: usize,
+    set_points: Vector,
+    trace: Trace,
+    control_errors: usize,
+    lanes: LaneState,
+    /// Per-task discrete rate grids when actuation is quantized.
+    rate_grid: Option<Vec<Vec<f64>>>,
+}
+
+impl std::fmt::Debug for ClosedLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoop")
+            .field("controller", &self.controller.name())
+            .field("ts", &self.ts)
+            .field("period", &self.period)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`ClosedLoop`].
+pub struct ClosedLoopBuilder {
+    set: TaskSet,
+    sim_config: SimConfig,
+    controller: ControllerSpec,
+    custom_controller: Option<Box<dyn RateController>>,
+    set_points: Option<Vector>,
+    ts: f64,
+    lanes: LaneModel,
+    rate_levels: Option<usize>,
+}
+
+impl std::fmt::Debug for ClosedLoopBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoopBuilder")
+            .field("controller", &self.controller)
+            .field("ts", &self.ts)
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClosedLoopBuilder {
+    /// Chooses the simulator configuration (default: `etf = 1`, constant
+    /// execution times).
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim_config = cfg;
+        self
+    }
+
+    /// Chooses the controller (default: EUCON with SIMPLE's parameters).
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = spec;
+        self
+    }
+
+    /// Installs a user-supplied controller instead of a built-in
+    /// [`ControllerSpec`] — the extension point for experimenting with new
+    /// control laws against the same plant and protocols.
+    ///
+    /// The controller's current [`RateController::rates`] are applied to
+    /// the plant at time zero.
+    pub fn custom_controller(mut self, controller: Box<dyn RateController>) -> Self {
+        self.custom_controller = Some(controller);
+        self
+    }
+
+    /// Overrides the utilization set points (default: the RMS bounds of
+    /// the paper's eq. 13).
+    pub fn set_points(mut self, b: Vector) -> Self {
+        self.set_points = Some(b);
+        self
+    }
+
+    /// Chooses the feedback-lane network model (default: the paper's
+    /// ideal lanes — zero delay, zero loss).
+    pub fn lanes(mut self, model: LaneModel) -> Self {
+        self.lanes = model;
+        self
+    }
+
+    /// Quantizes actuated rates to a per-task geometric grid of `levels`
+    /// values between `Rmin` and `Rmax` (default: continuous rates).
+    ///
+    /// Models real actuators — e.g. video pipelines that only support a
+    /// discrete set of frame rates.  The controller still reasons in
+    /// continuous rates; only the value applied to the plant snaps to the
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn quantized_rates(mut self, levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two rate levels");
+        self.rate_levels = Some(levels);
+        self
+    }
+
+    /// Overrides the sampling period (default
+    /// [`DEFAULT_SAMPLING_PERIOD`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ts` is positive and finite.
+    pub fn sampling_period(mut self, ts: f64) -> Self {
+        assert!(ts > 0.0 && ts.is_finite(), "sampling period must be positive");
+        self.ts = ts;
+        self
+    }
+
+    /// Builds the loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller-construction failures as
+    /// [`CoreError::Control`].
+    pub fn build(self) -> Result<ClosedLoop, CoreError> {
+        let set_points = self.set_points.unwrap_or_else(|| rms_set_points(&self.set));
+        let controller = match self.custom_controller {
+            Some(custom) => custom,
+            None => self.controller.build(&self.set, &set_points)?,
+        };
+        let rate_grid = self.rate_levels.map(|levels| {
+            self.set
+                .tasks()
+                .iter()
+                .map(|t| {
+                    // Geometric grid covers wide rate ranges evenly in log
+                    // space (rate ranges span 10-20x in the paper).
+                    let lo = t.rate_min();
+                    let hi = t.rate_max();
+                    (0..levels)
+                        .map(|i| lo * (hi / lo).powf(i as f64 / (levels - 1) as f64))
+                        .collect()
+                })
+                .collect()
+        });
+        let mut sim = Simulator::new(self.set, self.sim_config);
+        // Apply the controller's initial rates from time zero (OPEN's
+        // design rates take effect immediately; feedback controllers start
+        // from the task set's initial rates, a no-op here).
+        sim.set_rates(&controller.rates());
+        Ok(ClosedLoop {
+            sim,
+            controller,
+            ts: self.ts,
+            period: 0,
+            set_points,
+            trace: Trace::new(),
+            control_errors: 0,
+            lanes: LaneState::new(self.lanes),
+            rate_grid,
+        })
+    }
+}
+
+impl ClosedLoop {
+    /// Starts building a loop around a task set.
+    pub fn builder(set: TaskSet) -> ClosedLoopBuilder {
+        ClosedLoopBuilder {
+            set,
+            sim_config: SimConfig::default(),
+            controller: ControllerSpec::Eucon(MpcConfig::simple()),
+            custom_controller: None,
+            set_points: None,
+            ts: DEFAULT_SAMPLING_PERIOD,
+            lanes: LaneModel::ideal(),
+            rate_levels: None,
+        }
+    }
+
+    /// The utilization set points in force.
+    pub fn set_points(&self) -> &Vector {
+        &self.set_points
+    }
+
+    /// The controller's name (for reports).
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// Number of sampling periods executed so far.
+    pub fn periods_elapsed(&self) -> usize {
+        self.period
+    }
+
+    /// How many sampling periods the controller failed and the previous
+    /// rates were kept (expected to stay 0).
+    pub fn control_errors(&self) -> usize {
+        self.control_errors
+    }
+
+    /// Borrow the live simulator (read-only).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Executes one sampling period: advance the plant, sample the
+    /// monitors, update the controller, apply the rates.
+    ///
+    /// Controller failures (which do not occur under normal configurations)
+    /// keep the previous rates and are counted in
+    /// [`ClosedLoop::control_errors`], mirroring a real deployment where a
+    /// controller fault must not stop the plant.
+    pub fn step(&mut self) -> &TraceStep {
+        self.period += 1;
+        let t_end = self.period as f64 * self.ts;
+        self.sim.run_until(t_end);
+        let u = self.sim.sample_utilizations();
+        // The report crosses the feedback lanes (possibly delayed/lost).
+        let u_received = self.lanes.transmit(u.clone());
+        let rates = match self.controller.update(&u_received) {
+            Ok(rates) => rates,
+            Err(_) => {
+                self.control_errors += 1;
+                self.controller.rates()
+            }
+        };
+        let actuated = match &self.rate_grid {
+            Some(grid) => Vector::from_iter(
+                rates.iter().enumerate().map(|(t, &r)| snap_to_grid(&grid[t], r)),
+            ),
+            None => rates,
+        };
+        self.sim.set_rates(&actuated);
+        self.trace.push(TraceStep {
+            time: t_end,
+            utilization: u,
+            rates: self.sim.rates(),
+        });
+        self.trace.steps().last().expect("step just pushed")
+    }
+
+    /// Runs `periods` sampling periods and returns the accumulated result.
+    pub fn run(&mut self, periods: usize) -> RunResult {
+        for _ in 0..periods {
+            self.step();
+        }
+        RunResult {
+            trace: self.trace.clone(),
+            deadlines: self.sim.deadline_stats(),
+            set_points: self.set_points.clone(),
+        }
+    }
+
+    /// Consumes the loop, returning the final result.
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            trace: self.trace,
+            deadlines: self.sim.deadline_stats(),
+            set_points: self.set_points,
+        }
+    }
+}
+
+/// Nearest grid value to `r` (grid is sorted ascending).
+fn snap_to_grid(grid: &[f64], r: f64) -> f64 {
+    grid.iter()
+        .copied()
+        .min_by(|a, b| (a - r).abs().total_cmp(&(b - r).abs()))
+        .expect("grids have at least two levels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use eucon_tasks::workloads;
+
+    fn eucon_loop(etf: f64) -> ClosedLoop {
+        ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(etf))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eucon_converges_on_simple_at_half_load() {
+        // Figure 3(a): etf = 0.5 → both processors reach 0.828.
+        let mut cl = eucon_loop(0.5);
+        let result = cl.run(150);
+        for p in 0..2 {
+            let series = result.trace.utilization_series(p);
+            let tail = metrics::window(&series, 100, 150);
+            assert!(
+                (tail.mean - 0.828).abs() < 0.03,
+                "P{} mean {:.3} should approach 0.828",
+                p + 1,
+                tail.mean
+            );
+            assert!(tail.std_dev < 0.05, "P{} too oscillatory: {:.3}", p + 1, tail.std_dev);
+        }
+        assert_eq!(cl.control_errors(), 0);
+    }
+
+    #[test]
+    fn eucon_diverges_at_etf_seven() {
+        // Figure 3(b): etf = 7 exceeds the stability bound → no
+        // convergence (oscillation / saturation).
+        let mut cl = eucon_loop(7.0);
+        let result = cl.run(150);
+        let series = result.trace.utilization_series(0);
+        let tail = metrics::window(&series, 100, 150);
+        assert!(
+            !metrics::acceptable(tail, 0.828),
+            "etf = 7 must not satisfy the acceptability criterion (mean {:.3}, σ {:.3})",
+            tail.mean,
+            tail.std_dev
+        );
+    }
+
+    #[test]
+    fn open_loop_tracks_etf_linearly() {
+        let mut cl = ClosedLoop::builder(workloads::medium())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Open)
+            .build()
+            .unwrap();
+        let result = cl.run(40);
+        let series = result.trace.utilization_series(0);
+        let tail = metrics::window(&series, 20, 40);
+        // OPEN at etf 0.5 sits at half the set point.
+        let b = result.set_points[0];
+        assert!((tail.mean - 0.5 * b).abs() < 0.05, "got {:.3}, want {:.3}", tail.mean, 0.5 * b);
+    }
+
+    #[test]
+    fn pid_baseline_runs() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Pid { kp: 0.5, ki: 0.05 })
+            .build()
+            .unwrap();
+        let result = cl.run(60);
+        assert_eq!(result.trace.len(), 60);
+        assert_eq!(cl.controller_name(), "PID");
+    }
+
+    #[test]
+    fn custom_set_points_are_tracked() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .set_points(Vector::from_slice(&[0.5, 0.6]))
+            .build()
+            .unwrap();
+        let result = cl.run(120);
+        let u1 = result.trace.utilization_series(0);
+        let u2 = result.trace.utilization_series(1);
+        assert!((metrics::window(&u1, 80, 120).mean - 0.5).abs() < 0.03);
+        assert!((metrics::window(&u2, 80, 120).mean - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn deadlines_met_once_converged() {
+        let mut cl = eucon_loop(0.5);
+        let result = cl.run(100);
+        // Soft deadlines: the overwhelming majority must be met once the
+        // utilization sits at the RMS bound.
+        assert!(result.deadlines.miss_ratio() < 0.05, "miss ratio {:.4}", result.deadlines.miss_ratio());
+    }
+
+    /// A controller that fails after a few periods, to exercise the
+    /// loop's fault handling.
+    struct FlakyController {
+        inner: MpcController,
+        fail_after: usize,
+        calls: usize,
+    }
+
+    impl RateController for FlakyController {
+        fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+            self.calls += 1;
+            if self.calls > self.fail_after {
+                return Err(ControlError::DimensionMismatch("injected fault".into()));
+            }
+            self.inner.step(u)
+        }
+
+        fn rates(&self) -> Vector {
+            self.inner.rates()
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn controller_faults_keep_the_plant_running() {
+        use eucon_tasks::rms_set_points;
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let inner = MpcController::new(&set, b, MpcConfig::simple()).unwrap();
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .custom_controller(Box::new(FlakyController { inner, fail_after: 30, calls: 0 }))
+            .build()
+            .unwrap();
+        let result = cl.run(80);
+        assert_eq!(cl.control_errors(), 50, "every post-fault period is counted");
+        assert_eq!(cl.controller_name(), "flaky");
+        // The plant keeps running on the last good rates: utilization
+        // stays pinned near wherever the loop had converged to.
+        let tail = crate::metrics::window(&result.trace.utilization_series(0), 60, 80);
+        assert!(tail.mean > 0.5, "plant still executing after controller death");
+        let last = result.trace.steps().last().unwrap();
+        let at_30 = &result.trace.steps()[30];
+        assert!(last.rates.approx_eq(&at_30.rates, 1e-12), "rates frozen at the fault");
+    }
+
+    #[test]
+    fn quantized_rates_snap_to_grid_and_still_regulate() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .quantized_rates(16)
+            .build()
+            .unwrap();
+        let result = cl.run(150);
+        // All actuated rates lie on the 16-level geometric grid.
+        let set = workloads::simple();
+        for step in result.trace.steps() {
+            for (t, task) in set.tasks().iter().enumerate() {
+                let lo = task.rate_min();
+                let hi = task.rate_max();
+                let on_grid = (0..16).any(|i| {
+                    let g = lo * (hi / lo).powf(i as f64 / 15.0);
+                    (step.rates[t] - g).abs() < 1e-12
+                });
+                assert!(on_grid, "rate {} of T{} off grid", step.rates[t], t + 1);
+            }
+        }
+        // Regulation survives quantization, with some quantization noise.
+        let s = crate::metrics::window(&result.trace.utilization_series(0), 100, 150);
+        assert!((s.mean - 0.8284).abs() < 0.06, "mean {:.3}", s.mean);
+    }
+
+    #[test]
+    fn coarse_quantization_increases_oscillation() {
+        let sigma = |levels: Option<usize>| {
+            let mut b = ClosedLoop::builder(workloads::simple())
+                .sim_config(SimConfig::constant_etf(0.5))
+                .controller(ControllerSpec::Eucon(MpcConfig::simple()));
+            if let Some(l) = levels {
+                b = b.quantized_rates(l);
+            }
+            let result = b.build().unwrap().run(150);
+            crate::metrics::window(&result.trace.utilization_series(0), 100, 150).std_dev
+        };
+        let continuous = sigma(None);
+        let coarse = sigma(Some(4));
+        assert!(
+            coarse > continuous,
+            "4-level actuation must be noisier: {coarse:.4} vs {continuous:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn quantizer_needs_two_levels() {
+        let _ = ClosedLoop::builder(workloads::simple()).quantized_rates(1);
+    }
+
+    #[test]
+    fn step_returns_latest() {
+        let mut cl = eucon_loop(1.0);
+        let s = cl.step();
+        assert_eq!(s.time, 1000.0);
+        assert_eq!(cl.periods_elapsed(), 1);
+    }
+}

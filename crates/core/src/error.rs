@@ -1,0 +1,61 @@
+//! Error type for the orchestration crate.
+
+use std::error::Error;
+use std::fmt;
+
+use eucon_control::ControlError;
+use eucon_tasks::TaskError;
+
+/// Errors produced while assembling or running closed-loop experiments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Controller construction or update failed.
+    Control(ControlError),
+    /// The workload definition was invalid.
+    Task(TaskError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Control(e) => write!(f, "controller failure: {e}"),
+            CoreError::Task(e) => write!(f, "invalid workload: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Control(e) => Some(e),
+            CoreError::Task(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ControlError> for CoreError {
+    fn from(e: ControlError) -> Self {
+        CoreError::Control(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TaskError> for CoreError {
+    fn from(e: TaskError) -> Self {
+        CoreError::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Task(TaskError::EmptyTaskSet);
+        assert!(e.to_string().contains("no tasks"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,176 @@
+//! Feedback-lane network model.
+//!
+//! The paper's architecture (§4) connects the controller to each
+//! processor's utilization monitor and rate modulator through a dedicated
+//! TCP connection (a *feedback lane*) and ignores network effects in its
+//! evaluation.  This module models what the paper abstracts away, so the
+//! robustness of the loop to realistic lanes can be measured:
+//!
+//! * **report delay** — utilization samples arrive `d` sampling periods
+//!   late (the controller acts on `u(k − d)`);
+//! * **report loss** — with probability `p` a period's report is dropped,
+//!   in which case the controller re-uses the last delivered sample
+//!   (TCP-style: the stale value persists rather than vanishing).
+//!
+//! The closed loop applies the model symmetrically cheaply: delayed
+//! reports are the dominant effect, and actuation delay composes into the
+//! same loop delay, so a single `report_delay` knob captures both.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use eucon_math::Vector;
+
+/// Configuration of the feedback lanes between monitors and controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneModel {
+    /// Whole sampling periods of delay on utilization reports (0 = the
+    /// paper's idealized lanes).
+    pub report_delay: usize,
+    /// Probability that a period's report is lost, in `[0, 1)`.
+    pub loss_probability: f64,
+    /// RNG seed for loss draws.
+    pub seed: u64,
+}
+
+impl LaneModel {
+    /// The paper's idealization: zero delay, zero loss.
+    pub fn ideal() -> Self {
+        LaneModel { report_delay: 0, loss_probability: 0.0, seed: 0 }
+    }
+
+    /// Lanes with a fixed report delay (in sampling periods).
+    pub fn delayed(periods: usize) -> Self {
+        LaneModel { report_delay: periods, ..LaneModel::ideal() }
+    }
+
+    /// Lanes dropping each report independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn lossy(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        LaneModel { report_delay: 0, loss_probability: p, seed }
+    }
+}
+
+impl Default for LaneModel {
+    fn default() -> Self {
+        LaneModel::ideal()
+    }
+}
+
+/// Run-time state of the lane model inside a closed loop.
+#[derive(Debug)]
+pub(crate) struct LaneState {
+    model: LaneModel,
+    rng: StdRng,
+    /// Reports in flight (oldest first); length ≤ report_delay + 1.
+    in_flight: VecDeque<Vector>,
+    /// Last report actually delivered to the controller.
+    last_delivered: Option<Vector>,
+}
+
+impl LaneState {
+    pub fn new(model: LaneModel) -> Self {
+        LaneState {
+            rng: StdRng::seed_from_u64(model.seed),
+            model,
+            in_flight: VecDeque::new(),
+            last_delivered: None,
+        }
+    }
+
+    /// Pushes this period's measurement and returns what the controller
+    /// receives: a (possibly delayed, possibly stale) utilization vector.
+    pub fn transmit(&mut self, fresh: Vector) -> Vector {
+        self.in_flight.push_back(fresh);
+        let candidate = if self.in_flight.len() > self.model.report_delay {
+            self.in_flight.pop_front()
+        } else {
+            // Nothing has crossed the lane yet.
+            None
+        };
+        let delivered = match candidate {
+            Some(report) => {
+                let lost = self.model.loss_probability > 0.0
+                    && self.rng.gen::<f64>() < self.model.loss_probability;
+                if lost {
+                    // Drop: the controller keeps the previous value.
+                    self.last_delivered.clone().unwrap_or_else(|| report.map(|_| 0.0))
+                } else {
+                    self.last_delivered = Some(report.clone());
+                    report
+                }
+            }
+            None => self
+                .last_delivered
+                .clone()
+                .unwrap_or_else(|| Vector::zeros(self.in_flight.back().map_or(0, Vector::len))),
+        };
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64) -> Vector {
+        Vector::from_slice(&[x])
+    }
+
+    #[test]
+    fn ideal_lane_is_transparent() {
+        let mut lane = LaneState::new(LaneModel::ideal());
+        assert_eq!(lane.transmit(v(0.5))[0], 0.5);
+        assert_eq!(lane.transmit(v(0.7))[0], 0.7);
+    }
+
+    #[test]
+    fn delay_shifts_reports() {
+        let mut lane = LaneState::new(LaneModel::delayed(2));
+        // Until the pipe fills, the controller sees zeros.
+        assert_eq!(lane.transmit(v(0.1))[0], 0.0);
+        assert_eq!(lane.transmit(v(0.2))[0], 0.0);
+        // Then reports arrive in order, two periods late.
+        assert_eq!(lane.transmit(v(0.3))[0], 0.1);
+        assert_eq!(lane.transmit(v(0.4))[0], 0.2);
+    }
+
+    #[test]
+    fn total_loss_freezes_the_last_delivery() {
+        // p ≈ 1 is rejected, but a high p with a seed that always drops
+        // after the first delivery shows the stale-value behaviour.
+        let mut lane = LaneState::new(LaneModel { report_delay: 0, loss_probability: 0.99, seed: 3 });
+        let first = lane.transmit(v(0.5))[0];
+        // All subsequent values are frozen at whatever got through (0.5 or
+        // 0.0 if even the first was dropped).
+        for _ in 0..20 {
+            let got = lane.transmit(v(0.9))[0];
+            assert!(got == first || got == 0.5 || got == 0.0);
+            assert_ne!(got, 0.9, "a 99% lossy lane should effectively never deliver");
+        }
+    }
+
+    #[test]
+    fn moderate_loss_delivers_most_reports() {
+        let mut lane = LaneState::new(LaneModel::lossy(0.2, 7));
+        let mut delivered_fresh = 0;
+        for k in 0..1000 {
+            let x = k as f64;
+            if lane.transmit(v(x))[0] == x {
+                delivered_fresh += 1;
+            }
+        }
+        assert!((700..=900).contains(&delivered_fresh), "got {delivered_fresh}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_probability_rejected() {
+        let _ = LaneModel::lossy(1.0, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Closed-loop orchestration, experiments and metrics for the EUCON
+//! reproduction.
+//!
+//! This crate wires the `eucon-sim` plant to the `eucon-control`
+//! controllers and provides the experimental protocols of the paper's §7:
+//!
+//! * [`ClosedLoop`] — the distributed feedback loop of §4: sample the
+//!   utilization monitors each period, run the controller, apply the rate
+//!   modulators.
+//! * [`ControllerSpec`] — pick EUCON, OPEN, or the PID ablation baseline.
+//! * [`experiments`] — Experiment I ([`SteadyRun`], constant etf sweeps →
+//!   Figures 4 and 5) and Experiment II ([`VaryingRun`], the 0.5 → 0.9 →
+//!   0.33 step profile → Figures 6–8).
+//! * [`metrics`] — windowed mean/σ, the paper's acceptability criterion
+//!   (±0.02 mean, σ < 0.05) and settling times.
+//! * [`render`] — CSV / aligned-table / ASCII-plot output for the figure
+//!   regeneration binaries; [`svg`] renders the recorded series as
+//!   standalone SVG figures.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_core::{ClosedLoop, ControllerSpec, metrics};
+//! use eucon_sim::SimConfig;
+//! use eucon_tasks::workloads;
+//!
+//! # fn main() -> Result<(), eucon_core::CoreError> {
+//! // Figure 3(a): SIMPLE at half the estimated execution times.
+//! let mut cl = ClosedLoop::builder(workloads::simple())
+//!     .sim_config(SimConfig::constant_etf(0.5))
+//!     .controller(ControllerSpec::Eucon(eucon_control::MpcConfig::simple()))
+//!     .build()?;
+//! let result = cl.run(150);
+//! let tail = metrics::window(&result.trace.utilization_series(0), 100, 150);
+//! assert!((tail.mean - 0.828).abs() < 0.03);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod closed_loop;
+mod error;
+mod lanes;
+pub mod experiments;
+pub mod metrics;
+pub mod render;
+pub mod svg;
+mod trace;
+
+pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, ControllerSpec, RunResult, DEFAULT_SAMPLING_PERIOD};
+pub use error::CoreError;
+pub use lanes::LaneModel;
+pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
+pub use trace::{Trace, TraceStep};

@@ -1,0 +1,203 @@
+//! Cholesky decomposition for symmetric positive-definite matrices.
+
+use crate::{MathError, Matrix, Vector};
+
+/// Cholesky decomposition `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// The MPC cost Hessian `ΦᵀQΦ + ΔᵀRΔ` is symmetric positive definite by
+/// construction, so the QP solver uses Cholesky both to solve its equality-
+/// constrained subproblems and to certify convexity.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{Cholesky, Matrix, Vector};
+///
+/// # fn main() -> Result<(), eucon_math::MathError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = Cholesky::decompose(&a)?;
+/// let x = chol.solve(&Vector::from_slice(&[2.0, 1.0]))?;
+/// assert!((&a.mul_vec(&x) - &Vector::from_slice(&[2.0, 1.0])).max_abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (as with LAPACK's `dpotrf`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square input,
+    /// [`MathError::NonFinite`] for NaN/infinite entries, and
+    /// [`MathError::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn decompose(a: &Matrix) -> Result<Cholesky, MathError> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !a.is_finite() {
+            return Err(MathError::NonFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(MathError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via forward/back substitution on the factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, MathError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(MathError::DimensionMismatch(format!(
+                "rhs has length {}, expected {n}",
+                b.len()
+            )));
+        }
+        // L·y = b
+        let mut y = b.clone();
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ·x = y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix (product of squared diagonals).
+    pub fn det(&self) -> f64 {
+        let d: f64 = self.l.diag().iter().product();
+        d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let l = Cholesky::decompose(&a).unwrap().l().clone();
+        assert!((&l * &l.transpose()).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(MathError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_finite() {
+        assert!(matches!(
+            Cholesky::decompose(&Matrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::INFINITY;
+        assert!(matches!(Cholesky::decompose(&a), Err(MathError::NonFinite)));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 5.0]]);
+        let b = Vector::from_slice(&[1.0, -3.0]);
+        let x_chol = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        let x_lu = a.solve(&b).unwrap();
+        assert!(x_chol.approx_eq(&x_lu, 1e-12));
+    }
+
+    #[test]
+    fn det_positive() {
+        let a = Matrix::from_diag(&[4.0, 9.0]);
+        let chol = Cholesky::decompose(&a).unwrap();
+        assert!((chol.det() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let chol = Cholesky::decompose(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            chol.solve(&Vector::zeros(1)),
+            Err(MathError::DimensionMismatch(_))
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// SPD matrices built as MᵀM + n·I.
+        fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-3.0..3.0f64, n * n).prop_map(move |data| {
+                let m = Matrix::from_vec(n, n, data);
+                &(&m.transpose() * &m) + &Matrix::identity(n).scale(n as f64)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn solve_residual_small(a in spd(4), b in proptest::collection::vec(-5.0..5.0f64, 4)) {
+                let b = Vector::from_slice(&b);
+                let x = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+                let scale = a.max_abs().max(1.0);
+                prop_assert!((&a.mul_vec(&x) - &b).max_abs() / scale < 1e-8);
+            }
+
+            #[test]
+            fn factor_is_lower_triangular(a in spd(3)) {
+                let l = Cholesky::decompose(&a).unwrap().l().clone();
+                for i in 0..3 {
+                    for j in (i + 1)..3 {
+                        prop_assert_eq!(l[(i, j)], 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! Eigenvalues of general real matrices.
+//!
+//! The EUCON stability analysis (paper §6.2) reduces to a spectral-radius
+//! test on the closed-loop system matrix `A(g)`: the distributed system is
+//! stable iff every eigenvalue of `A` lies strictly inside the unit circle.
+//! `A` is a general (non-symmetric) real matrix, so complex eigenvalues must
+//! be handled.  The pipeline here is the classical dense one:
+//!
+//! 1. *balance* the matrix with diagonal similarity transforms,
+//! 2. reduce to upper *Hessenberg* form with Householder reflections,
+//! 3. run the implicitly-shifted *Francis QR* iteration with deflation,
+//!    reading eigenvalues off the converged 1×1 and 2×2 diagonal blocks.
+
+use crate::{MathError, Matrix};
+
+/// A complex number, used only to report eigenvalues.
+///
+/// # Example
+///
+/// ```
+/// let z = eucon_math::Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(&self) -> f64 {
+        f64::hypot(self.re, self.im)
+    }
+
+    /// Returns `true` when the imaginary part is exactly zero.
+    pub fn is_real(&self) -> bool {
+        self.im == 0.0
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{:.6}", self.re)
+        } else if self.im > 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+/// Maximum QR iterations per eigenvalue before giving up.
+const MAX_ITER_PER_EIG: usize = 60;
+
+/// Computes all eigenvalues of a general real square matrix.
+///
+/// Eigenvalues are returned in no particular order; complex eigenvalues come
+/// in conjugate pairs.
+///
+/// # Errors
+///
+/// Returns [`MathError::NotSquare`] for non-square input,
+/// [`MathError::NonFinite`] for NaN/infinite entries, and
+/// [`MathError::NoConvergence`] if the QR iteration stalls (essentially
+/// never happens for the small matrices in this repository).
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{eig, Matrix};
+///
+/// # fn main() -> Result<(), eucon_math::MathError> {
+/// // Rotation by 90°: eigenvalues ±i.
+/// let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+/// let mut eigs = eig(&a)?;
+/// eigs.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
+/// assert!((eigs[0].im + 1.0).abs() < 1e-9);
+/// assert!((eigs[1].im - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eig(a: &Matrix) -> Result<Vec<Complex>, MathError> {
+    if !a.is_square() {
+        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if !a.is_finite() {
+        return Err(MathError::NonFinite);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut h = a.clone();
+    balance(&mut h);
+    hessenberg(&mut h);
+    hqr(&mut h)
+}
+
+/// Spectral radius: the largest eigenvalue modulus of a square matrix.
+///
+/// This is the quantity the EUCON stability analysis thresholds against 1.
+///
+/// # Errors
+///
+/// Propagates the errors of [`eig`](fn@eig).
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{spectral_radius, Matrix};
+///
+/// # fn main() -> Result<(), eucon_math::MathError> {
+/// let a = Matrix::from_diag(&[0.5, -0.9]);
+/// assert!((spectral_radius(&a)? - 0.9).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spectral_radius(a: &Matrix) -> Result<f64, MathError> {
+    Ok(eig(a)?.iter().map(Complex::abs).fold(0.0, f64::max))
+}
+
+/// Balances a matrix in place using diagonal similarity transforms so that
+/// row and column norms are comparable (improves eigenvalue accuracy).
+fn balance(a: &mut Matrix) {
+    const RADIX: f64 = 2.0;
+    let n = a.rows();
+    let sqrdx = RADIX * RADIX;
+    loop {
+        let mut done = true;
+        for i in 0..n {
+            let mut r = 0.0;
+            let mut c = 0.0;
+            for j in 0..n {
+                if j != i {
+                    c += a[(j, i)].abs();
+                    r += a[(i, j)].abs();
+                }
+            }
+            if c != 0.0 && r != 0.0 {
+                let mut g = r / RADIX;
+                let mut f = 1.0;
+                let s = c + r;
+                let mut c_acc = c;
+                while c_acc < g {
+                    f *= RADIX;
+                    c_acc *= sqrdx;
+                }
+                g = r * RADIX;
+                while c_acc > g {
+                    f /= RADIX;
+                    c_acc /= sqrdx;
+                }
+                if (c_acc + r) / f < 0.95 * s {
+                    done = false;
+                    let g = 1.0 / f;
+                    for j in 0..n {
+                        a[(i, j)] *= g;
+                    }
+                    for j in 0..n {
+                        a[(j, i)] *= f;
+                    }
+                }
+            }
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Reduces a matrix to upper Hessenberg form in place using stabilized
+/// elementary (Gaussian) similarity transforms with pivoting.
+fn hessenberg(a: &mut Matrix) {
+    let n = a.rows();
+    if n < 3 {
+        return;
+    }
+    for m in 1..(n - 1) {
+        // Find the pivot in column m-1, rows m..n.
+        let mut x: f64 = 0.0;
+        let mut pivot = m;
+        for j in m..n {
+            if a[(j, m - 1)].abs() > x.abs() {
+                x = a[(j, m - 1)];
+                pivot = j;
+            }
+        }
+        if pivot != m {
+            // Swap rows and columns to bring the pivot to position m.
+            for j in (m - 1)..n {
+                let tmp = a[(pivot, j)];
+                a[(pivot, j)] = a[(m, j)];
+                a[(m, j)] = tmp;
+            }
+            for j in 0..n {
+                let tmp = a[(j, pivot)];
+                a[(j, pivot)] = a[(j, m)];
+                a[(j, m)] = tmp;
+            }
+        }
+        if x != 0.0 {
+            for i in (m + 1)..n {
+                let mut y = a[(i, m - 1)];
+                if y != 0.0 {
+                    y /= x;
+                    a[(i, m - 1)] = y;
+                    for j in m..n {
+                        let delta = y * a[(m, j)];
+                        a[(i, j)] -= delta;
+                    }
+                    for j in 0..n {
+                        let delta = y * a[(j, i)];
+                        a[(j, m)] += delta;
+                    }
+                }
+            }
+        }
+    }
+    // Zero the sub-Hessenberg entries left behind as multipliers.
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            a[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Francis QR iteration on an upper Hessenberg matrix; consumes the matrix
+/// and returns all eigenvalues.
+fn hqr(h: &mut Matrix) -> Result<Vec<Complex>, MathError> {
+    let n = h.rows();
+    let mut eigs = Vec::with_capacity(n);
+    let mut anorm = 0.0;
+    for i in 0..n {
+        for j in i.saturating_sub(1)..n {
+            anorm += h[(i, j)].abs();
+        }
+    }
+    if anorm == 0.0 {
+        // Zero matrix: all eigenvalues are zero.
+        return Ok(vec![Complex::real(0.0); n]);
+    }
+
+    let mut nn = n as isize - 1; // index of the active trailing block
+    let mut t = 0.0; // accumulated exceptional shifts
+    while nn >= 0 {
+        let mut its = 0;
+        loop {
+            // Look for a single small subdiagonal element.
+            let mut l = nn;
+            while l > 0 {
+                let s = h[(l as usize - 1, l as usize - 1)].abs() + h[(l as usize, l as usize)].abs();
+                let s = if s == 0.0 { anorm } else { s };
+                if h[(l as usize, l as usize - 1)].abs() <= f64::EPSILON * s {
+                    h[(l as usize, l as usize - 1)] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let x = h[(nn as usize, nn as usize)];
+            if l == nn {
+                // One root found.
+                eigs.push(Complex::real(x + t));
+                nn -= 1;
+                break;
+            }
+            let y = h[(nn as usize - 1, nn as usize - 1)];
+            let w = h[(nn as usize, nn as usize - 1)] * h[(nn as usize - 1, nn as usize)];
+            if l == nn - 1 {
+                // Two roots found from the trailing 2x2 block.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x_shift = x + t;
+                if q >= 0.0 {
+                    // Real pair.
+                    let z = p + z.copysign(p);
+                    eigs.push(Complex::real(x_shift + z));
+                    if z != 0.0 {
+                        eigs.push(Complex::real(x_shift - w / z));
+                    } else {
+                        eigs.push(Complex::real(x_shift));
+                    }
+                } else {
+                    // Complex conjugate pair.
+                    eigs.push(Complex::new(x_shift + p, z));
+                    eigs.push(Complex::new(x_shift + p, -z));
+                }
+                nn -= 2;
+                break;
+            }
+            // No root yet: perform a Francis double-shift QR step.
+            if its == MAX_ITER_PER_EIG {
+                return Err(MathError::NoConvergence { iterations: its });
+            }
+            let (mut x, mut y, mut w) = (x, y, w);
+            if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+                // Exceptional shift to break symmetry-induced stalls.
+                t += x;
+                for i in 0..=(nn as usize) {
+                    h[(i, i)] -= x;
+                }
+                let s = h[(nn as usize, nn as usize - 1)].abs()
+                    + h[(nn as usize - 1, nn as usize - 2)].abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+
+            // Find two consecutive small subdiagonal elements to start the
+            // implicit double shift at row m.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0, 0.0, 0.0);
+            while m >= l {
+                let mu = m as usize;
+                let z = h[(mu, mu)];
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / h[(mu + 1, mu)] + h[(mu, mu + 1)];
+                q = h[(mu + 1, mu + 1)] - z - rr - ss;
+                r = h[(mu + 2, mu + 1)];
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = h[(mu, mu - 1)].abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
+                if u <= f64::EPSILON * v {
+                    break;
+                }
+                m -= 1;
+            }
+            let m = m.max(l) as usize;
+            for i in (m + 2)..=(nn as usize) {
+                h[(i, i - 2)] = 0.0;
+                if i > m + 2 {
+                    h[(i, i - 3)] = 0.0;
+                }
+            }
+
+            // Double QR step on rows l..=nn and columns l..=nn.
+            for k in m..(nn as usize) {
+                if k != m {
+                    p = h[(k, k - 1)];
+                    q = h[(k + 1, k - 1)];
+                    r = if k != nn as usize - 1 { h[(k + 2, k - 1)] } else { 0.0 };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let s = (p * p + q * q + r * r).sqrt().copysign(p);
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if l != m as isize {
+                        h[(k, k - 1)] = -h[(k, k - 1)];
+                    }
+                } else {
+                    h[(k, k - 1)] = -s * x;
+                }
+                p += s;
+                let px = p / s;
+                let py = q / s;
+                let pz = r / s;
+                let qq = q / p;
+                let rr = r / p;
+                // Row modification.
+                for j in k..=(nn as usize) {
+                    let mut pp = h[(k, j)] + qq * h[(k + 1, j)];
+                    if k != nn as usize - 1 {
+                        pp += rr * h[(k + 2, j)];
+                        h[(k + 2, j)] -= pp * pz;
+                    }
+                    h[(k + 1, j)] -= pp * py;
+                    h[(k, j)] -= pp * px;
+                }
+                // Column modification.
+                let mmin = if (nn as usize) < k + 3 { nn as usize } else { k + 3 };
+                for i in (l as usize)..=mmin {
+                    let mut pp = px * h[(i, k)] + py * h[(i, k + 1)];
+                    if k != nn as usize - 1 {
+                        pp += pz * h[(i, k + 2)];
+                        h[(i, k + 2)] -= pp * rr;
+                    }
+                    h[(i, k + 1)] -= pp * qq;
+                    h[(i, k)] -= pp;
+                }
+            }
+        }
+    }
+    Ok(eigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut eigs: Vec<Complex>) -> Vec<f64> {
+        assert!(eigs.iter().all(|e| e.im.abs() < 1e-8), "expected real eigenvalues: {eigs:?}");
+        eigs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        eigs.iter().map(|e| e.re).collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 0.5]);
+        let eigs = sorted_real(eig(&a).unwrap());
+        assert!((eigs[0] + 1.0).abs() < 1e-10);
+        assert!((eigs[1] - 0.5).abs() < 1e-10);
+        assert!((eigs[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn symmetric_2x2_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eigs = sorted_real(eig(&a).unwrap());
+        assert!((eigs[0] - 1.0).abs() < 1e-10);
+        assert!((eigs[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_pair_from_rotation() {
+        // Rotation-scaling: eigenvalues 0.8·e^{±iθ}, |λ| = 0.8.
+        let theta = std::f64::consts::FRAC_PI_4;
+        let (s, c) = theta.sin_cos();
+        let a = Matrix::from_rows(&[&[0.8 * c, -0.8 * s], &[0.8 * s, 0.8 * c]]);
+        let rho = spectral_radius(&a).unwrap();
+        assert!((rho - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+        let a = Matrix::from_rows(&[
+            &[6.0, -11.0, 6.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ]);
+        let eigs = sorted_real(eig(&a).unwrap());
+        assert!((eigs[0] - 1.0).abs() < 1e-8);
+        assert!((eigs[1] - 2.0).abs() < 1e-8);
+        assert!((eigs[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn upper_triangular_eigs_are_diagonal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 5.0, -3.0, 2.0],
+            &[0.0, 2.0, 9.0, 1.0],
+            &[0.0, 0.0, -4.0, 7.0],
+            &[0.0, 0.0, 0.0, 0.25],
+        ]);
+        let eigs = sorted_real(eig(&a).unwrap());
+        let expected = [-4.0, 0.25, 1.0, 2.0];
+        for (got, want) in eigs.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-8, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_matrices() {
+        assert!(eig(&Matrix::zeros(0, 0)).unwrap().is_empty());
+        let eigs = eig(&Matrix::zeros(3, 3)).unwrap();
+        assert_eq!(eigs.len(), 3);
+        assert!(eigs.iter().all(|e| e.abs() == 0.0));
+    }
+
+    #[test]
+    fn spectral_radius_of_stable_and_unstable() {
+        let stable = Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.4]]);
+        assert!(spectral_radius(&stable).unwrap() < 1.0);
+        let unstable = Matrix::from_rows(&[&[1.5, 0.0], &[0.0, 0.2]]);
+        assert!((spectral_radius(&unstable).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(eig(&Matrix::zeros(2, 3)), Err(MathError::NotSquare { .. })));
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(eig(&a), Err(MathError::NonFinite)));
+    }
+
+    #[test]
+    fn conjugate_pairs_come_together() {
+        let a = Matrix::from_rows(&[
+            &[0.0, -2.0, 0.0],
+            &[2.0, 0.0, 0.0],
+            &[0.0, 0.0, 5.0],
+        ]);
+        let eigs = eig(&a).unwrap();
+        let n_complex = eigs.iter().filter(|e| !e.is_real()).count();
+        assert_eq!(n_complex, 2);
+        let sum_im: f64 = eigs.iter().map(|e| e.im).sum();
+        assert!(sum_im.abs() < 1e-10, "conjugates should cancel");
+    }
+
+    #[test]
+    fn large_defective_like_matrix_converges() {
+        // Jordan-ish block (defective): eigenvalue 2 with multiplicity 4.
+        let mut a = Matrix::identity(4).scale(2.0);
+        for i in 0..3 {
+            a[(i, i + 1)] = 1.0;
+        }
+        let eigs = eig(&a).unwrap();
+        for e in &eigs {
+            assert!((e.abs() - 2.0).abs() < 1e-3, "defective eigenvalue accuracy: {e}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn square(n: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-5.0..5.0f64, n * n)
+                .prop_map(move |data| Matrix::from_vec(n, n, data))
+        }
+
+        proptest! {
+            #[test]
+            fn eigenvalue_sum_matches_trace(a in square(5)) {
+                let eigs = eig(&a).unwrap();
+                let sum_re: f64 = eigs.iter().map(|e| e.re).sum();
+                let sum_im: f64 = eigs.iter().map(|e| e.im).sum();
+                let scale = a.max_abs().max(1.0) * 5.0;
+                prop_assert!((sum_re - a.trace()).abs() < 1e-6 * scale);
+                prop_assert!(sum_im.abs() < 1e-6 * scale);
+            }
+
+            #[test]
+            fn eigenvalue_product_matches_determinant(a in square(4)) {
+                let eigs = eig(&a).unwrap();
+                // Multiply complex eigenvalues; imaginary part must vanish.
+                let (mut pre, mut pim) = (1.0, 0.0);
+                for e in &eigs {
+                    let (nre, nim) = (pre * e.re - pim * e.im, pre * e.im + pim * e.re);
+                    pre = nre;
+                    pim = nim;
+                }
+                let det = crate::Lu::decompose(&a).unwrap().det();
+                let scale = det.abs().max(1.0);
+                prop_assert!((pre - det).abs() < 1e-5 * scale.max(a.max_abs().powi(4)));
+                prop_assert!(pim.abs() < 1e-5 * scale.max(a.max_abs().powi(4)));
+            }
+
+            #[test]
+            fn similarity_preserves_spectral_radius(a in square(3)) {
+                // T A T⁻¹ has the same eigenvalues; use a fixed well-
+                // conditioned T.
+                let t = Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.0, 1.0, 0.25], &[0.0, 0.0, 1.0]]);
+                let tinv = t.inverse().unwrap();
+                let sim = &(&t * &a) * &tinv;
+                let r1 = spectral_radius(&a).unwrap();
+                let r2 = spectral_radius(&sim).unwrap();
+                prop_assert!((r1 - r2).abs() < 1e-5 * r1.max(1.0));
+            }
+        }
+    }
+}

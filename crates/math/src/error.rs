@@ -1,0 +1,84 @@
+//! Error type shared by the decompositions and solvers in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) and the requested
+    /// operation is undefined.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An input contained NaN or infinite entries.
+    NonFinite,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            MathError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            MathError::Singular => write!(f, "matrix is singular"),
+            MathError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            MathError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} iterations")
+            }
+            MathError::NonFinite => write!(f, "input contains non-finite values"),
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(MathError, &str)> = vec![
+            (
+                MathError::DimensionMismatch("2x2 * 3x1".into()),
+                "dimension mismatch: 2x2 * 3x1",
+            ),
+            (MathError::NotSquare { rows: 2, cols: 3 }, "matrix must be square, got 2x3"),
+            (MathError::Singular, "matrix is singular"),
+            (MathError::NotPositiveDefinite, "matrix is not positive definite"),
+            (
+                MathError::NoConvergence { iterations: 30 },
+                "iteration failed to converge after 30 iterations",
+            ),
+            (MathError::NonFinite, "input contains non-finite values"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

@@ -1,0 +1,341 @@
+//! Householder QR decomposition and least-squares solves.
+
+use crate::{MathError, Matrix, Vector};
+
+/// Householder QR decomposition of an `m × n` matrix with `m ≥ n`.
+///
+/// Factors `A = Q·R` with orthogonal `Q` and upper-triangular `R`.  Used for
+/// numerically-stable least-squares solves inside the MPC controller (the
+/// unconstrained solution of the tracking problem) and as a cross-check for
+/// the active-set QP solver.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), eucon_math::MathError> {
+/// // Overdetermined fit: best x for [[1],[1],[1]]·x ≈ [1,2,3] is the mean.
+/// let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+/// let x = Qr::decompose(&a).solve_least_squares(&Vector::from_slice(&[1.0, 2.0, 3.0]))?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factors: R in the upper triangle, Householder vectors below.
+    qr: Matrix,
+    /// Scaling coefficients of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+/// Relative threshold below which a diagonal of `R` marks rank deficiency.
+const RANK_RTOL: f64 = 1e-12;
+
+impl Qr {
+    /// Factors a matrix using Householder reflections.
+    ///
+    /// Works for any shape; least-squares solving additionally requires
+    /// `rows ≥ cols`.
+    pub fn decompose(a: &Matrix) -> Qr {
+        let m = a.rows();
+        let n = a.cols();
+        let mut qr = a.clone();
+        let steps = m.min(n);
+        let mut tau = vec![0.0; steps];
+
+        for k in 0..steps {
+            // Build the Householder reflector annihilating column k below
+            // the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm = f64::hypot(norm, qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, A[k+1..m, k]]; normalize so v[0] = 1 (stored implicitly).
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let coef = tau[k] * dot;
+                qr[(k, j)] -= coef;
+                for i in (k + 1)..m {
+                    let delta = coef * qr[(i, k)];
+                    qr[(i, j)] -= delta;
+                }
+            }
+        }
+        Qr { qr, tau }
+    }
+
+    /// Returns the upper-triangular factor `R` (size `min(m,n)+ × n`, full
+    /// `m × n` with zeros below the diagonal).
+    pub fn r(&self) -> Matrix {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        Matrix::from_fn(m, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Returns the full orthogonal factor `Q` (size `m × m`).
+    pub fn q(&self) -> Matrix {
+        let m = self.qr.rows();
+        let mut q = Matrix::identity(m);
+        // Accumulate reflectors in reverse order: Q = H_0 · H_1 ⋯ H_{k-1}.
+        for k in (0..self.tau.len()).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                let mut dot = q[(k, j)];
+                for i in (k + 1)..m {
+                    dot += self.qr[(i, k)] * q[(i, j)];
+                }
+                let coef = self.tau[k] * dot;
+                q[(k, j)] -= coef;
+                for i in (k + 1)..m {
+                    let delta = coef * self.qr[(i, k)];
+                    q[(i, j)] -= delta;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector in place (without forming `Q`).
+    fn apply_qt(&self, b: &Vector) -> Vector {
+        let m = self.qr.rows();
+        let mut y = b.clone();
+        for k in 0..self.tau.len() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let coef = self.tau[k] * dot;
+            y[k] -= coef;
+            for i in (k + 1)..m {
+                let delta = coef * self.qr[(i, k)];
+                y[i] -= delta;
+            }
+        }
+        y
+    }
+
+    /// Computes the Moore–Penrose pseudo-inverse `A⁺ = (AᵀA)⁻¹Aᵀ` of a
+    /// full-column-rank matrix (`m ≥ n`), column by column via the QR
+    /// least-squares solve.
+    ///
+    /// Used by the stability analysis to derive the unconstrained MPC
+    /// control law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Singular`] for rank-deficient input and
+    /// [`MathError::DimensionMismatch`] when `m < n`.
+    pub fn pseudo_inverse(&self) -> Result<Matrix, MathError> {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        let mut pinv = Matrix::zeros(n, m);
+        for j in 0..m {
+            let mut e = Vector::zeros(m);
+            e[j] = 1.0;
+            let col = self.solve_least_squares(&e)?;
+            for i in 0..n {
+                pinv[(i, j)] = col[i];
+            }
+        }
+        Ok(pinv)
+    }
+
+    /// Solves `min ‖A·x − b‖₂` for the factored `A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `b.len() != m` or when
+    /// the system is underdetermined (`m < n`), and [`MathError::Singular`]
+    /// when `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector, MathError> {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        if b.len() != m {
+            return Err(MathError::DimensionMismatch(format!(
+                "rhs has length {}, expected {m}",
+                b.len()
+            )));
+        }
+        if m < n {
+            return Err(MathError::DimensionMismatch(format!(
+                "least squares requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let scale = self.qr.max_abs().max(1.0);
+        let y = self.apply_qt(b);
+        // Back substitution on the top n×n block of R.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= RANK_RTOL * scale {
+                return Err(MathError::Singular);
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
+        let qr = Qr::decompose(&a);
+        let recon = &qr.q() * &qr.r();
+        assert!(recon.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let q = Qr::decompose(&a).q();
+        let qtq = &q.transpose() * &q;
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let r = Qr::decompose(&a).r();
+        for i in 0..r.rows() {
+            for j in 0..i.min(r.cols()) {
+                assert_eq!(r[(i, j)], 0.0, "R[{i},{j}] should be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = Vector::from_slice(&[1.0, 2.9, 5.1, 7.0]);
+        let x = Qr::decompose(&a).solve_least_squares(&b).unwrap();
+        // Solve (AᵀA)x = Aᵀb directly as the oracle.
+        let at = a.transpose();
+        let oracle = (&at * &a).solve(&at.mul_vec(&b)).unwrap();
+        assert!(x.approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn square_exact_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        let x = Qr::decompose(&a).solve_least_squares(&b).unwrap();
+        assert!((&a.mul_vec(&x) - &b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let r = Qr::decompose(&a).solve_least_squares(&Vector::zeros(3));
+        assert_eq!(r, Err(MathError::Singular));
+    }
+
+    #[test]
+    fn underdetermined_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let r = Qr::decompose(&a).solve_least_squares(&Vector::zeros(1));
+        assert!(matches!(r, Err(MathError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        let r = Qr::decompose(&a).solve_least_squares(&Vector::zeros(3));
+        assert!(matches!(r, Err(MathError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn pseudo_inverse_left_inverts() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]);
+        let pinv = Qr::decompose(&a).pseudo_inverse().unwrap();
+        assert_eq!((pinv.rows(), pinv.cols()), (2, 3));
+        assert!((&pinv * &a).approx_eq(&Matrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn pseudo_inverse_square_equals_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let pinv = Qr::decompose(&a).pseudo_inverse().unwrap();
+        assert!(pinv.approx_eq(&a.inverse().unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn pseudo_inverse_rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        assert!(matches!(
+            Qr::decompose(&a).pseudo_inverse(),
+            Err(MathError::Singular)
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn matrix(m: usize, n: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-10.0..10.0f64, m * n)
+                .prop_map(move |data| Matrix::from_vec(m, n, data))
+        }
+
+        proptest! {
+            #[test]
+            fn reconstruction_property(a in matrix(5, 3)) {
+                let qr = Qr::decompose(&a);
+                prop_assert!((&qr.q() * &qr.r()).approx_eq(&a, 1e-8));
+            }
+
+            #[test]
+            fn orthogonality_property(a in matrix(4, 4)) {
+                let q = Qr::decompose(&a).q();
+                prop_assert!((&q.transpose() * &q).approx_eq(&Matrix::identity(4), 1e-9));
+            }
+
+            #[test]
+            fn residual_is_orthogonal_to_columns(a in matrix(6, 2),
+                                                 b in proptest::collection::vec(-5.0..5.0f64, 6)) {
+                let b = Vector::from_slice(&b);
+                if let Ok(x) = Qr::decompose(&a).solve_least_squares(&b) {
+                    // Optimality: Aᵀ(Ax − b) = 0.
+                    let resid = &a.mul_vec(&x) - &b;
+                    let grad = a.transpose().mul_vec(&resid);
+                    let scale = a.max_abs().max(1.0) * b.max_abs().max(1.0);
+                    prop_assert!(grad.max_abs() < 1e-7 * scale.max(1.0));
+                }
+            }
+        }
+    }
+}

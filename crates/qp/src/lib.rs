@@ -1,0 +1,47 @@
+//! Constrained least-squares / quadratic-programming substrate.
+//!
+//! The EUCON controller (ICDCS 2004, §6.1) computes each control input by
+//! solving a constrained least-squares problem with MATLAB's `lsqlin`, an
+//! active-set solver.  This crate supplies that capability in pure Rust:
+//!
+//! * [`QuadProg`] — a dual active-set solver (Goldfarb–Idnani, 1983) for
+//!   strictly convex quadratic programs `min ½xᵀHx + fᵀx` subject to
+//!   `Gx ≤ h`.  The dual method starts from the unconstrained minimum, needs
+//!   no feasible initial point, and detects infeasibility — exactly the
+//!   properties a model-predictive controller wants.
+//! * [`ConstrainedLsq`] — the `lsqlin`-shaped front end: minimize
+//!   `‖Cx − d‖₂²` subject to linear inequalities and box bounds; it builds
+//!   the QP (`H = CᵀC`, `f = −Cᵀd`) and delegates to [`QuadProg`].
+//!
+//! Solutions report the active constraint set and Lagrange multipliers so
+//! callers (and the test-suite) can verify the KKT conditions directly.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_math::{Matrix, Vector};
+//! use eucon_qp::ConstrainedLsq;
+//!
+//! # fn main() -> Result<(), eucon_qp::QpError> {
+//! // Fit x to hit [1, 1] but keep x0 + x1 ≤ 1.
+//! let c = Matrix::identity(2);
+//! let d = Vector::from_slice(&[1.0, 1.0]);
+//! let sol = ConstrainedLsq::new(c, d)
+//!     .ineq_rows(&[&[1.0, 1.0]], &[1.0])
+//!     .solve()?;
+//! assert!((sol.x[0] - 0.5).abs() < 1e-9);
+//! assert!((sol.x[1] - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lsq;
+mod solver;
+
+pub use error::QpError;
+pub use lsq::{ConstrainedLsq, LsqSolution};
+pub use solver::{QpSolution, QuadProg};

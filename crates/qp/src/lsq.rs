@@ -1,0 +1,293 @@
+//! `lsqlin`-style constrained least-squares front end.
+
+use eucon_math::{Matrix, Vector};
+
+use crate::{QpError, QpSolution, QuadProg};
+
+/// Constrained linear least-squares problem, shaped like MATLAB's `lsqlin`:
+///
+/// ```text
+/// min ‖C·x − d‖₂²   subject to   G·x ≤ h,   lb ≤ x ≤ ub
+/// ```
+///
+/// This is exactly the problem the EUCON model-predictive controller solves
+/// once per sampling period (paper §6.1).  The builder collects inequality
+/// rows and box bounds, converts everything to a strictly convex QP
+/// (`H = CᵀC + εI`, `f = −Cᵀd`) and solves it with the dual active-set
+/// [`QuadProg`] solver.
+///
+/// A tiny Tikhonov term `εI` (configurable via
+/// [`regularization`](ConstrainedLsq::regularization)) keeps the QP strictly
+/// convex when `C` is rank-deficient; the default `ε = 0` trusts the caller.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{Matrix, Vector};
+/// use eucon_qp::ConstrainedLsq;
+///
+/// # fn main() -> Result<(), eucon_qp::QpError> {
+/// // Closest point to [2, 2] inside the unit box.
+/// let sol = ConstrainedLsq::new(Matrix::identity(2), Vector::from_slice(&[2.0, 2.0]))
+///     .bounds(&[0.0, 0.0], &[1.0, 1.0])
+///     .solve()?;
+/// assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, 1.0]), 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstrainedLsq {
+    c: Matrix,
+    d: Vector,
+    g: Matrix,
+    h: Vector,
+    regularization: f64,
+}
+
+/// Solution of a [`ConstrainedLsq`] problem.
+#[derive(Debug, Clone)]
+pub struct LsqSolution {
+    /// The minimizer.
+    pub x: Vector,
+    /// Residual norm `‖C·x − d‖₂` at the solution.
+    pub residual: f64,
+    /// Number of active-set changes performed by the QP solver.
+    pub iterations: usize,
+    /// Indices of active constraints, in the order rows were added
+    /// (inequality rows first, then upper-bound rows, then lower-bound rows).
+    pub active: Vec<usize>,
+}
+
+impl ConstrainedLsq {
+    /// Creates an unconstrained problem `min ‖C·x − d‖²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != c.rows()`.
+    pub fn new(c: Matrix, d: Vector) -> Self {
+        assert_eq!(d.len(), c.rows(), "rhs length must equal the number of rows of C");
+        let n = c.cols();
+        ConstrainedLsq { c, d, g: Matrix::zeros(0, n), h: Vector::zeros(0), regularization: 0.0 }
+    }
+
+    /// Appends inequality constraints `G·x ≤ h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.cols()` differs from the variable count or
+    /// `g.rows() != h.len()`.
+    pub fn ineq(mut self, g: Matrix, h: Vector) -> Self {
+        assert_eq!(g.cols(), self.c.cols(), "constraint width must match variable count");
+        assert_eq!(g.rows(), h.len(), "constraint matrix and rhs must have equal rows");
+        self.g = if self.g.rows() == 0 { g } else { self.g.vstack(&g) };
+        self.h = self.h.concat(&h);
+        self
+    }
+
+    /// Appends inequality constraints given as slices of rows.
+    pub fn ineq_rows(self, rows: &[&[f64]], rhs: &[f64]) -> Self {
+        if rows.is_empty() {
+            return self;
+        }
+        self.ineq(Matrix::from_rows(rows), Vector::from_slice(rhs))
+    }
+
+    /// Adds box bounds `lb ≤ x ≤ ub`.
+    ///
+    /// Use `f64::NEG_INFINITY` / `f64::INFINITY` entries for unbounded
+    /// variables; infinite bounds generate no constraint rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not have one entry per variable.
+    pub fn bounds(mut self, lb: &[f64], ub: &[f64]) -> Self {
+        let n = self.c.cols();
+        assert_eq!(lb.len(), n, "lower bound length must equal variable count");
+        assert_eq!(ub.len(), n, "upper bound length must equal variable count");
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+        for (i, &b) in ub.iter().enumerate() {
+            if b.is_finite() {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                rows.push(row);
+                rhs.push(b);
+            }
+        }
+        for (i, &b) in lb.iter().enumerate() {
+            if b.is_finite() {
+                let mut row = vec![0.0; n];
+                row[i] = -1.0;
+                rows.push(row);
+                rhs.push(-b);
+            }
+        }
+        if !rows.is_empty() {
+            let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            self = self.ineq(Matrix::from_rows(&row_refs), Vector::from_slice(&rhs));
+        }
+        self
+    }
+
+    /// Sets the Tikhonov regularization weight `ε` added to the Gauss
+    /// normal matrix (`H = CᵀC + εI`).
+    ///
+    /// Keeps the QP strictly convex when `C` is rank-deficient.  `ε` should
+    /// be tiny relative to `‖CᵀC‖` (e.g. `1e-9`).
+    pub fn regularization(mut self, eps: f64) -> Self {
+        self.regularization = eps;
+        self
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.cols()
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// * [`QpError::NotStrictlyConvex`] — `CᵀC + εI` is not positive
+    ///   definite (rank-deficient `C` with `ε = 0`).
+    /// * [`QpError::Infeasible`] — the constraints admit no solution.
+    /// * Any error of the underlying [`QuadProg::solve`].
+    pub fn solve(&self) -> Result<LsqSolution, QpError> {
+        let ct = self.c.transpose();
+        let mut hess = &ct * &self.c;
+        if self.regularization > 0.0 {
+            for i in 0..hess.rows() {
+                hess[(i, i)] += self.regularization;
+            }
+        }
+        let f = -&ct.mul_vec(&self.d);
+        let qp = QuadProg::new(hess, f)?.ineq(self.g.clone(), self.h.clone());
+        let QpSolution { x, active, iterations, .. } = qp.solve()?;
+        let residual = (&self.c.mul_vec(&x) - &self.d).norm();
+        Ok(LsqSolution { x, residual, iterations, active })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_matches_qr_least_squares() {
+        let c = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+        let d = Vector::from_slice(&[1.0, 2.0, 2.8]);
+        let sol = ConstrainedLsq::new(c.clone(), d.clone()).solve().unwrap();
+        let oracle = c.least_squares(&d).unwrap();
+        assert!(sol.x.approx_eq(&oracle, 1e-9));
+        assert!(sol.active.is_empty());
+    }
+
+    #[test]
+    fn bounds_clip_the_solution() {
+        let sol = ConstrainedLsq::new(Matrix::identity(2), Vector::from_slice(&[5.0, -5.0]))
+            .bounds(&[-1.0, -1.0], &[1.0, 1.0])
+            .solve()
+            .unwrap();
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, -1.0]), 1e-9));
+        assert_eq!(sol.active.len(), 2);
+    }
+
+    #[test]
+    fn infinite_bounds_generate_no_rows() {
+        let problem = ConstrainedLsq::new(Matrix::identity(2), Vector::zeros(2))
+            .bounds(&[f64::NEG_INFINITY, 0.0], &[f64::INFINITY, 1.0]);
+        // Only x1's two finite bounds should have been added.
+        let sol = problem.solve().unwrap();
+        assert!(sol.x.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_rows_and_bounds() {
+        // Target [2, 2]; x0 + x1 ≤ 1 and x ≥ 0 → symmetric optimum [.5, .5].
+        let sol = ConstrainedLsq::new(Matrix::identity(2), Vector::from_slice(&[2.0, 2.0]))
+            .ineq_rows(&[&[1.0, 1.0]], &[1.0])
+            .bounds(&[0.0, 0.0], &[10.0, 10.0])
+            .solve()
+            .unwrap();
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[0.5, 0.5]), 1e-9));
+        assert!((sol.residual - (2.0f64 * 1.5 * 1.5).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_needs_regularization() {
+        // C has rank 1: fails without regularization, succeeds with it.
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let d = Vector::from_slice(&[2.0]);
+        let bare = ConstrainedLsq::new(c.clone(), d.clone()).solve();
+        assert_eq!(bare.unwrap_err(), QpError::NotStrictlyConvex);
+
+        let sol = ConstrainedLsq::new(c, d).regularization(1e-9).solve().unwrap();
+        // Minimum-norm-ish solution: x0 ≈ x1 ≈ 1.
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+        assert!((sol.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn infeasible_box_detected() {
+        let r = ConstrainedLsq::new(Matrix::identity(1), Vector::zeros(1))
+            .ineq_rows(&[&[1.0], &[-1.0]], &[-2.0, 1.0]) // x ≤ −2 and x ≥ −1
+            .solve();
+        assert_eq!(r.unwrap_err(), QpError::Infeasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn dimension_validation_panics() {
+        let _ = ConstrainedLsq::new(Matrix::identity(2), Vector::zeros(3));
+    }
+
+    #[test]
+    fn residual_reported_correctly() {
+        // Overdetermined inconsistent system keeps a positive residual.
+        let c = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let d = Vector::from_slice(&[0.0, 2.0]);
+        let sol = ConstrainedLsq::new(c, d).solve().unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+        assert!((sol.residual - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn solution_never_violates_box(
+                d in proptest::collection::vec(-10.0..10.0f64, 3),
+                half_width in 0.1..2.0f64,
+            ) {
+                let sol = ConstrainedLsq::new(Matrix::identity(3), Vector::from_slice(&d))
+                    .bounds(&[-half_width; 3], &[half_width; 3])
+                    .solve()
+                    .unwrap();
+                for (i, &di) in d.iter().enumerate() {
+                    prop_assert!(sol.x[i].abs() <= half_width + 1e-8);
+                    // Identity objective → solution is the clamp.
+                    prop_assert!((sol.x[i] - di.clamp(-half_width, half_width)).abs() < 1e-8);
+                }
+            }
+
+            #[test]
+            fn objective_not_worse_than_feasible_candidates(
+                d in proptest::collection::vec(-3.0..3.0f64, 2),
+                candidate in proptest::collection::vec(-1.0..1.0f64, 2),
+            ) {
+                // Any feasible candidate must score ≥ the reported optimum.
+                let c = Matrix::from_rows(&[&[2.0, 0.5], &[0.0, 1.0]]);
+                let dv = Vector::from_slice(&d);
+                let sol = ConstrainedLsq::new(c.clone(), dv.clone())
+                    .bounds(&[-1.0, -1.0], &[1.0, 1.0])
+                    .solve()
+                    .unwrap();
+                let cand = Vector::from_slice(&candidate);
+                let cand_resid = (&c.mul_vec(&cand) - &dv).norm();
+                prop_assert!(sol.residual <= cand_resid + 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Dual active-set quadratic-program solver (Goldfarb–Idnani).
+
+use eucon_math::{Cholesky, MathError, Matrix, Vector};
+
+use crate::QpError;
+
+/// Absolute tolerance for constraint violation and multiplier tests,
+/// applied relative to the problem scale.
+const TOL: f64 = 1e-10;
+
+/// Solution of a [`QuadProg`] problem.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// The minimizer.
+    pub x: Vector,
+    /// Lagrange multipliers, one per inequality row (zero for inactive
+    /// constraints).  All multipliers are non-negative at the optimum.
+    pub multipliers: Vector,
+    /// Indices of the constraints active at the solution.
+    pub active: Vec<usize>,
+    /// Number of active-set changes the solver performed.
+    pub iterations: usize,
+}
+
+impl QpSolution {
+    /// Evaluates `½xᵀHx + fᵀx` at the solution for the given objective.
+    pub fn objective(&self, h: &Matrix, f: &Vector) -> f64 {
+        0.5 * self.x.dot(&h.mul_vec(&self.x)) + f.dot(&self.x)
+    }
+}
+
+/// A strictly convex quadratic program
+/// `min ½xᵀHx + fᵀx` subject to `Gx ≤ h`.
+///
+/// Solved by the dual active-set method of Goldfarb & Idnani (1983) — the
+/// algorithm family used by production QP codes (`quadprog`, MATLAB's
+/// medium-scale `lsqlin`).  The dual method starts from the unconstrained
+/// minimum `x = −H⁻¹f` and adds violated constraints one at a time, so it
+/// never needs a feasible starting point and certifies infeasibility.
+///
+/// Problems in this repository are small (≤ ~50 variables), so each step
+/// re-solves its subproblems densely instead of maintaining incremental
+/// factorizations; correctness is identical, and the cost is negligible.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{Matrix, Vector};
+/// use eucon_qp::QuadProg;
+///
+/// # fn main() -> Result<(), eucon_qp::QpError> {
+/// // min ½‖x‖² s.t. x0 ≥ 1 (written as −x0 ≤ −1)
+/// let qp = QuadProg::new(Matrix::identity(2), Vector::zeros(2))?
+///     .ineq_rows(&[&[-1.0, 0.0]], &[-1.0]);
+/// let sol = qp.solve()?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-9);
+/// assert!(sol.x[1].abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadProg {
+    h: Matrix,
+    f: Vector,
+    g: Matrix,
+    hvec: Vector,
+}
+
+impl QuadProg {
+    /// Creates a QP with the given objective and no constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::DimensionMismatch`] when `f.len() != h.rows()`,
+    /// and [`QpError::NotStrictlyConvex`] when `h` is not square or not
+    /// positive definite.
+    pub fn new(h: Matrix, f: Vector) -> Result<Self, QpError> {
+        if !h.is_square() {
+            return Err(QpError::NotStrictlyConvex);
+        }
+        if f.len() != h.rows() {
+            return Err(QpError::DimensionMismatch(format!(
+                "objective dimension {} does not match hessian order {}",
+                f.len(),
+                h.rows()
+            )));
+        }
+        let n = h.rows();
+        Ok(QuadProg { h, f, g: Matrix::zeros(0, n), hvec: Vector::zeros(0) })
+    }
+
+    /// Appends inequality constraints `G x ≤ h` given as a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.cols()` does not match the number of variables or if
+    /// `g.rows() != h.len()`.
+    pub fn ineq(mut self, g: Matrix, h: Vector) -> Self {
+        assert_eq!(g.cols(), self.h.rows(), "constraint row width must match variable count");
+        assert_eq!(g.rows(), h.len(), "constraint matrix and rhs must have equal rows");
+        self.g = if self.g.rows() == 0 { g } else { self.g.vstack(&g) };
+        self.hvec = self.hvec.concat(&h);
+        self
+    }
+
+    /// Appends inequality constraints given as slices of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched dimensions (see [`QuadProg::ineq`]).
+    pub fn ineq_rows(self, rows: &[&[f64]], rhs: &[f64]) -> Self {
+        if rows.is_empty() {
+            return self;
+        }
+        self.ineq(Matrix::from_rows(rows), Vector::from_slice(rhs))
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Number of inequality constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.g.rows()
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`QpError::NotStrictlyConvex`] — `H` has a non-positive eigenvalue.
+    /// * [`QpError::Infeasible`] — no point satisfies all constraints.
+    /// * [`QpError::IterationLimit`] — active-set cycling (should not occur
+    ///   for well-scaled inputs).
+    pub fn solve(&self) -> Result<QpSolution, QpError> {
+        let n = self.num_vars();
+        let m = self.num_constraints();
+        if n == 0 {
+            return Ok(QpSolution {
+                x: Vector::zeros(0),
+                multipliers: Vector::zeros(m),
+                active: Vec::new(),
+                iterations: 0,
+            });
+        }
+        let chol = Cholesky::decompose(&self.h).map_err(|e| match e {
+            MathError::NotPositiveDefinite => QpError::NotStrictlyConvex,
+            other => QpError::Math(other),
+        })?;
+
+        // Unconstrained minimum.
+        let mut x = chol.solve(&(-&self.f))?;
+        let mut active: Vec<usize> = Vec::new();
+        let mut u: Vec<f64> = Vec::new();
+
+        let scale = self
+            .g
+            .max_abs()
+            .max(self.hvec.max_abs())
+            .max(self.h.max_abs())
+            .max(1.0);
+        let tol = TOL * scale;
+        let max_iter = 50 * (m + 1);
+        let mut iterations = 0;
+
+        'outer: loop {
+            // Most violated inactive constraint (g_p·x − h_p > tol).
+            let mut p = None;
+            let mut worst = tol;
+            for i in 0..m {
+                if active.contains(&i) {
+                    continue;
+                }
+                let viol = dot_row(&self.g, i, &x) - self.hvec[i];
+                if viol > worst {
+                    worst = viol;
+                    p = Some(i);
+                }
+            }
+            let Some(p) = p else {
+                let mut multipliers = Vector::zeros(m);
+                for (idx, &c) in active.iter().enumerate() {
+                    multipliers[c] = u[idx];
+                }
+                return Ok(QpSolution { x, multipliers, active, iterations });
+            };
+
+            // Normal of constraint p in `≥` orientation: n_p = −g_pᵀ.
+            let np = Vector::from_iter(self.g.row(p).iter().map(|v| -v));
+            let mut u_p = 0.0;
+
+            loop {
+                iterations += 1;
+                if iterations > max_iter {
+                    return Err(QpError::IterationLimit { iterations });
+                }
+
+                // z: primal step direction; r: dual step for active set.
+                let hinv_np = chol.solve(&np)?;
+                let (z, r) = if active.is_empty() {
+                    (hinv_np.clone(), Vec::new())
+                } else {
+                    // Columns n_j = −g_jᵀ for j in the active set.
+                    let q = active.len();
+                    let mut hinv_n = Vec::with_capacity(q);
+                    for &j in &active {
+                        let nj = Vector::from_iter(self.g.row(j).iter().map(|v| -v));
+                        hinv_n.push(chol.solve(&nj)?);
+                    }
+                    // M = Nᵀ H⁻¹ N, rhs = Nᵀ H⁻¹ n_p.
+                    let mut mmat = Matrix::zeros(q, q);
+                    let mut rhs = Vector::zeros(q);
+                    for (a, &ja) in active.iter().enumerate() {
+                        let na = Vector::from_iter(self.g.row(ja).iter().map(|v| -v));
+                        for b in 0..q {
+                            mmat[(a, b)] = na.dot(&hinv_n[b]);
+                        }
+                        rhs[a] = na.dot(&hinv_np);
+                    }
+                    let r = mmat.solve(&rhs).map_err(QpError::Math)?;
+                    let mut z = hinv_np.clone();
+                    for (b, hn) in hinv_n.iter().enumerate() {
+                        z = &z - &hn.scale(r[b]);
+                    }
+                    (z, r.into_vec())
+                };
+
+                // Maximum step preserving non-negative multipliers.
+                let mut t1 = f64::INFINITY;
+                let mut drop_idx = None;
+                for (j, &rj) in r.iter().enumerate() {
+                    if rj > tol {
+                        let ratio = u[j] / rj;
+                        if ratio < t1 {
+                            t1 = ratio;
+                            drop_idx = Some(j);
+                        }
+                    }
+                }
+
+                let ztnp = z.dot(&np);
+                if ztnp <= tol {
+                    // Constraint p cannot be satisfied by a primal move.
+                    if t1.is_infinite() {
+                        return Err(QpError::Infeasible);
+                    }
+                    // Dual-only step: relax a blocking constraint.
+                    for (j, rj) in r.iter().enumerate() {
+                        u[j] -= t1 * rj;
+                    }
+                    u_p += t1;
+                    let j = drop_idx.expect("finite t1 implies a blocking index");
+                    active.remove(j);
+                    u.remove(j);
+                    continue;
+                }
+
+                // Full step length: drive the violation of p to zero.
+                let s_p = dot_row(&self.g, p, &x) - self.hvec[p];
+                let t2 = s_p / ztnp;
+                let t = t1.min(t2);
+
+                x = &x + &z.scale(t);
+                for (j, rj) in r.iter().enumerate() {
+                    u[j] -= t * rj;
+                }
+                u_p += t;
+
+                if t2 <= t1 {
+                    active.push(p);
+                    u.push(u_p);
+                    continue 'outer;
+                }
+                let j = drop_idx.expect("t1 < t2 implies a blocking index");
+                active.remove(j);
+                u.remove(j);
+            }
+        }
+    }
+
+    /// Maximum KKT residual of a candidate solution: stationarity,
+    /// feasibility and complementary slackness.  Useful for verification.
+    pub fn kkt_residual(&self, sol: &QpSolution) -> f64 {
+        // Stationarity: Hx + f + Gᵀλ = 0.
+        let mut grad = &self.h.mul_vec(&sol.x) + &self.f;
+        for i in 0..self.num_constraints() {
+            let lam = sol.multipliers[i];
+            for (j, gij) in self.g.row(i).iter().enumerate() {
+                grad[j] += lam * gij;
+            }
+        }
+        let mut worst = grad.max_abs();
+        for i in 0..self.num_constraints() {
+            let slack = self.hvec[i] - dot_row(&self.g, i, &sol.x);
+            // Primal feasibility.
+            worst = worst.max(-slack);
+            // Dual feasibility.
+            worst = worst.max(-sol.multipliers[i]);
+            // Complementary slackness.
+            worst = worst.max((sol.multipliers[i] * slack).abs());
+        }
+        worst
+    }
+}
+
+fn dot_row(g: &Matrix, i: usize, x: &Vector) -> f64 {
+    g.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_qp() -> QuadProg {
+        QuadProg::new(Matrix::identity(2), Vector::zeros(2)).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_minimum() {
+        // min ½‖x‖² − [1,2]·x → x = [1,2].
+        let qp = QuadProg::new(Matrix::identity(2), Vector::from_slice(&[-1.0, -2.0])).unwrap();
+        let sol = qp.solve().unwrap();
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, 2.0]), 1e-10));
+        assert!(sol.active.is_empty());
+    }
+
+    #[test]
+    fn single_active_constraint() {
+        // min ½‖x‖² s.t. x0 ≥ 1.
+        let qp = unit_qp().ineq_rows(&[&[-1.0, 0.0]], &[-1.0]);
+        let sol = qp.solve().unwrap();
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, 0.0]), 1e-10));
+        assert_eq!(sol.active, vec![0]);
+        assert!((sol.multipliers[0] - 1.0).abs() < 1e-9);
+        assert!(qp.kkt_residual(&sol) < 1e-9);
+    }
+
+    #[test]
+    fn inactive_constraints_are_ignored() {
+        // Same objective; constraint x0 ≤ 5 is never binding.
+        let qp = unit_qp().ineq_rows(&[&[1.0, 0.0]], &[5.0]);
+        let sol = qp.solve().unwrap();
+        assert!(sol.x.max_abs() < 1e-10);
+        assert!(sol.active.is_empty());
+        assert_eq!(sol.multipliers[0], 0.0);
+    }
+
+    #[test]
+    fn two_constraints_corner() {
+        // min ½‖x − [2,2]‖² s.t. x0 ≤ 1, x1 ≤ 1 → corner [1,1].
+        let qp = QuadProg::new(Matrix::identity(2), Vector::from_slice(&[-2.0, -2.0]))
+            .unwrap()
+            .ineq_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[1.0, 1.0]);
+        let sol = qp.solve().unwrap();
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, 1.0]), 1e-10));
+        assert_eq!(sol.active.len(), 2);
+        assert!(qp.kkt_residual(&sol) < 1e-9);
+    }
+
+    #[test]
+    fn constraint_drop_is_exercised() {
+        // The unconstrained optimum violates both constraints, but only one
+        // is active at the optimum, forcing an add-then-drop sequence for
+        // some processing orders.
+        // min ½‖x − [3,0]‖² s.t. x0 + x1 ≤ 1, x0 − x1 ≤ 1.
+        let qp = QuadProg::new(Matrix::identity(2), Vector::from_slice(&[-3.0, 0.0]))
+            .unwrap()
+            .ineq_rows(&[&[1.0, 1.0], &[1.0, -1.0]], &[1.0, 1.0]);
+        let sol = qp.solve().unwrap();
+        // Optimum is x = [1, 0] with both constraints active.
+        assert!(sol.x.approx_eq(&Vector::from_slice(&[1.0, 0.0]), 1e-9));
+        assert!(qp.kkt_residual(&sol) < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x0 ≤ 0 and x0 ≥ 1 cannot both hold.
+        let qp = unit_qp().ineq_rows(&[&[1.0, 0.0], &[-1.0, 0.0]], &[0.0, -1.0]);
+        assert_eq!(qp.solve().unwrap_err(), QpError::Infeasible);
+    }
+
+    #[test]
+    fn rejects_indefinite_hessian() {
+        let h = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let qp = QuadProg::new(h, Vector::zeros(2)).unwrap();
+        assert_eq!(qp.solve().unwrap_err(), QpError::NotStrictlyConvex);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        assert!(matches!(
+            QuadProg::new(Matrix::identity(2), Vector::zeros(3)),
+            Err(QpError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let qp = QuadProg::new(Matrix::zeros(0, 0), Vector::zeros(0)).unwrap();
+        let sol = qp.solve().unwrap();
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn redundant_duplicate_constraints() {
+        // The same constraint twice must not confuse the active set.
+        let qp = QuadProg::new(Matrix::identity(1), Vector::from_slice(&[-2.0]))
+            .unwrap()
+            .ineq_rows(&[&[1.0], &[1.0]], &[1.0, 1.0]);
+        let sol = qp.solve().unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn equality_like_tight_box() {
+        // 0.5 ≤ x0 ≤ 0.5 pins the variable.
+        let qp = QuadProg::new(Matrix::identity(1), Vector::zeros(1))
+            .unwrap()
+            .ineq_rows(&[&[1.0], &[-1.0]], &[0.5, -0.5]);
+        let sol = qp.solve().unwrap();
+        assert!((sol.x[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn coupled_hessian() {
+        // Non-diagonal H exercises the Cholesky path.
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 2.0]]);
+        let qp = QuadProg::new(h.clone(), Vector::from_slice(&[-1.0, -1.0]))
+            .unwrap()
+            .ineq_rows(&[&[-1.0, 0.0]], &[-0.5]);
+        let sol = qp.solve().unwrap();
+        assert!(qp.kkt_residual(&sol) < 1e-9);
+        assert!(sol.x[0] >= 0.5 - 1e-10);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+                let m = Matrix::from_vec(n, n, data);
+                &(&m.transpose() * &m) + &Matrix::identity(n)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn kkt_conditions_hold(
+                h in spd(3),
+                f in proptest::collection::vec(-5.0..5.0f64, 3),
+                // Box bounds always feasible: lb ≤ 0 ≤ ub.
+                ub in proptest::collection::vec(0.1..4.0f64, 3),
+                lb in proptest::collection::vec(-4.0..-0.1f64, 3),
+            ) {
+                let mut qp = QuadProg::new(h.clone(), Vector::from_slice(&f)).unwrap();
+                for i in 0..3 {
+                    let mut gu = vec![0.0; 3];
+                    gu[i] = 1.0;
+                    let mut gl = vec![0.0; 3];
+                    gl[i] = -1.0;
+                    qp = qp.ineq_rows(&[&gu, &gl], &[ub[i], -lb[i]]);
+                }
+                let sol = qp.solve().unwrap();
+                prop_assert!(qp.kkt_residual(&sol) < 1e-7);
+                for i in 0..3 {
+                    prop_assert!(sol.x[i] <= ub[i] + 1e-8);
+                    prop_assert!(sol.x[i] >= lb[i] - 1e-8);
+                }
+            }
+
+            #[test]
+            fn matches_projection_for_identity_hessian(
+                target in proptest::collection::vec(-5.0..5.0f64, 2),
+                cap in 0.1..3.0f64,
+            ) {
+                // min ½‖x − target‖² s.t. x ≤ cap (per coordinate) has the
+                // closed-form solution min(target, cap).
+                let f = Vector::from_iter(target.iter().map(|v| -v));
+                let qp = QuadProg::new(Matrix::identity(2), f)
+                    .unwrap()
+                    .ineq_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[cap, cap]);
+                let sol = qp.solve().unwrap();
+                for (i, &ti) in target.iter().enumerate() {
+                    prop_assert!((sol.x[i] - ti.min(cap)).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

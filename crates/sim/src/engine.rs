@@ -1,0 +1,910 @@
+//! Event-driven simulation engine: RMS processors, release guard,
+//! utilization monitors and rate modulators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eucon_math::Vector;
+use eucon_tasks::{TaskId, TaskSet};
+
+use crate::event::{EventKind, EventQueue};
+use crate::{DeadlineStats, SimConfig, SubtaskStats, TaskStats};
+
+/// Slack used when comparing simulation times.
+const TIME_EPS: f64 = 1e-9;
+
+/// A released but not yet completed subtask job.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    task: usize,
+    index: usize,
+    instance: u64,
+    remaining: f64,
+    /// Task period at release time — the RMS priority (smaller is higher).
+    period: f64,
+    release: f64,
+    seq: u64,
+}
+
+/// Per-processor scheduler state: a preemptive fixed-priority (RMS) ready
+/// queue with busy-time accounting.
+#[derive(Debug, Default)]
+struct ProcState {
+    ready: Vec<Job>,
+    /// Version counter invalidating in-flight completion events.
+    version: u64,
+    /// Busy time accumulated in the current monitoring window.
+    busy_window: f64,
+    /// Busy time accumulated since the start of the run.
+    busy_total: f64,
+    last_update: f64,
+}
+
+impl ProcState {
+    /// Index of the highest-priority ready job (RMS: smallest period;
+    /// ties broken by earlier release, then FIFO sequence).
+    fn running_index(&self) -> Option<usize> {
+        (0..self.ready.len()).min_by(|&a, &b| {
+            let ja = &self.ready[a];
+            let jb = &self.ready[b];
+            ja.period
+                .total_cmp(&jb.period)
+                .then(ja.release.total_cmp(&jb.release))
+                .then(ja.seq.cmp(&jb.seq))
+        })
+    }
+
+    /// Advances the processor's clock to `t`, charging the elapsed time to
+    /// the currently running job.
+    fn advance(&mut self, t: f64) {
+        let delta = t - self.last_update;
+        if delta > 0.0 {
+            if let Some(i) = self.running_index() {
+                self.ready[i].remaining = (self.ready[i].remaining - delta).max(0.0);
+                self.busy_window += delta;
+                self.busy_total += delta;
+            }
+            self.last_update = t;
+        } else {
+            self.last_update = self.last_update.max(t);
+        }
+    }
+}
+
+/// Event-driven simulator of a distributed real-time system running
+/// end-to-end tasks (the paper's evaluation substrate, §7.1).
+///
+/// Per processor, subtasks are scheduled by preemptive rate-monotonic
+/// scheduling (priority = current period at release).  Precedence
+/// constraints between consecutive subtasks are enforced by the release
+/// guard protocol (Sun & Liu, ICDCS 1996): a subtask instance is released
+/// when its predecessor completes, but never earlier than one period after
+/// the subtask's previous release — keeping every subtask periodic at the
+/// task rate.
+///
+/// The *rate modulator* ([`Simulator::set_rates`]) and the *utilization
+/// monitor* ([`Simulator::sample_utilizations`]) are the two interfaces the
+/// EUCON feedback loop uses each sampling period.
+///
+/// # Example
+///
+/// ```
+/// use eucon_sim::{SimConfig, Simulator};
+/// use eucon_tasks::workloads;
+///
+/// let mut sim = Simulator::new(workloads::simple(), SimConfig::constant_etf(1.0));
+/// sim.run_until(10_000.0);
+/// let u = sim.sample_utilizations();
+/// assert!(u.iter().all(|&ui| (0.0..=1.0).contains(&ui)));
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    set: TaskSet,
+    cfg: SimConfig,
+    rng: StdRng,
+    queue: EventQueue,
+    now: f64,
+    rates: Vec<f64>,
+    /// Versions invalidating scheduled head releases after rate changes.
+    task_version: Vec<u64>,
+    next_instance: Vec<u64>,
+    /// Last release time per (task, subtask index); `-inf` before first.
+    sub_last_release: Vec<Vec<f64>>,
+    /// Release time and absolute deadline of in-flight instances.
+    inflight: Vec<std::collections::HashMap<u64, (f64, f64)>>,
+    procs: Vec<ProcState>,
+    suspended: Vec<bool>,
+    deadline_stats: DeadlineStats,
+    task_stats: Vec<TaskStats>,
+    subtask_stats: Vec<Vec<SubtaskStats>>,
+    next_job_seq: u64,
+    window_start: f64,
+}
+
+impl Simulator {
+    /// Creates a simulator and schedules the first release of every task
+    /// at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task set is empty (see [`TaskSet::validate`]).
+    pub fn new(set: TaskSet, cfg: SimConfig) -> Self {
+        set.validate().expect("simulator requires a non-empty task set");
+        let m = set.num_tasks();
+        let n = set.num_processors();
+        let rates: Vec<f64> = set.initial_rates().into_vec();
+        let sub_last_release: Vec<Vec<f64>> = set
+            .tasks()
+            .iter()
+            .map(|t| vec![f64::NEG_INFINITY; t.len()])
+            .collect();
+        let set_subtask_stats: Vec<Vec<SubtaskStats>> =
+            set.tasks().iter().map(|t| vec![SubtaskStats::default(); t.len()]).collect();
+        let mut sim = Simulator {
+            set,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            queue: EventQueue::new(),
+            now: 0.0,
+            rates,
+            task_version: vec![0; m],
+            next_instance: vec![0; m],
+            sub_last_release,
+            inflight: vec![std::collections::HashMap::new(); m],
+            procs: (0..n).map(|_| ProcState::default()).collect(),
+            suspended: vec![false; m],
+            deadline_stats: DeadlineStats::default(),
+            task_stats: vec![TaskStats::default(); m],
+            subtask_stats: set_subtask_stats,
+            next_job_seq: 0,
+            window_start: 0.0,
+        };
+        for t in 0..m {
+            sim.queue.push(0.0, EventKind::TaskRelease { task: t, version: 0 });
+        }
+        sim
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The task set being simulated.
+    pub fn task_set(&self) -> &TaskSet {
+        &self.set
+    }
+
+    /// Current task rates.
+    pub fn rates(&self) -> Vector {
+        Vector::from_slice(&self.rates)
+    }
+
+    /// End-to-end deadline statistics accumulated so far.
+    pub fn deadline_stats(&self) -> DeadlineStats {
+        self.deadline_stats
+    }
+
+    /// Per-task statistics accumulated so far.
+    pub fn task_stats(&self) -> &[TaskStats] {
+        &self.task_stats
+    }
+
+    /// Per-subtask subdeadline statistics, indexed `[task][subtask]`.
+    ///
+    /// The subdeadline of every subtask equals its period (paper §7.1).
+    pub fn subtask_stats(&self) -> &[Vec<SubtaskStats>] {
+        &self.subtask_stats
+    }
+
+    /// Overall subdeadline miss ratio across every subtask.
+    pub fn subdeadline_miss_ratio(&self) -> f64 {
+        let (mut completed, mut missed) = (0u64, 0u64);
+        for per_task in &self.subtask_stats {
+            for s in per_task {
+                completed += s.completed;
+                missed += s.missed;
+            }
+        }
+        if completed == 0 {
+            0.0
+        } else {
+            missed as f64 / completed as f64
+        }
+    }
+
+    /// Fraction of total elapsed time each processor has been busy since
+    /// the start of the run.
+    pub fn total_utilizations(&self) -> Vector {
+        if self.now <= 0.0 {
+            return Vector::zeros(self.procs.len());
+        }
+        Vector::from_iter(self.procs.iter().map(|p| p.busy_total / self.now))
+    }
+
+    /// Sets the rate of one task, clamped into its acceptable range, and
+    /// returns the applied value.
+    ///
+    /// This is the *rate modulator*: the new rate governs all future
+    /// releases; the pending head release is rescheduled so a rate increase
+    /// takes effect immediately (subject to the release guard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a positive finite number or the id is out of
+    /// range.
+    pub fn set_rate(&mut self, task: TaskId, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        let t = task.0;
+        let clamped = self.set.task(task).clamp_rate(rate);
+        self.rates[t] = clamped;
+        // Invalidate the pending head release and reschedule under the new
+        // period, honouring the release guard on the head subtask.
+        // Suspended tasks keep the new rate but stay dormant.
+        self.task_version[t] += 1;
+        if !self.suspended[t] {
+            let version = self.task_version[t];
+            let last = self.sub_last_release[t][0];
+            let next =
+                if last.is_finite() { (last + 1.0 / clamped).max(self.now) } else { self.now };
+            self.queue.push(next, EventKind::TaskRelease { task: t, version });
+        }
+        clamped
+    }
+
+    /// Sets all task rates at once (each clamped into range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len()` differs from the task count.
+    pub fn set_rates(&mut self, rates: &Vector) {
+        assert_eq!(rates.len(), self.set.num_tasks(), "one rate per task required");
+        for t in 0..rates.len() {
+            self.set_rate(TaskId(t), rates[t]);
+        }
+    }
+
+    /// Suspends a task: no further instances are released until
+    /// [`Simulator::resume_task`]; in-flight jobs drain normally.
+    ///
+    /// Used by admission control (paper §6.2 suggests switching to
+    /// admission control when rate adaptation alone cannot resolve an
+    /// overload).  Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn suspend_task(&mut self, task: TaskId) {
+        assert!(task.0 < self.set.num_tasks(), "task id out of range");
+        if !self.suspended[task.0] {
+            self.suspended[task.0] = true;
+            // Invalidate the pending head release.
+            self.task_version[task.0] += 1;
+        }
+    }
+
+    /// Resumes a suspended task; the next instance releases immediately
+    /// (subject to the release guard).  Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn resume_task(&mut self, task: TaskId) {
+        assert!(task.0 < self.set.num_tasks(), "task id out of range");
+        if self.suspended[task.0] {
+            self.suspended[task.0] = false;
+            self.task_version[task.0] += 1;
+            let version = self.task_version[task.0];
+            let last = self.sub_last_release[task.0][0];
+            let next = if last.is_finite() {
+                (last + 1.0 / self.rates[task.0]).max(self.now)
+            } else {
+                self.now
+            };
+            self.queue.push(next, EventKind::TaskRelease { task: task.0, version });
+        }
+    }
+
+    /// Whether a task is currently suspended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn is_suspended(&self, task: TaskId) -> bool {
+        self.suspended[task.0]
+    }
+
+    /// Runs the simulation up to (and including) time `t_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` precedes the current time.
+    pub fn run_until(&mut self, t_end: f64) {
+        assert!(
+            t_end >= self.now - TIME_EPS,
+            "cannot run backwards: now = {}, requested {t_end}",
+            self.now
+        );
+        while let Some(te) = self.queue.peek_time() {
+            if te > t_end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = ev.time.max(self.now);
+            match ev.kind {
+                EventKind::TaskRelease { task, version } => {
+                    if version == self.task_version[task] {
+                        self.handle_head_release(task);
+                    }
+                }
+                EventKind::SubtaskRelease { task, index, instance } => {
+                    self.handle_subtask_release(task, index, instance);
+                }
+                EventKind::Completion { processor, version } => {
+                    if version == self.procs[processor].version {
+                        self.handle_completion(processor);
+                    }
+                }
+            }
+        }
+        self.now = t_end;
+        for p in 0..self.procs.len() {
+            self.procs[p].advance(t_end);
+        }
+    }
+
+    /// Reads the utilization of every processor over the window since the
+    /// previous sample (the *utilization monitor*, `u_i(k)` in the paper)
+    /// and starts a new window.
+    ///
+    /// Returns zeros if no time has elapsed since the last sample.
+    pub fn sample_utilizations(&mut self) -> Vector {
+        for p in 0..self.procs.len() {
+            self.procs[p].advance(self.now);
+        }
+        let elapsed = self.now - self.window_start;
+        let u = if elapsed <= 0.0 {
+            Vector::zeros(self.procs.len())
+        } else {
+            Vector::from_iter(self.procs.iter().map(|p| (p.busy_window / elapsed).min(1.0)))
+        };
+        for p in &mut self.procs {
+            p.busy_window = 0.0;
+        }
+        self.window_start = self.now;
+        u
+    }
+
+    /// Number of jobs currently queued or running across all processors.
+    pub fn backlog(&self) -> usize {
+        self.procs.iter().map(|p| p.ready.len()).sum()
+    }
+
+    // ---- internal event handlers ----
+
+    fn handle_head_release(&mut self, task: usize) {
+        let instance = self.next_instance[task];
+        self.next_instance[task] += 1;
+        let rate = self.rates[task];
+        let n_sub = self.set.tasks()[task].len();
+        // End-to-end deadline d_i = n_i / r_i (paper §7.1).
+        let deadline = self.now + n_sub as f64 / rate;
+        self.inflight[task].insert(instance, (self.now, deadline));
+        self.release_job(task, 0, instance);
+        // Next periodic release under the current rate.
+        let version = self.task_version[task];
+        self.queue
+            .push(self.now + 1.0 / rate, EventKind::TaskRelease { task, version });
+    }
+
+    fn handle_subtask_release(&mut self, task: usize, index: usize, instance: u64) {
+        // Release guard (Sun & Liu, rule 1): delay until one period after
+        // this subtask's previous release so every subtask stays periodic.
+        // Rule 2 (idle-time release): the subtask may be released early
+        // when its processor is idle — the early work cannot interfere
+        // with anything, and without this rule transient overloads would
+        // push release phases permanently late.
+        let last = self.sub_last_release[task][index];
+        let guard = if last.is_finite() { last + 1.0 / self.rates[task] } else { self.now };
+        if self.now + TIME_EPS < guard {
+            let idle_release = self.cfg.release_guard == crate::ReleaseGuard::IdleRelease && {
+                let p = self.set.tasks()[task].subtasks()[index].processor.0;
+                self.procs[p].advance(self.now);
+                self.procs[p].ready.is_empty()
+            };
+            if !idle_release {
+                self.queue.push(guard, EventKind::SubtaskRelease { task, index, instance });
+                return;
+            }
+        }
+        self.release_job(task, index, instance);
+    }
+
+    fn release_job(&mut self, task: usize, index: usize, instance: u64) {
+        self.sub_last_release[task][index] = self.now;
+        let subtask = self.set.tasks()[task].subtasks()[index];
+        let speed = self
+            .cfg
+            .processor_speeds
+            .as_ref()
+            .map_or(1.0, |s| s[subtask.processor.0]);
+        let mean = speed * self.cfg.etf.value_at(self.now) * subtask.estimated_time;
+        let exec = self.cfg.exec_model.sample(mean, self.rng.gen::<f64>());
+        let job = Job {
+            task,
+            index,
+            instance,
+            remaining: exec,
+            period: 1.0 / self.rates[task],
+            release: self.now,
+            seq: self.next_job_seq,
+        };
+        self.next_job_seq += 1;
+        let p = subtask.processor.0;
+        self.procs[p].advance(self.now);
+        self.procs[p].ready.push(job);
+        self.reschedule_completion(p);
+    }
+
+    fn handle_completion(&mut self, p: usize) {
+        self.procs[p].advance(self.now);
+        let Some(i) = self.procs[p].running_index() else {
+            return;
+        };
+        if self.procs[p].ready[i].remaining > TIME_EPS {
+            // Stale wake-up after floating-point drift; reschedule.
+            self.reschedule_completion(p);
+            return;
+        }
+        let job = self.procs[p].ready.swap_remove(i);
+        // Subdeadline bookkeeping: subdeadline = period at release.
+        {
+            let st = &mut self.subtask_stats[job.task][job.index];
+            st.completed += 1;
+            if self.now > job.release + job.period + TIME_EPS {
+                st.missed += 1;
+            }
+        }
+        let chain_len = self.set.tasks()[job.task].len();
+        if job.index + 1 < chain_len {
+            // Precedence: hand the instance to the successor subtask (the
+            // release guard is applied when the event fires).
+            self.queue.push(
+                self.now,
+                EventKind::SubtaskRelease { task: job.task, index: job.index + 1, instance: job.instance },
+            );
+        } else if let Some((release, deadline)) = self.inflight[job.task].remove(&job.instance) {
+            let response = self.now - release;
+            let stats = &mut self.task_stats[job.task];
+            stats.completed += 1;
+            stats.response_time_sum += response;
+            stats.response_time_max = stats.response_time_max.max(response);
+            if self.now <= deadline + TIME_EPS {
+                self.deadline_stats.met += 1;
+            } else {
+                self.deadline_stats.missed += 1;
+                stats.missed += 1;
+            }
+        }
+        self.reschedule_completion(p);
+    }
+
+    /// Bumps the processor's completion version and schedules a fresh
+    /// completion for its currently running job (if any).
+    fn reschedule_completion(&mut self, p: usize) {
+        self.procs[p].version += 1;
+        let version = self.procs[p].version;
+        if let Some(i) = self.procs[p].running_index() {
+            let eta = self.now + self.procs[p].ready[i].remaining;
+            self.queue.push(eta, EventKind::Completion { processor: p, version });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eucon_tasks::{ProcessorId, Task};
+
+    fn single_task_set(c: f64, period: f64) -> TaskSet {
+        let r = 1.0 / period;
+        let mut set = TaskSet::new(1);
+        set.add_task(
+            Task::builder(r / 10.0, r * 10.0, r).subtask(ProcessorId(0), c).build().unwrap(),
+        )
+        .unwrap();
+        set
+    }
+
+    #[test]
+    fn single_task_utilization_is_c_over_period() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.01, "expected ~0.2, got {}", u[0]);
+    }
+
+    #[test]
+    fn etf_scales_utilization() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(2.0));
+        sim.run_until(10_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.4).abs() < 0.01, "expected ~0.4, got {}", u[0]);
+    }
+
+    #[test]
+    fn overload_caps_utilization_at_one() {
+        // Demand 2.0 > 1: the processor saturates and the backlog grows.
+        let set = single_task_set(200.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(5_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 1.0).abs() < 1e-9);
+        assert!(sim.backlog() > 10, "queue should build up under overload");
+    }
+
+    #[test]
+    fn rate_change_takes_effect() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let _ = sim.sample_utilizations();
+        // Halve the rate → utilization halves.
+        sim.set_rate(TaskId(0), 0.005);
+        sim.run_until(30_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.1).abs() < 0.01, "expected ~0.1, got {}", u[0]);
+    }
+
+    #[test]
+    fn set_rate_clamps_to_task_range() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        let applied = sim.set_rate(TaskId(0), 100.0);
+        assert!((applied - 0.1).abs() < 1e-12, "clamped to Rmax = 10/period");
+        let applied = sim.set_rate(TaskId(0), 1e-9);
+        assert!((applied - 0.001).abs() < 1e-12, "clamped to Rmin");
+    }
+
+    #[test]
+    fn two_processor_chain_executes_in_order() {
+        // One end-to-end task over two processors: both see equal
+        // utilization, and deadlines (2 periods end-to-end) are met at low
+        // load.
+        let r = 1.0 / 100.0;
+        let mut set = TaskSet::new(2);
+        set.add_task(
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(0), 10.0)
+                .subtask(ProcessorId(1), 10.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(20_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.1).abs() < 0.01);
+        assert!((u[1] - 0.1).abs() < 0.01);
+        let d = sim.deadline_stats();
+        assert!(d.completed() > 150);
+        assert_eq!(d.missed, 0);
+    }
+
+    #[test]
+    fn release_guard_keeps_successor_periodic() {
+        // Head subtask is tiny, successor is released at completion times
+        // which jitter; the guard must keep inter-release gaps ≥ period.
+        let r = 1.0 / 50.0;
+        let mut set = TaskSet::new(2);
+        set.add_task(
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(0), 5.0)
+                .subtask(ProcessorId(1), 20.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // Competing high-priority load on P0 creates completion jitter.
+        let r2 = 1.0 / 23.0;
+        set.add_task(
+            Task::builder(r2 / 10.0, r2 * 10.0, r2).subtask(ProcessorId(0), 8.0).build().unwrap(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(
+            set,
+            SimConfig::constant_etf(1.0)
+                .exec_model(crate::ExecModel::Uniform { half_width: 0.5 })
+                .seed(42),
+        );
+        sim.run_until(30_000.0);
+        // The guard is validated structurally: inter-release spacing of the
+        // successor is tracked inside the engine; we assert the observable
+        // consequence — the successor completed about `duration/period`
+        // instances, never more.
+        let completed = sim.task_stats()[0].completed;
+        assert!(completed <= 600, "guard must prevent bursts: {completed}");
+        assert!(completed >= 550, "successor should keep up: {completed}");
+    }
+
+    #[test]
+    fn rms_priority_preempts_longer_period_task() {
+        // A short-period task must always meet deadlines even when a
+        // long-period hog shares the processor.
+        let fast = 1.0 / 20.0;
+        let slow = 1.0 / 200.0;
+        let mut set = TaskSet::new(1);
+        set.add_task(
+            Task::builder(fast / 2.0, fast * 2.0, fast).subtask(ProcessorId(0), 5.0).build().unwrap(),
+        )
+        .unwrap();
+        set.add_task(
+            Task::builder(slow / 2.0, slow * 2.0, slow)
+                .subtask(ProcessorId(0), 100.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(20_000.0);
+        // Utilization = 5/20 + 100/200 = 0.75; fast task misses nothing
+        // under RMS despite the hog.
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.75).abs() < 0.01);
+        assert_eq!(sim.task_stats()[0].missed, 0, "fast task must never miss");
+    }
+
+    #[test]
+    fn strict_guard_enforces_exact_periodicity() {
+        // With the strict guard, a successor's completions over a horizon
+        // can never exceed horizon/period + 1 even when the predecessor
+        // floods it (completions arrive early and must wait).
+        let r = 1.0 / 50.0;
+        let mut set = TaskSet::new(2);
+        set.add_task(
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(0), 1.0) // trivially fast head
+                .subtask(ProcessorId(1), 5.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(
+            set,
+            SimConfig::constant_etf(1.0).release_guard(crate::ReleaseGuard::Strict),
+        );
+        sim.run_until(10_000.0);
+        let completed = sim.task_stats()[0].completed;
+        assert!(completed <= 201, "strict spacing bounds completions: {completed}");
+        assert!(completed >= 195, "successor keeps up in steady state: {completed}");
+    }
+
+    #[test]
+    fn strict_guard_accumulates_phase_drift_after_overload() {
+        // Demonstrates why the idle-release rule matters: a transient
+        // overload phase-shifts the strict-guard successor permanently,
+        // so end-to-end deadlines (d = 2 periods) keep missing after the
+        // overload clears; idle release recovers.
+        let run = |guard: crate::ReleaseGuard| {
+            let r = 1.0 / 100.0;
+            let mut set = TaskSet::new(2);
+            set.add_task(
+                Task::builder(r / 10.0, r * 10.0, r)
+                    .subtask(ProcessorId(0), 30.0)
+                    .subtask(ProcessorId(1), 30.0)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            // Saturating overload for the first 20 periods (etf 5 →
+            // demand 1.5 per processor builds a real backlog), then calm.
+            let profile = crate::EtfProfile::steps(&[(0.0, 5.0), (2_000.0, 0.5)]);
+            let cfg = SimConfig {
+                exec_model: crate::ExecModel::Constant,
+                etf: profile,
+                seed: 0,
+                release_guard: guard,
+                processor_speeds: None,
+            };
+            let mut sim = Simulator::new(set, cfg);
+            // Let the backlog drain before measuring steady state.
+            sim.run_until(8_000.0);
+            let before = sim.deadline_stats();
+            sim.run_until(60_000.0);
+            let after = sim.deadline_stats();
+            // Miss ratio over the post-overload interval only.
+            (after.missed - before.missed) as f64
+                / (after.completed() - before.completed()).max(1) as f64
+        };
+        let strict = run(crate::ReleaseGuard::Strict);
+        let idle = run(crate::ReleaseGuard::IdleRelease);
+        assert!(idle < 0.02, "idle release recovers: {idle:.3}");
+        assert!(
+            strict > idle + 0.05,
+            "strict guard must show persistent drift: strict {strict:.3} vs idle {idle:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let set = eucon_tasks::workloads::medium();
+            let mut sim = Simulator::new(
+                set,
+                SimConfig::constant_etf(0.8)
+                    .exec_model(crate::ExecModel::Uniform { half_width: 0.3 })
+                    .seed(123),
+            );
+            sim.run_until(50_000.0);
+            (sim.sample_utilizations(), sim.deadline_stats())
+        };
+        let (u1, d1) = mk();
+        let (u2, d2) = mk();
+        assert!(u1.approx_eq(&u2, 0.0));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn sampling_windows_are_independent() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let u1 = sim.sample_utilizations();
+        sim.run_until(20_000.0);
+        let u2 = sim.sample_utilizations();
+        assert!((u1[0] - u2[0]).abs() < 0.02, "steady state: windows agree");
+        // Zero-length window yields zeros, not NaN.
+        let u3 = sim.sample_utilizations();
+        assert_eq!(u3[0], 0.0);
+    }
+
+    #[test]
+    fn total_utilization_tracks_whole_run() {
+        let set = single_task_set(50.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        assert_eq!(sim.total_utilizations()[0], 0.0);
+        sim.run_until(10_000.0);
+        assert!((sim.total_utilizations()[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backwards")]
+    fn run_backwards_panics() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(100.0);
+        sim.run_until(50.0);
+    }
+
+    #[test]
+    fn suspend_stops_releases_and_resume_restarts() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let _ = sim.sample_utilizations();
+        assert!(!sim.is_suspended(TaskId(0)));
+        sim.suspend_task(TaskId(0));
+        assert!(sim.is_suspended(TaskId(0)));
+        // Drain in-flight work, then the processor goes idle.
+        sim.run_until(11_000.0);
+        let _ = sim.sample_utilizations();
+        sim.run_until(21_000.0);
+        let u = sim.sample_utilizations();
+        assert!(u[0] < 1e-9, "suspended task must not execute, got {}", u[0]);
+
+        sim.resume_task(TaskId(0));
+        sim.run_until(31_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.02, "resumed task runs again, got {}", u[0]);
+    }
+
+    #[test]
+    fn suspend_is_idempotent_and_rate_changes_stay_dormant() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.suspend_task(TaskId(0));
+        sim.suspend_task(TaskId(0));
+        // Rate change while suspended must not wake the task.
+        sim.set_rate(TaskId(0), 0.02);
+        sim.run_until(10_000.0);
+        let u = sim.sample_utilizations();
+        assert!(u[0] < 1e-9);
+        // Resume picks up the new rate.
+        sim.resume_task(TaskId(0));
+        sim.resume_task(TaskId(0));
+        sim.run_until(30_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.4).abs() < 0.05, "20 exec / 50 period = 0.4, got {}", u[0]);
+    }
+
+    #[test]
+    fn deadline_misses_recorded_under_overload() {
+        let set = single_task_set(150.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let d = sim.deadline_stats();
+        assert!(d.missed > 0, "overload must produce misses");
+        assert!(d.miss_ratio() > 0.5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Long-run utilization of a single periodic task equals
+            // etf · c / period, for arbitrary feasible parameters.
+            #[test]
+            fn utilization_law(
+                c in 5.0..50.0f64,
+                period in 100.0..400.0f64,
+                etf in 0.2..1.5f64,
+            ) {
+                prop_assume!(etf * c / period < 0.95);
+                let set = single_task_set(c, period);
+                let mut sim = Simulator::new(set, SimConfig::constant_etf(etf));
+                sim.run_until(50_000.0);
+                let u = sim.sample_utilizations();
+                let expected = etf * c / period;
+                prop_assert!(
+                    (u[0] - expected).abs() < 0.03,
+                    "u = {}, expected {expected}", u[0]
+                );
+            }
+
+            // Utilization measurements stay within [0, 1] and busy-time
+            // accounting is consistent with the all-time totals, for
+            // random multi-task workloads.
+            #[test]
+            fn accounting_invariants(seed in 0u64..50) {
+                let set = eucon_tasks::workloads::RandomWorkload::new(3, 8)
+                    .seed(seed)
+                    .generate();
+                let cfg = SimConfig::constant_etf(0.8)
+                    .exec_model(crate::ExecModel::Uniform { half_width: 0.4 })
+                    .seed(seed);
+                let mut sim = Simulator::new(set, cfg);
+                let mut windows = Vec::new();
+                for k in 1..=10 {
+                    sim.run_until(k as f64 * 1000.0);
+                    windows.push(sim.sample_utilizations());
+                }
+                for w in &windows {
+                    for &u in w.iter() {
+                        prop_assert!((0.0..=1.0).contains(&u));
+                    }
+                }
+                // Mean of the window samples equals the all-time busy
+                // fraction.
+                let total = sim.total_utilizations();
+                for p in 0..3 {
+                    let mean: f64 =
+                        windows.iter().map(|w| w[p]).sum::<f64>() / windows.len() as f64;
+                    prop_assert!((mean - total[p]).abs() < 1e-9);
+                }
+            }
+
+            // Completion counts never exceed what the release rate allows.
+            #[test]
+            fn completions_bounded_by_rate(seed in 0u64..30) {
+                let set = eucon_tasks::workloads::RandomWorkload::new(2, 5)
+                    .seed(seed)
+                    .generate();
+                let horizon = 30_000.0;
+                let rates = set.initial_rates();
+                let mut sim = Simulator::new(set, SimConfig::constant_etf(0.5).seed(seed));
+                sim.run_until(horizon);
+                for (t, stats) in sim.task_stats().iter().enumerate() {
+                    let max_releases = (horizon * rates[t]).ceil() as u64 + 1;
+                    prop_assert!(
+                        stats.completed <= max_releases,
+                        "T{}: {} completions exceed {} possible releases",
+                        t + 1, stats.completed, max_releases
+                    );
+                }
+            }
+        }
+    }
+}

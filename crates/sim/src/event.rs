@@ -1,0 +1,142 @@
+//! Discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of events processed by the simulation engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EventKind {
+    /// Periodic release of a task's head subtask.
+    ///
+    /// Carries a version so rate changes can invalidate stale releases.
+    TaskRelease { task: usize, version: u64 },
+    /// Release-guarded release of a successor subtask.
+    SubtaskRelease { task: usize, index: usize, instance: u64 },
+    /// Tentative completion of the job currently running on a processor.
+    ///
+    /// Carries a version; any change to the processor's ready queue bumps
+    /// the version, invalidating in-flight completions.
+    Completion { processor: usize, version: u64 },
+}
+
+/// An event with a total order: by time, then by insertion sequence
+/// (guaranteeing deterministic FIFO processing of simultaneous events).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub time: f64,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::TaskRelease { task: 0, version: 0 });
+        q.push(1.0, EventKind::TaskRelease { task: 1, version: 0 });
+        q.push(3.0, EventKind::TaskRelease { task: 2, version: 0 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for task in 0..5 {
+            q.push(2.0, EventKind::TaskRelease { task, version: 0 });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::TaskRelease { task, .. } => task,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7.0, EventKind::Completion { processor: 0, version: 1 });
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().time, 7.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::Completion { processor: 0, version: 0 });
+    }
+}

@@ -1,0 +1,233 @@
+//! Design-time subtask reallocation.
+//!
+//! The paper names task reallocation, alongside admission control, as the
+//! adaptation mechanism of last resort when rate adaptation cannot make
+//! the utilization-control problem feasible (§3.1, §6.2).  Migrating a
+//! running subtask is outside the paper's scope; what *is* actionable is
+//! reallocating at (re)deployment time: choosing which processor runs
+//! each subtask so that no processor is structurally overloaded relative
+//! to its schedulable bound.
+//!
+//! [`balance`] implements a greedy hill-climbing reallocator: repeatedly
+//! move one subtask from the processor with the highest *load ratio*
+//! (estimated utilization at initial rates divided by its RMS set point —
+//! which itself depends on the subtask count, so moves change both sides)
+//! to the processor where the system-wide worst ratio improves the most.
+//! It terminates when no single move helps.
+
+use crate::{rms_set_points, ProcessorId, Task, TaskSet};
+
+/// One accepted reallocation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Move {
+    /// Task whose subtask moved.
+    pub task: usize,
+    /// Index of the moved subtask within the task's chain.
+    pub subtask: usize,
+    /// Processor the subtask left.
+    pub from: ProcessorId,
+    /// Processor the subtask now runs on.
+    pub to: ProcessorId,
+}
+
+/// Outcome of a [`balance`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// Worst processor load ratio before balancing.
+    pub before: f64,
+    /// Worst processor load ratio after balancing.
+    pub after: f64,
+    /// Accepted moves, in order.
+    pub moves: Vec<Move>,
+}
+
+/// Worst processor load ratio of a task set: `max_i (F·r₀)_i / B_i`,
+/// with `B` the RMS set points.  A ratio above 1 means the processor
+/// cannot meet its schedulable bound even at the initial rates.
+pub fn worst_load_ratio(set: &TaskSet) -> f64 {
+    let u = set.estimated_utilization(&set.initial_rates());
+    let b = rms_set_points(set);
+    (0..set.num_processors())
+        .map(|p| u[p] / b[p])
+        .fold(0.0, f64::max)
+}
+
+/// Greedily reallocates subtasks until no single move lowers the worst
+/// load ratio; returns the balanced set and a report.
+///
+/// The rebuilt tasks keep their chains (order, estimates, rate ranges)
+/// verbatim except for the processor assignments.  At most `max_moves`
+/// moves are attempted (a safety bound; the greedy search terminates on
+/// its own long before any sensible limit).
+///
+/// # Panics
+///
+/// Panics if the set is empty or `max_moves` is zero.
+pub fn balance(set: &TaskSet, max_moves: usize) -> (TaskSet, BalanceReport) {
+    assert!(max_moves > 0, "need a positive move budget");
+    set.validate().expect("cannot balance an empty task set");
+
+    let n = set.num_processors();
+    let mut placement: Vec<Vec<usize>> = set
+        .tasks()
+        .iter()
+        .map(|t| t.subtasks().iter().map(|s| s.processor.0).collect())
+        .collect();
+
+    let before = worst_load_ratio(set);
+    let mut best = before;
+    let mut moves = Vec::new();
+
+    for _ in 0..max_moves {
+        // Identify the worst processor under the current placement.
+        let current = rebuild(set, &placement);
+        let u = current.estimated_utilization(&current.initial_rates());
+        let b = rms_set_points(&current);
+        let worst_proc = (0..n)
+            .max_by(|&a, &c| (u[a] / b[a]).total_cmp(&(u[c] / b[c])))
+            .expect("at least one processor");
+
+        // Try every (subtask on worst_proc) × (destination) move and keep
+        // the one with the lowest resulting worst ratio.
+        let mut candidate: Option<(usize, usize, usize, f64)> = None;
+        for (t, chain) in placement.iter().enumerate() {
+            for (j, &p) in chain.iter().enumerate() {
+                if p != worst_proc {
+                    continue;
+                }
+                for dest in 0..n {
+                    if dest == worst_proc {
+                        continue;
+                    }
+                    let mut trial = placement.clone();
+                    trial[t][j] = dest;
+                    let ratio = worst_load_ratio(&rebuild(set, &trial));
+                    if ratio < candidate.map_or(best, |(.., r)| r) - 1e-12 {
+                        candidate = Some((t, j, dest, ratio));
+                    }
+                }
+            }
+        }
+        let Some((t, j, dest, ratio)) = candidate else {
+            break; // local optimum
+        };
+        moves.push(Move {
+            task: t,
+            subtask: j,
+            from: ProcessorId(placement[t][j]),
+            to: ProcessorId(dest),
+        });
+        placement[t][j] = dest;
+        best = ratio;
+    }
+
+    (rebuild(set, &placement), BalanceReport { before, after: best, moves })
+}
+
+/// Rebuilds a task set with the same tasks but new processor assignments.
+fn rebuild(set: &TaskSet, placement: &[Vec<usize>]) -> TaskSet {
+    let mut out = TaskSet::new(set.num_processors());
+    for (task, chain) in set.tasks().iter().zip(placement.iter()) {
+        let mut b = Task::builder(task.rate_min(), task.rate_max(), task.initial_rate());
+        for (s, &p) in task.subtasks().iter().zip(chain.iter()) {
+            b = b.subtask(ProcessorId(p), s.estimated_time);
+        }
+        out.add_task(b.build().expect("chain parameters unchanged"))
+            .expect("processor indices stay in range");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately skewed system: all load piled on P1 of 3 processors.
+    fn skewed() -> TaskSet {
+        let mut set = TaskSet::new(3);
+        for i in 0..6 {
+            let r = 1.0 / (100.0 + 10.0 * i as f64);
+            set.add_task(
+                Task::builder(r / 10.0, r * 10.0, r)
+                    .subtask(ProcessorId(0), 20.0)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn balancing_reduces_worst_ratio() {
+        let set = skewed();
+        let (balanced, report) = balance(&set, 50);
+        assert!(report.after < report.before * 0.6, "{report:?}");
+        assert!(worst_load_ratio(&balanced) <= report.after + 1e-12);
+        assert!(!report.moves.is_empty());
+        // Load now spread over all three processors.
+        for p in 0..3 {
+            assert!(
+                balanced.num_subtasks_on(ProcessorId(p)) >= 1,
+                "P{} left empty",
+                p + 1
+            );
+        }
+    }
+
+    #[test]
+    fn chains_survive_reallocation_intact() {
+        let set = crate::workloads::medium();
+        let (balanced, _) = balance(&set, 50);
+        assert_eq!(balanced.num_tasks(), set.num_tasks());
+        for (a, b) in set.tasks().iter().zip(balanced.tasks().iter()) {
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.rate_min(), b.rate_min());
+            assert_eq!(a.rate_max(), b.rate_max());
+            assert_eq!(a.initial_rate(), b.initial_rate());
+            for (sa, sb) in a.subtasks().iter().zip(b.subtasks().iter()) {
+                assert_eq!(sa.estimated_time, sb.estimated_time);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_input_is_a_fixed_point() {
+        // MEDIUM is constructed with F·r₀ = B exactly: every processor's
+        // ratio is 1, so no move can improve the worst ratio.
+        let set = crate::workloads::medium();
+        let before = worst_load_ratio(&set);
+        let (_, report) = balance(&set, 50);
+        assert!((report.before - before).abs() < 1e-12);
+        assert!(report.after >= report.before - 1e-9, "cannot beat a perfectly balanced set");
+        assert!(report.moves.is_empty(), "no moves expected: {:?}", report.moves);
+    }
+
+    #[test]
+    fn deterministic() {
+        let set = skewed();
+        let (a, ra) = balance(&set, 50);
+        let (b, rb) = balance(&set, 50);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn single_processor_is_noop() {
+        let mut set = TaskSet::new(1);
+        let r = 1.0 / 100.0;
+        set.add_task(
+            Task::builder(r / 2.0, r * 2.0, r).subtask(ProcessorId(0), 50.0).build().unwrap(),
+        )
+        .unwrap();
+        let (_, report) = balance(&set, 10);
+        assert!(report.moves.is_empty());
+        assert_eq!(report.before, report.after);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive move budget")]
+    fn zero_budget_rejected() {
+        let _ = balance(&skewed(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Schedulable utilization bounds and set-point policies.
+
+use eucon_math::Vector;
+
+use crate::{ProcessorId, TaskSet};
+
+/// The Liu–Layland rate-monotonic schedulable utilization bound for `m`
+/// tasks: `m·(2^{1/m} − 1)`.
+///
+/// Any set of `m` independent periodic tasks with deadlines equal to their
+/// periods meets all deadlines under RMS if their total utilization stays
+/// below this bound (Liu & Layland, JACM 1973).  The paper uses it as the
+/// utilization set point (eq. 13) so that enforcing the set point enforces
+/// every subdeadline.
+///
+/// Returns `1.0` for `m = 0` (an idle processor can be fully utilized) and
+/// converges to `ln 2 ≈ 0.693` as `m → ∞`.
+///
+/// # Example
+///
+/// ```
+/// let b = eucon_tasks::liu_layland_bound(2);
+/// assert!((b - 0.828).abs() < 1e-3);
+/// ```
+pub fn liu_layland_bound(m: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let mf = m as f64;
+    mf * (2f64.powf(1.0 / mf) - 1.0)
+}
+
+/// Computes the utilization set point of every processor per the paper's
+/// eq. 13: `B_i = m_i (2^{1/m_i} − 1)` where `m_i` counts the subtasks on
+/// `P_i`.
+///
+/// # Example
+///
+/// ```
+/// use eucon_tasks::{rms_set_points, workloads};
+///
+/// let simple = workloads::simple();
+/// let b = rms_set_points(&simple);
+/// assert!((b[0] - 0.828).abs() < 1e-3); // two subtasks on each processor
+/// assert!((b[1] - 0.828).abs() < 1e-3);
+/// ```
+pub fn rms_set_points(set: &TaskSet) -> Vector {
+    Vector::from_iter(
+        (0..set.num_processors())
+            .map(|i| liu_layland_bound(set.num_subtasks_on(ProcessorId(i)))),
+    )
+}
+
+/// Evenly divides each task's end-to-end deadline into per-subtask
+/// subdeadlines (paper §7.1): with `d_i = n_i / r_i`, every subtask of
+/// task `i` receives subdeadline `1 / r_i`, i.e. its period.
+///
+/// Returns, for each task, the subdeadline shared by its subtasks at the
+/// given rates.
+///
+/// # Panics
+///
+/// Panics if `rates.len() != set.num_tasks()` or a rate is non-positive.
+pub fn even_subdeadlines(set: &TaskSet, rates: &Vector) -> Vec<f64> {
+    assert_eq!(rates.len(), set.num_tasks(), "one rate per task required");
+    rates
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "rates must be positive");
+            1.0 / r
+        })
+        .collect()
+}
+
+/// Divides each task's end-to-end deadline into subdeadlines proportional
+/// to the subtasks' estimated execution times (the "proportional deadline
+/// assignment" of Kao & Garcia-Molina, cited by the paper's §7.1 as an
+/// alternative to even division).
+///
+/// Returns, for each task, a vector of per-subtask subdeadlines summing to
+/// the end-to-end deadline `n_i / r_i`.
+///
+/// # Panics
+///
+/// Panics if `rates.len() != set.num_tasks()` or a rate is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::Vector;
+/// use eucon_tasks::{proportional_subdeadlines, workloads};
+///
+/// let simple = workloads::simple();
+/// let d = proportional_subdeadlines(&simple, &simple.initial_rates());
+/// // T2's two subtasks have equal estimates → equal subdeadlines of 90.
+/// assert!((d[1][0] - 90.0).abs() < 1e-9);
+/// assert!((d[1][1] - 90.0).abs() < 1e-9);
+/// ```
+pub fn proportional_subdeadlines(set: &TaskSet, rates: &Vector) -> Vec<Vec<f64>> {
+    assert_eq!(rates.len(), set.num_tasks(), "one rate per task required");
+    set.tasks()
+        .iter()
+        .zip(rates.iter())
+        .map(|(task, &r)| {
+            assert!(r > 0.0, "rates must be positive");
+            let deadline = task.len() as f64 / r;
+            let total: f64 = task.total_estimated_time();
+            task.subtasks()
+                .iter()
+                .map(|s| deadline * s.estimated_time / total)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProcessorId, Task};
+
+    #[test]
+    fn liu_layland_known_values() {
+        assert_eq!(liu_layland_bound(0), 1.0);
+        assert_eq!(liu_layland_bound(1), 1.0);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-4);
+        assert!((liu_layland_bound(7) - 0.7286).abs() < 1e-4);
+        // Asymptote ln 2.
+        assert!((liu_layland_bound(100_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bound_is_monotonically_decreasing() {
+        for m in 1..50 {
+            assert!(
+                liu_layland_bound(m) >= liu_layland_bound(m + 1),
+                "bound must decrease with task count (m = {m})"
+            );
+        }
+    }
+
+    #[test]
+    fn set_points_count_subtasks_per_processor() {
+        let mut set = TaskSet::new(2);
+        // Three subtasks on P1, one on P2.
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 1.0)
+                .subtask(ProcessorId(0), 1.0)
+                .subtask(ProcessorId(0), 1.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 1.0).build().unwrap(),
+        )
+        .unwrap();
+        let b = rms_set_points(&set);
+        assert!((b[0] - liu_layland_bound(3)).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subdeadlines_equal_periods() {
+        let mut set = TaskSet::new(1);
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 1.0)
+                .subtask(ProcessorId(0), 1.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let d = even_subdeadlines(&set, &Vector::from_slice(&[0.02]));
+        assert_eq!(d, vec![50.0]);
+    }
+
+    #[test]
+    fn proportional_subdeadlines_sum_to_deadline() {
+        let mut set = TaskSet::new(2);
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 30.0)
+                .subtask(ProcessorId(1), 10.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let d = proportional_subdeadlines(&set, &Vector::from_slice(&[0.01]));
+        // End-to-end deadline 2/0.01 = 200, split 3:1.
+        assert!((d[0][0] - 150.0).abs() < 1e-9);
+        assert!((d[0][1] - 50.0).abs() < 1e-9);
+        assert!((d[0].iter().sum::<f64>() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_equals_even_for_equal_estimates() {
+        let set = crate::workloads::simple();
+        let rates = set.initial_rates();
+        let prop = proportional_subdeadlines(&set, &rates);
+        let even = even_subdeadlines(&set, &rates);
+        // T2's subtasks have equal estimates, so proportional = even.
+        assert!((prop[1][0] - even[1]).abs() < 1e-9);
+        assert!((prop[1][1] - even[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per task")]
+    fn subdeadline_rate_count_checked() {
+        let set = TaskSet::new(1);
+        let _ = even_subdeadlines(&set, &Vector::from_slice(&[0.02]));
+    }
+}

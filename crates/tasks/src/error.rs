@@ -1,0 +1,77 @@
+//! Error type for task-model validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while constructing or validating a task set.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaskError {
+    /// A task was declared without any subtasks.
+    NoSubtasks,
+    /// A rate range was empty or non-positive (`0 < Rmin ≤ Rmax` required).
+    InvalidRateRange {
+        /// The offending minimum rate.
+        min: f64,
+        /// The offending maximum rate.
+        max: f64,
+    },
+    /// The initial rate lies outside `[Rmin, Rmax]`.
+    InitialRateOutOfRange {
+        /// The offending initial rate.
+        rate: f64,
+    },
+    /// A subtask referenced a processor index beyond the platform size.
+    ProcessorOutOfRange {
+        /// The referenced processor index.
+        processor: usize,
+        /// The number of processors in the platform.
+        num_processors: usize,
+    },
+    /// A subtask has a non-positive estimated execution time.
+    NonPositiveExecutionTime {
+        /// The offending estimated execution time.
+        time: f64,
+    },
+    /// The task set contains no tasks.
+    EmptyTaskSet,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::NoSubtasks => write!(f, "task has no subtasks"),
+            TaskError::InvalidRateRange { min, max } => {
+                write!(f, "invalid rate range [{min}, {max}]")
+            }
+            TaskError::InitialRateOutOfRange { rate } => {
+                write!(f, "initial rate {rate} lies outside the allowed range")
+            }
+            TaskError::ProcessorOutOfRange { processor, num_processors } => {
+                write!(f, "processor index {processor} out of range for {num_processors} processors")
+            }
+            TaskError::NonPositiveExecutionTime { time } => {
+                write!(f, "estimated execution time {time} must be positive")
+            }
+            TaskError::EmptyTaskSet => write!(f, "task set contains no tasks"),
+        }
+    }
+}
+
+impl Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TaskError::NoSubtasks.to_string().contains("no subtasks"));
+        assert!(TaskError::InvalidRateRange { min: 1.0, max: 0.5 }
+            .to_string()
+            .contains("[1, 0.5]"));
+        assert!(TaskError::ProcessorOutOfRange { processor: 9, num_processors: 4 }
+            .to_string()
+            .contains("9"));
+    }
+}

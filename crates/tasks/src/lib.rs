@@ -1,0 +1,47 @@
+//! End-to-end task model for the EUCON reproduction.
+//!
+//! Implements the flexible end-to-end task model of the paper's §3.1: a
+//! system of `m` periodic tasks on `n` processors, where each task is a
+//! chain of subtasks under precedence constraints, all sharing the task's
+//! dynamically adjustable invocation rate.
+//!
+//! Provided here:
+//!
+//! * [`Task`], [`Subtask`], [`TaskSet`] — the model types, with validating
+//!   builders.
+//! * [`TaskSet::allocation_matrix`] — the subtask-allocation matrix `F`
+//!   (paper eq. 6) that couples processors through shared tasks.
+//! * [`liu_layland_bound`] / [`rms_set_points`] — the RMS schedulable
+//!   utilization bound used as the per-processor set point (paper eq. 13).
+//! * [`workloads`] — the paper's SIMPLE (Table 1) and MEDIUM (§7.1)
+//!   configurations plus a seeded random workload generator.
+//! * [`balance`] — design-time subtask reallocation (the paper's third
+//!   adaptation mechanism), a greedy load-ratio balancer.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_tasks::{rms_set_points, workloads};
+//!
+//! let simple = workloads::simple();
+//! let b = rms_set_points(&simple);
+//! // Two subtasks per processor → B = 2(√2 − 1) ≈ 0.828 on both.
+//! assert!((b[0] - 0.828).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+mod bounds;
+mod error;
+mod model;
+mod set;
+pub mod workloads;
+
+pub use bounds::{
+    even_subdeadlines, liu_layland_bound, proportional_subdeadlines, rms_set_points,
+};
+pub use error::TaskError;
+pub use model::{ProcessorId, Subtask, SubtaskId, Task, TaskBuilder, TaskId};
+pub use set::TaskSet;

@@ -1,0 +1,296 @@
+//! Core task-model types: processors, subtasks and end-to-end tasks.
+
+use std::fmt;
+
+use crate::TaskError;
+
+/// Identifier of a processor in the distributed platform (0-based).
+///
+/// # Example
+///
+/// ```
+/// let p = eucon_tasks::ProcessorId(0);
+/// assert_eq!(p.to_string(), "P1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorId(pub usize);
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Displayed 1-based to match the paper's P1…Pn convention.
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// Identifier of an end-to-end task (0-based).
+///
+/// # Example
+///
+/// ```
+/// let t = eucon_tasks::TaskId(2);
+/// assert_eq!(t.to_string(), "T3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// Identifies subtask `T_{ij}`: the `index`-th stage of task `task`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubtaskId {
+    /// Owning task.
+    pub task: TaskId,
+    /// Position in the task's chain (0-based).
+    pub index: usize,
+}
+
+impl fmt::Display for SubtaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}{}", self.task.0 + 1, self.index + 1)
+    }
+}
+
+/// One stage of an end-to-end task, pinned to a processor.
+///
+/// `estimated_time` is the design-time execution-time estimate `c_ij` from
+/// the paper; the *actual* execution time at run time is this estimate
+/// scaled by the execution-time factor and any stochastic model (see
+/// `eucon-sim`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subtask {
+    /// Processor this subtask executes on.
+    pub processor: ProcessorId,
+    /// Estimated execution time `c_ij` in simulator time units.
+    pub estimated_time: f64,
+}
+
+impl Subtask {
+    /// Creates a subtask on `processor` with estimate `estimated_time`.
+    pub fn new(processor: ProcessorId, estimated_time: f64) -> Self {
+        Subtask { processor, estimated_time }
+    }
+}
+
+/// A periodic end-to-end task: a chain of subtasks under precedence
+/// constraints, sharing a single adjustable invocation rate.
+///
+/// Built with [`Task::builder`]; validation happens at
+/// [`TaskBuilder::build`] so an existing `Task` is always well formed.
+///
+/// # Example
+///
+/// ```
+/// use eucon_tasks::{ProcessorId, Task};
+///
+/// # fn main() -> Result<(), eucon_tasks::TaskError> {
+/// let task = Task::builder(1.0 / 700.0, 1.0 / 35.0, 1.0 / 60.0)
+///     .subtask(ProcessorId(0), 35.0)
+///     .build()?;
+/// assert_eq!(task.len(), 1);
+/// assert!((task.initial_rate() - 1.0 / 60.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    subtasks: Vec<Subtask>,
+    rate_min: f64,
+    rate_max: f64,
+    initial_rate: f64,
+}
+
+impl Task {
+    /// Starts building a task with rate range `[rate_min, rate_max]` and
+    /// the given initial rate.
+    pub fn builder(rate_min: f64, rate_max: f64, initial_rate: f64) -> TaskBuilder {
+        TaskBuilder {
+            subtasks: Vec::new(),
+            rate_min,
+            rate_max,
+            initial_rate,
+        }
+    }
+
+    /// The subtask chain, in precedence order.
+    pub fn subtasks(&self) -> &[Subtask] {
+        &self.subtasks
+    }
+
+    /// Number of subtasks (`n_i` in the paper).
+    pub fn len(&self) -> usize {
+        self.subtasks.len()
+    }
+
+    /// Always `false`: validation rejects empty chains.
+    pub fn is_empty(&self) -> bool {
+        self.subtasks.is_empty()
+    }
+
+    /// Minimum acceptable invocation rate `Rmin_i`.
+    pub fn rate_min(&self) -> f64 {
+        self.rate_min
+    }
+
+    /// Maximum acceptable invocation rate `Rmax_i`.
+    pub fn rate_max(&self) -> f64 {
+        self.rate_max
+    }
+
+    /// The rate the task starts with at time zero.
+    pub fn initial_rate(&self) -> f64 {
+        self.initial_rate
+    }
+
+    /// Clamps a candidate rate into the task's acceptable range.
+    pub fn clamp_rate(&self, rate: f64) -> f64 {
+        rate.clamp(self.rate_min, self.rate_max)
+    }
+
+    /// Sum of estimated execution times across the chain.
+    pub fn total_estimated_time(&self) -> f64 {
+        self.subtasks.iter().map(|s| s.estimated_time).sum()
+    }
+
+    /// End-to-end relative deadline at the given rate.
+    ///
+    /// Following the paper's experimental setup (§7.1): `d_i = n_i / r_i`,
+    /// i.e. each subtask gets a subdeadline equal to its period.
+    pub fn deadline_at_rate(&self, rate: f64) -> f64 {
+        self.subtasks.len() as f64 / rate
+    }
+}
+
+/// Builder for [`Task`].
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    subtasks: Vec<Subtask>,
+    rate_min: f64,
+    rate_max: f64,
+    initial_rate: f64,
+}
+
+impl TaskBuilder {
+    /// Appends a subtask at the end of the chain.
+    pub fn subtask(mut self, processor: ProcessorId, estimated_time: f64) -> Self {
+        self.subtasks.push(Subtask::new(processor, estimated_time));
+        self
+    }
+
+    /// Validates and produces the task.
+    ///
+    /// # Errors
+    ///
+    /// * [`TaskError::NoSubtasks`] — empty chain.
+    /// * [`TaskError::InvalidRateRange`] — `rate_min ≤ 0`, `rate_max <
+    ///   rate_min`, or non-finite bounds.
+    /// * [`TaskError::InitialRateOutOfRange`] — the initial rate violates
+    ///   the range.
+    /// * [`TaskError::NonPositiveExecutionTime`] — a subtask estimate is
+    ///   not a positive finite number.
+    pub fn build(self) -> Result<Task, TaskError> {
+        if self.subtasks.is_empty() {
+            return Err(TaskError::NoSubtasks);
+        }
+        let range_valid = self.rate_min > 0.0
+            && self.rate_max >= self.rate_min
+            && self.rate_min.is_finite()
+            && self.rate_max.is_finite();
+        if !range_valid {
+            return Err(TaskError::InvalidRateRange { min: self.rate_min, max: self.rate_max });
+        }
+        if !(self.initial_rate >= self.rate_min && self.initial_rate <= self.rate_max) {
+            return Err(TaskError::InitialRateOutOfRange { rate: self.initial_rate });
+        }
+        for s in &self.subtasks {
+            let time_valid = s.estimated_time > 0.0 && s.estimated_time.is_finite();
+            if !time_valid {
+                return Err(TaskError::NonPositiveExecutionTime { time: s.estimated_time });
+            }
+        }
+        Ok(Task {
+            subtasks: self.subtasks,
+            rate_min: self.rate_min,
+            rate_max: self.rate_max,
+            initial_rate: self.initial_rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_task() -> Task {
+        Task::builder(0.001, 0.03, 0.01)
+            .subtask(ProcessorId(0), 35.0)
+            .subtask(ProcessorId(1), 45.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn display_ids_are_one_based() {
+        assert_eq!(ProcessorId(0).to_string(), "P1");
+        assert_eq!(TaskId(1).to_string(), "T2");
+        assert_eq!(SubtaskId { task: TaskId(1), index: 0 }.to_string(), "T21");
+    }
+
+    #[test]
+    fn builder_produces_valid_task() {
+        let t = simple_task();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.subtasks()[1].processor, ProcessorId(1));
+        assert_eq!(t.total_estimated_time(), 80.0);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let r = Task::builder(0.1, 1.0, 0.5).build();
+        assert_eq!(r.unwrap_err(), TaskError::NoSubtasks);
+    }
+
+    #[test]
+    fn invalid_rate_ranges_rejected() {
+        let r = Task::builder(0.0, 1.0, 0.5).subtask(ProcessorId(0), 1.0).build();
+        assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
+
+        let r = Task::builder(2.0, 1.0, 1.5).subtask(ProcessorId(0), 1.0).build();
+        assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
+
+        let r = Task::builder(0.1, f64::INFINITY, 0.5).subtask(ProcessorId(0), 1.0).build();
+        assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
+    }
+
+    #[test]
+    fn initial_rate_must_lie_inside_range() {
+        let r = Task::builder(0.1, 1.0, 2.0).subtask(ProcessorId(0), 1.0).build();
+        assert!(matches!(r.unwrap_err(), TaskError::InitialRateOutOfRange { .. }));
+    }
+
+    #[test]
+    fn non_positive_execution_time_rejected() {
+        let r = Task::builder(0.1, 1.0, 0.5).subtask(ProcessorId(0), 0.0).build();
+        assert!(matches!(r.unwrap_err(), TaskError::NonPositiveExecutionTime { .. }));
+        let r = Task::builder(0.1, 1.0, 0.5).subtask(ProcessorId(0), f64::NAN).build();
+        assert!(matches!(r.unwrap_err(), TaskError::NonPositiveExecutionTime { .. }));
+    }
+
+    #[test]
+    fn clamp_rate_respects_bounds() {
+        let t = simple_task();
+        assert_eq!(t.clamp_rate(1.0), 0.03);
+        assert_eq!(t.clamp_rate(0.0), 0.001);
+        assert_eq!(t.clamp_rate(0.02), 0.02);
+    }
+
+    #[test]
+    fn deadline_is_subtask_count_over_rate() {
+        let t = simple_task();
+        assert!((t.deadline_at_rate(0.01) - 200.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Task sets: a platform plus its end-to-end tasks.
+
+use eucon_math::{Matrix, Vector};
+
+use crate::{ProcessorId, SubtaskId, Task, TaskError, TaskId};
+
+/// A complete workload: `m` end-to-end tasks deployed on `n` processors.
+///
+/// This is the object every other crate consumes — the simulator
+/// instantiates it, the controller derives its subtask-allocation matrix
+/// `F` from it, and the set-point policy reads per-processor subtask counts
+/// off it.
+///
+/// # Example
+///
+/// ```
+/// use eucon_tasks::{ProcessorId, Task, TaskSet};
+///
+/// # fn main() -> Result<(), eucon_tasks::TaskError> {
+/// let mut set = TaskSet::new(2);
+/// set.add_task(
+///     Task::builder(0.001, 0.03, 0.01)
+///         .subtask(ProcessorId(0), 35.0)
+///         .subtask(ProcessorId(1), 35.0)
+///         .build()?,
+/// )?;
+/// let f = set.allocation_matrix();
+/// assert_eq!(f.rows(), 2); // processors
+/// assert_eq!(f.cols(), 1); // tasks
+/// assert_eq!(f[(0, 0)], 35.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+    num_processors: usize,
+}
+
+impl TaskSet {
+    /// Creates an empty task set on a platform of `num_processors`.
+    pub fn new(num_processors: usize) -> Self {
+        TaskSet { tasks: Vec::new(), num_processors }
+    }
+
+    /// Adds a task, validating its processor references.
+    ///
+    /// Returns the id assigned to the task.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskError::ProcessorOutOfRange`] when a subtask names a processor
+    /// `≥ num_processors`.
+    pub fn add_task(&mut self, task: Task) -> Result<TaskId, TaskError> {
+        for s in task.subtasks() {
+            if s.processor.0 >= self.num_processors {
+                return Err(TaskError::ProcessorOutOfRange {
+                    processor: s.processor.0,
+                    num_processors: self.num_processors,
+                });
+            }
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        Ok(id)
+    }
+
+    /// Number of processors `n`.
+    pub fn num_processors(&self) -> usize {
+        self.num_processors
+    }
+
+    /// Number of tasks `m`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total number of subtasks across all tasks.
+    pub fn num_subtasks(&self) -> usize {
+        self.tasks.iter().map(Task::len).sum()
+    }
+
+    /// The tasks, indexable by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Borrow a task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Iterates over `(SubtaskId, &Subtask)` pairs located on `processor`.
+    pub fn subtasks_on(
+        &self,
+        processor: ProcessorId,
+    ) -> impl Iterator<Item = (SubtaskId, &crate::Subtask)> + '_ {
+        self.tasks.iter().enumerate().flat_map(move |(t, task)| {
+            task.subtasks().iter().enumerate().filter_map(move |(j, s)| {
+                (s.processor == processor)
+                    .then_some((SubtaskId { task: TaskId(t), index: j }, s))
+            })
+        })
+    }
+
+    /// Number of subtasks allocated to `processor` (`m_i` in the paper's
+    /// eq. 13).
+    pub fn num_subtasks_on(&self, processor: ProcessorId) -> usize {
+        self.subtasks_on(processor).count()
+    }
+
+    /// The subtask-allocation matrix `F` (paper eq. 6): an `n × m` matrix
+    /// with `f_ij = Σ c_jl` over the subtasks of task `j` placed on
+    /// processor `i` (zero when task `j` has no subtask there).
+    ///
+    /// `F` captures the coupling between processors: a rate change of one
+    /// task moves the utilization of every processor hosting one of its
+    /// subtasks.
+    pub fn allocation_matrix(&self) -> Matrix {
+        let mut f = Matrix::zeros(self.num_processors, self.num_tasks());
+        for (j, task) in self.tasks.iter().enumerate() {
+            for s in task.subtasks() {
+                f[(s.processor.0, j)] += s.estimated_time;
+            }
+        }
+        f
+    }
+
+    /// Vector of initial task rates `r(0)`.
+    pub fn initial_rates(&self) -> Vector {
+        Vector::from_iter(self.tasks.iter().map(Task::initial_rate))
+    }
+
+    /// Per-task rate bounds as `(Rmin, Rmax)` vectors.
+    pub fn rate_bounds(&self) -> (Vector, Vector) {
+        (
+            Vector::from_iter(self.tasks.iter().map(Task::rate_min)),
+            Vector::from_iter(self.tasks.iter().map(Task::rate_max)),
+        )
+    }
+
+    /// Estimated utilization of every processor at the given task rates:
+    /// `F·r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != num_tasks()`.
+    pub fn estimated_utilization(&self, rates: &Vector) -> Vector {
+        self.allocation_matrix().mul_vec(rates)
+    }
+
+    /// Validates the whole set (non-empty, all tasks well-formed relative
+    /// to the platform).
+    ///
+    /// # Errors
+    ///
+    /// [`TaskError::EmptyTaskSet`] when no tasks have been added.
+    pub fn validate(&self) -> Result<(), TaskError> {
+        if self.tasks.is_empty() {
+            return Err(TaskError::EmptyTaskSet);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example from the end of the paper's §5: three tasks on two
+    /// processors.
+    fn paper_example() -> TaskSet {
+        let mut set = TaskSet::new(2);
+        // T1: one subtask T11 on P1.
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(0), 1.0).build().unwrap(),
+        )
+        .unwrap();
+        // T2: subtasks on P1 and P2.
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 2.0)
+                .subtask(ProcessorId(1), 3.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // T3: one subtask on P2.
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 4.0).build().unwrap(),
+        )
+        .unwrap();
+        set
+    }
+
+    #[test]
+    fn allocation_matrix_matches_paper_structure() {
+        let set = paper_example();
+        let f = set.allocation_matrix();
+        // F = [[c11, c21, 0], [0, c22, c31]].
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.cols(), 3);
+        assert_eq!(f[(0, 0)], 1.0);
+        assert_eq!(f[(0, 1)], 2.0);
+        assert_eq!(f[(0, 2)], 0.0);
+        assert_eq!(f[(1, 0)], 0.0);
+        assert_eq!(f[(1, 1)], 3.0);
+        assert_eq!(f[(1, 2)], 4.0);
+    }
+
+    #[test]
+    fn multiple_subtasks_on_same_processor_sum() {
+        let mut set = TaskSet::new(1);
+        set.add_task(
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 2.0)
+                .subtask(ProcessorId(0), 3.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(set.allocation_matrix()[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn subtask_queries() {
+        let set = paper_example();
+        assert_eq!(set.num_tasks(), 3);
+        assert_eq!(set.num_subtasks(), 4);
+        assert_eq!(set.num_subtasks_on(ProcessorId(0)), 2);
+        assert_eq!(set.num_subtasks_on(ProcessorId(1)), 2);
+        let on_p2: Vec<String> =
+            set.subtasks_on(ProcessorId(1)).map(|(id, _)| id.to_string()).collect();
+        assert_eq!(on_p2, vec!["T22", "T31"]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_processor() {
+        let mut set = TaskSet::new(1);
+        let r = set.add_task(
+            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 1.0).build().unwrap(),
+        );
+        assert!(matches!(r.unwrap_err(), TaskError::ProcessorOutOfRange { .. }));
+    }
+
+    #[test]
+    fn estimated_utilization_is_f_times_r() {
+        let set = paper_example();
+        let r = Vector::from_slice(&[0.1, 0.2, 0.05]);
+        let u = set.estimated_utilization(&r);
+        assert!((u[0] - (1.0 * 0.1 + 2.0 * 0.2)).abs() < 1e-12);
+        assert!((u[1] - (3.0 * 0.2 + 4.0 * 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_rates_and_bounds() {
+        let set = paper_example();
+        assert_eq!(set.initial_rates().as_slice(), &[0.01, 0.01, 0.01]);
+        let (lo, hi) = set.rate_bounds();
+        assert!(lo.iter().all(|&v| v == 0.001));
+        assert!(hi.iter().all(|&v| v == 0.1));
+    }
+
+    #[test]
+    fn validate_empty() {
+        let set = TaskSet::new(2);
+        assert_eq!(set.validate(), Err(TaskError::EmptyTaskSet));
+        assert!(paper_example().validate().is_ok());
+    }
+}

@@ -1,0 +1,564 @@
+//! Canonical workloads: the paper's SIMPLE and MEDIUM configurations plus a
+//! parameterized random-workload generator.
+//!
+//! # SIMPLE (paper Table 1)
+//!
+//! Three tasks on two processors, reproduced exactly as printed:
+//!
+//! | Tij | Proc | cij | 1/Rmax | 1/Rmin | 1/r(0) |
+//! |-----|------|-----|--------|--------|--------|
+//! | T11 | P1   | 35  | 35     | 700    | 60     |
+//! | T21 | P1   | 35  | 35     | 700    | 90     |
+//! | T22 | P2   | 35  | 35     | 700    | 90     |
+//! | T31 | P2   | 45  | 45     | 900    | 100    |
+//!
+//! # MEDIUM (paper §7.1)
+//!
+//! The paper describes MEDIUM only by its invariants — 12 tasks with 25
+//! subtasks on 4 processors, 8 end-to-end tasks plus 4 local tasks, and a
+//! P1 set point of 0.729 (seven subtasks on P1, since
+//! `7·(2^{1/7}−1) ≈ 0.7286`).  The exact parameter table is not printed, so
+//! [`medium`] synthesizes a workload with *exactly* those invariants: the
+//! chain topology is fixed (below) and execution-time estimates are derived
+//! from a seeded deterministic generator such that the nominal rates
+//! `r_nom` satisfy `F·r_nom = B` — which also makes the OPEN baseline exact
+//! at `etf = 1`, as in the paper.
+
+use eucon_math::Vector;
+
+use crate::{liu_layland_bound, ProcessorId, Task, TaskError, TaskSet};
+
+/// Deterministic SplitMix64 generator.
+///
+/// Used instead of an external RNG so the canonical MEDIUM workload can
+/// never drift with dependency upgrades.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Builds the SIMPLE configuration from Table 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// let simple = eucon_tasks::workloads::simple();
+/// assert_eq!(simple.num_processors(), 2);
+/// assert_eq!(simple.num_tasks(), 3);
+/// assert_eq!(simple.num_subtasks(), 4);
+/// ```
+pub fn simple() -> TaskSet {
+    try_simple().expect("SIMPLE workload is statically valid")
+}
+
+fn try_simple() -> Result<TaskSet, TaskError> {
+    let mut set = TaskSet::new(2);
+    // T1 = {T11 on P1}, c = 35, periods in [35, 700], initial 60.
+    set.add_task(
+        Task::builder(1.0 / 700.0, 1.0 / 35.0, 1.0 / 60.0)
+            .subtask(ProcessorId(0), 35.0)
+            .build()?,
+    )?;
+    // T2 = {T21 on P1, T22 on P2}, c = 35 each, periods [35, 700], initial 90.
+    set.add_task(
+        Task::builder(1.0 / 700.0, 1.0 / 35.0, 1.0 / 90.0)
+            .subtask(ProcessorId(0), 35.0)
+            .subtask(ProcessorId(1), 35.0)
+            .build()?,
+    )?;
+    // T3 = {T31 on P2}, c = 45, periods [45, 900], initial 100.
+    set.add_task(
+        Task::builder(1.0 / 900.0, 1.0 / 45.0, 1.0 / 100.0)
+            .subtask(ProcessorId(1), 45.0)
+            .build()?,
+    )?;
+    Ok(set)
+}
+
+/// A SIMPLE variant with the per-task maximum rate multiplied by
+/// `widen_factor`.
+///
+/// Used as a sensitivity configuration for the Figure 4 sweep: with Table 1
+/// as printed, rates saturate at `Rmax` for execution-time factors below
+/// ≈ 0.42, so the utilization cannot reach the set point there.  Widening
+/// the rate range demonstrates set-point tracking across the whole sweep.
+///
+/// # Panics
+///
+/// Panics if `widen_factor < 1.0`.
+pub fn simple_widened(widen_factor: f64) -> TaskSet {
+    assert!(widen_factor >= 1.0, "widen_factor must be at least 1");
+    let base = simple();
+    let mut set = TaskSet::new(base.num_processors());
+    for task in base.tasks() {
+        let mut b = Task::builder(
+            task.rate_min(),
+            task.rate_max() * widen_factor,
+            task.initial_rate(),
+        );
+        for s in task.subtasks() {
+            b = b.subtask(s.processor, s.estimated_time);
+        }
+        set.add_task(b.build().expect("widened task remains valid"))
+            .expect("processors unchanged");
+    }
+    set
+}
+
+/// Chain topology of the MEDIUM workload (processor indices, 0-based).
+///
+/// Tasks 1–8 are end-to-end; tasks 9–12 are local.  Subtask counts per
+/// processor are P1 = 7, P2 = 6, P3 = 6, P4 = 6 (25 total), matching every
+/// invariant the paper states for MEDIUM.
+const MEDIUM_CHAINS: [&[usize]; 12] = [
+    &[0, 1, 2, 3], // T1
+    &[1, 2],       // T2
+    &[2, 3, 0],    // T3
+    &[3, 1],       // T4
+    &[0, 1, 2],    // T5
+    &[1, 0],       // T6
+    &[2, 3],       // T7
+    &[3, 0, 1],    // T8
+    &[0],          // T9  (local)
+    &[0],          // T10 (local)
+    &[2],          // T11 (local)
+    &[3],          // T12 (local)
+];
+
+/// Nominal periods (1/r_nom) of the MEDIUM tasks, in simulator time units.
+const MEDIUM_PERIODS: [f64; 12] = [
+    200.0, 180.0, 240.0, 160.0, 220.0, 140.0, 280.0, 260.0, 120.0, 320.0, 100.0, 300.0,
+];
+
+/// Factor by which a MEDIUM task's rate may exceed its nominal rate.
+const MEDIUM_RATE_UP: f64 = 12.0;
+/// Factor by which a MEDIUM task's rate may fall below its nominal rate.
+const MEDIUM_RATE_DOWN: f64 = 10.0;
+
+/// Builds the MEDIUM configuration (paper §7.1): 12 tasks, 25 subtasks,
+/// 4 processors, 8 end-to-end + 4 local tasks.
+///
+/// Construction guarantees `F·r_nom = B` at the nominal rates, where `B`
+/// follows the paper's eq. 13, so the OPEN baseline is exact at `etf = 1`
+/// and the utilization-control problem is feasible for every
+/// execution-time factor in `[1/12, 10]`.
+///
+/// # Example
+///
+/// ```
+/// use eucon_tasks::{rms_set_points, workloads};
+///
+/// let medium = workloads::medium();
+/// assert_eq!(medium.num_tasks(), 12);
+/// assert_eq!(medium.num_subtasks(), 25);
+/// // Paper: the set point on P1 is 0.729.
+/// let b = rms_set_points(&medium);
+/// assert!((b[0] - 0.729).abs() < 1e-3);
+/// ```
+pub fn medium() -> TaskSet {
+    try_medium().expect("MEDIUM workload is statically valid")
+}
+
+fn try_medium() -> Result<TaskSet, TaskError> {
+    let num_processors = 4;
+    let mut rng = SplitMix64::new(0x0000_EC05_2004_D1C5);
+
+    // Subtask share weights per processor; normalized so the estimated
+    // utilizations at nominal rates hit the RMS set points exactly.
+    let mut counts = [0usize; 4];
+    for chain in MEDIUM_CHAINS {
+        for &p in chain {
+            counts[p] += 1;
+        }
+    }
+    let set_points: Vec<f64> = counts.iter().map(|&m| liu_layland_bound(m)).collect();
+
+    // Draw raw weights in subtask order (task-major), then normalize per
+    // processor.
+    let mut raw: Vec<Vec<f64>> = Vec::with_capacity(12);
+    let mut totals = [0.0f64; 4];
+    for chain in MEDIUM_CHAINS {
+        let ws: Vec<f64> = chain.iter().map(|_| rng.uniform(0.5, 1.5)).collect();
+        for (&p, &w) in chain.iter().zip(ws.iter()) {
+            totals[p] += w;
+        }
+        raw.push(ws);
+    }
+
+    let mut set = TaskSet::new(num_processors);
+    for (t, chain) in MEDIUM_CHAINS.iter().enumerate() {
+        let r_nom = 1.0 / MEDIUM_PERIODS[t];
+        let mut b = Task::builder(r_nom / MEDIUM_RATE_DOWN, r_nom * MEDIUM_RATE_UP, r_nom);
+        for (j, &p) in chain.iter().enumerate() {
+            // Share of processor p's set point assigned to this subtask.
+            let share = raw[t][j] / totals[p] * set_points[p];
+            let c = share / r_nom;
+            b = b.subtask(ProcessorId(p), c);
+        }
+        set.add_task(b.build()?)?;
+    }
+    Ok(set)
+}
+
+/// Nominal rates of the MEDIUM workload (`r_nom`, the initial rates).
+pub fn medium_nominal_rates() -> Vector {
+    Vector::from_iter(MEDIUM_PERIODS.iter().map(|p| 1.0 / p))
+}
+
+/// Parameterized random end-to-end workload generator.
+///
+/// Generates task sets with the same feasibility guarantee as [`medium`]:
+/// estimated execution times are derived from random per-processor shares
+/// so that `F·r_nom = B` at the nominal rates.  Used by property tests and
+/// the scaling benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use eucon_tasks::workloads::RandomWorkload;
+///
+/// let set = RandomWorkload::new(8, 24).seed(7).generate();
+/// assert_eq!(set.num_processors(), 8);
+/// assert_eq!(set.num_tasks(), 24);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWorkload {
+    num_processors: usize,
+    num_tasks: usize,
+    max_chain_len: usize,
+    min_period: f64,
+    max_period: f64,
+    rate_up: f64,
+    rate_down: f64,
+    seed: u64,
+}
+
+impl RandomWorkload {
+    /// Starts a generator for `num_tasks` tasks on `num_processors`
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_processors: usize, num_tasks: usize) -> Self {
+        assert!(num_processors > 0, "need at least one processor");
+        assert!(num_tasks > 0, "need at least one task");
+        RandomWorkload {
+            num_processors,
+            num_tasks,
+            max_chain_len: num_processors.min(4),
+            min_period: 100.0,
+            max_period: 400.0,
+            rate_up: 8.0,
+            rate_down: 8.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum subtask chain length (default `min(n, 4)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn max_chain_len(mut self, len: usize) -> Self {
+        assert!(len > 0, "chains must have at least one subtask");
+        self.max_chain_len = len;
+        self
+    }
+
+    /// Sets the nominal period range (default `[100, 400]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or non-positive.
+    pub fn period_range(mut self, min_period: f64, max_period: f64) -> Self {
+        assert!(min_period > 0.0 && max_period >= min_period, "invalid period range");
+        self.min_period = min_period;
+        self.max_period = max_period;
+        self
+    }
+
+    /// Sets how far rates may move above/below nominal (default 8× both
+    /// ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is below 1.
+    pub fn rate_span(mut self, up: f64, down: f64) -> Self {
+        assert!(up >= 1.0 && down >= 1.0, "rate span factors must be >= 1");
+        self.rate_up = up;
+        self.rate_down = down;
+        self
+    }
+
+    /// Generates the task set.
+    ///
+    /// Every processor is guaranteed at least one subtask (so the
+    /// allocation matrix has no zero rows and utilization control is
+    /// meaningful on every processor).
+    pub fn generate(&self) -> TaskSet {
+        let mut rng = SplitMix64::new(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+
+        // Random chains: a walk that never repeats the previous processor.
+        let mut chains: Vec<Vec<usize>> = Vec::with_capacity(self.num_tasks);
+        for t in 0..self.num_tasks {
+            let len = 1 + rng.below(self.max_chain_len);
+            let mut chain = Vec::with_capacity(len);
+            // Seed coverage: the first `num_processors` tasks start on
+            // distinct processors.
+            let mut p = if t < self.num_processors { t } else { rng.below(self.num_processors) };
+            chain.push(p);
+            for _ in 1..len {
+                if self.num_processors == 1 {
+                    break;
+                }
+                let mut q = rng.below(self.num_processors);
+                while q == p {
+                    q = rng.below(self.num_processors);
+                }
+                chain.push(q);
+                p = q;
+            }
+            chains.push(chain);
+        }
+
+        let mut counts = vec![0usize; self.num_processors];
+        for chain in &chains {
+            for &p in chain {
+                counts[p] += 1;
+            }
+        }
+        let set_points: Vec<f64> = counts.iter().map(|&m| liu_layland_bound(m)).collect();
+
+        let periods: Vec<f64> =
+            (0..self.num_tasks).map(|_| rng.uniform(self.min_period, self.max_period)).collect();
+
+        let mut raw: Vec<Vec<f64>> = Vec::with_capacity(self.num_tasks);
+        let mut totals = vec![0.0f64; self.num_processors];
+        for chain in &chains {
+            let ws: Vec<f64> = chain.iter().map(|_| rng.uniform(0.5, 1.5)).collect();
+            for (&p, &w) in chain.iter().zip(ws.iter()) {
+                totals[p] += w;
+            }
+            raw.push(ws);
+        }
+
+        let mut set = TaskSet::new(self.num_processors);
+        for (t, chain) in chains.iter().enumerate() {
+            let r_nom = 1.0 / periods[t];
+            let mut b = Task::builder(r_nom / self.rate_down, r_nom * self.rate_up, r_nom);
+            for (j, &p) in chain.iter().enumerate() {
+                let share = raw[t][j] / totals[p] * set_points[p];
+                b = b.subtask(ProcessorId(p), share / r_nom);
+            }
+            set.add_task(b.build().expect("generated task is valid"))
+                .expect("generated processors are in range");
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rms_set_points;
+
+    #[test]
+    fn simple_matches_table_1() {
+        let s = simple();
+        assert_eq!(s.num_processors(), 2);
+        assert_eq!(s.num_tasks(), 3);
+        assert_eq!(s.num_subtasks(), 4);
+        assert_eq!(s.num_subtasks_on(ProcessorId(0)), 2);
+        assert_eq!(s.num_subtasks_on(ProcessorId(1)), 2);
+
+        let t2 = s.task(crate::TaskId(1));
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.subtasks()[0].estimated_time, 35.0);
+        assert!((t2.rate_max() - 1.0 / 35.0).abs() < 1e-12);
+        assert!((t2.rate_min() - 1.0 / 700.0).abs() < 1e-12);
+        assert!((t2.initial_rate() - 1.0 / 90.0).abs() < 1e-12);
+
+        let t3 = s.task(crate::TaskId(2));
+        assert_eq!(t3.subtasks()[0].estimated_time, 45.0);
+        assert!((t3.rate_min() - 1.0 / 900.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_allocation_matrix_matches_section_5_example() {
+        let f = simple().allocation_matrix();
+        // F = [[c11, c21, 0], [0, c22, c31]].
+        assert_eq!(f[(0, 0)], 35.0);
+        assert_eq!(f[(0, 1)], 35.0);
+        assert_eq!(f[(0, 2)], 0.0);
+        assert_eq!(f[(1, 0)], 0.0);
+        assert_eq!(f[(1, 1)], 35.0);
+        assert_eq!(f[(1, 2)], 45.0);
+    }
+
+    #[test]
+    fn simple_set_points_are_0_828() {
+        let b = rms_set_points(&simple());
+        assert!((b[0] - 0.8284).abs() < 1e-4);
+        assert!((b[1] - 0.8284).abs() < 1e-4);
+    }
+
+    #[test]
+    fn widened_simple_scales_rmax_only() {
+        let base = simple();
+        let wide = simple_widened(3.0);
+        for (a, b) in base.tasks().iter().zip(wide.tasks().iter()) {
+            assert_eq!(a.rate_min(), b.rate_min());
+            assert!((b.rate_max() - 3.0 * a.rate_max()).abs() < 1e-12);
+            assert_eq!(a.initial_rate(), b.initial_rate());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn widen_factor_below_one_panics() {
+        let _ = simple_widened(0.5);
+    }
+
+    #[test]
+    fn medium_invariants_match_paper() {
+        let m = medium();
+        assert_eq!(m.num_processors(), 4);
+        assert_eq!(m.num_tasks(), 12);
+        assert_eq!(m.num_subtasks(), 25);
+        // 8 end-to-end tasks + 4 local tasks.
+        let local = m.tasks().iter().filter(|t| t.len() == 1).count();
+        assert_eq!(local, 4);
+        // Subtask distribution 7/6/6/6 so B1 ≈ 0.729 (the value in §7.2).
+        assert_eq!(m.num_subtasks_on(ProcessorId(0)), 7);
+        for p in 1..4 {
+            assert_eq!(m.num_subtasks_on(ProcessorId(p)), 6);
+        }
+        let b = rms_set_points(&m);
+        assert!((b[0] - 0.7286).abs() < 1e-3);
+    }
+
+    #[test]
+    fn medium_nominal_rates_hit_set_points_exactly() {
+        let m = medium();
+        let u = m.estimated_utilization(&medium_nominal_rates());
+        let b = rms_set_points(&m);
+        assert!(u.approx_eq(&b, 1e-9), "F·r_nom must equal B, got {u} vs {b}");
+    }
+
+    #[test]
+    fn medium_is_deterministic() {
+        assert_eq!(medium(), medium());
+    }
+
+    #[test]
+    fn medium_rates_start_at_nominal() {
+        let m = medium();
+        let r0 = m.initial_rates();
+        assert!(r0.approx_eq(&medium_nominal_rates(), 1e-15));
+        // Bounds bracket the nominal rate with the documented span.
+        for (t, task) in m.tasks().iter().enumerate() {
+            let r_nom = 1.0 / MEDIUM_PERIODS[t];
+            assert!((task.rate_max() / r_nom - MEDIUM_RATE_UP).abs() < 1e-9);
+            assert!((r_nom / task.rate_min() - MEDIUM_RATE_DOWN).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_workload_feasible_at_nominal() {
+        for seed in 0..5 {
+            let set = RandomWorkload::new(5, 15).seed(seed).generate();
+            let r_nom = set.initial_rates();
+            let u = set.estimated_utilization(&r_nom);
+            let b = rms_set_points(&set);
+            assert!(u.approx_eq(&b, 1e-9), "seed {seed}: F·r_nom != B");
+        }
+    }
+
+    #[test]
+    fn random_workload_covers_every_processor() {
+        let set = RandomWorkload::new(6, 10).seed(3).generate();
+        for p in 0..6 {
+            assert!(set.num_subtasks_on(ProcessorId(p)) > 0, "P{} has no subtasks", p + 1);
+        }
+    }
+
+    #[test]
+    fn random_workload_is_seed_deterministic() {
+        let a = RandomWorkload::new(4, 9).seed(42).generate();
+        let b = RandomWorkload::new(4, 9).seed(42).generate();
+        assert_eq!(a, b);
+        let c = RandomWorkload::new(4, 9).seed(43).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chains_never_repeat_adjacent_processors() {
+        let set = RandomWorkload::new(4, 20).seed(11).generate();
+        for task in set.tasks() {
+            for pair in task.subtasks().windows(2) {
+                assert_ne!(pair[0].processor, pair[1].processor);
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn random_workloads_always_valid(
+                seed in 0u64..1000,
+                procs in 1usize..8,
+                tasks in 1usize..20,
+            ) {
+                let set = RandomWorkload::new(procs, tasks).seed(seed).generate();
+                prop_assert!(set.validate().is_ok());
+                prop_assert_eq!(set.num_tasks(), tasks);
+                // Feasibility invariant on every processor that hosts
+                // at least one subtask (uncovered processors stay idle).
+                let u = set.estimated_utilization(&set.initial_rates());
+                let b = rms_set_points(&set);
+                for p in 0..procs {
+                    if set.num_subtasks_on(ProcessorId(p)) > 0 {
+                        prop_assert!((u[p] - b[p]).abs() < 1e-8);
+                    } else {
+                        prop_assert_eq!(u[p], 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Integrating rate adaptation with admission control (the paper's §6.2
+//! points to admission control when the utilization-control problem is
+//! infeasible; the integration is its stated future work).
+//!
+//! A disaster-recovery scenario: execution times explode to 25× the
+//! estimates (sensor fusion saturating on debris-cluttered imagery).
+//! Rate adaptation alone cannot shed enough load, so the supervisor
+//! suspends tasks until the system fits, then re-admits them when the
+//! scene clears.
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use eucon::core::admission::{AdaptiveLoop, AdmissionPolicy};
+use eucon::prelude::*;
+
+fn main() -> Result<(), eucon::core::CoreError> {
+    // etf 25 for 80 periods (catastrophic overload), then relief at 0.5.
+    let profile = EtfProfile::steps(&[(0.0, 25.0), (80_000.0, 0.5)]);
+    let mut al = AdaptiveLoop::new(
+        workloads::simple(),
+        MpcConfig::simple(),
+        AdmissionPolicy::default(),
+        SimConfig { exec_model: ExecModel::Constant, etf: profile, seed: 0, release_guard: Default::default(), processor_speeds: None },
+    )?;
+
+    al.run(220);
+
+    println!("admission events:");
+    for e in al.events() {
+        match e {
+            eucon::core::admission::AdmissionEvent::Suspended { period, task } => {
+                println!("  period {period:>3}: suspended  {task}");
+            }
+            eucon::core::admission::AdmissionEvent::Readmitted { period, task } => {
+                println!("  period {period:>3}: re-admitted {task}");
+            }
+        }
+    }
+
+    let u1 = al.trace().utilization_series(0);
+    let overload_tail = metrics::window(&u1, 60, 80);
+    let relief_tail = metrics::window(&u1, 180, 220);
+    println!(
+        "\nP1 utilization: after shedding (draining backlog) {:.3}, after relief {:.3} (set point 0.828)",
+        overload_tail.mean, relief_tail.mean
+    );
+
+    assert!(
+        al.events().iter().any(|e| matches!(e, eucon::core::admission::AdmissionEvent::Suspended { .. })),
+        "the overload must force suspensions"
+    );
+    assert!(al.suspended_tasks().is_empty(), "relief must bring every task back");
+    assert!((relief_tail.mean - 0.828).abs() < 0.05, "normal regulation resumes");
+    println!("\nLoad shedding kept the system schedulable; every task is running again.");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Building a custom distributed application with the public API: an
+//! avionics-style surveillance pipeline, checked for stability *before*
+//! deployment and then run under execution-time fluctuation.
+//!
+//! The pipeline mirrors the paper's motivating applications: a visual
+//! tracking task whose execution time depends on the number of targets in
+//! view, plus telemetry and logging chains, on a 3-processor cluster.
+//!
+//! Run with: `cargo run --example custom_workload`
+
+use eucon::control::stability;
+use eucon::prelude::*;
+
+fn build_pipeline() -> Result<TaskSet, eucon::tasks::TaskError> {
+    let mut set = TaskSet::new(3);
+
+    // T1: camera -> tracker -> display (end-to-end across all three
+    // processors).  Nominal 5 Hz in time units of ms: rate 1/200.
+    set.add_task(
+        Task::builder(1.0 / 2000.0, 1.0 / 50.0, 1.0 / 200.0)
+            .subtask(ProcessorId(0), 18.0) // frame grab
+            .subtask(ProcessorId(1), 45.0) // target tracking (data dependent!)
+            .subtask(ProcessorId(2), 12.0) // cockpit display
+            .build()?,
+    )?;
+    // T2: radar telemetry -> fusion.
+    set.add_task(
+        Task::builder(1.0 / 1500.0, 1.0 / 40.0, 1.0 / 150.0)
+            .subtask(ProcessorId(0), 22.0)
+            .subtask(ProcessorId(1), 30.0)
+            .build()?,
+    )?;
+    // T3: health monitoring, local to P3.
+    set.add_task(
+        Task::builder(1.0 / 1000.0, 1.0 / 30.0, 1.0 / 120.0)
+            .subtask(ProcessorId(2), 25.0)
+            .build()?,
+    )?;
+    // T4: flight log compression, local to P1.
+    set.add_task(
+        Task::builder(1.0 / 1800.0, 1.0 / 60.0, 1.0 / 300.0)
+            .subtask(ProcessorId(0), 35.0)
+            .build()?,
+    )?;
+    Ok(set)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = build_pipeline()?;
+    let b = rms_set_points(&pipeline);
+    println!(
+        "pipeline: {} tasks / {} subtasks on {} processors; set points {b}",
+        pipeline.num_tasks(),
+        pipeline.num_subtasks(),
+        pipeline.num_processors()
+    );
+
+    // Pre-deployment stability audit: how badly can we have
+    // underestimated execution times before the loop destabilizes?
+    let f = pipeline.allocation_matrix();
+    let cfg = MpcConfig::simple().horizons(3, 1);
+    let margin = stability::critical_uniform_gain(&f, &cfg, 50.0, 1e-4)?;
+    println!("stability audit: loop tolerates execution times up to {margin:.2}x the estimates");
+    assert!(margin > 2.0, "refuse to deploy with a thin stability margin");
+
+    // Deploy: tracking cost is data dependent — most frames are empty
+    // (cheap), but with probability 0.25 targets are in view and a frame
+    // costs 2x as much (mean-preserving bimodal model).  Because the load
+    // is bursty, we leave a 10% engineering margin below the schedulable
+    // bound instead of riding it exactly.
+    let targets = b.scale(0.9);
+    let mut cl = ClosedLoop::builder(pipeline)
+        .sim_config(
+            SimConfig::constant_etf(1.0)
+                .exec_model(ExecModel::bimodal(2.0, 0.25))
+                .seed(2026),
+        )
+        .controller(ControllerSpec::Eucon(cfg))
+        .set_points(targets.clone())
+        .build()?;
+    let result = cl.run(200);
+
+    println!("\nafter 200 sampling periods:");
+    for p in 0..3 {
+        let s = metrics::window(&result.trace.utilization_series(p), 100, 200);
+        println!(
+            "  P{}: mean {:.3} (target {:.3}, bound {:.3}), std {:.3}",
+            p + 1,
+            s.mean,
+            targets[p],
+            b[p],
+            s.std_dev
+        );
+        assert!((s.mean - targets[p]).abs() < 0.05);
+    }
+    println!("deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
+    assert!(result.deadlines.miss_ratio() < 0.08, "margin keeps misses rare");
+    println!("\nThe pipeline holds its schedulable bounds under fluctuating tracking load.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! A larger cluster scenario combining the repository's extensions: an
+//! 8-processor, 24-task multi-tier server farm (the paper's on-line
+//! trading motivation), controlled *decentrally* (one local MPC per
+//! processor, the paper's future-work direction) over non-ideal feedback
+//! lanes, with quantized actuation.
+//!
+//! Run with: `cargo run --release --example multi_tier_cluster`
+
+use eucon::core::LaneModel;
+use eucon::prelude::*;
+
+fn main() -> Result<(), eucon::core::CoreError> {
+    // Synthesize a cluster-scale workload: 24 request pipelines across 8
+    // tiers/processors, chains up to 4 stages deep.
+    let cluster = workloads::RandomWorkload::new(8, 24)
+        .seed(2004)
+        .max_chain_len(4)
+        .period_range(80.0, 400.0)
+        .rate_span(10.0, 10.0)
+        .generate();
+    let b = rms_set_points(&cluster);
+    println!(
+        "cluster: {} pipelines / {} stages on {} tiers",
+        cluster.num_tasks(),
+        cluster.num_subtasks(),
+        cluster.num_processors()
+    );
+
+    // Decentralized control team; realistic lanes (1 period delay, 5%
+    // report loss); actuators support 32 discrete rates per pipeline.
+    let mut cl = ClosedLoop::builder(cluster.clone())
+        .sim_config(
+            SimConfig::constant_etf(0.6)
+                .exec_model(ExecModel::Uniform { half_width: 0.3 })
+                .seed(8),
+        )
+        .controller(ControllerSpec::Decentralized(MpcConfig::medium()))
+        .lanes(LaneModel { report_delay: 1, loss_probability: 0.05, seed: 4 })
+        .quantized_rates(32)
+        .build()?;
+
+    let result = cl.run(250);
+    println!("\ntier utilization after 250 sampling periods (target = RMS bound):");
+    let mut worst = 0.0f64;
+    for p in 0..cluster.num_processors() {
+        let s = metrics::window(&result.trace.utilization_series(p), 150, 250);
+        worst = worst.max((s.mean - b[p]).abs());
+        println!(
+            "  tier {}: mean {:.3} / target {:.3}  (σ {:.3})",
+            p + 1,
+            s.mean,
+            b[p],
+            s.std_dev
+        );
+    }
+    println!("\nworst tier error: {worst:.4}");
+    println!("end-to-end deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
+    assert!(worst < 0.06, "decentralized control must hold every tier near its bound");
+
+    // The point of decentralization: per-node problems stay small.
+    let team = DecentralizedController::new(&cluster, b, MpcConfig::medium())
+        .expect("controller team");
+    println!(
+        "\ncontrol team: {} local controllers, largest owns {} of {} pipelines",
+        team.num_controllers(),
+        team.max_local_tasks(),
+        cluster.num_tasks()
+    );
+    Ok(())
+}

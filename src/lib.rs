@@ -1,0 +1,65 @@
+//! # EUCON — End-to-End Utilization Control in Distributed Real-Time Systems
+//!
+//! A full Rust reproduction of *Lu, Wang & Koutsoukos, "End-to-End
+//! Utilization Control in Distributed Real-Time Systems", ICDCS 2004*:
+//! the EUCON model-predictive utilization controller, the end-to-end task
+//! model, an event-driven distributed real-time system simulator, the
+//! linear-algebra and constrained least-squares substrates the controller
+//! needs, and the complete evaluation harness of the paper's §7.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`math`] — dense matrices, decompositions, eigenvalues.
+//! * [`qp`] — `lsqlin`-style constrained least squares (dual active set).
+//! * [`tasks`] — end-to-end tasks, allocation matrix `F`, RMS bounds,
+//!   the paper's SIMPLE/MEDIUM workloads and a random generator.
+//! * [`sim`] — event-driven simulator: RMS scheduling, release guard,
+//!   utilization monitors, rate modulators, execution-time factors.
+//! * [`control`] — the EUCON MPC, OPEN and PID baselines, stability
+//!   analysis.
+//! * [`core`] — the closed feedback loop, experiment protocols, metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eucon::prelude::*;
+//!
+//! # fn main() -> Result<(), eucon::core::CoreError> {
+//! // Close the loop on the paper's SIMPLE workload with actual execution
+//! // times at half their estimates; EUCON still settles on the RMS bound.
+//! let mut cl = ClosedLoop::builder(workloads::simple())
+//!     .sim_config(SimConfig::constant_etf(0.5))
+//!     .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+//!     .build()?;
+//! let result = cl.run(150);
+//! let tail = metrics::window(&result.trace.utilization_series(0), 100, 150);
+//! assert!((tail.mean - 0.828).abs() < 0.03);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use eucon_control as control;
+pub use eucon_core as core;
+pub use eucon_math as math;
+pub use eucon_qp as qp;
+pub use eucon_sim as sim;
+pub use eucon_tasks as tasks;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use eucon_control::{
+        ControlPenalty, DecentralizedController, IndependentPid, MpcConfig, MpcController,
+        OpenLoop, RateController,
+    };
+    pub use eucon_core::{
+        metrics, render, ClosedLoop, ControllerSpec, LaneModel, RunResult, SteadyRun,
+        VaryingRun,
+    };
+    pub use eucon_math::{Matrix, Vector};
+    pub use eucon_sim::{EtfProfile, ExecModel, SimConfig, Simulator};
+    pub use eucon_tasks::{
+        liu_layland_bound, rms_set_points, workloads, ProcessorId, Task, TaskId, TaskSet,
+    };
+}

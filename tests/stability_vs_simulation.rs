@@ -1,0 +1,116 @@
+//! Cross-validation of the analytic stability bound (§6.2) against the
+//! simulated closed loop — the core scientific claim of the paper: the
+//! model-based analysis predicts where the real system destabilizes.
+
+use eucon::control::stability;
+use eucon::prelude::*;
+
+/// Simulates SIMPLE at the given uniform gain (etf = gain when all
+/// subtasks share the factor) and reports the tail (mean, std dev).
+fn simulated_tail(gain: f64) -> (f64, f64) {
+    // The widened rate range keeps actuator saturation from masking the
+    // instability at high gains.
+    let run = SteadyRun::paper(
+        workloads::simple_widened(3.0),
+        ControllerSpec::Eucon(MpcConfig::simple()),
+        ExecModel::Constant,
+    );
+    let result = run.run(gain).expect("run");
+    let s = metrics::window(&result.trace.utilization_series(0), 100, 300);
+    (s.mean, s.std_dev)
+}
+
+#[test]
+fn analytic_bound_separates_stable_from_unstable() {
+    let f = workloads::simple().allocation_matrix();
+    let cfg = MpcConfig::simple();
+    let critical =
+        stability::critical_uniform_gain(&f, &cfg, 20.0, 1e-4).expect("analysis");
+    assert!((critical - 6.51).abs() < 0.05, "derivation drift: {critical:.4}");
+
+    // Comfortably inside the bound: tight regulation.  (The paper notes
+    // that σ already exceeds 0.05 around half the bound even though the
+    // loop is analytically stable — bounded oscillation, not divergence —
+    // so "calm" is asserted at 30%.)
+    let (mean_low, std_low) = simulated_tail(0.3 * critical);
+    // Past the bound: sustained oscillation or divergence above the set
+    // point.
+    let (mean_high, std_high) = simulated_tail(1.4 * critical);
+    assert!(
+        std_low < 0.05 && (mean_low - 0.8284).abs() < 0.02,
+        "simulation at 30% of the analytic bound must be calm: mean {mean_low:.3}, σ {std_low:.4}"
+    );
+    assert!(
+        std_high > 0.10 || mean_high > 0.88,
+        "simulation at 140% of the analytic bound must diverge: mean {mean_high:.3}, σ {std_high:.4}"
+    );
+}
+
+#[test]
+fn spectral_radius_predicts_convergence_speed() {
+    // A snappier reference trajectory (smaller Tref) shrinks the
+    // spectral radius — and the simulated loop settles faster, at equal
+    // gain and therefore equal noise level (§6.3's speed knob).
+    let f = workloads::simple().allocation_matrix();
+    let mut fast_cfg = MpcConfig::simple();
+    fast_cfg.tref_over_ts = 2.0;
+    let mut slow_cfg = MpcConfig::simple();
+    slow_cfg.tref_over_ts = 8.0;
+    let rho_fast = stability::closed_loop_spectral_radius(&f, &fast_cfg, &[0.5, 0.5]).unwrap();
+    let rho_slow = stability::closed_loop_spectral_radius(&f, &slow_cfg, &[0.5, 0.5]).unwrap();
+    assert!(rho_fast < rho_slow, "Tref 2 must contract faster than Tref 8 analytically");
+
+    let settle = |cfg: MpcConfig| -> usize {
+        let run = SteadyRun::paper(
+            workloads::simple(),
+            ControllerSpec::Eucon(cfg),
+            ExecModel::Constant,
+        );
+        let result = run.run(0.5).expect("run");
+        let u = result.trace.utilization_series(0);
+        metrics::settling_hold(&u, 0.8284, 0.05, 0, 10).expect("settles")
+    };
+    let t_fast = settle(fast_cfg);
+    let t_slow = settle(slow_cfg);
+    assert!(
+        t_fast < t_slow,
+        "simulated settling must follow the analysis: Tref 2 in {t_fast}, Tref 8 in {t_slow}"
+    );
+}
+
+#[test]
+fn medium_controller_stable_at_its_operating_gains() {
+    // The MEDIUM experiments run at gains up to ~1 (etf ∈ [0.1, 1]); the
+    // analysis must certify that whole region with margin.
+    let f = workloads::medium().allocation_matrix();
+    let cfg = MpcConfig::medium();
+    for g in [0.1, 0.33, 0.5, 0.9, 1.0, 1.5, 2.0] {
+        assert!(
+            stability::is_stable(&f, &cfg, &[g; 4]).expect("analysis"),
+            "MEDIUM must be analytically stable at gain {g}"
+        );
+    }
+}
+
+#[test]
+fn unconstrained_law_matches_online_controller_in_interior() {
+    // Away from all constraints, the online QP-based controller must
+    // produce exactly the linear law used by the stability analysis.
+    let set = workloads::simple();
+    let f = set.allocation_matrix();
+    let cfg = MpcConfig::simple();
+    let law = stability::control_law(&f, &cfg).expect("law");
+
+    let b = rms_set_points(&set);
+    let mut ctrl = MpcController::new(&set, b.clone(), cfg).expect("controller");
+    // A tiny error keeps every constraint slack.
+    let u = Vector::from_slice(&[b[0] - 0.01, b[1] - 0.005]);
+    let r_before = ctrl.rates();
+    let r_after = ctrl.step(&u).expect("step");
+    let dr = &r_after - &r_before;
+    let expected = law.k_u.mul_vec(&(&u - &b));
+    assert!(
+        dr.approx_eq(&expected, 1e-8),
+        "QP solution {dr} must equal the analytic law {expected}"
+    );
+}
