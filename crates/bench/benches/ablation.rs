@@ -17,7 +17,12 @@ fn run_periods(spec: ControllerSpec, periods: usize) -> f64 {
         .build()
         .expect("loop");
     let result = cl.run(periods);
-    result.trace.utilization_series(0).last().copied().unwrap_or(0.0)
+    result
+        .trace
+        .utilization_series(0)
+        .last()
+        .copied()
+        .unwrap_or(0.0)
 }
 
 fn bench_controllers(c: &mut Criterion) {

@@ -37,7 +37,9 @@ fn bench_paper_configs(c: &mut Criterion) {
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpc_step_scaling");
     for (procs, tasks) in [(4usize, 12usize), (8, 24), (12, 36), (16, 48)] {
-        let set = workloads::RandomWorkload::new(procs, tasks).seed(7).generate();
+        let set = workloads::RandomWorkload::new(procs, tasks)
+            .seed(7)
+            .generate();
         let mut ctrl = controller_for(&set, MpcConfig::medium());
         let u = Vector::filled(procs, 0.5);
         group.bench_with_input(

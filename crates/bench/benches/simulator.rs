@@ -38,7 +38,9 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_scaling");
     group.sample_size(10);
     for (procs, tasks) in [(4usize, 12usize), (8, 24), (16, 48)] {
-        let set = workloads::RandomWorkload::new(procs, tasks).seed(3).generate();
+        let set = workloads::RandomWorkload::new(procs, tasks)
+            .seed(3)
+            .generate();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{procs}procs_{tasks}tasks")),
             &set,

@@ -8,12 +8,16 @@ use eucon_control::{ControlPenalty, MpcConfig};
 use eucon_core::{metrics, render, ControllerSpec, SteadyRun};
 use eucon_sim::ExecModel;
 use eucon_tasks::{rms_set_points, workloads};
+use rayon::prelude::*;
 
 fn main() {
     let set = workloads::medium();
     let b = rms_set_points(&set);
     let variants: Vec<(String, ControllerSpec)> = vec![
-        ("EUCON (paper, P=4 M=2)".into(), ControllerSpec::Eucon(MpcConfig::medium())),
+        (
+            "EUCON (paper, P=4 M=2)".into(),
+            ControllerSpec::Eucon(MpcConfig::medium()),
+        ),
         (
             "EUCON, Move penalty".into(),
             ControllerSpec::Eucon(MpcConfig::medium().control_penalty(ControlPenalty::Move)),
@@ -34,49 +38,68 @@ fn main() {
             "DEUCON (decentralized)".into(),
             ControllerSpec::Decentralized(MpcConfig::medium()),
         ),
-        ("PID (decoupled)".into(), ControllerSpec::Pid { kp: 0.5, ki: 0.05 }),
+        (
+            "PID (decoupled)".into(),
+            ControllerSpec::Pid { kp: 0.5, ki: 0.05 },
+        ),
         ("OPEN".into(), ControllerSpec::Open),
     ];
 
     println!("== Ablation: MEDIUM, etf = 0.5, 300 periods, stats over [100Ts, 300Ts] ==\n");
-    let mut rows = Vec::new();
-    for (name, spec) in variants {
-        let run = SteadyRun::paper(set.clone(), spec, ExecModel::Uniform { half_width: 0.2 });
-        let result = run.run(0.5).expect("run");
-        // Worst-processor tracking statistics.
-        let mut worst_err: f64 = 0.0;
-        let mut worst_std: f64 = 0.0;
-        let mut settle: Option<usize> = Some(0);
-        for p in 0..set.num_processors() {
-            let series = result.trace.utilization_series(p);
-            let s = metrics::window(&series, 100, 300);
-            worst_err = worst_err.max((s.mean - b[p]).abs());
-            worst_std = worst_std.max(s.std_dev);
-            let sp = metrics::settling_hold(&series[..150.min(series.len())], b[p], 0.05, 0, 10);
-            settle = match (settle, sp) {
-                (Some(a), Some(c)) => Some(a.max(c)),
-                _ => None,
-            };
-        }
-        rows.push(vec![
-            name,
-            render::f4(worst_err),
-            render::f4(worst_std),
-            settle.map_or("never".into(), |k| format!("{k} Ts")),
-            render::f4(result.deadlines.miss_ratio()),
-        ]);
-    }
+    // Each variant is an independent closed-loop run; fan them out.
+    let rows: Vec<Vec<String>> = variants
+        .into_par_iter()
+        .map(|(name, spec)| {
+            let run = SteadyRun::paper(set.clone(), spec, ExecModel::Uniform { half_width: 0.2 });
+            let result = run.run(0.5).expect("run");
+            // Worst-processor tracking statistics.
+            let mut worst_err: f64 = 0.0;
+            let mut worst_std: f64 = 0.0;
+            let mut settle: Option<usize> = Some(0);
+            for p in 0..set.num_processors() {
+                let series = result.trace.utilization_series(p);
+                let s = metrics::window(&series, 100, 300);
+                worst_err = worst_err.max((s.mean - b[p]).abs());
+                worst_std = worst_std.max(s.std_dev);
+                let sp =
+                    metrics::settling_hold(&series[..150.min(series.len())], b[p], 0.05, 0, 10);
+                settle = match (settle, sp) {
+                    (Some(a), Some(c)) => Some(a.max(c)),
+                    _ => None,
+                };
+            }
+            vec![
+                name,
+                render::f4(worst_err),
+                render::f4(worst_std),
+                settle.map_or("never".into(), |k| format!("{k} Ts")),
+                render::f4(result.deadlines.miss_ratio()),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render::table(
-            &["variant", "max |mean−B|", "max std", "settling (worst proc)", "miss ratio"],
+            &[
+                "variant",
+                "max |mean−B|",
+                "max std",
+                "settling (worst proc)",
+                "miss ratio"
+            ],
             &rows
         )
     );
     eucon_bench::write_result(
         "ablation_medium.csv",
         &render::csv(
-            &["variant", "max_mean_err", "max_std", "settling", "miss_ratio"],
+            &[
+                "variant",
+                "max_mean_err",
+                "max_std",
+                "settling",
+                "miss_ratio",
+            ],
             &rows,
         ),
     );
@@ -98,32 +121,41 @@ fn coupling_stress() {
     b[0] = 0.4;
 
     println!("\n== Coupling stress: B1 lowered to 0.4, others at RMS bound (etf = 0.5) ==\n");
-    let mut rows = Vec::new();
-    for spec in [
-        ("EUCON".to_string(), ControllerSpec::Eucon(MpcConfig::medium())),
+    let specs = vec![
+        (
+            "EUCON".to_string(),
+            ControllerSpec::Eucon(MpcConfig::medium()),
+        ),
         (
             "DEUCON (decentralized)".into(),
             ControllerSpec::Decentralized(MpcConfig::medium()),
         ),
-        ("PID (decoupled)".into(), ControllerSpec::Pid { kp: 0.5, ki: 0.05 }),
-    ] {
-        let mut cl = ClosedLoop::builder(set.clone())
-            .sim_config(SimConfig::constant_etf(0.5).seed(1))
-            .controller(spec.1)
-            .set_points(b.clone())
-            .build()
-            .expect("loop");
-        let result = cl.run(300);
-        let mut row = vec![spec.0];
-        let mut total_err = 0.0;
-        for p in 0..4 {
-            let s = metrics::window(&result.trace.utilization_series(p), 100, 300);
-            total_err += (s.mean - b[p]).abs();
-            row.push(render::f4(s.mean));
-        }
-        row.push(render::f4(total_err));
-        rows.push(row);
-    }
+        (
+            "PID (decoupled)".into(),
+            ControllerSpec::Pid { kp: 0.5, ki: 0.05 },
+        ),
+    ];
+    let mut rows: Vec<Vec<String>> = specs
+        .into_par_iter()
+        .map(|spec| {
+            let mut cl = ClosedLoop::builder(set.clone())
+                .sim_config(SimConfig::constant_etf(0.5).seed(1))
+                .controller(spec.1)
+                .set_points(b.clone())
+                .build()
+                .expect("loop");
+            let result = cl.run(300);
+            let mut row = vec![spec.0];
+            let mut total_err = 0.0;
+            for p in 0..4 {
+                let s = metrics::window(&result.trace.utilization_series(p), 100, 300);
+                total_err += (s.mean - b[p]).abs();
+                row.push(render::f4(s.mean));
+            }
+            row.push(render::f4(total_err));
+            row
+        })
+        .collect();
     let target_row = {
         let mut row = vec!["(set points)".to_string()];
         row.extend((0..4).map(|p| render::f4(b[p])));
@@ -134,7 +166,14 @@ fn coupling_stress() {
     println!(
         "{}",
         render::table(
-            &["controller", "mean u1", "mean u2", "mean u3", "mean u4", "Σ|err|"],
+            &[
+                "controller",
+                "mean u1",
+                "mean u2",
+                "mean u3",
+                "mean u4",
+                "Σ|err|"
+            ],
             &rows
         )
     );

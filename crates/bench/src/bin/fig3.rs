@@ -32,14 +32,33 @@ fn emit(label: &str, etf: f64, result: &eucon_core::RunResult) {
     let s1 = metrics::window(&u1, 100, PERIODS);
     let s2 = metrics::window(&u2, 100, PERIODS);
     let rows = vec![
-        vec!["P1".into(), render::f4(s1.mean), render::f4(s1.std_dev), render::f4(b),
-             metrics::acceptable(s1, b).to_string()],
-        vec!["P2".into(), render::f4(s2.mean), render::f4(s2.std_dev), render::f4(b),
-             metrics::acceptable(s2, b).to_string()],
+        vec![
+            "P1".into(),
+            render::f4(s1.mean),
+            render::f4(s1.std_dev),
+            render::f4(b),
+            metrics::acceptable(s1, b).to_string(),
+        ],
+        vec![
+            "P2".into(),
+            render::f4(s2.mean),
+            render::f4(s2.std_dev),
+            render::f4(b),
+            metrics::acceptable(s2, b).to_string(),
+        ],
     ];
     println!(
         "{}",
-        render::table(&["proc", "mean [100Ts,300Ts]", "std dev", "set point", "acceptable"], &rows)
+        render::table(
+            &[
+                "proc",
+                "mean [100Ts,300Ts]",
+                "std dev",
+                "set point",
+                "acceptable"
+            ],
+            &rows
+        )
     );
     println!("deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
 
@@ -49,8 +68,12 @@ fn emit(label: &str, etf: f64, result: &eucon_core::RunResult) {
         .iter()
         .enumerate()
         .map(|(k, s)| {
-            vec![k.to_string(), render::f4(s.utilization[0]), render::f4(s.utilization[1]),
-                 render::f4(b)]
+            vec![
+                k.to_string(),
+                render::f4(s.utilization[0]),
+                render::f4(s.utilization[1]),
+                render::f4(b),
+            ]
         })
         .collect();
     eucon_bench::write_result(
@@ -59,8 +82,14 @@ fn emit(label: &str, etf: f64, result: &eucon_core::RunResult) {
     );
     let chart = svg::line_chart(
         &[
-            Series { label: "P1", values: &u1 },
-            Series { label: "P2", values: &u2 },
+            Series {
+                label: "P1",
+                values: &u1,
+            },
+            Series {
+                label: "P2",
+                values: &u2,
+            },
         ],
         &ChartConfig {
             title: &format!("Figure 3({label}): SIMPLE under EUCON, etf = {etf}"),
@@ -80,5 +109,7 @@ fn main() {
     emit("b", 7.0, &b);
 
     println!("\nExpected shapes (paper): (a) both processors converge to 0.828 and hold;");
-    println!("(b) initial saturation, collapse around 30Ts, sustained oscillation, no convergence.");
+    println!(
+        "(b) initial saturation, collapse around 30Ts, sustained oscillation, no convergence."
+    );
 }

@@ -42,11 +42,17 @@ fn sweep(name: &str, set: TaskSet) {
         .collect();
     println!(
         "{}",
-        render::table(&["etf", "mean u1", "std dev", "set point", "acceptable"], &rows)
+        render::table(
+            &["etf", "mean u1", "std dev", "set point", "acceptable"],
+            &rows
+        )
     );
     eucon_bench::write_result(
         &format!("fig4_{name}.csv"),
-        &render::csv(&["etf", "mean_u1", "std_u1", "set_point", "acceptable"], &rows),
+        &render::csv(
+            &["etf", "mean_u1", "std_u1", "set_point", "acceptable"],
+            &rows,
+        ),
     );
     let means: Vec<f64> = points.iter().map(|p| p.stats[0].mean).collect();
     let stds: Vec<f64> = points.iter().map(|p| p.stats[0].std_dev).collect();
@@ -54,8 +60,14 @@ fn sweep(name: &str, set: TaskSet) {
         &format!("fig4_{name}.svg"),
         &svg::line_chart(
             &[
-                Series { label: "mean u1", values: &means },
-                Series { label: "std dev", values: &stds },
+                Series {
+                    label: "mean u1",
+                    values: &means,
+                },
+                Series {
+                    label: "std dev",
+                    values: &stds,
+                },
             ],
             &ChartConfig {
                 title: &format!("Figure 4 ({name}): SIMPLE etf sweep"),

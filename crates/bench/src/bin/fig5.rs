@@ -44,14 +44,28 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["etf", "EUCON mean u1", "EUCON std", "OPEN u1", "set point", "acceptable"],
+            &[
+                "etf",
+                "EUCON mean u1",
+                "EUCON std",
+                "OPEN u1",
+                "set point",
+                "acceptable"
+            ],
             &rows
         )
     );
     eucon_bench::write_result(
         "fig5_medium.csv",
         &render::csv(
-            &["etf", "eucon_mean_u1", "eucon_std_u1", "open_u1", "set_point", "acceptable"],
+            &[
+                "etf",
+                "eucon_mean_u1",
+                "eucon_std_u1",
+                "open_u1",
+                "set_point",
+                "acceptable",
+            ],
             &rows,
         ),
     );
@@ -65,8 +79,14 @@ fn main() {
         "fig5_medium.svg",
         &svg::line_chart(
             &[
-                Series { label: "EUCON", values: &eucon_means },
-                Series { label: "OPEN", values: &open_line },
+                Series {
+                    label: "EUCON",
+                    values: &eucon_means,
+                },
+                Series {
+                    label: "OPEN",
+                    values: &open_line,
+                },
             ],
             &ChartConfig {
                 title: "Figure 5: MEDIUM etf sweep, EUCON vs OPEN (P1)",

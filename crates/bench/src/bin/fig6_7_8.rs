@@ -13,22 +13,38 @@ use eucon_core::svg::{self, ChartConfig, Series};
 use eucon_core::{metrics, render, ControllerSpec, RunResult, VaryingRun};
 use eucon_sim::ExecModel;
 use eucon_tasks::workloads;
+use rayon::prelude::*;
 
 fn run(controller: ControllerSpec) -> RunResult {
-    VaryingRun::paper(workloads::medium(), controller, ExecModel::Uniform { half_width: 0.2 })
-        .run()
-        .expect("experiment II run")
+    VaryingRun::paper(
+        workloads::medium(),
+        controller,
+        ExecModel::Uniform { half_width: 0.2 },
+    )
+    .run()
+    .expect("experiment II run")
 }
 
 fn utilization_svg(result: &RunResult, title: &str) -> String {
-    let series: Vec<Vec<f64>> =
-        (0..4).map(|p| result.trace.utilization_series(p)).collect();
+    let series: Vec<Vec<f64>> = (0..4).map(|p| result.trace.utilization_series(p)).collect();
     svg::line_chart(
         &[
-            Series { label: "P1", values: &series[0] },
-            Series { label: "P2", values: &series[1] },
-            Series { label: "P3", values: &series[2] },
-            Series { label: "P4", values: &series[3] },
+            Series {
+                label: "P1",
+                values: &series[0],
+            },
+            Series {
+                label: "P2",
+                values: &series[1],
+            },
+            Series {
+                label: "P3",
+                values: &series[2],
+            },
+            Series {
+                label: "P4",
+                values: &series[3],
+            },
         ],
         &ChartConfig {
             title,
@@ -66,29 +82,42 @@ fn summarize(result: &RunResult, label: &str) {
     .into_iter()
     .map(|(w, s)| vec![w.to_string(), render::f4(s.mean), render::f4(s.std_dev)])
     .collect::<Vec<_>>();
-    println!(
-        "{}",
-        render::table(&["window", "mean u1", "std u1"], &rows)
-    );
+    println!("{}", render::table(&["window", "mean u1", "std u1"], &rows));
 }
 
 fn main() {
+    // The OPEN and EUCON runs are independent; execute them concurrently
+    // and keep the report order fixed.
+    let mut results: Vec<RunResult> = vec![
+        ControllerSpec::Open,
+        ControllerSpec::Eucon(MpcConfig::medium()),
+    ]
+    .into_par_iter()
+    .map(run)
+    .collect();
+    let eucon = results.pop().expect("EUCON result");
+    let open = results.pop().expect("OPEN result");
+
     println!("== Figure 6: MEDIUM under OPEN, varying execution times ==\n");
-    let open = run(ControllerSpec::Open);
     summarize(&open, "OPEN");
     eucon_bench::write_result("fig6_open.csv", &utilization_csv(&open));
     eucon_bench::write_result(
         "fig6_open.svg",
-        &utilization_svg(&open, "Figure 6: MEDIUM under OPEN, varying execution times"),
+        &utilization_svg(
+            &open,
+            "Figure 6: MEDIUM under OPEN, varying execution times",
+        ),
     );
 
     println!("\n== Figure 7: MEDIUM under EUCON, varying execution times ==\n");
-    let eucon = run(ControllerSpec::Eucon(MpcConfig::medium()));
     summarize(&eucon, "EUCON");
     eucon_bench::write_result("fig7_eucon.csv", &utilization_csv(&eucon));
     eucon_bench::write_result(
         "fig7_eucon.svg",
-        &utilization_svg(&eucon, "Figure 7: MEDIUM under EUCON, varying execution times"),
+        &utilization_svg(
+            &eucon,
+            "Figure 7: MEDIUM under EUCON, varying execution times",
+        ),
     );
 
     println!("-- settling after each disturbance (band ±0.05 of set point) --");
@@ -104,7 +133,10 @@ fn main() {
     }
     println!(
         "{}",
-        render::table(&["proc", "settle after 0.9 step", "settle after 0.33 step"], &rows)
+        render::table(
+            &["proc", "settle after 0.9 step", "settle after 0.33 step"],
+            &rows
+        )
     );
 
     println!("\n== Figure 8: task rates under EUCON (T1..T6) ==\n");
@@ -127,7 +159,10 @@ fn main() {
     let rate_refs: Vec<Series<'_>> = rate_series
         .iter()
         .enumerate()
-        .map(|(t, v)| Series { label: ["T1", "T2", "T3", "T4", "T5", "T6"][t], values: v })
+        .map(|(t, v)| Series {
+            label: ["T1", "T2", "T3", "T4", "T5", "T6"][t],
+            values: v,
+        })
         .collect();
     eucon_bench::write_result(
         "fig8_rates.svg",

@@ -86,7 +86,14 @@ fn main() {
     eucon_bench::write_result(
         "scaling.csv",
         &render::csv(
-            &["size", "central_us", "team_us", "per_node_us", "max_local_tasks", "worst_err"],
+            &[
+                "size",
+                "central_us",
+                "team_us",
+                "per_node_us",
+                "max_local_tasks",
+                "worst_err",
+            ],
             &rows,
         ),
     );

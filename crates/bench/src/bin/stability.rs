@@ -43,11 +43,18 @@ fn main() {
             vec![
                 format!("{g:.2}"),
                 render::f4(rho),
-                if rho < 1.0 { "stable".into() } else { "UNSTABLE".into() },
+                if rho < 1.0 {
+                    "stable".into()
+                } else {
+                    "UNSTABLE".into()
+                },
             ]
         })
         .collect();
-    println!("{}", render::table(&["gain", "spectral radius", "verdict"], &rows));
+    println!(
+        "{}",
+        render::table(&["gain", "spectral radius", "verdict"], &rows)
+    );
     eucon_bench::write_result(
         "stability_simple_sweep.csv",
         &render::csv(&["gain", "spectral_radius", "stable"], &rows),

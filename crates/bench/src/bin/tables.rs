@@ -21,22 +21,37 @@ fn main() {
             ]);
         }
     }
-    let t1 = render::table(
-        &["Tij", "Proc", "cij", "1/Rmax", "1/Rmin", "1/r(0)"],
-        &rows,
-    );
+    let t1 = render::table(&["Tij", "Proc", "cij", "1/Rmax", "1/Rmin", "1/r(0)"], &rows);
     println!("{t1}");
     eucon_bench::write_result(
         "table1_simple.csv",
-        &render::csv(&["Tij", "Proc", "cij", "inv_rmax", "inv_rmin", "inv_r0"], &rows),
+        &render::csv(
+            &["Tij", "Proc", "cij", "inv_rmax", "inv_rmin", "inv_r0"],
+            &rows,
+        ),
     );
 
     println!("\n== Table 2: controller parameters ==\n");
     let rows = vec![
-        vec!["SIMPLE".into(), "2".into(), "1".into(), "4".into(), "1000".into()],
-        vec!["MEDIUM".into(), "4".into(), "2".into(), "4".into(), "1000".into()],
+        vec![
+            "SIMPLE".into(),
+            "2".into(),
+            "1".into(),
+            "4".into(),
+            "1000".into(),
+        ],
+        vec![
+            "MEDIUM".into(),
+            "4".into(),
+            "2".into(),
+            "4".into(),
+            "1000".into(),
+        ],
     ];
-    println!("{}", render::table(&["System", "P", "M", "Tref/Ts", "Ts"], &rows));
+    println!(
+        "{}",
+        render::table(&["System", "P", "M", "Tref/Ts", "Ts"], &rows)
+    );
 
     println!("\n== MEDIUM workload summary (synthesized per §7.1 invariants) ==\n");
     let medium = workloads::medium();
@@ -49,14 +64,23 @@ fn main() {
             render::f4(b[p]),
         ]);
     }
-    println!("{}", render::table(&["Proc", "subtasks", "set point B"], &rows));
+    println!(
+        "{}",
+        render::table(&["Proc", "subtasks", "set point B"], &rows)
+    );
 
     let mut rows = Vec::new();
     for (t, task) in medium.tasks().iter().enumerate() {
-        let chain: Vec<String> =
-            task.subtasks().iter().map(|s| s.processor.to_string()).collect();
-        let cs: Vec<String> =
-            task.subtasks().iter().map(|s| format!("{:.1}", s.estimated_time)).collect();
+        let chain: Vec<String> = task
+            .subtasks()
+            .iter()
+            .map(|s| s.processor.to_string())
+            .collect();
+        let cs: Vec<String> = task
+            .subtasks()
+            .iter()
+            .map(|s| format!("{:.1}", s.estimated_time))
+            .collect();
         rows.push(vec![
             format!("T{}", t + 1),
             chain.join("->"),
@@ -73,6 +97,9 @@ fn main() {
     println!("{tm}");
     eucon_bench::write_result(
         "table_medium.csv",
-        &render::csv(&["task", "chain", "cij", "inv_r0", "inv_rmax", "inv_rmin"], &rows),
+        &render::csv(
+            &["task", "chain", "cij", "inv_r0", "inv_rmax", "inv_rmin"],
+            &rows,
+        ),
     );
 }

@@ -8,51 +8,70 @@ use eucon_control::{stability, MpcConfig};
 use eucon_core::{metrics, render, ControllerSpec, SteadyRun};
 use eucon_sim::ExecModel;
 use eucon_tasks::workloads;
+use rayon::prelude::*;
 
 fn main() {
     println!("== §6.3 tuning: Tref/Ts tradeoff on SIMPLE (etf = 0.5) ==\n");
     let f = workloads::simple().allocation_matrix();
     let trefs = [1.0, 2.0, 4.0, 8.0, 16.0];
 
-    let mut rows = Vec::new();
-    for &tref in &trefs {
-        let mut cfg = MpcConfig::simple();
-        cfg.tref_over_ts = tref;
+    // Analysis + simulation per Tref value are independent; fan them out.
+    let rows: Vec<Vec<String>> = trefs
+        .par_iter()
+        .map(|&tref| {
+            let mut cfg = MpcConfig::simple();
+            cfg.tref_over_ts = tref;
 
-        let rho = stability::closed_loop_spectral_radius(&f, &cfg, &[0.5, 0.5])
-            .expect("radius");
-        let critical =
-            stability::critical_uniform_gain(&f, &cfg, 100.0, 1e-4).expect("critical gain");
+            let rho =
+                stability::closed_loop_spectral_radius(&f, &cfg, &[0.5, 0.5]).expect("radius");
+            let critical =
+                stability::critical_uniform_gain(&f, &cfg, 100.0, 1e-4).expect("critical gain");
 
-        let run = SteadyRun::paper(
-            workloads::simple(),
-            ControllerSpec::Eucon(cfg),
-            ExecModel::Constant,
-        );
-        let result = run.run(0.5).expect("run");
-        let u = result.trace.utilization_series(0);
-        let settle = metrics::settling_hold(&u, 0.8284, 0.05, 0, 10)
-            .map_or("never".to_string(), |k| format!("{k} Ts"));
-        let tail = metrics::window(&u, 100, 300);
+            let run = SteadyRun::paper(
+                workloads::simple(),
+                ControllerSpec::Eucon(cfg),
+                ExecModel::Constant,
+            );
+            let result = run.run(0.5).expect("run");
+            let u = result.trace.utilization_series(0);
+            let settle = metrics::settling_hold(&u, 0.8284, 0.05, 0, 10)
+                .map_or("never".to_string(), |k| format!("{k} Ts"));
+            let tail = metrics::window(&u, 100, 300);
 
-        rows.push(vec![
-            format!("{tref:.0}"),
-            render::f4(rho),
-            format!("{critical:.2}"),
-            settle,
-            render::f4(tail.std_dev),
-        ]);
-    }
+            vec![
+                format!("{tref:.0}"),
+                render::f4(rho),
+                format!("{critical:.2}"),
+                settle,
+                render::f4(tail.std_dev),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render::table(
-            &["Tref/Ts", "radius @ g=0.5", "critical gain", "settling (sim)", "tail σ (sim)"],
+            &[
+                "Tref/Ts",
+                "radius @ g=0.5",
+                "critical gain",
+                "settling (sim)",
+                "tail σ (sim)"
+            ],
             &rows
         )
     );
     eucon_bench::write_result(
         "tuning_tref.csv",
-        &render::csv(&["tref_over_ts", "radius", "critical_gain", "settling", "tail_std"], &rows),
+        &render::csv(
+            &[
+                "tref_over_ts",
+                "radius",
+                "critical_gain",
+                "settling",
+                "tail_std",
+            ],
+            &rows,
+        ),
     );
 
     println!("\n§6.3's tradeoff, quantified: a snappier reference (small Tref) settles");

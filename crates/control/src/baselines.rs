@@ -75,8 +75,8 @@ impl RateController for OpenLoop {
         Ok(self.rates.clone())
     }
 
-    fn rates(&self) -> Vector {
-        self.rates.clone()
+    fn rates(&self) -> &Vector {
+        &self.rates
     }
 
     fn name(&self) -> &'static str {
@@ -114,12 +114,7 @@ impl IndependentPid {
     ///
     /// Returns [`ControlError::DimensionMismatch`] when `set_points` does
     /// not have one entry per processor.
-    pub fn new(
-        set: &TaskSet,
-        set_points: Vector,
-        kp: f64,
-        ki: f64,
-    ) -> Result<Self, ControlError> {
+    pub fn new(set: &TaskSet, set_points: Vector, kp: f64, ki: f64) -> Result<Self, ControlError> {
         if set_points.len() != set.num_processors() {
             return Err(ControlError::DimensionMismatch(format!(
                 "{} set points for {} processors",
@@ -170,14 +165,17 @@ impl RateController for IndependentPid {
         }
         for (t, hosts) in self.hosts.iter().enumerate() {
             // Conservative: a shared task follows its most loaded host.
-            let f = hosts.iter().map(|&p| factor[p]).fold(f64::INFINITY, f64::min);
+            let f = hosts
+                .iter()
+                .map(|&p| factor[p])
+                .fold(f64::INFINITY, f64::min);
             self.rates[t] = (self.rates[t] * f).clamp(self.rmin[t], self.rmax[t]);
         }
         Ok(self.rates.clone())
     }
 
-    fn rates(&self) -> Vector {
-        self.rates.clone()
+    fn rates(&self) -> &Vector {
+        &self.rates
     }
 
     fn name(&self) -> &'static str {
@@ -196,7 +194,7 @@ mod tests {
         let set = workloads::medium();
         let b = rms_set_points(&set);
         let open = OpenLoop::design(&set, &b).unwrap();
-        let u = set.estimated_utilization(&open.rates());
+        let u = set.estimated_utilization(open.rates());
         assert!(u.approx_eq(&b, 1e-6));
     }
 
@@ -234,7 +232,7 @@ mod tests {
         let set = workloads::simple();
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.1).unwrap();
-        let r0 = pid.rates();
+        let r0 = pid.rates().clone();
         let r1 = pid.update(&Vector::from_slice(&[0.2, 0.2])).unwrap();
         assert!(r1.sum() > r0.sum());
     }
@@ -244,7 +242,7 @@ mod tests {
         let set = workloads::simple();
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.1).unwrap();
-        let r0 = pid.rates();
+        let r0 = pid.rates().clone();
         let r1 = pid.update(&Vector::from_slice(&[1.0, 1.0])).unwrap();
         assert!(r1.sum() < r0.sum());
     }
@@ -260,7 +258,7 @@ mod tests {
                 assert!(r[t] <= task.rate_max() + 1e-12);
             }
         }
-        let r = pid.rates();
+        let r = pid.rates().clone();
         for (t, task) in set.tasks().iter().enumerate() {
             assert!((r[t] - task.rate_max()).abs() < 1e-9, "saturates at Rmax");
         }
@@ -286,7 +284,7 @@ mod tests {
         let set = workloads::simple();
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.0).unwrap();
-        let r0 = pid.rates();
+        let r0 = pid.rates().clone();
         // P1 overloaded, P2 idle: shared task T2 must not be raised.
         let r1 = pid.update(&Vector::from_slice(&[1.0, 0.0])).unwrap();
         assert!(r1[1] <= r0[1] + 1e-12, "T2 follows overloaded P1");

@@ -88,7 +88,11 @@ impl MpcConfig {
     /// The paper's controller for the MEDIUM configuration (Table 2):
     /// `P = 4`, `M = 2`, `Tref/Ts = 4`.
     pub fn medium() -> Self {
-        MpcConfig { prediction_horizon: 4, control_horizon: 2, ..MpcConfig::simple() }
+        MpcConfig {
+            prediction_horizon: 4,
+            control_horizon: 2,
+            ..MpcConfig::simple()
+        }
     }
 
     /// Sets the horizons.
@@ -159,7 +163,10 @@ impl MpcConfig {
             self.tref_over_ts > 0.0 && self.tref_over_ts.is_finite(),
             "Tref/Ts must be positive"
         );
-        assert!(self.control_penalty_weight >= 0.0, "penalty weight must be non-negative");
+        assert!(
+            self.control_penalty_weight >= 0.0,
+            "penalty weight must be non-negative"
+        );
     }
 }
 

@@ -91,11 +91,7 @@ impl DecentralizedController {
     /// Returns [`ControlError::DimensionMismatch`] when `set_points` does
     /// not have one entry per processor, and propagates local-controller
     /// construction failures.
-    pub fn new(
-        set: &TaskSet,
-        set_points: Vector,
-        cfg: MpcConfig,
-    ) -> Result<Self, ControlError> {
+    pub fn new(set: &TaskSet, set_points: Vector, cfg: MpcConfig) -> Result<Self, ControlError> {
         let n = set.num_processors();
         let m = set.num_tasks();
         if set_points.len() != n {
@@ -141,8 +137,7 @@ impl DecentralizedController {
             let f_local = Matrix::from_fn(neighborhood.len(), owned.len(), |r, c| {
                 f[(neighborhood[r], owned[c])]
             });
-            let b_local =
-                Vector::from_iter(neighborhood.iter().map(|&q| set_points[q]));
+            let b_local = Vector::from_iter(neighborhood.iter().map(|&q| set_points[q]));
             let mpc = MpcController::from_model(
                 f_local,
                 b_local,
@@ -162,7 +157,12 @@ impl DecentralizedController {
                 }
             });
 
-            locals.push(LocalController { owned, neighborhood, mpc, foreign });
+            locals.push(LocalController {
+                owned,
+                neighborhood,
+                mpc,
+                foreign,
+            });
         }
 
         let mut actuator_count = vec![0usize; n];
@@ -219,13 +219,12 @@ impl RateController for DecentralizedController {
             // Present each processor with its share of the tracking error
             // (splitting by actuator count prevents the team from
             // collectively over-correcting shared processors).
-            let u_local = Vector::from_iter(local.neighborhood.iter().enumerate().map(
-                |(r, &q)| {
+            let u_local =
+                Vector::from_iter(local.neighborhood.iter().enumerate().map(|(r, &q)| {
                     let b = local.mpc.set_points()[r];
                     let err = u[q] + disturbance[r] - b;
                     (b + err / actuator_count[q] as f64).clamp(0.0, 1.0)
-                },
-            ));
+                }));
             let r_local = local.mpc.step(&u_local)?;
             for (c, &j) in local.owned.iter().enumerate() {
                 new_moves[j] = r_local[c] - self.rates[j];
@@ -238,8 +237,8 @@ impl RateController for DecentralizedController {
         Ok(new_rates)
     }
 
-    fn rates(&self) -> Vector {
-        self.rates.clone()
+    fn rates(&self) -> &Vector {
+        &self.rates
     }
 
     fn name(&self) -> &'static str {
@@ -308,7 +307,7 @@ mod tests {
         let f = set.allocation_matrix();
         let mut ctrl = medium_controller();
         let mut u = set.estimated_utilization(&set.initial_rates()).scale(0.5);
-        let mut prev = ctrl.rates();
+        let mut prev = ctrl.rates().clone();
         for _ in 0..200 {
             let r = ctrl.update(&u).unwrap();
             u = &u + &f.mul_vec(&(&r - &prev)).scale(0.5);

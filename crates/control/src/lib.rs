@@ -48,8 +48,8 @@ mod prediction;
 pub mod stability;
 
 pub use baselines::{IndependentPid, OpenLoop};
-pub use decentralized::DecentralizedController;
 pub use config::{ControlPenalty, MoveHold, MpcConfig};
+pub use decentralized::DecentralizedController;
 pub use error::ControlError;
 pub use mpc::{MpcController, MpcStepInfo};
 
@@ -68,7 +68,11 @@ pub trait RateController {
     fn update(&mut self, u: &Vector) -> Result<Vector, ControlError>;
 
     /// The rates currently commanded by the controller.
-    fn rates(&self) -> Vector;
+    ///
+    /// Returned by reference — the per-period control loop reads this every
+    /// sampling period and must not pay an allocation for it; callers that
+    /// need ownership clone at the call site.
+    fn rates(&self) -> &Vector;
 
     /// Short human-readable controller name (for experiment reports).
     fn name(&self) -> &'static str;

@@ -1,10 +1,10 @@
 //! The EUCON model-predictive controller.
 
 use eucon_math::{Matrix, Vector};
-use eucon_qp::{ConstrainedLsq, QpError};
+use eucon_qp::{LsqSolution, PreparedLsq, QpError};
 use eucon_tasks::TaskSet;
 
-use crate::prediction::{constraints, Predictor};
+use crate::prediction::{constraint_matrix, constraint_rhs_into, Predictor};
 use crate::{ControlError, MpcConfig, RateController};
 
 /// Tiny Tikhonov weight keeping the least-squares problem strictly convex
@@ -77,6 +77,23 @@ pub struct MpcController {
     rates: Vector,
     prev_move: Vector,
     last_info: MpcStepInfo,
+    /// Amortized solver with the utilization rows (`None` when the config
+    /// disables utilization constraints).
+    solver_util: Option<PreparedLsq>,
+    /// Amortized solver with rate rows only — the primary problem when
+    /// utilization constraints are off, the infeasibility fallback
+    /// otherwise.
+    solver_rate: PreparedLsq,
+    /// Per-period right-hand-side buffers, rewritten in place: the
+    /// constraint matrices are fixed, only these change with `u` and `r`.
+    h_util: Vector,
+    h_rate: Vector,
+    d_buf: Vector,
+    /// Active sets of the previous period, used to warm-start the dual
+    /// active-set solver.  In steady state the set is unchanged and the
+    /// solve takes zero iterations.
+    warm_util: Vec<usize>,
+    warm_rate: Vec<usize>,
 }
 
 impl MpcController {
@@ -128,6 +145,26 @@ impl MpcController {
         }
         cfg.assert_valid();
         let pred = Predictor::new(&f, &cfg);
+
+        // Everything that depends only on the model is computed here, once:
+        // the constraint matrices, the Hessian CᵀC + εI, its Cholesky
+        // factor and the per-constraint back-solves.  `step` only rewrites
+        // right-hand sides.
+        let g_rate = constraint_matrix(&f, &cfg, false);
+        let h_rate = Vector::zeros(g_rate.rows());
+        let solver_rate = PreparedLsq::new(pred.c.clone(), g_rate, REGULARIZATION)
+            .map_err(ControlError::Optimization)?;
+        let (solver_util, h_util) = if cfg.utilization_constraints {
+            let g_util = constraint_matrix(&f, &cfg, true);
+            let h_util = Vector::zeros(g_util.rows());
+            let solver = PreparedLsq::new(pred.c.clone(), g_util, REGULARIZATION)
+                .map_err(ControlError::Optimization)?;
+            (Some(solver), h_util)
+        } else {
+            (None, Vector::zeros(0))
+        };
+        let d_buf = Vector::zeros(pred.c.rows());
+
         Ok(MpcController {
             f,
             b: set_points,
@@ -138,6 +175,13 @@ impl MpcController {
             rates: initial_rates,
             prev_move: Vector::zeros(m),
             last_info: MpcStepInfo::default(),
+            solver_util,
+            solver_rate,
+            h_util,
+            h_rate,
+            d_buf,
+            warm_util: Vec::new(),
+            warm_rate: Vec::new(),
         })
     }
 
@@ -186,16 +230,55 @@ impl MpcController {
             )));
         }
         let error = u - &self.b;
-        let d = self.pred.rhs(&error, &self.prev_move);
+        self.pred.rhs_into(&error, &self.prev_move, &mut self.d_buf);
 
         let mut relaxed = false;
-        let solution = match self.solve(u, &d, self.cfg.utilization_constraints) {
-            Ok(sol) => sol,
-            Err(QpError::Infeasible) if self.cfg.utilization_constraints => {
-                relaxed = true;
-                self.solve(u, &d, false).map_err(ControlError::Optimization)?
+        let primary = match &self.solver_util {
+            Some(solver) => {
+                constraint_rhs_into(
+                    &self.f,
+                    &self.cfg,
+                    &self.rates,
+                    &self.rmin,
+                    &self.rmax,
+                    u,
+                    &self.b,
+                    true,
+                    &mut self.h_util,
+                );
+                Some(solve_amortized(
+                    solver,
+                    &self.d_buf,
+                    &self.h_util,
+                    &mut self.warm_util,
+                ))
             }
-            Err(e) => return Err(ControlError::Optimization(e)),
+            None => None,
+        };
+        let solution = match primary {
+            Some(Ok(sol)) => sol,
+            Some(Err(QpError::Infeasible)) | None => {
+                relaxed = self.solver_util.is_some();
+                constraint_rhs_into(
+                    &self.f,
+                    &self.cfg,
+                    &self.rates,
+                    &self.rmin,
+                    &self.rmax,
+                    u,
+                    &self.b,
+                    false,
+                    &mut self.h_rate,
+                );
+                solve_amortized(
+                    &self.solver_rate,
+                    &self.d_buf,
+                    &self.h_rate,
+                    &mut self.warm_rate,
+                )
+                .map_err(ControlError::Optimization)?
+            }
+            Some(Err(e)) => return Err(ControlError::Optimization(e)),
         };
 
         // Receding horizon: apply only the first move.
@@ -206,36 +289,39 @@ impl MpcController {
             new_rates[t] = (self.rates[t] + dr[t]).clamp(self.rmin[t], self.rmax[t]);
         }
         self.prev_move = &new_rates - &self.rates;
-        self.rates = new_rates.clone();
+        self.rates = new_rates;
         self.last_info = MpcStepInfo {
             qp_iterations: solution.iterations,
             relaxed_utilization: relaxed,
             residual: solution.residual,
         };
-        Ok(new_rates)
+        Ok(self.rates.clone())
     }
+}
 
-    fn solve(
-        &self,
-        u: &Vector,
-        d: &Vector,
-        utilization: bool,
-    ) -> Result<eucon_qp::LsqSolution, QpError> {
-        let (g, h) = constraints(
-            &self.f,
-            &self.cfg,
-            &self.rates,
-            &self.rmin,
-            &self.rmax,
-            u,
-            &self.b,
-            utilization,
-        );
-        ConstrainedLsq::new(self.pred.c.clone(), d.clone())
-            .ineq(g, h)
-            .regularization(REGULARIZATION)
-            .solve()
-    }
+/// One amortized solve: warm-start from the previous active set, retry
+/// cold if the (extremely rare) warm path hits the iteration limit, and
+/// record the new active set for the next period.
+fn solve_amortized(
+    solver: &PreparedLsq,
+    d: &Vector,
+    h: &Vector,
+    warm: &mut Vec<usize>,
+) -> Result<LsqSolution, QpError> {
+    let attempt = solver.solve_with(d, h, warm);
+    let result = match attempt {
+        // The warm start is only a heuristic: a stale active set can make
+        // the dual iteration wander (iteration limit) or misreport
+        // infeasibility from an ill-conditioned subproblem.  Any failure is
+        // re-checked cold before the verdict is believed — feasibility
+        // decisions must not depend on the previous period's guess.
+        Err(_) if !warm.is_empty() => solver.solve_with(d, h, &[]),
+        other => other,
+    };
+    let sol = result?;
+    warm.clear();
+    warm.extend_from_slice(&sol.active);
+    Ok(sol)
 }
 
 impl RateController for MpcController {
@@ -243,8 +329,8 @@ impl RateController for MpcController {
         self.step(u)
     }
 
-    fn rates(&self) -> Vector {
-        self.rates.clone()
+    fn rates(&self) -> &Vector {
+        &self.rates
     }
 
     fn name(&self) -> &'static str {
@@ -266,7 +352,7 @@ mod tests {
     #[test]
     fn underutilization_raises_rates() {
         let mut c = simple_controller();
-        let r0 = c.rates();
+        let r0 = c.rates().clone();
         let r1 = c.step(&Vector::from_slice(&[0.3, 0.3])).unwrap();
         for t in 0..3 {
             assert!(r1[t] >= r0[t] - 1e-12, "task {t} rate should not drop");
@@ -277,7 +363,7 @@ mod tests {
     #[test]
     fn overutilization_lowers_rates() {
         let mut c = simple_controller();
-        let r0 = c.rates();
+        let r0 = c.rates().clone();
         let r1 = c.step(&Vector::from_slice(&[1.0, 1.0])).unwrap();
         assert!(r1.sum() < r0.sum());
     }
@@ -286,7 +372,7 @@ mod tests {
     fn at_set_point_rates_barely_move() {
         let mut c = simple_controller();
         let b = c.set_points().clone();
-        let r0 = c.rates();
+        let r0 = c.rates().clone();
         let r1 = c.step(&b).unwrap();
         // With zero tracking error and zero previous move the optimum is
         // Δr = 0.
@@ -315,7 +401,7 @@ mod tests {
         let f = set.allocation_matrix();
         let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
         let mut u = set.estimated_utilization(&set.initial_rates());
-        let mut prev_rates = c.rates();
+        let mut prev_rates = c.rates().clone();
         for _ in 0..60 {
             let rates = c.step(&u).unwrap();
             let dr = &rates - &prev_rates;
@@ -334,7 +420,7 @@ mod tests {
         let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
         // Actual utilization responds twice as strongly as estimated.
         let mut u = set.estimated_utilization(&set.initial_rates()).scale(2.0);
-        let mut prev_rates = c.rates();
+        let mut prev_rates = c.rates().clone();
         for _ in 0..120 {
             let rates = c.step(&u).unwrap();
             let dr = &rates - &prev_rates;
@@ -353,10 +439,13 @@ mod tests {
         let f = set.allocation_matrix();
         let mut c = MpcController::new(&set, b.clone(), MpcConfig::simple()).unwrap();
         let u = Vector::from_slice(&[0.5, 0.828]);
-        let r0 = c.rates();
+        let r0 = c.rates().clone();
         let r1 = c.step(&u).unwrap();
         let du = f.mul_vec(&(&r1 - &r0));
-        assert!(u[1] + du[1] <= b[1] + 1e-6, "P2 must not be pushed past its set point");
+        assert!(
+            u[1] + du[1] <= b[1] + 1e-6,
+            "P2 must not be pushed past its set point"
+        );
     }
 
     #[test]
@@ -375,19 +464,57 @@ mod tests {
         assert!(c.last_step_info().relaxed_utilization);
         let set = workloads::simple();
         for (t, task) in set.tasks().iter().enumerate() {
-            assert!((r[t] - task.rate_min()).abs() < 1e-9, "rates pinned at Rmin");
+            assert!(
+                (r[t] - task.rate_min()).abs() < 1e-9,
+                "rates pinned at Rmin"
+            );
         }
+    }
+
+    #[test]
+    fn steady_state_step_reports_zero_qp_iterations() {
+        // Regression for the amortized hot path: once the loop settles —
+        // same measurement, same rates, zero previous move — the previous
+        // period's active set warm-starts the solver to the exact optimum
+        // and the dual iteration has nothing left to do.
+        let set = workloads::simple();
+        let b = rms_set_points(&set);
+        let mut c = MpcController::new(&set, b, MpcConfig::simple()).unwrap();
+        // Persistent overload pins every rate at Rmin within a few
+        // periods; from then on each period solves the identical QP with
+        // a non-empty, unchanged active set.
+        let u = Vector::from_slice(&[1.0, 1.0]);
+        for _ in 0..50 {
+            let _ = c.step(&u).unwrap();
+        }
+        let before = c.rates().clone();
+        let _ = c.step(&u).unwrap();
+        assert_eq!(
+            c.last_step_info().qp_iterations,
+            0,
+            "steady-state solve must be fully warm-started"
+        );
+        assert!(
+            c.rates().approx_eq(&before, 1e-12),
+            "rates must be at a fixed point"
+        );
     }
 
     #[test]
     fn dimension_mismatch_detected() {
         let set = workloads::simple();
         let err = MpcController::new(&set, Vector::zeros(3), MpcConfig::simple());
-        assert!(matches!(err.unwrap_err(), ControlError::DimensionMismatch(_)));
+        assert!(matches!(
+            err.unwrap_err(),
+            ControlError::DimensionMismatch(_)
+        ));
 
         let mut c = simple_controller();
         let err = c.step(&Vector::zeros(3));
-        assert!(matches!(err.unwrap_err(), ControlError::DimensionMismatch(_)));
+        assert!(matches!(
+            err.unwrap_err(),
+            ControlError::DimensionMismatch(_)
+        ));
     }
 
     #[test]
@@ -397,7 +524,7 @@ mod tests {
         let set = workloads::simple();
         let f = set.allocation_matrix();
         let mut u = set.estimated_utilization(&set.initial_rates());
-        let mut prev = c.rates();
+        let mut prev = c.rates().clone();
         for _ in 0..50 {
             let r = c.step(&u).unwrap();
             u = &u + &f.mul_vec(&(&r - &prev));
@@ -410,7 +537,11 @@ mod tests {
             u = &u + &f.mul_vec(&(&r - &prev));
             prev = r;
         }
-        assert!((u[0] - 0.5).abs() < 1e-2, "P1 must track the new set point, got {}", u[0]);
+        assert!(
+            (u[0] - 0.5).abs() < 1e-2,
+            "P1 must track the new set point, got {}",
+            u[0]
+        );
     }
 
     mod properties {
@@ -469,7 +600,7 @@ mod tests {
         let f = set.allocation_matrix();
         let mut c = MpcController::new(&set, b.clone(), MpcConfig::medium()).unwrap();
         let mut u = set.estimated_utilization(&set.initial_rates()).scale(0.5);
-        let mut prev = c.rates();
+        let mut prev = c.rates().clone();
         for _ in 0..100 {
             let r = c.step(&u).unwrap();
             u = &u + &f.mul_vec(&(&r - &prev)).scale(0.5);

@@ -111,9 +111,24 @@ impl Predictor {
     }
 
     /// Evaluates the rhs `d` for the current tracking error and previous
-    /// move.
+    /// move.  Allocating convenience form of [`Predictor::rhs_into`], kept
+    /// for tests and the stability analysis.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn rhs(&self, error: &Vector, prev_move: &Vector) -> Vector {
-        &self.a_u.mul_vec(error) + &self.a_d.mul_vec(prev_move)
+        let mut d = Vector::zeros(self.c.rows());
+        self.rhs_into(error, prev_move, &mut d);
+        d
+    }
+
+    /// Evaluates the rhs `d` into a caller-owned buffer, the allocation-free
+    /// variant of [`Predictor::rhs`] used on the per-period hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the number of objective rows.
+    pub fn rhs_into(&self, error: &Vector, prev_move: &Vector, out: &mut Vector) {
+        self.a_u.mul_vec_into(error, out);
+        self.a_d.mul_vec_acc(prev_move, out);
     }
 }
 
@@ -153,7 +168,12 @@ pub(crate) fn move_multiplicity(i: usize, j: usize, mh: usize, hold: MoveHold) -
 /// * rate bounds `Rmin ≤ r(k−1) + Σ_{j≤i} Δr_j ≤ Rmax` (paper eq. 2), and,
 ///   when `utilization` is true, for each prediction step,
 /// * utilization bounds `u(k) + F·S_i ≤ B` (paper eq. 1).
+///
+/// The matrix `G` depends only on the model and horizons while `h` changes
+/// every period; the hot path therefore calls [`constraint_matrix`] once
+/// and [`constraint_rhs_into`] per period instead of this combined helper.
 #[allow(clippy::too_many_arguments)] // private helper mirroring the paper's symbol list
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn constraints(
     f: &Matrix,
     cfg: &MpcConfig,
@@ -164,6 +184,19 @@ pub(crate) fn constraints(
     b: &Vector,
     utilization: bool,
 ) -> (Matrix, Vector) {
+    let g = constraint_matrix(f, cfg, utilization);
+    let mut h = Vector::zeros(g.rows());
+    constraint_rhs_into(f, cfg, rates, rmin, rmax, u, b, utilization, &mut h);
+    (g, h)
+}
+
+/// Builds the constraint matrix `G` alone.
+///
+/// `G` is a pure function of the allocation matrix and the horizons — the
+/// measured utilization and current rates only enter the right-hand side —
+/// so a controller builds it once at construction and reuses it for every
+/// period (see [`constraint_rhs_into`]).
+pub(crate) fn constraint_matrix(f: &Matrix, cfg: &MpcConfig, utilization: bool) -> Matrix {
     let n = f.rows();
     let m = f.cols();
     let p = cfg.prediction_horizon;
@@ -172,7 +205,6 @@ pub(crate) fn constraints(
 
     let util_rows = if utilization { n * p } else { 0 };
     let mut g = Matrix::zeros(2 * m * mh + util_rows, n_cols);
-    let mut h = Vector::zeros(2 * m * mh + util_rows);
 
     // Rate bounds: rows for upper, then lower, per step.
     for i in 0..mh {
@@ -183,8 +215,6 @@ pub(crate) fn constraints(
                 g[(up, j * m + t)] = 1.0;
                 g[(lo, j * m + t)] = -1.0;
             }
-            h[up] = rmax[t] - rates[t];
-            h[lo] = rates[t] - rmin[t];
         }
     }
 
@@ -203,12 +233,56 @@ pub(crate) fn constraints(
                     }
                 }
             }
+        }
+    }
+    g
+}
+
+/// Rewrites the constraint right-hand side `h` in place for the current
+/// rates and measured utilization; row layout matches
+/// [`constraint_matrix`].
+///
+/// # Panics
+///
+/// Panics if `h.len()` does not match the constraint-row count.
+#[allow(clippy::too_many_arguments)] // private helper mirroring the paper's symbol list
+pub(crate) fn constraint_rhs_into(
+    f: &Matrix,
+    cfg: &MpcConfig,
+    rates: &Vector,
+    rmin: &Vector,
+    rmax: &Vector,
+    u: &Vector,
+    b: &Vector,
+    utilization: bool,
+    h: &mut Vector,
+) {
+    let n = f.rows();
+    let m = f.cols();
+    let p = cfg.prediction_horizon;
+    let mh = cfg.control_horizon;
+    let util_rows = if utilization { n * p } else { 0 };
+    assert_eq!(
+        h.len(),
+        2 * m * mh + util_rows,
+        "rhs buffer has the wrong row count"
+    );
+
+    for i in 0..mh {
+        for t in 0..m {
+            h[2 * m * i + t] = rmax[t] - rates[t];
+            h[2 * m * i + m + t] = rates[t] - rmin[t];
+        }
+    }
+
+    if utilization {
+        let base = 2 * m * mh;
+        for i in 0..p {
             for r in 0..n {
-                h[row0 + r] = b[r] - u[r];
+                h[base + n * i + r] = b[r] - u[r];
             }
         }
     }
-    (g, h)
 }
 
 #[cfg(test)]
@@ -293,11 +367,13 @@ mod tests {
     #[test]
     fn multi_step_horizon_has_difference_chain() {
         let f = simple_f();
-        let cfg = MpcConfig::simple().horizons(4, 2).move_hold(MoveHold::Delta);
+        let cfg = MpcConfig::simple()
+            .horizons(4, 2)
+            .move_hold(MoveHold::Delta);
         let pred = Predictor::new(&f, &cfg);
         let m = 3;
         let base = 2 * 4; // n*P tracking rows
-        // Second penalty block: +I at block 1, −I at block 0.
+                          // Second penalty block: +I at block 1, −I at block 0.
         for t in 0..m {
             assert_eq!(pred.c[(base + m + t, m + t)], 1.0);
             assert_eq!(pred.c[(base + m + t, t)], -1.0);

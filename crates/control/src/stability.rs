@@ -309,7 +309,10 @@ mod tests {
         assert!((g - 6.51).abs() < 0.05, "critical gain drifted: {g:.4}");
         let cfg_delta = MpcConfig::simple().move_hold(MoveHold::Delta);
         let g_delta = critical_uniform_gain(&f, &cfg_delta, 20.0, 1e-4).unwrap();
-        assert!((g_delta - 9.92).abs() < 0.05, "delta-convention gain drifted: {g_delta:.4}");
+        assert!(
+            (g_delta - 9.92).abs() < 0.05,
+            "delta-convention gain drifted: {g_delta:.4}"
+        );
         assert!(is_stable(&f, &MpcConfig::simple(), &[3.0, 3.0]).unwrap());
         assert!(!is_stable(&f, &MpcConfig::simple(), &[7.0, 7.0]).unwrap());
     }
@@ -326,7 +329,10 @@ mod tests {
         let analytic = 4.0 / ((1.0 - lambda) + (1.0 - lambda * lambda));
         let f = simple_f();
         let g = critical_uniform_gain(&f, &cfg, 20.0, 1e-6).unwrap();
-        assert!((g - analytic).abs() < 1e-2, "numeric {g} vs closed-form {analytic}");
+        assert!(
+            (g - analytic).abs() < 1e-2,
+            "numeric {g} vs closed-form {analytic}"
+        );
     }
 
     #[test]
@@ -337,15 +343,17 @@ mod tests {
         let a = closed_loop_matrix_full(&f, &MpcConfig::simple(), &[1.0, 1.0]).unwrap();
         assert_eq!((a.rows(), a.cols()), (5, 5));
         let rho = eucon_math::spectral_radius(&a).unwrap();
-        assert!((rho - 1.0).abs() < 1e-6, "null-space drift mode has |λ| = 1, got {rho}");
+        assert!(
+            (rho - 1.0).abs() < 1e-6,
+            "null-space drift mode has |λ| = 1, got {rho}"
+        );
     }
 
     #[test]
     fn spectral_radius_grows_with_gain() {
         let f = simple_f();
         let cfg = MpcConfig::simple();
-        let sweep =
-            gain_sweep(&f, &cfg, &Vector::from_slice(&[0.5, 2.0, 4.0, 6.0, 8.0])).unwrap();
+        let sweep = gain_sweep(&f, &cfg, &Vector::from_slice(&[0.5, 2.0, 4.0, 6.0, 8.0])).unwrap();
         // Radius crosses 1 between 6 and 8 (critical 6.51).
         assert!(sweep[2].1 < 1.0);
         assert!(sweep[3].1 < 1.0);
@@ -391,11 +399,14 @@ mod tests {
         let lambda = MpcConfig::simple().reference_decay();
         let mut last = f64::INFINITY;
         for p in [2usize, 3, 4] {
-            let g = critical_uniform_gain(&f, &MpcConfig::simple().horizons(p, 1), 80.0, 1e-3)
-                .unwrap();
+            let g =
+                critical_uniform_gain(&f, &MpcConfig::simple().horizons(p, 1), 80.0, 1e-3).unwrap();
             let coef: f64 = (1..=p).map(|i| 1.0 - lambda.powi(i as i32)).sum();
             let closed_form = 2.0 * p as f64 / coef;
-            assert!((g - closed_form).abs() < 0.05, "P={p}: {g:.3} vs {closed_form:.3}");
+            assert!(
+                (g - closed_form).abs() < 0.05,
+                "P={p}: {g:.3} vs {closed_form:.3}"
+            );
             assert!(g < last, "critical gain must decrease with P (M = 1)");
             assert!(g > 2.0, "still comfortably above the nominal gain");
             last = g;
@@ -418,8 +429,7 @@ mod tests {
         // closed-loop poles toward 1: slower convergence.  §6.3's
         // tradeoff, analytically.
         let f = simple_f();
-        let sweep = tref_sweep(&f, &MpcConfig::simple(), &[1.0, 2.0, 4.0, 8.0, 16.0], 1.0)
-            .unwrap();
+        let sweep = tref_sweep(&f, &MpcConfig::simple(), &[1.0, 2.0, 4.0, 8.0, 16.0], 1.0).unwrap();
         for pair in sweep.windows(2) {
             assert!(
                 pair[1].1 >= pair[0].1 - 1e-9,

@@ -46,7 +46,11 @@ pub struct AdmissionPolicy {
 
 impl Default for AdmissionPolicy {
     fn default() -> Self {
-        AdmissionPolicy { margin: 0.05, patience: 5, readmit_headroom: 0.1 }
+        AdmissionPolicy {
+            margin: 0.05,
+            patience: 5,
+            readmit_headroom: 0.1,
+        }
     }
 }
 
@@ -204,10 +208,14 @@ impl AdaptiveLoop {
         let u = self.sim.sample_utilizations();
 
         // Rate adaptation over the active subset.
-        let idx: Vec<usize> =
-            (0..self.set.num_tasks()).filter(|&j| self.active[j]).collect();
+        let idx: Vec<usize> = (0..self.set.num_tasks())
+            .filter(|&j| self.active[j])
+            .collect();
         if !idx.is_empty() {
-            let r_sub = self.ctrl.step(&u).expect("controller over a valid rate box");
+            let r_sub = self
+                .ctrl
+                .step(&u)
+                .expect("controller over a valid rate box");
             for (c, &j) in idx.iter().enumerate() {
                 self.sim.set_rate(TaskId(j), r_sub[c]);
             }
@@ -254,8 +262,8 @@ impl AdaptiveLoop {
             self.under_streak = 0;
         } else {
             self.over_streak = 0;
-            let all_headroom = (0..u.len())
-                .all(|p| u[p] <= self.set_points[p] - self.policy.readmit_headroom);
+            let all_headroom =
+                (0..u.len()).all(|p| u[p] <= self.set_points[p] - self.policy.readmit_headroom);
             if all_headroom && !self.suspended.is_empty() {
                 self.under_streak += 1;
             } else {
@@ -278,9 +286,7 @@ impl AdaptiveLoop {
         let rates = self.sim.rates();
         let victim = (0..self.set.num_tasks())
             .filter(|&j| self.active[j] && self.f[(p, j)] > 0.0)
-            .max_by(|&a, &b| {
-                (self.f[(p, a)] * rates[a]).total_cmp(&(self.f[(p, b)] * rates[b]))
-            });
+            .max_by(|&a, &b| (self.f[(p, a)] * rates[a]).total_cmp(&(self.f[(p, b)] * rates[b])));
         let Some(victim) = victim else {
             return;
         };
@@ -291,7 +297,10 @@ impl AdaptiveLoop {
         self.active[victim] = false;
         self.suspended.push(TaskId(victim));
         self.sim.suspend_task(TaskId(victim));
-        self.events.push(AdmissionEvent::Suspended { period: self.period, task: TaskId(victim) });
+        self.events.push(AdmissionEvent::Suspended {
+            period: self.period,
+            task: TaskId(victim),
+        });
         self.rebuild();
     }
 
@@ -303,7 +312,10 @@ impl AdaptiveLoop {
         // Gentle re-entry at the minimum acceptable rate.
         self.sim.set_rate(task, self.set.tasks()[task.0].rate_min());
         self.sim.resume_task(task);
-        self.events.push(AdmissionEvent::Readmitted { period: self.period, task });
+        self.events.push(AdmissionEvent::Readmitted {
+            period: self.period,
+            task,
+        });
         self.rebuild();
     }
 
@@ -339,7 +351,10 @@ mod tests {
         al.run(100);
         assert!(al.events().is_empty());
         let s = metrics::window(&al.trace().utilization_series(0), 60, 100);
-        assert!((s.mean - 0.8284).abs() < 0.03, "normal EUCON behaviour preserved");
+        assert!(
+            (s.mean - 0.8284).abs() < 0.03,
+            "normal EUCON behaviour preserved"
+        );
     }
 
     #[test]
@@ -356,7 +371,9 @@ mod tests {
         .unwrap();
         al.run(150);
         assert!(
-            al.events().iter().any(|e| matches!(e, AdmissionEvent::Suspended { .. })),
+            al.events()
+                .iter()
+                .any(|e| matches!(e, AdmissionEvent::Suspended { .. })),
             "supervisor must suspend under hopeless overload: {:?}",
             al.events()
         );
@@ -379,14 +396,26 @@ mod tests {
             workloads::simple(),
             MpcConfig::simple(),
             AdmissionPolicy::default(),
-            SimConfig { exec_model: eucon_sim::ExecModel::Constant, etf: profile, seed: 0, release_guard: Default::default(), processor_speeds: None },
+            SimConfig {
+                exec_model: eucon_sim::ExecModel::Constant,
+                etf: profile,
+                seed: 0,
+                release_guard: Default::default(),
+                processor_speeds: None,
+            },
         )
         .unwrap();
         al.run(200);
-        let suspensions =
-            al.events().iter().filter(|e| matches!(e, AdmissionEvent::Suspended { .. })).count();
-        let readmissions =
-            al.events().iter().filter(|e| matches!(e, AdmissionEvent::Readmitted { .. })).count();
+        let suspensions = al
+            .events()
+            .iter()
+            .filter(|e| matches!(e, AdmissionEvent::Suspended { .. }))
+            .count();
+        let readmissions = al
+            .events()
+            .iter()
+            .filter(|e| matches!(e, AdmissionEvent::Readmitted { .. }))
+            .count();
         assert!(suspensions > 0, "phase 1 must suspend: {:?}", al.events());
         assert!(readmissions > 0, "phase 2 must re-admit: {:?}", al.events());
         assert!(
@@ -397,7 +426,11 @@ mod tests {
         // And the loop converges normally afterwards.
         let u1 = al.trace().utilization_series(0);
         let tail = metrics::window(&u1, 160, 200);
-        assert!((tail.mean - 0.8284).abs() < 0.05, "tail mean {:.3}", tail.mean);
+        assert!(
+            (tail.mean - 0.8284).abs() < 0.05,
+            "tail mean {:.3}",
+            tail.mean
+        );
     }
 
     #[test]

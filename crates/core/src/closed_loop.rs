@@ -55,9 +55,11 @@ impl ControllerSpec {
             ControllerSpec::Pid { kp, ki } => {
                 Box::new(IndependentPid::new(set, set_points.clone(), *kp, *ki)?)
             }
-            ControllerSpec::Decentralized(cfg) => {
-                Box::new(DecentralizedController::new(set, set_points.clone(), cfg.clone())?)
-            }
+            ControllerSpec::Decentralized(cfg) => Box::new(DecentralizedController::new(
+                set,
+                set_points.clone(),
+                cfg.clone(),
+            )?),
         })
     }
 }
@@ -206,7 +208,10 @@ impl ClosedLoopBuilder {
     ///
     /// Panics unless `ts` is positive and finite.
     pub fn sampling_period(mut self, ts: f64) -> Self {
-        assert!(ts > 0.0 && ts.is_finite(), "sampling period must be positive");
+        assert!(
+            ts > 0.0 && ts.is_finite(),
+            "sampling period must be positive"
+        );
         self.ts = ts;
         self
     }
@@ -242,7 +247,7 @@ impl ClosedLoopBuilder {
         // Apply the controller's initial rates from time zero (OPEN's
         // design rates take effect immediately; feedback controllers start
         // from the task set's initial rates, a no-op here).
-        sim.set_rates(&controller.rates());
+        sim.set_rates(controller.rates());
         Ok(ClosedLoop {
             sim,
             controller,
@@ -316,12 +321,15 @@ impl ClosedLoop {
             Ok(rates) => rates,
             Err(_) => {
                 self.control_errors += 1;
-                self.controller.rates()
+                self.controller.rates().clone()
             }
         };
         let actuated = match &self.rate_grid {
             Some(grid) => Vector::from_iter(
-                rates.iter().enumerate().map(|(t, &r)| snap_to_grid(&grid[t], r)),
+                rates
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &r)| snap_to_grid(&grid[t], r)),
             ),
             None => rates,
         };
@@ -392,7 +400,12 @@ mod tests {
                 p + 1,
                 tail.mean
             );
-            assert!(tail.std_dev < 0.05, "P{} too oscillatory: {:.3}", p + 1, tail.std_dev);
+            assert!(
+                tail.std_dev < 0.05,
+                "P{} too oscillatory: {:.3}",
+                p + 1,
+                tail.std_dev
+            );
         }
         assert_eq!(cl.control_errors(), 0);
     }
@@ -425,7 +438,12 @@ mod tests {
         let tail = metrics::window(&series, 20, 40);
         // OPEN at etf 0.5 sits at half the set point.
         let b = result.set_points[0];
-        assert!((tail.mean - 0.5 * b).abs() < 0.05, "got {:.3}, want {:.3}", tail.mean, 0.5 * b);
+        assert!(
+            (tail.mean - 0.5 * b).abs() < 0.05,
+            "got {:.3}, want {:.3}",
+            tail.mean,
+            0.5 * b
+        );
     }
 
     #[test]
@@ -461,7 +479,11 @@ mod tests {
         let result = cl.run(100);
         // Soft deadlines: the overwhelming majority must be met once the
         // utilization sits at the RMS bound.
-        assert!(result.deadlines.miss_ratio() < 0.05, "miss ratio {:.4}", result.deadlines.miss_ratio());
+        assert!(
+            result.deadlines.miss_ratio() < 0.05,
+            "miss ratio {:.4}",
+            result.deadlines.miss_ratio()
+        );
     }
 
     /// A controller that fails after a few periods, to exercise the
@@ -481,7 +503,7 @@ mod tests {
             self.inner.step(u)
         }
 
-        fn rates(&self) -> Vector {
+        fn rates(&self) -> &Vector {
             self.inner.rates()
         }
 
@@ -498,19 +520,33 @@ mod tests {
         let inner = MpcController::new(&set, b, MpcConfig::simple()).unwrap();
         let mut cl = ClosedLoop::builder(workloads::simple())
             .sim_config(SimConfig::constant_etf(0.5))
-            .custom_controller(Box::new(FlakyController { inner, fail_after: 30, calls: 0 }))
+            .custom_controller(Box::new(FlakyController {
+                inner,
+                fail_after: 30,
+                calls: 0,
+            }))
             .build()
             .unwrap();
         let result = cl.run(80);
-        assert_eq!(cl.control_errors(), 50, "every post-fault period is counted");
+        assert_eq!(
+            cl.control_errors(),
+            50,
+            "every post-fault period is counted"
+        );
         assert_eq!(cl.controller_name(), "flaky");
         // The plant keeps running on the last good rates: utilization
         // stays pinned near wherever the loop had converged to.
         let tail = crate::metrics::window(&result.trace.utilization_series(0), 60, 80);
-        assert!(tail.mean > 0.5, "plant still executing after controller death");
+        assert!(
+            tail.mean > 0.5,
+            "plant still executing after controller death"
+        );
         let last = result.trace.steps().last().unwrap();
         let at_30 = &result.trace.steps()[30];
-        assert!(last.rates.approx_eq(&at_30.rates, 1e-12), "rates frozen at the fault");
+        assert!(
+            last.rates.approx_eq(&at_30.rates, 1e-12),
+            "rates frozen at the fault"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use eucon_sim::{EtfProfile, ExecModel, SimConfig};
 use eucon_tasks::TaskSet;
+use rayon::prelude::*;
 
 use crate::metrics::{self, SeriesStats};
 use crate::{ClosedLoop, ControllerSpec, CoreError, RunResult};
@@ -45,7 +46,14 @@ impl SteadyRun {
     /// The paper's Experiment I protocol on a workload: 300 periods,
     /// window `[100, 300)`.
     pub fn paper(set: TaskSet, controller: ControllerSpec, exec_model: ExecModel) -> Self {
-        SteadyRun { set, controller, exec_model, periods: 300, window: (100, 300), seed: 1 }
+        SteadyRun {
+            set,
+            controller,
+            exec_model,
+            periods: 300,
+            window: (100, 300),
+            seed: 1,
+        }
     }
 
     /// Runs one constant-etf experiment and returns the full trace.
@@ -54,7 +62,9 @@ impl SteadyRun {
     ///
     /// Propagates loop-construction failures.
     pub fn run(&self, etf: f64) -> Result<RunResult, CoreError> {
-        let cfg = SimConfig::constant_etf(etf).exec_model(self.exec_model).seed(self.seed);
+        let cfg = SimConfig::constant_etf(etf)
+            .exec_model(self.exec_model)
+            .seed(self.seed);
         let mut cl = ClosedLoop::builder(self.set.clone())
             .sim_config(cfg)
             .controller(self.controller.clone())
@@ -65,11 +75,16 @@ impl SteadyRun {
     /// Sweeps the execution-time factor (Figures 4 / 5): one run per
     /// factor, reporting windowed statistics per processor.
     ///
+    /// The runs are independent (each gets its own simulator and
+    /// controller, seeded identically), so they are fanned out across
+    /// threads; results come back in `etfs` order regardless of which
+    /// run finishes first.  Thread count follows `RAYON_NUM_THREADS`.
+    ///
     /// # Errors
     ///
     /// Propagates loop-construction failures.
     pub fn sweep(&self, etfs: &[f64]) -> Result<Vec<SweepPoint>, CoreError> {
-        etfs.iter()
+        etfs.par_iter()
             .map(|&etf| {
                 let result = self.run(etf)?;
                 let (from, to) = self.window;
@@ -82,7 +97,11 @@ impl SteadyRun {
                     .zip(result.set_points.iter())
                     .map(|(s, &b)| metrics::acceptable(*s, b))
                     .collect();
-                Ok(SweepPoint { etf, stats, acceptable })
+                Ok(SweepPoint {
+                    etf,
+                    stats,
+                    acceptable,
+                })
             })
             .collect()
     }
@@ -191,7 +210,12 @@ mod tests {
             assert_eq!(p.stats.len(), 2);
             assert_eq!(p.acceptable.len(), 2);
             // EUCON at feasible etf tracks 0.828.
-            assert!((p.stats[0].mean - 0.828).abs() < 0.05, "etf {}: {:?}", p.etf, p.stats);
+            assert!(
+                (p.stats[0].mean - 0.828).abs() < 0.05,
+                "etf {}: {:?}",
+                p.etf,
+                p.stats
+            );
         }
     }
 

@@ -37,12 +37,19 @@ pub struct LaneModel {
 impl LaneModel {
     /// The paper's idealization: zero delay, zero loss.
     pub fn ideal() -> Self {
-        LaneModel { report_delay: 0, loss_probability: 0.0, seed: 0 }
+        LaneModel {
+            report_delay: 0,
+            loss_probability: 0.0,
+            seed: 0,
+        }
     }
 
     /// Lanes with a fixed report delay (in sampling periods).
     pub fn delayed(periods: usize) -> Self {
-        LaneModel { report_delay: periods, ..LaneModel::ideal() }
+        LaneModel {
+            report_delay: periods,
+            ..LaneModel::ideal()
+        }
     }
 
     /// Lanes dropping each report independently with probability `p`.
@@ -51,8 +58,15 @@ impl LaneModel {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn lossy(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
-        LaneModel { report_delay: 0, loss_probability: p, seed }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
+        LaneModel {
+            report_delay: 0,
+            loss_probability: p,
+            seed,
+        }
     }
 }
 
@@ -99,7 +113,9 @@ impl LaneState {
                     && self.rng.gen::<f64>() < self.model.loss_probability;
                 if lost {
                     // Drop: the controller keeps the previous value.
-                    self.last_delivered.clone().unwrap_or_else(|| report.map(|_| 0.0))
+                    self.last_delivered
+                        .clone()
+                        .unwrap_or_else(|| report.map(|_| 0.0))
                 } else {
                     self.last_delivered = Some(report.clone());
                     report
@@ -144,14 +160,21 @@ mod tests {
     fn total_loss_freezes_the_last_delivery() {
         // p ≈ 1 is rejected, but a high p with a seed that always drops
         // after the first delivery shows the stale-value behaviour.
-        let mut lane = LaneState::new(LaneModel { report_delay: 0, loss_probability: 0.99, seed: 3 });
+        let mut lane = LaneState::new(LaneModel {
+            report_delay: 0,
+            loss_probability: 0.99,
+            seed: 3,
+        });
         let first = lane.transmit(v(0.5))[0];
         // All subsequent values are frozen at whatever got through (0.5 or
         // 0.0 if even the first was dropped).
         for _ in 0..20 {
             let got = lane.transmit(v(0.9))[0];
             assert!(got == first || got == 0.5 || got == 0.0);
-            assert_ne!(got, 0.9, "a 99% lossy lane should effectively never deliver");
+            assert_ne!(
+                got, 0.9,
+                "a 99% lossy lane should effectively never deliver"
+            );
         }
     }
 
@@ -165,7 +188,10 @@ mod tests {
                 delivered_fresh += 1;
             }
         }
-        assert!((700..=900).contains(&delivered_fresh), "got {delivered_fresh}");
+        assert!(
+            (700..=900).contains(&delivered_fresh),
+            "got {delivered_fresh}"
+        );
     }
 
     #[test]

@@ -43,15 +43,17 @@
 pub mod admission;
 mod closed_loop;
 mod error;
-mod lanes;
 pub mod experiments;
+mod lanes;
 pub mod metrics;
 pub mod render;
 pub mod svg;
 mod trace;
 
-pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, ControllerSpec, RunResult, DEFAULT_SAMPLING_PERIOD};
+pub use closed_loop::{
+    ClosedLoop, ClosedLoopBuilder, ControllerSpec, RunResult, DEFAULT_SAMPLING_PERIOD,
+};
 pub use error::CoreError;
-pub use lanes::LaneModel;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
+pub use lanes::LaneModel;
 pub use trace::{Trace, TraceStep};

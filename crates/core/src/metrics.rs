@@ -28,7 +28,10 @@ pub fn mean_std(samples: &[f64]) -> SeriesStats {
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    SeriesStats { mean, std_dev: var.sqrt() }
+    SeriesStats {
+        mean,
+        std_dev: var.sqrt(),
+    }
 }
 
 /// Computes [`mean_std`] over the half-open index window `[from, to)`,
@@ -150,9 +153,27 @@ mod tests {
 
     #[test]
     fn acceptability_boundaries() {
-        assert!(acceptable(SeriesStats { mean: 0.8479, std_dev: 0.049 }, 0.828));
-        assert!(!acceptable(SeriesStats { mean: 0.8485, std_dev: 0.01 }, 0.828));
-        assert!(!acceptable(SeriesStats { mean: 0.828, std_dev: 0.05 }, 0.828));
+        assert!(acceptable(
+            SeriesStats {
+                mean: 0.8479,
+                std_dev: 0.049
+            },
+            0.828
+        ));
+        assert!(!acceptable(
+            SeriesStats {
+                mean: 0.8485,
+                std_dev: 0.01
+            },
+            0.828
+        ));
+        assert!(!acceptable(
+            SeriesStats {
+                mean: 0.828,
+                std_dev: 0.05
+            },
+            0.828
+        ));
     }
 
     #[test]

@@ -52,7 +52,13 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     out.push_str(&fmt_row(headers.to_vec(), &widths));
     out.push('\n');
-    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn csv_shape() {
-        let s = csv(&["x", "y"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
+        let s = csv(
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
         assert_eq!(s.lines().count(), 3);
         assert!(s.starts_with("x,y\n"));
     }

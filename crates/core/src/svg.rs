@@ -35,7 +35,9 @@ const MARGIN_L: f64 = 60.0;
 const MARGIN_R: f64 = 20.0;
 const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 50.0;
-const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 /// Renders a line chart of the given series as a standalone SVG document.
 ///
@@ -185,7 +187,9 @@ pub fn line_chart(series: &[Series<'_>], cfg: &ChartConfig<'_>) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -205,7 +209,13 @@ mod tests {
     #[test]
     fn renders_basic_structure() {
         let v = [0.1, 0.5, 0.9];
-        let svg = line_chart(&[Series { label: "a", values: &v }], &cfg());
+        let svg = line_chart(
+            &[Series {
+                label: "a",
+                values: &v,
+            }],
+            &cfg(),
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("polyline").count(), 1);
@@ -218,8 +228,14 @@ mod tests {
         let v = [0.1, 0.2];
         let svg = line_chart(
             &[
-                Series { label: "a", values: &v },
-                Series { label: "b", values: &v },
+                Series {
+                    label: "a",
+                    values: &v,
+                },
+                Series {
+                    label: "b",
+                    values: &v,
+                },
             ],
             &cfg(),
         );
@@ -230,10 +246,23 @@ mod tests {
     #[test]
     fn auto_scaling_covers_data_and_reference() {
         let v = [5.0, 10.0];
-        let chart = ChartConfig { y_range: None, reference: Some(12.0), ..cfg() };
-        let svg = line_chart(&[Series { label: "a", values: &v }], &chart);
+        let chart = ChartConfig {
+            y_range: None,
+            reference: Some(12.0),
+            ..cfg()
+        };
+        let svg = line_chart(
+            &[Series {
+                label: "a",
+                values: &v,
+            }],
+            &chart,
+        );
         // Tick labels must reach past the reference value.
-        assert!(svg.contains("12."), "auto range includes the reference: {svg}");
+        assert!(
+            svg.contains("12."),
+            "auto range includes the reference: {svg}"
+        );
     }
 
     #[test]
@@ -245,7 +274,10 @@ mod tests {
 
     #[test]
     fn titles_are_escaped() {
-        let chart = ChartConfig { title: "a < b & c", ..cfg() };
+        let chart = ChartConfig {
+            title: "a < b & c",
+            ..cfg()
+        };
         let svg = line_chart(&[], &chart);
         assert!(svg.contains("a &lt; b &amp; c"));
     }
@@ -253,7 +285,13 @@ mod tests {
     #[test]
     fn values_outside_range_are_clamped() {
         let v = [2.0, -1.0];
-        let svg = line_chart(&[Series { label: "a", values: &v }], &cfg());
+        let svg = line_chart(
+            &[Series {
+                label: "a",
+                values: &v,
+            }],
+            &cfg(),
+        );
         // Clamped values never place points outside the plot rectangle.
         for cap in svg.split("points=\"").skip(1) {
             let pts = cap.split('"').next().unwrap();

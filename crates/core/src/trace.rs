@@ -72,7 +72,10 @@ impl Trace {
     ///
     /// Panics if `processor` is out of range for any step.
     pub fn utilization_series(&self, processor: usize) -> Vec<f64> {
-        self.steps.iter().map(|s| s.utilization[processor]).collect()
+        self.steps
+            .iter()
+            .map(|s| s.utilization[processor])
+            .collect()
     }
 
     /// Rate of one task across all periods.
@@ -99,7 +102,11 @@ mod tests {
     use super::*;
 
     fn step(t: f64, u: &[f64], r: &[f64]) -> TraceStep {
-        TraceStep { time: t, utilization: Vector::from_slice(u), rates: Vector::from_slice(r) }
+        TraceStep {
+            time: t,
+            utilization: Vector::from_slice(u),
+            rates: Vector::from_slice(r),
+        }
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the API subset the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! `sample_size` and `Bencher::iter` — on top of a real timing loop:
+//! an automatic warm-up, batched iterations calibrated to a per-sample
+//! time budget, and robust statistics (median and median absolute
+//! deviation over samples).
+//!
+//! Output is one human-readable line *and* one machine-readable JSON
+//! line per benchmark, so baselines can be captured by redirecting
+//! stdout (see `BENCH_PR1.json` at the repository root).
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_MS` — per-sample time budget in milliseconds
+//!   (default 20).
+//! * `CRITERION_WARMUP_MS` — warm-up budget in milliseconds (default 100).
+//!
+//! Positional command-line arguments act as substring filters on the
+//! full `group/bench` name, mirroring `cargo bench -- <filter>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            sample_count: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads benchmark filters from the command line (mirrors
+    /// `configure_from_args`); flags (`--bench`, `--profile-time`, …) are
+    /// ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let name = id.to_string();
+        run_benchmark("", &name, self.sample_count, &self.filters, |b| f(b));
+    }
+}
+
+/// A named set of related benchmarks (stand-in for `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(5));
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            samples,
+            &self.criterion.filters,
+            |b| f(b),
+        );
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            samples,
+            &self.criterion.filters,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    results: Vec<f64>,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl Bencher {
+    /// Times the closure: warm-up, then `samples` batched measurements.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 100);
+        let sample_budget = env_ms("CRITERION_SAMPLE_MS", 20);
+
+        // Warm-up while estimating the cost of one iteration.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup || iters == 0 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / iters as f64).max(1.0);
+
+        // Batch size targeting the per-sample budget.
+        let batch = ((sample_budget.as_nanos() as f64 / est_ns).ceil() as u64).clamp(1, 1 << 24);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.results
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Median of a sample set (empty → 0).
+fn median(sorted: &[f64]) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]),
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    filters: &[String],
+    mut f: F,
+) {
+    let full = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if !filters.is_empty() && !filters.iter().any(|flt| full.contains(flt.as_str())) {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+
+    let mut sorted = bencher.results.clone();
+    sorted.sort_by(f64::total_cmp);
+    let med = median(&sorted);
+    let mut devs: Vec<f64> = sorted.iter().map(|x| (x - med).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    let mad = median(&devs);
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+
+    println!(
+        "{full:<50} time: {} ± {} (median ± MAD, {} samples)",
+        fmt_ns(med),
+        fmt_ns(mad),
+        sorted.len()
+    );
+    println!(
+        "{{\"group\":\"{group}\",\"bench\":\"{name}\",\"median_ns\":{med:.2},\"mean_ns\":{mean:.2},\"mad_ns\":{mad:.2},\"samples\":{}}}",
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut b = Bencher {
+            samples: 5,
+            results: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert_eq!(b.results.len(), 5);
+        assert!(b.results.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

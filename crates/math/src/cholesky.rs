@@ -40,7 +40,10 @@ impl Cholesky {
     /// [`MathError::NotPositiveDefinite`] when a pivot is non-positive.
     pub fn decompose(a: &Matrix) -> Result<Cholesky, MathError> {
         if !a.is_square() {
-            return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(MathError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(MathError::NonFinite);

@@ -95,7 +95,10 @@ const MAX_ITER_PER_EIG: usize = 60;
 /// ```
 pub fn eig(a: &Matrix) -> Result<Vec<Complex>, MathError> {
     if !a.is_square() {
-        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(MathError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if !a.is_finite() {
         return Err(MathError::NonFinite);
@@ -262,7 +265,8 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>, MathError> {
             // Look for a single small subdiagonal element.
             let mut l = nn;
             while l > 0 {
-                let s = h[(l as usize - 1, l as usize - 1)].abs() + h[(l as usize, l as usize)].abs();
+                let s =
+                    h[(l as usize - 1, l as usize - 1)].abs() + h[(l as usize, l as usize)].abs();
                 let s = if s == 0.0 { anorm } else { s };
                 if h[(l as usize, l as usize - 1)].abs() <= f64::EPSILON * s {
                     h[(l as usize, l as usize - 1)] = 0.0;
@@ -341,8 +345,7 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>, MathError> {
                     break;
                 }
                 let u = h[(mu, mu - 1)].abs() * (q.abs() + r.abs());
-                let v = p.abs()
-                    * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
+                let v = p.abs() * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
                 if u <= f64::EPSILON * v {
                     break;
                 }
@@ -361,7 +364,11 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>, MathError> {
                 if k != m {
                     p = h[(k, k - 1)];
                     q = h[(k + 1, k - 1)];
-                    r = if k != nn as usize - 1 { h[(k + 2, k - 1)] } else { 0.0 };
+                    r = if k != nn as usize - 1 {
+                        h[(k + 2, k - 1)]
+                    } else {
+                        0.0
+                    };
                     x = p.abs() + q.abs() + r.abs();
                     if x != 0.0 {
                         p /= x;
@@ -397,7 +404,11 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>, MathError> {
                     h[(k, j)] -= pp * px;
                 }
                 // Column modification.
-                let mmin = if (nn as usize) < k + 3 { nn as usize } else { k + 3 };
+                let mmin = if (nn as usize) < k + 3 {
+                    nn as usize
+                } else {
+                    k + 3
+                };
                 for i in (l as usize)..=mmin {
                     let mut pp = px * h[(i, k)] + py * h[(i, k + 1)];
                     if k != nn as usize - 1 {
@@ -418,7 +429,10 @@ mod tests {
     use super::*;
 
     fn sorted_real(mut eigs: Vec<Complex>) -> Vec<f64> {
-        assert!(eigs.iter().all(|e| e.im.abs() < 1e-8), "expected real eigenvalues: {eigs:?}");
+        assert!(
+            eigs.iter().all(|e| e.im.abs() < 1e-8),
+            "expected real eigenvalues: {eigs:?}"
+        );
         eigs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
         eigs.iter().map(|e| e.re).collect()
     }
@@ -454,11 +468,7 @@ mod tests {
     #[test]
     fn companion_matrix_roots() {
         // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let eigs = sorted_real(eig(&a).unwrap());
         assert!((eigs[0] - 1.0).abs() < 1e-8);
         assert!((eigs[1] - 2.0).abs() < 1e-8);
@@ -498,7 +508,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(matches!(eig(&Matrix::zeros(2, 3)), Err(MathError::NotSquare { .. })));
+        assert!(matches!(
+            eig(&Matrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
         let mut a = Matrix::identity(2);
         a[(0, 1)] = f64::NAN;
         assert!(matches!(eig(&a), Err(MathError::NonFinite)));
@@ -506,11 +519,7 @@ mod tests {
 
     #[test]
     fn conjugate_pairs_come_together() {
-        let a = Matrix::from_rows(&[
-            &[0.0, -2.0, 0.0],
-            &[2.0, 0.0, 0.0],
-            &[0.0, 0.0, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[&[0.0, -2.0, 0.0], &[2.0, 0.0, 0.0], &[0.0, 0.0, 5.0]]);
         let eigs = eig(&a).unwrap();
         let n_complex = eigs.iter().filter(|e| !e.is_real()).count();
         assert_eq!(n_complex, 2);
@@ -527,7 +536,10 @@ mod tests {
         }
         let eigs = eig(&a).unwrap();
         for e in &eigs {
-            assert!((e.abs() - 2.0).abs() < 1e-3, "defective eigenvalue accuracy: {e}");
+            assert!(
+                (e.abs() - 2.0).abs() < 1e-3,
+                "defective eigenvalue accuracy: {e}"
+            );
         }
     }
 

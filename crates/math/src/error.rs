@@ -42,7 +42,10 @@ impl fmt::Display for MathError {
             MathError::Singular => write!(f, "matrix is singular"),
             MathError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
             MathError::NoConvergence { iterations } => {
-                write!(f, "iteration failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration failed to converge after {iterations} iterations"
+                )
             }
             MathError::NonFinite => write!(f, "input contains non-finite values"),
         }
@@ -62,9 +65,15 @@ mod tests {
                 MathError::DimensionMismatch("2x2 * 3x1".into()),
                 "dimension mismatch: 2x2 * 3x1",
             ),
-            (MathError::NotSquare { rows: 2, cols: 3 }, "matrix must be square, got 2x3"),
+            (
+                MathError::NotSquare { rows: 2, cols: 3 },
+                "matrix must be square, got 2x3",
+            ),
             (MathError::Singular, "matrix is singular"),
-            (MathError::NotPositiveDefinite, "matrix is not positive definite"),
+            (
+                MathError::NotPositiveDefinite,
+                "matrix is not positive definite",
+            ),
             (
                 MathError::NoConvergence { iterations: 30 },
                 "iteration failed to converge after 30 iterations",

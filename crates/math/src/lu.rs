@@ -54,7 +54,10 @@ impl Lu {
     /// [`MathError::NonFinite`] when the input contains NaN or infinities.
     pub fn decompose(a: &Matrix) -> Result<Lu, MathError> {
         if !a.is_square() {
-            return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(MathError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         if !a.is_finite() {
             return Err(MathError::NonFinite);
@@ -100,7 +103,12 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign, singular })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+            singular,
+        })
     }
 
     /// Returns `true` when the factored matrix is (numerically) singular.
@@ -203,7 +211,10 @@ mod tests {
         let lu = Lu::decompose(&a).unwrap();
         assert!(lu.is_singular());
         assert_eq!(lu.det(), 0.0);
-        assert!(matches!(lu.solve(&Vector::zeros(2)), Err(MathError::Singular)));
+        assert!(matches!(
+            lu.solve(&Vector::zeros(2)),
+            Err(MathError::Singular)
+        ));
         assert!(matches!(lu.inverse(), Err(MathError::Singular)));
     }
 

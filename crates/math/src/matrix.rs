@@ -40,7 +40,11 @@ impl Matrix {
     /// assert_eq!(z[(1, 2)], 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -83,7 +87,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -162,7 +170,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -172,7 +184,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vector {
-        assert!(j < self.cols, "column index {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds for {} cols",
+            self.cols
+        );
         Vector::from_iter((0..self.rows).map(|i| self[(i, j)]))
     }
 
@@ -237,9 +253,65 @@ impl Matrix {
             x.len(),
             self.cols
         );
-        Vector::from_iter((0..self.rows).map(|i| {
-            self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()
-        }))
+        Vector::from_iter(
+            (0..self.rows).map(|i| self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()),
+        )
+    }
+
+    /// Writes `self · x` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &Vector, out: &mut Vector) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "mul_vec_into: vector length {} does not match {} columns",
+            x.len(),
+            self.cols
+        );
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "mul_vec_into: output length {} does not match {} rows",
+            out.len(),
+            self.rows
+        );
+        for i in 0..self.rows {
+            out[i] = self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Accumulates `self · x` onto `out` (i.e. `out += self · x`) without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_acc(&self, x: &Vector, out: &mut Vector) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "mul_vec_acc: vector length {} does not match {} columns",
+            x.len(),
+            self.cols
+        );
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "mul_vec_acc: output length {} does not match {} rows",
+            out.len(),
+            self.rows
+        );
+        for i in 0..self.rows {
+            out[i] += self
+                .row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        }
     }
 
     /// Extracts the sub-matrix with rows `r0..r1` and columns `c0..c1`
@@ -250,7 +322,10 @@ impl Matrix {
     /// Panics if the ranges are out of bounds or reversed.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.rows, "invalid row range {r0}..{r1}");
-        assert!(c0 <= c1 && c1 <= self.cols, "invalid column range {c0}..{c1}");
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "invalid column range {c0}..{c1}"
+        );
         Matrix::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -422,7 +497,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -439,7 +519,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -559,6 +644,30 @@ mod tests {
         let x = Vector::from_slice(&[5.0, 6.0]);
         let y = a.mul_vec(&x);
         assert_eq!(y.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn mul_vec_into_and_acc_match_mul_vec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[-1.0, 0.5]]);
+        let x = Vector::from_slice(&[5.0, 6.0]);
+        let expected = a.mul_vec(&x);
+
+        let mut out = Vector::filled(3, 7.0); // stale contents must be overwritten
+        a.mul_vec_into(&x, &mut out);
+        assert_eq!(out.as_slice(), expected.as_slice());
+
+        a.mul_vec_acc(&x, &mut out);
+        let doubled = expected.scale(2.0);
+        assert_eq!(out.as_slice(), doubled.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_vec_into")]
+    fn mul_vec_into_checks_output_length() {
+        let a = Matrix::identity(2);
+        let x = Vector::zeros(2);
+        let mut out = Vector::zeros(3);
+        a.mul_vec_into(&x, &mut out);
     }
 
     #[test]

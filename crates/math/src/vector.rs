@@ -31,12 +31,16 @@ impl Vector {
 
     /// Creates a vector filled with `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        Vector { data: vec![value; n] }
+        Vector {
+            data: vec![value; n],
+        }
     }
 
     /// Creates a vector from a slice.
     pub fn from_slice(values: &[f64]) -> Self {
-        Vector { data: values.to_vec() }
+        Vector {
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a vector by collecting an iterator of values.
@@ -46,7 +50,9 @@ impl Vector {
     /// expressions.
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
-        Vector { data: values.into_iter().collect() }
+        Vector {
+            data: values.into_iter().collect(),
+        }
     }
 
     /// Number of entries.
@@ -90,7 +96,11 @@ impl Vector {
     ///
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &Vector) -> f64 {
-        assert_eq!(self.len(), other.len(), "dot product requires equal lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product requires equal lengths"
+        );
         self.iter().zip(other.iter()).map(|(a, b)| a * b).sum()
     }
 
@@ -111,7 +121,9 @@ impl Vector {
 
     /// Returns a new vector with `f` applied to every entry.
     pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Vector {
-        Vector { data: self.data.iter().copied().map(f).collect() }
+        Vector {
+            data: self.data.iter().copied().map(f).collect(),
+        }
     }
 
     /// Multiplies every entry by `s`.
@@ -183,7 +195,11 @@ impl Add for &Vector {
     type Output = Vector;
 
     fn add(self, rhs: &Vector) -> Vector {
-        assert_eq!(self.len(), rhs.len(), "vector addition requires equal lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector addition requires equal lengths"
+        );
         Vector::from_iter(self.iter().zip(rhs.iter()).map(|(a, b)| a + b))
     }
 }
@@ -192,7 +208,11 @@ impl Sub for &Vector {
     type Output = Vector;
 
     fn sub(self, rhs: &Vector) -> Vector {
-        assert_eq!(self.len(), rhs.len(), "vector subtraction requires equal lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector subtraction requires equal lengths"
+        );
         Vector::from_iter(self.iter().zip(rhs.iter()).map(|(a, b)| a - b))
     }
 }
@@ -221,7 +241,9 @@ impl From<Vec<f64>> for Vector {
 
 impl FromIterator<f64> for Vector {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,26 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for vectors with a fixed number of elements.
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of exactly `len` elements drawn from `element`.
+///
+/// Upstream accepts any size range; the workspace only ever passes a fixed
+/// length, so that is all this stand-in supports.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -30,11 +30,17 @@ impl fmt::Display for QpError {
         match self {
             QpError::Infeasible => write!(f, "constraints are infeasible"),
             QpError::NotStrictlyConvex => {
-                write!(f, "objective is not strictly convex (hessian not positive definite)")
+                write!(
+                    f,
+                    "objective is not strictly convex (hessian not positive definite)"
+                )
             }
             QpError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             QpError::IterationLimit { iterations } => {
-                write!(f, "active-set iteration limit reached after {iterations} steps")
+                write!(
+                    f,
+                    "active-set iteration limit reached after {iterations} steps"
+                )
             }
             QpError::Math(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -63,9 +69,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(QpError::Infeasible.to_string(), "constraints are infeasible");
-        assert!(QpError::IterationLimit { iterations: 5 }.to_string().contains("5"));
-        assert!(QpError::Math(MathError::Singular).to_string().contains("singular"));
+        assert_eq!(
+            QpError::Infeasible.to_string(),
+            "constraints are infeasible"
+        );
+        assert!(QpError::IterationLimit { iterations: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(QpError::Math(MathError::Singular)
+            .to_string()
+            .contains("singular"));
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! * [`ConstrainedLsq`] — the `lsqlin`-shaped front end: minimize
 //!   `‖Cx − d‖₂²` subject to linear inequalities and box bounds; it builds
 //!   the QP (`H = CᵀC`, `f = −Cᵀd`) and delegates to [`QuadProg`].
+//! * [`PreparedQp`] / [`PreparedLsq`] — the amortized forms for repeated
+//!   solves with fixed `H`/`C` and constraint matrix but varying linear
+//!   term and right-hand side: the Cholesky factorization and the
+//!   per-constraint back-solves are computed once at construction, and
+//!   each solve can warm-start from the previous active set.  This is the
+//!   controller hot path: once the closed loop settles, the active set
+//!   stops changing and a solve costs two triangular back-substitutions.
 //!
 //! Solutions report the active constraint set and Lagrange multipliers so
 //! callers (and the test-suite) can verify the KKT conditions directly.
@@ -43,5 +50,5 @@ mod lsq;
 mod solver;
 
 pub use error::QpError;
-pub use lsq::{ConstrainedLsq, LsqSolution};
-pub use solver::{QpSolution, QuadProg};
+pub use lsq::{ConstrainedLsq, LsqSolution, PreparedLsq};
+pub use solver::{PreparedQp, QpSolution, QuadProg};

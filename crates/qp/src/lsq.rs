@@ -2,7 +2,8 @@
 
 use eucon_math::{Matrix, Vector};
 
-use crate::{QpError, QpSolution, QuadProg};
+use crate::solver::{factorize, solve_with_chol};
+use crate::{PreparedQp, QpError, QpSolution};
 
 /// Constrained linear least-squares problem, shaped like MATLAB's `lsqlin`:
 ///
@@ -65,9 +66,19 @@ impl ConstrainedLsq {
     ///
     /// Panics if `d.len() != c.rows()`.
     pub fn new(c: Matrix, d: Vector) -> Self {
-        assert_eq!(d.len(), c.rows(), "rhs length must equal the number of rows of C");
+        assert_eq!(
+            d.len(),
+            c.rows(),
+            "rhs length must equal the number of rows of C"
+        );
         let n = c.cols();
-        ConstrainedLsq { c, d, g: Matrix::zeros(0, n), h: Vector::zeros(0), regularization: 0.0 }
+        ConstrainedLsq {
+            c,
+            d,
+            g: Matrix::zeros(0, n),
+            h: Vector::zeros(0),
+            regularization: 0.0,
+        }
     }
 
     /// Appends inequality constraints `G·x ≤ h`.
@@ -77,9 +88,21 @@ impl ConstrainedLsq {
     /// Panics if `g.cols()` differs from the variable count or
     /// `g.rows() != h.len()`.
     pub fn ineq(mut self, g: Matrix, h: Vector) -> Self {
-        assert_eq!(g.cols(), self.c.cols(), "constraint width must match variable count");
-        assert_eq!(g.rows(), h.len(), "constraint matrix and rhs must have equal rows");
-        self.g = if self.g.rows() == 0 { g } else { self.g.vstack(&g) };
+        assert_eq!(
+            g.cols(),
+            self.c.cols(),
+            "constraint width must match variable count"
+        );
+        assert_eq!(
+            g.rows(),
+            h.len(),
+            "constraint matrix and rhs must have equal rows"
+        );
+        self.g = if self.g.rows() == 0 {
+            g
+        } else {
+            self.g.vstack(&g)
+        };
         self.h = self.h.concat(&h);
         self
     }
@@ -153,18 +176,155 @@ impl ConstrainedLsq {
     /// * [`QpError::Infeasible`] — the constraints admit no solution.
     /// * Any error of the underlying [`QuadProg::solve`].
     pub fn solve(&self) -> Result<LsqSolution, QpError> {
-        let ct = self.c.transpose();
-        let mut hess = &ct * &self.c;
-        if self.regularization > 0.0 {
-            for i in 0..hess.rows() {
-                hess[(i, i)] += self.regularization;
-            }
+        let n = self.num_vars();
+        if n == 0 {
+            return Ok(LsqSolution {
+                x: Vector::zeros(0),
+                residual: self.d.norm(),
+                iterations: 0,
+                active: Vec::new(),
+            });
         }
+        let ct = self.c.transpose();
+        let hess = gauss_normal_matrix(&ct, &self.c, self.regularization);
         let f = -&ct.mul_vec(&self.d);
-        let qp = QuadProg::new(hess, f)?.ineq(self.g.clone(), self.h.clone());
-        let QpSolution { x, active, iterations, .. } = qp.solve()?;
+        let chol = factorize(&hess)?;
+        let base_scale = self.g.max_abs().max(hess.max_abs()).max(1.0);
+        let QpSolution {
+            x,
+            active,
+            iterations,
+            ..
+        } = solve_with_chol(&chol, &f, &self.g, &self.h, base_scale, None, &[])?;
         let residual = (&self.c.mul_vec(&x) - &self.d).norm();
-        Ok(LsqSolution { x, residual, iterations, active })
+        Ok(LsqSolution {
+            x,
+            residual,
+            iterations,
+            active,
+        })
+    }
+}
+
+/// `CᵀC + εI`, the Gauss normal matrix of the least-squares objective.
+fn gauss_normal_matrix(ct: &Matrix, c: &Matrix, regularization: f64) -> Matrix {
+    let mut hess = ct * c;
+    if regularization > 0.0 {
+        for i in 0..hess.rows() {
+            hess[(i, i)] += regularization;
+        }
+    }
+    hess
+}
+
+/// A constrained least-squares problem with fixed `C` and `G`, prepared
+/// for repeated solves with varying targets `d` and constraint slacks `h`.
+///
+/// This is the shape of the EUCON controller's per-period problem: the
+/// objective matrix `C` and constraint matrix `G` derive from the task
+/// model and never change between sampling periods, while `d` (tracking
+/// error) and `h` (rate/utilization slacks) change every period.
+/// Construction builds `H = CᵀC + εI`, factorizes it once, and precomputes
+/// the per-constraint back-solves ([`PreparedQp`]); each
+/// [`solve_with`](PreparedLsq::solve_with) then costs two triangular
+/// back-substitutions plus active-set bookkeeping, and can warm-start from
+/// the previous period's active set.
+///
+/// # Example
+///
+/// ```
+/// use eucon_math::{Matrix, Vector};
+/// use eucon_qp::PreparedLsq;
+///
+/// # fn main() -> Result<(), eucon_qp::QpError> {
+/// // Repeatedly project a moving target onto x0 + x1 ≤ 1.
+/// let prepared = PreparedLsq::new(
+///     Matrix::identity(2),
+///     Matrix::from_rows(&[&[1.0, 1.0]]),
+///     0.0,
+/// )?;
+/// let h = Vector::from_slice(&[1.0]);
+/// let mut warm = Vec::new();
+/// for k in 0..3 {
+///     let d = Vector::from_slice(&[1.0 + k as f64, 1.0]);
+///     let sol = prepared.solve_with(&d, &h, &warm)?;
+///     assert!(sol.x[0] + sol.x[1] <= 1.0 + 1e-9);
+///     warm = sol.active;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedLsq {
+    c: Matrix,
+    ct: Matrix,
+    qp: PreparedQp,
+}
+
+impl PreparedLsq {
+    /// Prepares `min ‖C·x − d‖²` s.t. `G·x ≤ h` for repeated solves,
+    /// factorizing `H = CᵀC + εI` once.
+    ///
+    /// # Errors
+    ///
+    /// * [`QpError::NotStrictlyConvex`] — `CᵀC + εI` is not positive
+    ///   definite (rank-deficient `C` with `ε = 0`).
+    /// * [`QpError::DimensionMismatch`] — `g.cols() != c.cols()`.
+    pub fn new(c: Matrix, g: Matrix, regularization: f64) -> Result<Self, QpError> {
+        let ct = c.transpose();
+        let hess = gauss_normal_matrix(&ct, &c, regularization);
+        let qp = PreparedQp::new(hess, g)?;
+        Ok(PreparedLsq { c, ct, qp })
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.cols()
+    }
+
+    /// Number of inequality constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.qp.num_constraints()
+    }
+
+    /// Solves for a new target `d` and constraint rhs `h`, optionally
+    /// warm-starting from a previous active set (see
+    /// [`PreparedQp::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConstrainedLsq::solve`], minus
+    /// [`QpError::NotStrictlyConvex`] which was ruled out at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != c.rows()` or `h.len()` differs from the
+    /// prepared constraint count.
+    pub fn solve_with(
+        &self,
+        d: &Vector,
+        h: &Vector,
+        warm: &[usize],
+    ) -> Result<LsqSolution, QpError> {
+        assert_eq!(
+            d.len(),
+            self.c.rows(),
+            "rhs length must equal the number of rows of C"
+        );
+        let f = -&self.ct.mul_vec(d);
+        let QpSolution {
+            x,
+            active,
+            iterations,
+            ..
+        } = self.qp.solve(&f, h, warm)?;
+        let residual = (&self.c.mul_vec(&x) - d).norm();
+        Ok(LsqSolution {
+            x,
+            residual,
+            iterations,
+            active,
+        })
     }
 }
 
@@ -221,7 +381,10 @@ mod tests {
         let bare = ConstrainedLsq::new(c.clone(), d.clone()).solve();
         assert_eq!(bare.unwrap_err(), QpError::NotStrictlyConvex);
 
-        let sol = ConstrainedLsq::new(c, d).regularization(1e-9).solve().unwrap();
+        let sol = ConstrainedLsq::new(c, d)
+            .regularization(1e-9)
+            .solve()
+            .unwrap();
         // Minimum-norm-ish solution: x0 ≈ x1 ≈ 1.
         assert!((sol.x[0] - 1.0).abs() < 1e-4);
         assert!((sol.x[1] - 1.0).abs() < 1e-4);
@@ -249,6 +412,48 @@ mod tests {
         let sol = ConstrainedLsq::new(c, d).solve().unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-9);
         assert!((sol.residual - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_matches_one_shot_front_end() {
+        let c = Matrix::from_rows(&[&[2.0, 0.5], &[0.0, 1.0], &[1.0, 1.0]]);
+        let g = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.0], &[0.0, -1.0]]);
+        let h = Vector::from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        let prepared = PreparedLsq::new(c.clone(), g.clone(), 0.0).unwrap();
+        for d in [[3.0, -2.0, 0.5], [0.0, 0.0, 0.0], [-5.0, 5.0, 1.0]] {
+            let dv = Vector::from_slice(&d);
+            let oneshot = ConstrainedLsq::new(c.clone(), dv.clone())
+                .ineq(g.clone(), h.clone())
+                .solve()
+                .unwrap();
+            let sol = prepared.solve_with(&dv, &h, &[]).unwrap();
+            assert!(sol.x.approx_eq(&oneshot.x, 1e-10));
+            assert!((sol.residual - oneshot.residual).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn prepared_warm_start_reaches_same_solution() {
+        let prepared = PreparedLsq::new(
+            Matrix::identity(2),
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            0.0,
+        )
+        .unwrap();
+        let h = Vector::from_slice(&[1.0, 1.0]);
+        let d = Vector::from_slice(&[2.0, 2.0]);
+        let cold = prepared.solve_with(&d, &h, &[]).unwrap();
+        let warm = prepared.solve_with(&d, &h, &cold.active).unwrap();
+        assert!(warm.x.approx_eq(&cold.x, 1e-12));
+        assert_eq!(warm.iterations, 0);
+    }
+
+    #[test]
+    fn prepared_detects_rank_deficiency_at_construction() {
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let r = PreparedLsq::new(c.clone(), Matrix::zeros(0, 2), 0.0);
+        assert_eq!(r.unwrap_err(), QpError::NotStrictlyConvex);
+        assert!(PreparedLsq::new(c, Matrix::zeros(0, 2), 1e-9).is_ok());
     }
 
     mod properties {

@@ -1,0 +1,173 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the tiny slice of the `rand` 0.8 API it
+//! actually uses: [`rngs::StdRng`], [`Rng`] and [`SeedableRng`].  The
+//! generator is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but the workspace only
+//! relies on *reproducibility for a given seed*, never on the exact
+//! stream, so this is a drop-in replacement here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// Types that can be sampled uniformly by [`Rng::gen`] (stand-in for the
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Random-number-generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` uniformly (the `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from a half-open `f64` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range_f64(&mut self, range: std::ops::Range<f64>) -> f64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        range.start + self.gen::<f64>() * (range.end - range.start)
+    }
+
+    /// Samples uniformly from a half-open `u64` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        // Multiply-shift rejection-free mapping; bias ≤ 2⁻⁶⁴, irrelevant
+        // for simulation workloads.
+        range.start + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2800..=3200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range_f64(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+            let k = rng.gen_range_u64(10..20);
+            assert!((10..20).contains(&k));
+        }
+    }
+}

@@ -45,10 +45,17 @@ impl ExecModel {
     /// Panics unless `high_over_low > 1` and `0 < p_high < 1`.
     pub fn bimodal(high_over_low: f64, p_high: f64) -> Self {
         assert!(high_over_low > 1.0, "the expensive mode must cost more");
-        assert!((0.0..1.0).contains(&p_high) && p_high > 0.0, "p_high must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p_high) && p_high > 0.0,
+            "p_high must be in (0, 1)"
+        );
         // E[x] = low·(1−p) + low·ratio·p = 1 ⇒ low = 1/(1 − p + ratio·p).
         let low = 1.0 / (1.0 - p_high + high_over_low * p_high);
-        ExecModel::Bimodal { low, high: low * high_over_low, p_high }
+        ExecModel::Bimodal {
+            low,
+            high: low * high_over_low,
+            p_high,
+        }
     }
 
     /// Draws an actual execution time for the given mean.
@@ -111,8 +118,13 @@ impl EtfProfile {
     ///
     /// Panics if `factor` is not a positive finite number.
     pub fn constant(factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "etf must be positive and finite");
-        EtfProfile { steps: vec![(0.0, factor)] }
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "etf must be positive and finite"
+        );
+        EtfProfile {
+            steps: vec![(0.0, factor)],
+        }
     }
 
     /// A step profile from `(start_time, factor)` pairs.
@@ -130,7 +142,9 @@ impl EtfProfile {
         for &(_, f) in steps {
             assert!(f > 0.0 && f.is_finite(), "etf must be positive and finite");
         }
-        EtfProfile { steps: steps.to_vec() }
+        EtfProfile {
+            steps: steps.to_vec(),
+        }
     }
 
     /// The factor in effect at time `t` (clamped to the first step for

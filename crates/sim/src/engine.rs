@@ -31,6 +31,11 @@ struct Job {
 #[derive(Debug, Default)]
 struct ProcState {
     ready: Vec<Job>,
+    /// Cached index of the highest-priority ready job.  `advance` runs on
+    /// every event touching the processor, so the scheduler decision must
+    /// not rescan the queue each time; the cache is updated in O(1) on
+    /// job arrival and recomputed only when a job leaves the queue.
+    running: Option<usize>,
     /// Version counter invalidating in-flight completion events.
     version: u64,
     /// Busy time accumulated in the current monitoring window.
@@ -40,18 +45,41 @@ struct ProcState {
     last_update: f64,
 }
 
+/// RMS dispatch order: smallest period first, ties broken by earlier
+/// release, then FIFO sequence.  Job priorities are fixed at release
+/// (the period field is a snapshot), so the order of queued jobs never
+/// changes while they wait.
+fn dispatch_cmp(a: &Job, b: &Job) -> std::cmp::Ordering {
+    a.period
+        .total_cmp(&b.period)
+        .then(a.release.total_cmp(&b.release))
+        .then(a.seq.cmp(&b.seq))
+}
+
 impl ProcState {
-    /// Index of the highest-priority ready job (RMS: smallest period;
-    /// ties broken by earlier release, then FIFO sequence).
+    /// Index of the highest-priority ready job, from the cache.
     fn running_index(&self) -> Option<usize> {
-        (0..self.ready.len()).min_by(|&a, &b| {
-            let ja = &self.ready[a];
-            let jb = &self.ready[b];
-            ja.period
-                .total_cmp(&jb.period)
-                .then(ja.release.total_cmp(&jb.release))
-                .then(ja.seq.cmp(&jb.seq))
-        })
+        self.running
+    }
+
+    /// Enqueues a job, displacing the cached running job only when the
+    /// newcomer preempts it.
+    fn push_job(&mut self, job: Job) {
+        self.ready.push(job);
+        let i = self.ready.len() - 1;
+        match self.running {
+            Some(r) if dispatch_cmp(&self.ready[r], &self.ready[i]).is_lt() => {}
+            _ => self.running = Some(i),
+        }
+    }
+
+    /// Removes the job at `i` and rescans for the next job to dispatch
+    /// (`swap_remove` also moves the last job, so cached indices die).
+    fn remove_job(&mut self, i: usize) -> Job {
+        let job = self.ready.swap_remove(i);
+        self.running =
+            (0..self.ready.len()).min_by(|&a, &b| dispatch_cmp(&self.ready[a], &self.ready[b]));
+        job
     }
 
     /// Advances the processor's clock to `t`, charging the elapsed time to
@@ -129,7 +157,8 @@ impl Simulator {
     ///
     /// Panics if the task set is empty (see [`TaskSet::validate`]).
     pub fn new(set: TaskSet, cfg: SimConfig) -> Self {
-        set.validate().expect("simulator requires a non-empty task set");
+        set.validate()
+            .expect("simulator requires a non-empty task set");
         let m = set.num_tasks();
         let n = set.num_processors();
         let rates: Vec<f64> = set.initial_rates().into_vec();
@@ -138,8 +167,11 @@ impl Simulator {
             .iter()
             .map(|t| vec![f64::NEG_INFINITY; t.len()])
             .collect();
-        let set_subtask_stats: Vec<Vec<SubtaskStats>> =
-            set.tasks().iter().map(|t| vec![SubtaskStats::default(); t.len()]).collect();
+        let set_subtask_stats: Vec<Vec<SubtaskStats>> = set
+            .tasks()
+            .iter()
+            .map(|t| vec![SubtaskStats::default(); t.len()])
+            .collect();
         let mut sim = Simulator {
             set,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -160,7 +192,13 @@ impl Simulator {
             window_start: 0.0,
         };
         for t in 0..m {
-            sim.queue.push(0.0, EventKind::TaskRelease { task: t, version: 0 });
+            sim.queue.push(
+                0.0,
+                EventKind::TaskRelease {
+                    task: t,
+                    version: 0,
+                },
+            );
         }
         sim
     }
@@ -234,7 +272,10 @@ impl Simulator {
     /// Panics if `rate` is not a positive finite number or the id is out of
     /// range.
     pub fn set_rate(&mut self, task: TaskId, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite"
+        );
         let t = task.0;
         let clamped = self.set.task(task).clamp_rate(rate);
         self.rates[t] = clamped;
@@ -245,9 +286,13 @@ impl Simulator {
         if !self.suspended[t] {
             let version = self.task_version[t];
             let last = self.sub_last_release[t][0];
-            let next =
-                if last.is_finite() { (last + 1.0 / clamped).max(self.now) } else { self.now };
-            self.queue.push(next, EventKind::TaskRelease { task: t, version });
+            let next = if last.is_finite() {
+                (last + 1.0 / clamped).max(self.now)
+            } else {
+                self.now
+            };
+            self.queue
+                .push(next, EventKind::TaskRelease { task: t, version });
         }
         clamped
     }
@@ -258,7 +303,11 @@ impl Simulator {
     ///
     /// Panics if `rates.len()` differs from the task count.
     pub fn set_rates(&mut self, rates: &Vector) {
-        assert_eq!(rates.len(), self.set.num_tasks(), "one rate per task required");
+        assert_eq!(
+            rates.len(),
+            self.set.num_tasks(),
+            "one rate per task required"
+        );
         for t in 0..rates.len() {
             self.set_rate(TaskId(t), rates[t]);
         }
@@ -301,7 +350,13 @@ impl Simulator {
             } else {
                 self.now
             };
-            self.queue.push(next, EventKind::TaskRelease { task: task.0, version });
+            self.queue.push(
+                next,
+                EventKind::TaskRelease {
+                    task: task.0,
+                    version,
+                },
+            );
         }
     }
 
@@ -337,7 +392,11 @@ impl Simulator {
                         self.handle_head_release(task);
                     }
                 }
-                EventKind::SubtaskRelease { task, index, instance } => {
+                EventKind::SubtaskRelease {
+                    task,
+                    index,
+                    instance,
+                } => {
                     self.handle_subtask_release(task, index, instance);
                 }
                 EventKind::Completion { processor, version } => {
@@ -366,7 +425,11 @@ impl Simulator {
         let u = if elapsed <= 0.0 {
             Vector::zeros(self.procs.len())
         } else {
-            Vector::from_iter(self.procs.iter().map(|p| (p.busy_window / elapsed).min(1.0)))
+            Vector::from_iter(
+                self.procs
+                    .iter()
+                    .map(|p| (p.busy_window / elapsed).min(1.0)),
+            )
         };
         for p in &mut self.procs {
             p.busy_window = 0.0;
@@ -393,8 +456,10 @@ impl Simulator {
         self.release_job(task, 0, instance);
         // Next periodic release under the current rate.
         let version = self.task_version[task];
-        self.queue
-            .push(self.now + 1.0 / rate, EventKind::TaskRelease { task, version });
+        self.queue.push(
+            self.now + 1.0 / rate,
+            EventKind::TaskRelease { task, version },
+        );
     }
 
     fn handle_subtask_release(&mut self, task: usize, index: usize, instance: u64) {
@@ -405,7 +470,11 @@ impl Simulator {
         // with anything, and without this rule transient overloads would
         // push release phases permanently late.
         let last = self.sub_last_release[task][index];
-        let guard = if last.is_finite() { last + 1.0 / self.rates[task] } else { self.now };
+        let guard = if last.is_finite() {
+            last + 1.0 / self.rates[task]
+        } else {
+            self.now
+        };
         if self.now + TIME_EPS < guard {
             let idle_release = self.cfg.release_guard == crate::ReleaseGuard::IdleRelease && {
                 let p = self.set.tasks()[task].subtasks()[index].processor.0;
@@ -413,7 +482,14 @@ impl Simulator {
                 self.procs[p].ready.is_empty()
             };
             if !idle_release {
-                self.queue.push(guard, EventKind::SubtaskRelease { task, index, instance });
+                self.queue.push(
+                    guard,
+                    EventKind::SubtaskRelease {
+                        task,
+                        index,
+                        instance,
+                    },
+                );
                 return;
             }
         }
@@ -442,7 +518,7 @@ impl Simulator {
         self.next_job_seq += 1;
         let p = subtask.processor.0;
         self.procs[p].advance(self.now);
-        self.procs[p].ready.push(job);
+        self.procs[p].push_job(job);
         self.reschedule_completion(p);
     }
 
@@ -456,7 +532,7 @@ impl Simulator {
             self.reschedule_completion(p);
             return;
         }
-        let job = self.procs[p].ready.swap_remove(i);
+        let job = self.procs[p].remove_job(i);
         // Subdeadline bookkeeping: subdeadline = period at release.
         {
             let st = &mut self.subtask_stats[job.task][job.index];
@@ -471,7 +547,11 @@ impl Simulator {
             // release guard is applied when the event fires).
             self.queue.push(
                 self.now,
-                EventKind::SubtaskRelease { task: job.task, index: job.index + 1, instance: job.instance },
+                EventKind::SubtaskRelease {
+                    task: job.task,
+                    index: job.index + 1,
+                    instance: job.instance,
+                },
             );
         } else if let Some((release, deadline)) = self.inflight[job.task].remove(&job.instance) {
             let response = self.now - release;
@@ -496,7 +576,13 @@ impl Simulator {
         let version = self.procs[p].version;
         if let Some(i) = self.procs[p].running_index() {
             let eta = self.now + self.procs[p].ready[i].remaining;
-            self.queue.push(eta, EventKind::Completion { processor: p, version });
+            self.queue.push(
+                eta,
+                EventKind::Completion {
+                    processor: p,
+                    version,
+                },
+            );
         }
     }
 }
@@ -510,10 +596,50 @@ mod tests {
         let r = 1.0 / period;
         let mut set = TaskSet::new(1);
         set.add_task(
-            Task::builder(r / 10.0, r * 10.0, r).subtask(ProcessorId(0), c).build().unwrap(),
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(0), c)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         set
+    }
+
+    #[test]
+    fn running_cache_matches_full_scan() {
+        // The incrementally maintained dispatch cache must always agree
+        // with a fresh scan of the ready queue.
+        let mk = |period: f64, release: f64, seq: u64| Job {
+            task: 0,
+            index: 0,
+            instance: 0,
+            remaining: 1.0,
+            period,
+            release,
+            seq,
+        };
+        let scan = |p: &ProcState| {
+            (0..p.ready.len()).min_by(|&a, &b| dispatch_cmp(&p.ready[a], &p.ready[b]))
+        };
+        let mut p = ProcState::default();
+        assert_eq!(p.running_index(), None);
+        // Arrivals: lower-priority first, a preempting one, a tie on
+        // period broken by release, and a tie on both broken by seq.
+        for job in [
+            mk(5.0, 0.0, 0),
+            mk(3.0, 1.0, 1),
+            mk(4.0, 0.5, 2),
+            mk(3.0, 1.0, 3),
+        ] {
+            p.push_job(job);
+            assert_eq!(p.running_index(), scan(&p));
+        }
+        // Drain through swap_remove (which shuffles indices).
+        while let Some(i) = p.running_index() {
+            let _ = p.remove_job(i);
+            assert_eq!(p.running_index(), scan(&p));
+        }
+        assert!(p.ready.is_empty());
     }
 
     #[test]
@@ -610,7 +736,10 @@ mod tests {
         // Competing high-priority load on P0 creates completion jitter.
         let r2 = 1.0 / 23.0;
         set.add_task(
-            Task::builder(r2 / 10.0, r2 * 10.0, r2).subtask(ProcessorId(0), 8.0).build().unwrap(),
+            Task::builder(r2 / 10.0, r2 * 10.0, r2)
+                .subtask(ProcessorId(0), 8.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut sim = Simulator::new(
@@ -637,7 +766,10 @@ mod tests {
         let slow = 1.0 / 200.0;
         let mut set = TaskSet::new(1);
         set.add_task(
-            Task::builder(fast / 2.0, fast * 2.0, fast).subtask(ProcessorId(0), 5.0).build().unwrap(),
+            Task::builder(fast / 2.0, fast * 2.0, fast)
+                .subtask(ProcessorId(0), 5.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         set.add_task(
@@ -677,8 +809,14 @@ mod tests {
         );
         sim.run_until(10_000.0);
         let completed = sim.task_stats()[0].completed;
-        assert!(completed <= 201, "strict spacing bounds completions: {completed}");
-        assert!(completed >= 195, "successor keeps up in steady state: {completed}");
+        assert!(
+            completed <= 201,
+            "strict spacing bounds completions: {completed}"
+        );
+        assert!(
+            completed >= 195,
+            "successor keeps up in steady state: {completed}"
+        );
     }
 
     #[test]
@@ -797,7 +935,11 @@ mod tests {
         sim.resume_task(TaskId(0));
         sim.run_until(31_000.0);
         let u = sim.sample_utilizations();
-        assert!((u[0] - 0.2).abs() < 0.02, "resumed task runs again, got {}", u[0]);
+        assert!(
+            (u[0] - 0.2).abs() < 0.02,
+            "resumed task runs again, got {}",
+            u[0]
+        );
     }
 
     #[test]
@@ -816,7 +958,11 @@ mod tests {
         sim.resume_task(TaskId(0));
         sim.run_until(30_000.0);
         let u = sim.sample_utilizations();
-        assert!((u[0] - 0.4).abs() < 0.05, "20 exec / 50 period = 0.4, got {}", u[0]);
+        assert!(
+            (u[0] - 0.4).abs() < 0.05,
+            "20 exec / 50 period = 0.4, got {}",
+            u[0]
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@ pub(crate) enum EventKind {
     /// Carries a version so rate changes can invalidate stale releases.
     TaskRelease { task: usize, version: u64 },
     /// Release-guarded release of a successor subtask.
-    SubtaskRelease { task: usize, index: usize, instance: u64 },
+    SubtaskRelease {
+        task: usize,
+        index: usize,
+        instance: u64,
+    },
     /// Tentative completion of the job currently running on a processor.
     ///
     /// Carries a version; any change to the processor's ready queue bumps
@@ -61,7 +65,10 @@ pub(crate) struct EventQueue {
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `kind` at absolute time `time`.
@@ -100,9 +107,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(5.0, EventKind::TaskRelease { task: 0, version: 0 });
-        q.push(1.0, EventKind::TaskRelease { task: 1, version: 0 });
-        q.push(3.0, EventKind::TaskRelease { task: 2, version: 0 });
+        q.push(
+            5.0,
+            EventKind::TaskRelease {
+                task: 0,
+                version: 0,
+            },
+        );
+        q.push(
+            1.0,
+            EventKind::TaskRelease {
+                task: 1,
+                version: 0,
+            },
+        );
+        q.push(
+            3.0,
+            EventKind::TaskRelease {
+                task: 2,
+                version: 0,
+            },
+        );
         let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
@@ -126,7 +151,13 @@ mod tests {
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(7.0, EventKind::Completion { processor: 0, version: 1 });
+        q.push(
+            7.0,
+            EventKind::Completion {
+                processor: 0,
+                version: 1,
+            },
+        );
         assert_eq!(q.peek_time(), Some(7.0));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().time, 7.0);
@@ -137,6 +168,12 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_time_rejected() {
         let mut q = EventQueue::new();
-        q.push(f64::NAN, EventKind::Completion { processor: 0, version: 0 });
+        q.push(
+            f64::NAN,
+            EventKind::Completion {
+                processor: 0,
+                version: 0,
+            },
+        );
     }
 }

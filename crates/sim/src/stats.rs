@@ -91,14 +91,22 @@ mod tests {
     #[test]
     fn subtask_miss_ratio() {
         assert_eq!(SubtaskStats::default().miss_ratio(), 0.0);
-        let s = SubtaskStats { completed: 10, missed: 3 };
+        let s = SubtaskStats {
+            completed: 10,
+            missed: 3,
+        };
         assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn mean_response_time_handles_empty() {
         assert_eq!(TaskStats::default().mean_response_time(), 0.0);
-        let s = TaskStats { completed: 2, missed: 0, response_time_sum: 10.0, response_time_max: 7.0 };
+        let s = TaskStats {
+            completed: 2,
+            missed: 0,
+            response_time_sum: 10.0,
+            response_time_max: 7.0,
+        };
         assert_eq!(s.mean_response_time(), 5.0);
     }
 }

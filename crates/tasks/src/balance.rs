@@ -121,7 +121,14 @@ pub fn balance(set: &TaskSet, max_moves: usize) -> (TaskSet, BalanceReport) {
         best = ratio;
     }
 
-    (rebuild(set, &placement), BalanceReport { before, after: best, moves })
+    (
+        rebuild(set, &placement),
+        BalanceReport {
+            before,
+            after: best,
+            moves,
+        },
+    )
 }
 
 /// Rebuilds a task set with the same tasks but new processor assignments.
@@ -199,8 +206,15 @@ mod tests {
         let before = worst_load_ratio(&set);
         let (_, report) = balance(&set, 50);
         assert!((report.before - before).abs() < 1e-12);
-        assert!(report.after >= report.before - 1e-9, "cannot beat a perfectly balanced set");
-        assert!(report.moves.is_empty(), "no moves expected: {:?}", report.moves);
+        assert!(
+            report.after >= report.before - 1e-9,
+            "cannot beat a perfectly balanced set"
+        );
+        assert!(
+            report.moves.is_empty(),
+            "no moves expected: {:?}",
+            report.moves
+        );
     }
 
     #[test]
@@ -217,7 +231,10 @@ mod tests {
         let mut set = TaskSet::new(1);
         let r = 1.0 / 100.0;
         set.add_task(
-            Task::builder(r / 2.0, r * 2.0, r).subtask(ProcessorId(0), 50.0).build().unwrap(),
+            Task::builder(r / 2.0, r * 2.0, r)
+                .subtask(ProcessorId(0), 50.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let (_, report) = balance(&set, 10);

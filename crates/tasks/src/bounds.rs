@@ -46,8 +46,7 @@ pub fn liu_layland_bound(m: usize) -> f64 {
 /// ```
 pub fn rms_set_points(set: &TaskSet) -> Vector {
     Vector::from_iter(
-        (0..set.num_processors())
-            .map(|i| liu_layland_bound(set.num_subtasks_on(ProcessorId(i)))),
+        (0..set.num_processors()).map(|i| liu_layland_bound(set.num_subtasks_on(ProcessorId(i)))),
     )
 }
 
@@ -152,7 +151,10 @@ mod tests {
         )
         .unwrap();
         set.add_task(
-            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 1.0).build().unwrap(),
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(1), 1.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let b = rms_set_points(&set);

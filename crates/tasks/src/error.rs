@@ -47,8 +47,14 @@ impl fmt::Display for TaskError {
             TaskError::InitialRateOutOfRange { rate } => {
                 write!(f, "initial rate {rate} lies outside the allowed range")
             }
-            TaskError::ProcessorOutOfRange { processor, num_processors } => {
-                write!(f, "processor index {processor} out of range for {num_processors} processors")
+            TaskError::ProcessorOutOfRange {
+                processor,
+                num_processors,
+            } => {
+                write!(
+                    f,
+                    "processor index {processor} out of range for {num_processors} processors"
+                )
             }
             TaskError::NonPositiveExecutionTime { time } => {
                 write!(f, "estimated execution time {time} must be positive")
@@ -70,8 +76,11 @@ mod tests {
         assert!(TaskError::InvalidRateRange { min: 1.0, max: 0.5 }
             .to_string()
             .contains("[1, 0.5]"));
-        assert!(TaskError::ProcessorOutOfRange { processor: 9, num_processors: 4 }
-            .to_string()
-            .contains("9"));
+        assert!(TaskError::ProcessorOutOfRange {
+            processor: 9,
+            num_processors: 4
+        }
+        .to_string()
+        .contains("9"));
     }
 }

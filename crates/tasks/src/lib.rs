@@ -39,9 +39,7 @@ mod model;
 mod set;
 pub mod workloads;
 
-pub use bounds::{
-    even_subdeadlines, liu_layland_bound, proportional_subdeadlines, rms_set_points,
-};
+pub use bounds::{even_subdeadlines, liu_layland_bound, proportional_subdeadlines, rms_set_points};
 pub use error::TaskError;
 pub use model::{ProcessorId, Subtask, SubtaskId, Task, TaskBuilder, TaskId};
 pub use set::TaskSet;

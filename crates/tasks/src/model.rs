@@ -71,7 +71,10 @@ pub struct Subtask {
 impl Subtask {
     /// Creates a subtask on `processor` with estimate `estimated_time`.
     pub fn new(processor: ProcessorId, estimated_time: f64) -> Self {
-        Subtask { processor, estimated_time }
+        Subtask {
+            processor,
+            estimated_time,
+        }
     }
 }
 
@@ -200,15 +203,22 @@ impl TaskBuilder {
             && self.rate_min.is_finite()
             && self.rate_max.is_finite();
         if !range_valid {
-            return Err(TaskError::InvalidRateRange { min: self.rate_min, max: self.rate_max });
+            return Err(TaskError::InvalidRateRange {
+                min: self.rate_min,
+                max: self.rate_max,
+            });
         }
         if !(self.initial_rate >= self.rate_min && self.initial_rate <= self.rate_max) {
-            return Err(TaskError::InitialRateOutOfRange { rate: self.initial_rate });
+            return Err(TaskError::InitialRateOutOfRange {
+                rate: self.initial_rate,
+            });
         }
         for s in &self.subtasks {
             let time_valid = s.estimated_time > 0.0 && s.estimated_time.is_finite();
             if !time_valid {
-                return Err(TaskError::NonPositiveExecutionTime { time: s.estimated_time });
+                return Err(TaskError::NonPositiveExecutionTime {
+                    time: s.estimated_time,
+                });
             }
         }
         Ok(Task {
@@ -236,7 +246,14 @@ mod tests {
     fn display_ids_are_one_based() {
         assert_eq!(ProcessorId(0).to_string(), "P1");
         assert_eq!(TaskId(1).to_string(), "T2");
-        assert_eq!(SubtaskId { task: TaskId(1), index: 0 }.to_string(), "T21");
+        assert_eq!(
+            SubtaskId {
+                task: TaskId(1),
+                index: 0
+            }
+            .to_string(),
+            "T21"
+        );
     }
 
     #[test]
@@ -256,28 +273,49 @@ mod tests {
 
     #[test]
     fn invalid_rate_ranges_rejected() {
-        let r = Task::builder(0.0, 1.0, 0.5).subtask(ProcessorId(0), 1.0).build();
+        let r = Task::builder(0.0, 1.0, 0.5)
+            .subtask(ProcessorId(0), 1.0)
+            .build();
         assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
 
-        let r = Task::builder(2.0, 1.0, 1.5).subtask(ProcessorId(0), 1.0).build();
+        let r = Task::builder(2.0, 1.0, 1.5)
+            .subtask(ProcessorId(0), 1.0)
+            .build();
         assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
 
-        let r = Task::builder(0.1, f64::INFINITY, 0.5).subtask(ProcessorId(0), 1.0).build();
+        let r = Task::builder(0.1, f64::INFINITY, 0.5)
+            .subtask(ProcessorId(0), 1.0)
+            .build();
         assert!(matches!(r.unwrap_err(), TaskError::InvalidRateRange { .. }));
     }
 
     #[test]
     fn initial_rate_must_lie_inside_range() {
-        let r = Task::builder(0.1, 1.0, 2.0).subtask(ProcessorId(0), 1.0).build();
-        assert!(matches!(r.unwrap_err(), TaskError::InitialRateOutOfRange { .. }));
+        let r = Task::builder(0.1, 1.0, 2.0)
+            .subtask(ProcessorId(0), 1.0)
+            .build();
+        assert!(matches!(
+            r.unwrap_err(),
+            TaskError::InitialRateOutOfRange { .. }
+        ));
     }
 
     #[test]
     fn non_positive_execution_time_rejected() {
-        let r = Task::builder(0.1, 1.0, 0.5).subtask(ProcessorId(0), 0.0).build();
-        assert!(matches!(r.unwrap_err(), TaskError::NonPositiveExecutionTime { .. }));
-        let r = Task::builder(0.1, 1.0, 0.5).subtask(ProcessorId(0), f64::NAN).build();
-        assert!(matches!(r.unwrap_err(), TaskError::NonPositiveExecutionTime { .. }));
+        let r = Task::builder(0.1, 1.0, 0.5)
+            .subtask(ProcessorId(0), 0.0)
+            .build();
+        assert!(matches!(
+            r.unwrap_err(),
+            TaskError::NonPositiveExecutionTime { .. }
+        ));
+        let r = Task::builder(0.1, 1.0, 0.5)
+            .subtask(ProcessorId(0), f64::NAN)
+            .build();
+        assert!(matches!(
+            r.unwrap_err(),
+            TaskError::NonPositiveExecutionTime { .. }
+        ));
     }
 
     #[test]

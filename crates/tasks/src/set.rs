@@ -40,7 +40,10 @@ pub struct TaskSet {
 impl TaskSet {
     /// Creates an empty task set on a platform of `num_processors`.
     pub fn new(num_processors: usize) -> Self {
-        TaskSet { tasks: Vec::new(), num_processors }
+        TaskSet {
+            tasks: Vec::new(),
+            num_processors,
+        }
     }
 
     /// Adds a task, validating its processor references.
@@ -100,10 +103,18 @@ impl TaskSet {
         processor: ProcessorId,
     ) -> impl Iterator<Item = (SubtaskId, &crate::Subtask)> + '_ {
         self.tasks.iter().enumerate().flat_map(move |(t, task)| {
-            task.subtasks().iter().enumerate().filter_map(move |(j, s)| {
-                (s.processor == processor)
-                    .then_some((SubtaskId { task: TaskId(t), index: j }, s))
-            })
+            task.subtasks()
+                .iter()
+                .enumerate()
+                .filter_map(move |(j, s)| {
+                    (s.processor == processor).then_some((
+                        SubtaskId {
+                            task: TaskId(t),
+                            index: j,
+                        },
+                        s,
+                    ))
+                })
         })
     }
 
@@ -177,7 +188,10 @@ mod tests {
         let mut set = TaskSet::new(2);
         // T1: one subtask T11 on P1.
         set.add_task(
-            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(0), 1.0).build().unwrap(),
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(0), 1.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         // T2: subtasks on P1 and P2.
@@ -191,7 +205,10 @@ mod tests {
         .unwrap();
         // T3: one subtask on P2.
         set.add_task(
-            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 4.0).build().unwrap(),
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(1), 4.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         set
@@ -233,8 +250,10 @@ mod tests {
         assert_eq!(set.num_subtasks(), 4);
         assert_eq!(set.num_subtasks_on(ProcessorId(0)), 2);
         assert_eq!(set.num_subtasks_on(ProcessorId(1)), 2);
-        let on_p2: Vec<String> =
-            set.subtasks_on(ProcessorId(1)).map(|(id, _)| id.to_string()).collect();
+        let on_p2: Vec<String> = set
+            .subtasks_on(ProcessorId(1))
+            .map(|(id, _)| id.to_string())
+            .collect();
         assert_eq!(on_p2, vec!["T22", "T31"]);
     }
 
@@ -242,9 +261,15 @@ mod tests {
     fn rejects_out_of_range_processor() {
         let mut set = TaskSet::new(1);
         let r = set.add_task(
-            Task::builder(0.001, 0.1, 0.01).subtask(ProcessorId(1), 1.0).build().unwrap(),
+            Task::builder(0.001, 0.1, 0.01)
+                .subtask(ProcessorId(1), 1.0)
+                .build()
+                .unwrap(),
         );
-        assert!(matches!(r.unwrap_err(), TaskError::ProcessorOutOfRange { .. }));
+        assert!(matches!(
+            r.unwrap_err(),
+            TaskError::ProcessorOutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -303,7 +303,10 @@ impl RandomWorkload {
     ///
     /// Panics if the range is empty or non-positive.
     pub fn period_range(mut self, min_period: f64, max_period: f64) -> Self {
-        assert!(min_period > 0.0 && max_period >= min_period, "invalid period range");
+        assert!(
+            min_period > 0.0 && max_period >= min_period,
+            "invalid period range"
+        );
         self.min_period = min_period;
         self.max_period = max_period;
         self
@@ -337,7 +340,11 @@ impl RandomWorkload {
             let mut chain = Vec::with_capacity(len);
             // Seed coverage: the first `num_processors` tasks start on
             // distinct processors.
-            let mut p = if t < self.num_processors { t } else { rng.below(self.num_processors) };
+            let mut p = if t < self.num_processors {
+                t
+            } else {
+                rng.below(self.num_processors)
+            };
             chain.push(p);
             for _ in 1..len {
                 if self.num_processors == 1 {
@@ -361,8 +368,9 @@ impl RandomWorkload {
         }
         let set_points: Vec<f64> = counts.iter().map(|&m| liu_layland_bound(m)).collect();
 
-        let periods: Vec<f64> =
-            (0..self.num_tasks).map(|_| rng.uniform(self.min_period, self.max_period)).collect();
+        let periods: Vec<f64> = (0..self.num_tasks)
+            .map(|_| rng.uniform(self.min_period, self.max_period))
+            .collect();
 
         let mut raw: Vec<Vec<f64>> = Vec::with_capacity(self.num_tasks);
         let mut totals = vec![0.0f64; self.num_processors];
@@ -474,7 +482,10 @@ mod tests {
         let m = medium();
         let u = m.estimated_utilization(&medium_nominal_rates());
         let b = rms_set_points(&m);
-        assert!(u.approx_eq(&b, 1e-9), "F·r_nom must equal B, got {u} vs {b}");
+        assert!(
+            u.approx_eq(&b, 1e-9),
+            "F·r_nom must equal B, got {u} vs {b}"
+        );
     }
 
     #[test]
@@ -510,7 +521,11 @@ mod tests {
     fn random_workload_covers_every_processor() {
         let set = RandomWorkload::new(6, 10).seed(3).generate();
         for p in 0..6 {
-            assert!(set.num_subtasks_on(ProcessorId(p)) > 0, "P{} has no subtasks", p + 1);
+            assert!(
+                set.num_subtasks_on(ProcessorId(p)) > 0,
+                "P{} has no subtasks",
+                p + 1
+            );
         }
     }
 

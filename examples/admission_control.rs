@@ -20,7 +20,13 @@ fn main() -> Result<(), eucon::core::CoreError> {
         workloads::simple(),
         MpcConfig::simple(),
         AdmissionPolicy::default(),
-        SimConfig { exec_model: ExecModel::Constant, etf: profile, seed: 0, release_guard: Default::default(), processor_speeds: None },
+        SimConfig {
+            exec_model: ExecModel::Constant,
+            etf: profile,
+            seed: 0,
+            release_guard: Default::default(),
+            processor_speeds: None,
+        },
     )?;
 
     al.run(220);
@@ -46,11 +52,19 @@ fn main() -> Result<(), eucon::core::CoreError> {
     );
 
     assert!(
-        al.events().iter().any(|e| matches!(e, eucon::core::admission::AdmissionEvent::Suspended { .. })),
+        al.events()
+            .iter()
+            .any(|e| matches!(e, eucon::core::admission::AdmissionEvent::Suspended { .. })),
         "the overload must force suspensions"
     );
-    assert!(al.suspended_tasks().is_empty(), "relief must bring every task back");
-    assert!((relief_tail.mean - 0.828).abs() < 0.05, "normal regulation resumes");
+    assert!(
+        al.suspended_tasks().is_empty(),
+        "relief must bring every task back"
+    );
+    assert!(
+        (relief_tail.mean - 0.828).abs() < 0.05,
+        "normal regulation resumes"
+    );
     println!("\nLoad shedding kept the system schedulable; every task is running again.");
     Ok(())
 }

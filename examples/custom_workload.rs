@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MpcConfig::simple().horizons(3, 1);
     let margin = stability::critical_uniform_gain(&f, &cfg, 50.0, 1e-4)?;
     println!("stability audit: loop tolerates execution times up to {margin:.2}x the estimates");
-    assert!(margin > 2.0, "refuse to deploy with a thin stability margin");
+    assert!(
+        margin > 2.0,
+        "refuse to deploy with a thin stability margin"
+    );
 
     // Deploy: tracking cost is data dependent — most frames are empty
     // (cheap), but with probability 0.25 targets are in view and a frame
@@ -94,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!((s.mean - targets[p]).abs() < 0.05);
     }
     println!("deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
-    assert!(result.deadlines.miss_ratio() < 0.08, "margin keeps misses rare");
+    assert!(
+        result.deadlines.miss_ratio() < 0.08,
+        "margin keeps misses rare"
+    );
     println!("\nThe pipeline holds its schedulable bounds under fluctuating tracking load.");
     Ok(())
 }

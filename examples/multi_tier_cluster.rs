@@ -35,7 +35,11 @@ fn main() -> Result<(), eucon::core::CoreError> {
                 .seed(8),
         )
         .controller(ControllerSpec::Decentralized(MpcConfig::medium()))
-        .lanes(LaneModel { report_delay: 1, loss_probability: 0.05, seed: 4 })
+        .lanes(LaneModel {
+            report_delay: 1,
+            loss_probability: 0.05,
+            seed: 4,
+        })
         .quantized_rates(32)
         .build()?;
 
@@ -54,12 +58,18 @@ fn main() -> Result<(), eucon::core::CoreError> {
         );
     }
     println!("\nworst tier error: {worst:.4}");
-    println!("end-to-end deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
-    assert!(worst < 0.06, "decentralized control must hold every tier near its bound");
+    println!(
+        "end-to-end deadline miss ratio: {:.4}",
+        result.deadlines.miss_ratio()
+    );
+    assert!(
+        worst < 0.06,
+        "decentralized control must hold every tier near its bound"
+    );
 
     // The point of decentralization: per-node problems stay small.
-    let team = DecentralizedController::new(&cluster, b, MpcConfig::medium())
-        .expect("controller team");
+    let team =
+        DecentralizedController::new(&cluster, b, MpcConfig::medium()).expect("controller team");
     println!(
         "\ncontrol team: {} local controllers, largest owns {} of {} pipelines",
         team.num_controllers(),

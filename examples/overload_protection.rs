@@ -67,14 +67,20 @@ fn main() -> Result<(), eucon::control::ControlError> {
         }
     }
 
-    let means: Vec<f64> =
-        phase_mean.iter().zip(phase_count.iter()).map(|(s, &c)| s / c as f64).collect();
+    let means: Vec<f64> = phase_mean
+        .iter()
+        .zip(phase_count.iter())
+        .map(|(s, &c)| s / c as f64)
+        .collect();
     println!(
         "\nP1 mean utilization: normal {:.3} -> protected {:.3} -> restored {:.3}",
         means[0], means[1], means[2]
     );
     assert!((means[0] - b[0]).abs() < 0.05);
-    assert!((means[1] - 0.5).abs() < 0.05, "protected phase must track the lowered set point");
+    assert!(
+        (means[1] - 0.5).abs() < 0.05,
+        "protected phase must track the lowered set point"
+    );
     assert!((means[2] - b[0]).abs() < 0.05);
     println!("P1 tracked every set point the operator requested — overload protection online.");
     Ok(())

@@ -49,9 +49,15 @@ fn main() -> Result<(), eucon::core::CoreError> {
 
     // Same guaranteed utilization on both platforms, very different rates:
     // that is QoS portability without manual performance tuning.
-    assert!((fast_u - slow_u).abs() < 0.05, "both platforms meet the same guarantee");
+    assert!(
+        (fast_u - slow_u).abs() < 0.05,
+        "both platforms meet the same guarantee"
+    );
     let mean_ratio: f64 = (0..6).map(|t| fast_rates[t] / slow_rates[t]).sum::<f64>() / 6.0;
-    assert!(mean_ratio > 2.0, "the fast platform should sustain much higher rates");
+    assert!(
+        mean_ratio > 2.0,
+        "the fast platform should sustain much higher rates"
+    );
     println!(
         "\nBoth platforms settled at u(P1) ≈ {fast_u:.2}; the fast platform delivers ~{mean_ratio:.1}x the task rates."
     );

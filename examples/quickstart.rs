@@ -13,8 +13,12 @@ fn main() -> Result<(), eucon::core::CoreError> {
     // 2(√2 − 1) ≈ 0.828 with two subtasks per processor.
     let workload = workloads::simple();
     let set_points = rms_set_points(&workload);
-    println!("workload: {} tasks, {} subtasks, {} processors",
-        workload.num_tasks(), workload.num_subtasks(), workload.num_processors());
+    println!(
+        "workload: {} tasks, {} subtasks, {} processors",
+        workload.num_tasks(),
+        workload.num_subtasks(),
+        workload.num_processors()
+    );
     println!("set points: {set_points}");
 
     // Actual execution times are half the estimates (etf = 0.5) — an
@@ -41,9 +45,15 @@ fn main() -> Result<(), eucon::core::CoreError> {
 
     let result = cl.into_result();
     let tail = metrics::window(&result.trace.utilization_series(0), 40, 60);
-    println!("\nP1 over the last 20 periods: mean {:.4}, std {:.4}", tail.mean, tail.std_dev);
+    println!(
+        "\nP1 over the last 20 periods: mean {:.4}, std {:.4}",
+        tail.mean, tail.std_dev
+    );
     println!("deadline miss ratio: {:.4}", result.deadlines.miss_ratio());
-    assert!((tail.mean - 0.828).abs() < 0.05, "EUCON should converge to the set point");
+    assert!(
+        (tail.mean - 0.828).abs() < 0.05,
+        "EUCON should converge to the set point"
+    );
     println!("EUCON held the utilization at the schedulable bound — all deadlines protected.");
     Ok(())
 }

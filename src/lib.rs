@@ -54,8 +54,7 @@ pub mod prelude {
         OpenLoop, RateController,
     };
     pub use eucon_core::{
-        metrics, render, ClosedLoop, ControllerSpec, LaneModel, RunResult, SteadyRun,
-        VaryingRun,
+        metrics, render, ClosedLoop, ControllerSpec, LaneModel, RunResult, SteadyRun, VaryingRun,
     };
     pub use eucon_math::{Matrix, Vector};
     pub use eucon_sim::{EtfProfile, ExecModel, SimConfig, Simulator};

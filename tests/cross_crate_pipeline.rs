@@ -9,7 +9,9 @@ use eucon::prelude::*;
 #[test]
 fn eucon_converges_on_random_workloads() {
     for (seed, procs, tasks) in [(1u64, 3usize, 8usize), (2, 5, 14), (3, 6, 20)] {
-        let set = workloads::RandomWorkload::new(procs, tasks).seed(seed).generate();
+        let set = workloads::RandomWorkload::new(procs, tasks)
+            .seed(seed)
+            .generate();
         let b = rms_set_points(&set);
         let mut cl = ClosedLoop::builder(set)
             .sim_config(SimConfig::constant_etf(0.5).seed(seed))
@@ -39,7 +41,13 @@ fn rates_always_within_bounds_under_disturbance() {
     let (rmin, rmax) = set.rate_bounds();
     let profile = EtfProfile::steps(&[(0.0, 0.2), (50_000.0, 5.0), (100_000.0, 0.1)]);
     let mut cl = ClosedLoop::builder(set)
-        .sim_config(SimConfig { exec_model: ExecModel::Constant, etf: profile, seed: 9, release_guard: Default::default(), processor_speeds: None })
+        .sim_config(SimConfig {
+            exec_model: ExecModel::Constant,
+            etf: profile,
+            seed: 9,
+            release_guard: Default::default(),
+            processor_speeds: None,
+        })
         .controller(ControllerSpec::Eucon(MpcConfig::medium()))
         .build()
         .expect("loop");
@@ -123,7 +131,10 @@ fn rms_set_point_protects_deadlines() {
         "miss ratio {:.4} at the RMS bound",
         result.deadlines.miss_ratio()
     );
-    assert!(result.deadlines.completed() > 3000, "enough instances to be meaningful");
+    assert!(
+        result.deadlines.completed() > 3000,
+        "enough instances to be meaningful"
+    );
 }
 
 /// An infeasible demand (etf far above what the rate range can absorb)
@@ -137,7 +148,11 @@ fn graceful_saturation_when_infeasible() {
         .build()
         .expect("loop");
     let result = cl.run(80);
-    assert_eq!(cl.control_errors(), 0, "infeasibility is handled inside the controller");
+    assert_eq!(
+        cl.control_errors(),
+        0,
+        "infeasibility is handled inside the controller"
+    );
     let set = workloads::simple();
     let last = result.trace.steps().last().expect("steps");
     for (t, task) in set.tasks().iter().enumerate() {

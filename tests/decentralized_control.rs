@@ -79,7 +79,9 @@ fn deucon_matches_centralized_quality_on_medium() {
 #[test]
 fn deucon_scales_to_generated_clusters() {
     for (procs, tasks, seed) in [(6usize, 18usize, 1u64), (10, 30, 2)] {
-        let set = workloads::RandomWorkload::new(procs, tasks).seed(seed).generate();
+        let set = workloads::RandomWorkload::new(procs, tasks)
+            .seed(seed)
+            .generate();
         let b = rms_set_points(&set);
         let mut cl = ClosedLoop::builder(set)
             .sim_config(SimConfig::constant_etf(0.6).seed(seed))

@@ -50,7 +50,10 @@ fn delay_degrades_gracefully_and_monotonically() {
     let s2 = sigma_at(2);
     let s5 = sigma_at(5);
     assert!(s0 < 0.01, "ideal lanes are calm: {s0:.4}");
-    assert!(s5 >= s2, "more delay must not reduce oscillation ({s2:.4} -> {s5:.4})");
+    assert!(
+        s5 >= s2,
+        "more delay must not reduce oscillation ({s2:.4} -> {s5:.4})"
+    );
     assert!(s2 < 0.1, "two periods of delay remain usable: {s2:.4}");
 }
 
@@ -58,7 +61,14 @@ fn delay_degrades_gracefully_and_monotonically() {
 fn lossy_lanes_preserve_stability_margin() {
     // Losses make the loop act on stale data — effectively a slower
     // controller — but must not destabilize it at nominal gain.
-    let result = run_with_lanes(LaneModel { report_delay: 1, loss_probability: 0.2, seed: 9 }, 300);
+    let result = run_with_lanes(
+        LaneModel {
+            report_delay: 1,
+            loss_probability: 0.2,
+            seed: 9,
+        },
+        300,
+    );
     let s = metrics::window(&result.trace.utilization_series(0), 200, 300);
     assert!((s.mean - 0.8284).abs() < 0.05, "mean {:.3}", s.mean);
     assert!(s.std_dev < 0.1, "σ {:.3}", s.std_dev);

@@ -24,7 +24,10 @@ fn fig3a_simple_converges_at_half_estimates() {
             s.std_dev
         );
     }
-    assert!(result.deadlines.miss_ratio() < 0.01, "converged system protects deadlines");
+    assert!(
+        result.deadlines.miss_ratio() < 0.01,
+        "converged system protects deadlines"
+    );
 }
 
 /// Figure 3(b): SIMPLE at etf = 7 (beyond the stability bound) fails to
@@ -38,8 +41,15 @@ fn fig3b_simple_unstable_at_etf_seven() {
     );
     let result = run.run(7.0).expect("run");
     let s = metrics::window(&result.trace.utilization_series(0), 100, 300);
-    assert!(s.std_dev > 0.05, "instability must show as oscillation, std {:.4}", s.std_dev);
-    assert!(result.deadlines.miss_ratio() > 0.1, "overload must miss deadlines");
+    assert!(
+        s.std_dev > 0.05,
+        "instability must show as oscillation, std {:.4}",
+        s.std_dev
+    );
+    assert!(
+        result.deadlines.miss_ratio() > 0.1,
+        "overload must miss deadlines"
+    );
 }
 
 /// Figure 4 (key points): the acceptability region covers small etf and
@@ -55,12 +65,24 @@ fn fig4_acceptability_region_shape() {
     let points = run.sweep(&[0.5, 1.0, 2.0, 6.0, 9.0]).expect("sweep");
     // Acceptable at 0.5, 1.0, 2.0 (paper: up to 3).
     for p in &points[..3] {
-        assert!(p.acceptable[0], "etf {} should be acceptable: {:?}", p.etf, p.stats[0]);
+        assert!(
+            p.acceptable[0],
+            "etf {} should be acceptable: {:?}",
+            p.etf, p.stats[0]
+        );
     }
     // Oscillatory at 6 (analytically unstable in our derivation).
-    assert!(points[3].stats[0].std_dev > 0.05, "etf 6: {:?}", points[3].stats[0]);
+    assert!(
+        points[3].stats[0].std_dev > 0.05,
+        "etf 6: {:?}",
+        points[3].stats[0]
+    );
     // Diverged above the set point at 9.
-    assert!(points[4].stats[0].mean > 0.9, "etf 9: {:?}", points[4].stats[0]);
+    assert!(
+        points[4].stats[0].mean > 0.9,
+        "etf 9: {:?}",
+        points[4].stats[0]
+    );
 }
 
 /// With Table 1's printed rate bounds, rates saturate at Rmax below
@@ -87,7 +109,11 @@ fn fig4_rmax_saturation_and_widened_variant() {
         ExecModel::Constant,
     );
     let p = &widened.sweep(&[0.2]).expect("sweep")[0];
-    assert!(p.acceptable[0], "widened rates must track at etf 0.2: {:?}", p.stats[0]);
+    assert!(
+        p.acceptable[0],
+        "widened rates must track at etf 0.2: {:?}",
+        p.stats[0]
+    );
 }
 
 /// Figure 5 (key points): on MEDIUM, EUCON is acceptable across
@@ -114,12 +140,18 @@ fn fig5_medium_eucon_vs_open() {
     // OPEN expected line: etf-proportional.
     let open = OpenLoop::design(&set, &b).expect("design");
     let u = open.expected_utilization(&set, 0.1);
-    assert!((u[0] - 0.0729).abs() < 1e-3, "paper reports 0.073 at etf 0.1, got {:.4}", u[0]);
+    assert!(
+        (u[0] - 0.0729).abs() < 1e-3,
+        "paper reports 0.073 at etf 0.1, got {:.4}",
+        u[0]
+    );
 
     // OPEN measured in simulation at etf 0.5: half the set point.
-    let open_run = SteadyRun::paper(set, ControllerSpec::Open, ExecModel::Uniform {
-        half_width: 0.2,
-    });
+    let open_run = SteadyRun::paper(
+        set,
+        ControllerSpec::Open,
+        ExecModel::Uniform { half_width: 0.2 },
+    );
     let p = &open_run.sweep(&[0.5]).expect("sweep")[0];
     assert!(
         (p.stats[0].mean - 0.5 * b[0]).abs() < 0.05,
@@ -127,7 +159,10 @@ fn fig5_medium_eucon_vs_open() {
         p.stats[0].mean,
         0.5 * b[0]
     );
-    assert!(!p.acceptable[0], "OPEN must fail the acceptability criterion off etf = 1");
+    assert!(
+        !p.acceptable[0],
+        "OPEN must fail the acceptability criterion off etf = 1"
+    );
 }
 
 /// The paper's §6.3 tuning guidance: pessimistic estimates (etf < 1)

@@ -5,9 +5,13 @@
 use eucon::prelude::*;
 
 fn varying(controller: ControllerSpec) -> RunResult {
-    VaryingRun::paper(workloads::medium(), controller, ExecModel::Uniform { half_width: 0.2 })
-        .run()
-        .expect("experiment II run")
+    VaryingRun::paper(
+        workloads::medium(),
+        controller,
+        ExecModel::Uniform { half_width: 0.2 },
+    )
+    .run()
+    .expect("experiment II run")
 }
 
 /// Figure 6: under OPEN the utilization just follows the execution-time
@@ -24,7 +28,10 @@ fn fig6_open_tracks_disturbance() {
     assert!((phase2 - 0.9 * b).abs() < 0.07, "phase 2: {phase2:.3}");
     assert!((phase3 - 0.33 * b).abs() < 0.05, "phase 3: {phase3:.3}");
     // The swings dwarf anything EUCON exhibits.
-    assert!(phase2 - phase3 > 0.3, "OPEN must fluctuate with the workload");
+    assert!(
+        phase2 - phase3 > 0.3,
+        "OPEN must fluctuate with the workload"
+    );
 }
 
 /// Figure 7: EUCON holds every processor at its set point through both
@@ -75,8 +82,7 @@ fn settling_is_slower_after_the_downward_step() {
     let mut down_total = 0usize;
     for p in 0..4 {
         up_total += VaryingRun::settling_after(&result, p, 100, 200, 0.05).expect("settles up");
-        down_total +=
-            VaryingRun::settling_after(&result, p, 200, 300, 0.05).expect("settles down");
+        down_total += VaryingRun::settling_after(&result, p, 200, 300, 0.05).expect("settles down");
     }
     assert!(
         down_total > up_total,

@@ -46,12 +46,18 @@ fn rebalancing_turns_an_uncontrollable_deployment_into_a_controllable_one() {
         "P1 must be stuck above its bound: {:.3}",
         u1.mean
     );
-    assert!(unbalanced.deadlines.miss_ratio() > 0.1, "and missing deadlines");
+    assert!(
+        unbalanced.deadlines.miss_ratio() > 0.1,
+        "and missing deadlines"
+    );
 
     // Balanced: the same workload spread across the platform is
     // controllable everywhere.
     let (balanced_set, report) = balance(&set, 50);
-    assert!(report.after < 1.0, "balancing must reach feasibility: {report:?}");
+    assert!(
+        report.after < 1.0,
+        "balancing must reach feasibility: {report:?}"
+    );
     let mut cl = ClosedLoop::builder(balanced_set)
         .sim_config(SimConfig::constant_etf(1.0))
         .controller(ControllerSpec::Eucon(MpcConfig::simple()))

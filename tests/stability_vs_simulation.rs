@@ -24,9 +24,11 @@ fn simulated_tail(gain: f64) -> (f64, f64) {
 fn analytic_bound_separates_stable_from_unstable() {
     let f = workloads::simple().allocation_matrix();
     let cfg = MpcConfig::simple();
-    let critical =
-        stability::critical_uniform_gain(&f, &cfg, 20.0, 1e-4).expect("analysis");
-    assert!((critical - 6.51).abs() < 0.05, "derivation drift: {critical:.4}");
+    let critical = stability::critical_uniform_gain(&f, &cfg, 20.0, 1e-4).expect("analysis");
+    assert!(
+        (critical - 6.51).abs() < 0.05,
+        "derivation drift: {critical:.4}"
+    );
 
     // Comfortably inside the bound: tight regulation.  (The paper notes
     // that σ already exceeds 0.05 around half the bound even though the
@@ -58,7 +60,10 @@ fn spectral_radius_predicts_convergence_speed() {
     slow_cfg.tref_over_ts = 8.0;
     let rho_fast = stability::closed_loop_spectral_radius(&f, &fast_cfg, &[0.5, 0.5]).unwrap();
     let rho_slow = stability::closed_loop_spectral_radius(&f, &slow_cfg, &[0.5, 0.5]).unwrap();
-    assert!(rho_fast < rho_slow, "Tref 2 must contract faster than Tref 8 analytically");
+    assert!(
+        rho_fast < rho_slow,
+        "Tref 2 must contract faster than Tref 8 analytically"
+    );
 
     let settle = |cfg: MpcConfig| -> usize {
         let run = SteadyRun::paper(
@@ -105,7 +110,7 @@ fn unconstrained_law_matches_online_controller_in_interior() {
     let mut ctrl = MpcController::new(&set, b.clone(), cfg).expect("controller");
     // A tiny error keeps every constraint slack.
     let u = Vector::from_slice(&[b[0] - 0.01, b[1] - 0.005]);
-    let r_before = ctrl.rates();
+    let r_before = ctrl.rates().clone();
     let r_after = ctrl.step(&u).expect("step");
     let dr = &r_after - &r_before;
     let expected = law.k_u.mul_vec(&(&u - &b));

@@ -37,7 +37,10 @@ fn overload_destroys_subdeadlines_without_control() {
         .expect("loop");
     let _ = cl.run(100);
     let miss = cl.simulator().subdeadline_miss_ratio();
-    assert!(miss > 0.2, "OPEN at etf 2.0 must miss heavily, got {miss:.4}");
+    assert!(
+        miss > 0.2,
+        "OPEN at etf 2.0 must miss heavily, got {miss:.4}"
+    );
 }
 
 /// Per-subtask statistics are wired through correctly: each subtask
@@ -87,5 +90,8 @@ fn subdeadlines_hold_through_disturbance() {
         .expect("loop");
     let _ = cl.run(150);
     let miss = cl.simulator().subdeadline_miss_ratio();
-    assert!(miss < 0.05, "subdeadline miss ratio through disturbance: {miss:.4}");
+    assert!(
+        miss < 0.05,
+        "subdeadline miss ratio through disturbance: {miss:.4}"
+    );
 }
