@@ -1,0 +1,217 @@
+//! Chaos sweep: fault scenarios × controllers, with a survival table.
+//!
+//! Runs the SIMPLE workload (etf = 0.5, 250 periods) under scripted
+//! processor crashes, sensor faults, execution-time bursts and
+//! actuation-lane faults, for each controller: the raw EUCON MPC, the
+//! supervised EUCON (watchdog + graceful degradation), the decoupled PID
+//! and OPEN.  The table answers the robustness question the paper leaves
+//! open: which control laws *survive* (finite, in-bounds rates, eventual
+//! re-convergence) when the idealized sensing/actuation assumptions
+//! break.
+//!
+//! ```text
+//! cargo run --release -p eucon-bench --bin chaos
+//! ```
+
+use eucon_control::{MpcConfig, SupervisorConfig};
+use eucon_core::{metrics, render, ClosedLoop, ControllerSpec, RunResult};
+use eucon_sim::{FaultPlan, SensorFaultKind, SimConfig};
+use eucon_tasks::{rms_set_points, workloads};
+use rayon::prelude::*;
+
+const PERIODS: usize = 250;
+/// Tail window for convergence statistics (well after every fault
+/// scenario has healed at period 150).
+const TAIL: (usize, usize) = (200, 250);
+/// Re-convergence criterion of the acceptance scenario: worst-processor
+/// mean within ±0.03 of the set point.
+const CONV_TOL: f64 = 0.03;
+
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("nominal", FaultPlan::none()),
+        ("crash P2 [60,100)", FaultPlan::none().crash(1, 60, 100)),
+        (
+            "sensor freeze P1 [50,150)",
+            FaultPlan::none().sensor(0, 50, 150, SensorFaultKind::Frozen),
+        ),
+        (
+            "sensor NaN P1 [50,150)",
+            FaultPlan::none().sensor(0, 50, 150, SensorFaultKind::NaN),
+        ),
+        (
+            "actuation loss 20%",
+            FaultPlan::none().actuation_loss(0.2).seed(9),
+        ),
+        (
+            "burst x3 P1 [80,120)",
+            FaultPlan::none().burst(0, 80, 120, 3.0),
+        ),
+        (
+            "crash P2 + 20% act loss",
+            FaultPlan::none()
+                .crash(1, 60, 100)
+                .actuation_loss(0.2)
+                .seed(42),
+        ),
+        (
+            "random crashes (mtbf 40)",
+            FaultPlan::none()
+                .random_crashes(1.0 / 40.0, 1.0 / 10.0)
+                .seed(5),
+        ),
+    ]
+}
+
+fn controllers() -> Vec<ControllerSpec> {
+    vec![
+        ControllerSpec::Eucon(MpcConfig::simple()),
+        ControllerSpec::SupervisedEucon {
+            mpc: MpcConfig::simple(),
+            supervisor: SupervisorConfig::default(),
+        },
+        ControllerSpec::Pid { kp: 0.5, ki: 0.05 },
+        ControllerSpec::Open,
+    ]
+}
+
+fn controller_label(spec: &ControllerSpec) -> &'static str {
+    match spec {
+        ControllerSpec::Eucon(_) => "EUCON",
+        ControllerSpec::SupervisedEucon { .. } => "SUP-EUCON",
+        ControllerSpec::Pid { .. } => "PID",
+        ControllerSpec::Open => "OPEN",
+        _ => "other",
+    }
+}
+
+struct Outcome {
+    scenario: &'static str,
+    controller: &'static str,
+    converged: bool,
+    worst_err: f64,
+    miss_ratio: f64,
+    control_errors: usize,
+    degraded: usize,
+    non_finite: usize,
+}
+
+fn evaluate(scenario: &'static str, plan: FaultPlan, spec: ControllerSpec) -> Outcome {
+    let set = workloads::simple();
+    let b = rms_set_points(&set);
+    let label = controller_label(&spec);
+    let mut cl = ClosedLoop::builder(set)
+        .sim_config(SimConfig::constant_etf(0.5))
+        .controller(spec)
+        .faults(plan)
+        .build()
+        .expect("controller builds");
+    let result: RunResult = cl.run(PERIODS);
+    let non_finite = result
+        .trace
+        .steps()
+        .iter()
+        .filter(|s| !s.rates.is_finite())
+        .count();
+    let mut worst_err: f64 = 0.0;
+    for p in 0..b.len() {
+        let series = result.trace.utilization_series(p);
+        let tail = metrics::window(&series, TAIL.0, TAIL.1);
+        worst_err = worst_err.max((tail.mean - b[p]).abs());
+    }
+    Outcome {
+        scenario,
+        controller: label,
+        converged: worst_err < CONV_TOL && non_finite == 0,
+        worst_err,
+        miss_ratio: result.deadlines.miss_ratio(),
+        control_errors: result.control_errors,
+        degraded: result.faults.degraded_periods,
+        non_finite,
+    }
+}
+
+fn main() {
+    println!(
+        "== Chaos sweep: SIMPLE, etf = 0.5, {PERIODS} periods, tail [{}, {}) ==\n",
+        TAIL.0, TAIL.1
+    );
+    let jobs: Vec<(&'static str, FaultPlan, ControllerSpec)> = scenarios()
+        .into_iter()
+        .flat_map(|(name, plan)| {
+            controllers()
+                .into_iter()
+                .map(move |c| (name, plan.clone(), c))
+        })
+        .collect();
+    // Independent closed-loop runs; fan out across the pool.
+    let outcomes: Vec<Outcome> = jobs
+        .into_par_iter()
+        .map(|(name, plan, spec)| evaluate(name, plan, spec))
+        .collect();
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.scenario.to_string(),
+                o.controller.to_string(),
+                if o.converged { "yes" } else { "NO" }.to_string(),
+                render::f4(o.worst_err),
+                render::f4(o.miss_ratio),
+                o.control_errors.to_string(),
+                o.degraded.to_string(),
+                o.non_finite.to_string(),
+            ]
+        })
+        .collect();
+    let headers = [
+        "scenario",
+        "controller",
+        "survived",
+        "max |mean-B|",
+        "miss ratio",
+        "ctrl errs",
+        "degraded Ts",
+        "non-finite",
+    ];
+    println!("{}", render::table(&headers, &rows));
+    println!(
+        "(survived = tail mean within +/-{CONV_TOL} of the set points on every \
+         processor and zero non-finite rate commands)"
+    );
+    eucon_bench::write_result(
+        "chaos.csv",
+        &render::csv(
+            &[
+                "scenario",
+                "controller",
+                "survived",
+                "max_mean_err",
+                "miss_ratio",
+                "control_errors",
+                "degraded_periods",
+                "non_finite_rates",
+            ],
+            &rows,
+        ),
+    );
+
+    // The headline robustness claims, enforced so regressions fail loudly
+    // when this binary runs in CI or locally.
+    for o in &outcomes {
+        assert_eq!(
+            o.non_finite, 0,
+            "{} under '{}' emitted non-finite rates",
+            o.controller, o.scenario
+        );
+        if o.controller == "SUP-EUCON" && o.scenario != "random crashes (mtbf 40)" {
+            assert!(
+                o.converged,
+                "supervised EUCON failed to re-converge under '{}' (err {:.4})",
+                o.scenario, o.worst_err
+            );
+        }
+    }
+    println!("\nall survival assertions held");
+}

@@ -181,6 +181,14 @@ impl RateController for IndependentPid {
     fn name(&self) -> &'static str {
         "PID"
     }
+
+    fn reset(&mut self, rates: &Vector) {
+        assert_eq!(rates.len(), self.rates.len(), "one rate per task required");
+        for t in 0..self.rates.len() {
+            self.rates[t] = rates[t].clamp(self.rmin[t], self.rmax[t]);
+        }
+        self.integral = Vector::zeros(self.integral.len());
+    }
 }
 
 #[cfg(test)]

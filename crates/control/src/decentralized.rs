@@ -244,6 +244,20 @@ impl RateController for DecentralizedController {
     fn name(&self) -> &'static str {
         "DEUCON"
     }
+
+    fn reset(&mut self, rates: &Vector) {
+        assert_eq!(rates.len(), self.rates.len(), "one rate per task required");
+        for local in &mut self.locals {
+            let sub = Vector::from_iter(local.owned.iter().map(|&j| rates[j]));
+            local.mpc.reset(&sub);
+            // The local rate boxes may have clamped; read back the
+            // authoritative values.
+            for (c, &j) in local.owned.iter().enumerate() {
+                self.rates[j] = local.mpc.rates()[c];
+            }
+        }
+        self.last_moves = Vector::zeros(self.last_moves.len());
+    }
 }
 
 #[cfg(test)]

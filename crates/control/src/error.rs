@@ -12,6 +12,11 @@ use eucon_qp::QpError;
 pub enum ControlError {
     /// Inputs had inconsistent dimensions.
     DimensionMismatch(String),
+    /// A utilization sample was rejected before reaching the optimizer
+    /// (non-finite — a corrupted or dead monitor).  Feeding such a sample
+    /// into the QP would poison the warm-started active set for every
+    /// future period, so controllers refuse it up front.
+    InvalidSample(String),
     /// The constrained optimization failed (including genuine
     /// infeasibility after all fallbacks).
     Optimization(QpError),
@@ -23,6 +28,7 @@ impl fmt::Display for ControlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ControlError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ControlError::InvalidSample(msg) => write!(f, "invalid utilization sample: {msg}"),
             ControlError::Optimization(e) => write!(f, "optimization failed: {e}"),
             ControlError::Math(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -63,6 +69,9 @@ mod tests {
         assert!(e.to_string().contains("infeasible"));
         assert!(Error::source(&e).is_some());
         let e = ControlError::DimensionMismatch("x".into());
+        assert!(Error::source(&e).is_none());
+        let e = ControlError::InvalidSample("u[0] = NaN".into());
+        assert!(e.to_string().contains("invalid utilization sample"));
         assert!(Error::source(&e).is_none());
     }
 }

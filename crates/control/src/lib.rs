@@ -46,14 +46,30 @@ mod error;
 mod mpc;
 mod prediction;
 pub mod stability;
+mod supervisor;
 
 pub use baselines::{IndependentPid, OpenLoop};
 pub use config::{ControlPenalty, MoveHold, MpcConfig};
 pub use decentralized::DecentralizedController;
 pub use error::ControlError;
 pub use mpc::{MpcController, MpcStepInfo};
+pub use supervisor::{Supervised, SupervisorConfig, SupervisorReport};
 
 use eucon_math::Vector;
+
+/// Operating mode a controller reports to the loop (health accounting).
+///
+/// Plain controllers are always [`ControlMode::Nominal`]; supervisory
+/// wrappers such as [`Supervised`] report [`ControlMode::Degraded`] while
+/// their watchdog holds the loop in the safe-mode fallback law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlMode {
+    /// The primary control law is in charge.
+    #[default]
+    Nominal,
+    /// A fallback law is in charge (sensors or the primary law failed).
+    Degraded,
+}
 
 /// Common interface of utilization controllers: once per sampling period,
 /// consume the measured utilization vector and produce new task rates.
@@ -76,6 +92,25 @@ pub trait RateController {
 
     /// Short human-readable controller name (for experiment reports).
     fn name(&self) -> &'static str;
+
+    /// The controller's current operating mode.  The closed loop polls
+    /// this each period to count degraded time; stateless controllers
+    /// keep the default ([`ControlMode::Nominal`]).
+    fn mode(&self) -> ControlMode {
+        ControlMode::Nominal
+    }
+
+    /// Discards accumulated internal state (integrators, warm starts,
+    /// previous moves) and restarts from the given rate vector, clamped
+    /// into the controller's rate box where one exists.
+    ///
+    /// Supervisory wrappers call this when re-engaging a primary law
+    /// after an outage, so stale pre-fault momentum cannot destabilize
+    /// the re-engagement.  Stateless controllers may ignore it (the
+    /// default is a no-op).
+    fn reset(&mut self, rates: &Vector) {
+        let _ = rates;
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,10 @@ impl MpcController {
     ///
     /// * [`ControlError::DimensionMismatch`] — `u` does not have one entry
     ///   per processor.
+    /// * [`ControlError::InvalidSample`] — `u` contains a non-finite
+    ///   entry.  Such a sample would corrupt the QP right-hand sides and,
+    ///   through the recorded active set, every future warm-started
+    ///   solve; the controller's state is left untouched instead.
     /// * [`ControlError::Optimization`] — the QP failed even after
     ///   dropping the utilization constraints (does not happen for valid
     ///   rate boxes, which are always feasible at `Δr = 0`).
@@ -227,6 +231,12 @@ impl MpcController {
                 "{} utilization samples for {} processors",
                 u.len(),
                 self.pred.n
+            )));
+        }
+        if let Some(p) = u.iter().position(|ui| !ui.is_finite()) {
+            return Err(ControlError::InvalidSample(format!(
+                "u[{p}] = {} is not finite",
+                u[p]
             )));
         }
         let error = u - &self.b;
@@ -335,6 +345,22 @@ impl RateController for MpcController {
 
     fn name(&self) -> &'static str {
         "EUCON"
+    }
+
+    /// Discards all accumulated internal state — the previous move, the
+    /// warm-start active sets and the step diagnostics — and restarts
+    /// from `rates` (clamped into the rate box).  Used by supervisory
+    /// wrappers to re-engage MPC after an outage without inheriting
+    /// pre-fault momentum.
+    fn reset(&mut self, rates: &Vector) {
+        assert_eq!(rates.len(), self.pred.m, "one rate per task required");
+        for t in 0..self.pred.m {
+            self.rates[t] = rates[t].clamp(self.rmin[t], self.rmax[t]);
+        }
+        self.prev_move = Vector::zeros(self.pred.m);
+        self.warm_util.clear();
+        self.warm_rate.clear();
+        self.last_info = MpcStepInfo::default();
     }
 }
 
@@ -515,6 +541,42 @@ mod tests {
             err.unwrap_err(),
             ControlError::DimensionMismatch(_)
         ));
+    }
+
+    #[test]
+    fn non_finite_samples_rejected_without_state_damage() {
+        let mut c = simple_controller();
+        // Establish a warm active set and a previous move.
+        let _ = c.step(&Vector::from_slice(&[0.4, 0.4])).unwrap();
+        let rates_before = c.rates().clone();
+        let prev_move_before = c.prev_move.clone();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = c.step(&Vector::from_slice(&[0.4, bad])).unwrap_err();
+            assert!(matches!(err, ControlError::InvalidSample(_)), "got {err:?}");
+            assert!(err.to_string().contains("u[1]"));
+        }
+        assert!(c.rates().approx_eq(&rates_before, 0.0), "state untouched");
+        assert!(c.prev_move.approx_eq(&prev_move_before, 0.0));
+        // The controller keeps working normally afterwards.
+        let _ = c.step(&Vector::from_slice(&[0.4, 0.4])).unwrap();
+    }
+
+    #[test]
+    fn reset_clears_momentum_and_restarts_from_given_rates() {
+        let mut c = simple_controller();
+        for _ in 0..10 {
+            let _ = c.step(&Vector::from_slice(&[0.2, 0.2])).unwrap();
+        }
+        assert!(c.prev_move.max_abs() > 0.0 || !c.warm_rate.is_empty() || !c.warm_util.is_empty());
+        let restart = Vector::from_slice(&[1e9, 1e9, 1e9]); // clamped to Rmax
+        c.reset(&restart);
+        assert_eq!(c.prev_move.max_abs(), 0.0);
+        assert!(c.warm_util.is_empty() && c.warm_rate.is_empty());
+        let set = workloads::simple();
+        for (t, task) in set.tasks().iter().enumerate() {
+            assert!((c.rates()[t] - task.rate_max()).abs() < 1e-12);
+        }
+        assert_eq!(c.last_step_info(), MpcStepInfo::default());
     }
 
     #[test]

@@ -221,11 +221,11 @@ impl AdaptiveLoop {
             }
         }
 
-        self.trace.push(TraceStep {
-            time: self.period as f64 * self.ts,
-            utilization: u.clone(),
-            rates: self.sim.rates(),
-        });
+        self.trace.push(TraceStep::clean(
+            self.period as f64 * self.ts,
+            u.clone(),
+            self.sim.rates(),
+        ));
 
         self.supervise(&u);
     }

@@ -1,15 +1,18 @@
 //! The EUCON feedback loop: simulator + controller, one exchange per
 //! sampling period.
 
+use std::collections::VecDeque;
+
 use eucon_control::{
-    ControlError, DecentralizedController, IndependentPid, MpcConfig, MpcController, OpenLoop,
-    RateController,
+    ControlError, ControlMode, DecentralizedController, IndependentPid, MpcConfig, MpcController,
+    OpenLoop, RateController, Supervised, SupervisorConfig,
 };
 use eucon_math::Vector;
-use eucon_sim::{DeadlineStats, SimConfig, Simulator};
-use eucon_tasks::{rms_set_points, TaskSet};
+use eucon_sim::{DeadlineStats, FaultInjector, FaultPlan, SimConfig, Simulator};
+use eucon_tasks::{rms_set_points, ProcessorId, TaskSet};
 
 use crate::lanes::LaneState;
+use crate::trace::StepAnnotations;
 use crate::{CoreError, LaneModel, Trace, TraceStep};
 
 /// The sampling period used throughout the paper (Table 2): 1000 time
@@ -34,6 +37,15 @@ pub enum ControllerSpec {
     /// The decentralized controller team (DEUCON-style): one local MPC
     /// per processor, coordinating by move exchange.
     Decentralized(MpcConfig),
+    /// The EUCON MPC wrapped in a [`Supervised`] watchdog: sensor
+    /// validation, graceful degradation to OPEN's design rates when the
+    /// sensors or the optimizer fail, automatic re-engagement.
+    SupervisedEucon {
+        /// Primary-law (MPC) configuration.
+        mpc: MpcConfig,
+        /// Watchdog thresholds and safe-mode gains.
+        supervisor: SupervisorConfig,
+    },
 }
 
 impl ControllerSpec {
@@ -60,8 +72,31 @@ impl ControllerSpec {
                 set_points.clone(),
                 cfg.clone(),
             )?),
+            ControllerSpec::SupervisedEucon { mpc, supervisor } => {
+                let inner = MpcController::new(set, set_points.clone(), mpc.clone())?;
+                let open = OpenLoop::design(set, set_points)?;
+                Box::new(
+                    Supervised::new(inner, set, supervisor.clone())?
+                        .with_safe_rates(open.rates().clone()),
+                )
+            }
         })
     }
+}
+
+/// Fault and degradation counters accumulated by a closed-loop run (all
+/// zero in a fault-free run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Processor-periods spent crashed (two processors down for one
+    /// period count as 2).
+    pub crashed_periods: usize,
+    /// Processor-periods with a scripted sensor fault active.
+    pub sensor_fault_periods: usize,
+    /// Rate commands dropped by faulty actuation lanes.
+    pub actuation_drops: usize,
+    /// Periods the controller reported [`ControlMode::Degraded`].
+    pub degraded_periods: usize,
 }
 
 /// Result of a closed-loop run.
@@ -73,6 +108,11 @@ pub struct RunResult {
     pub deadlines: DeadlineStats,
     /// The utilization set points the controller tracked.
     pub set_points: Vector,
+    /// Sampling periods where the controller returned an error and the
+    /// previous rates were kept (0 in a healthy loop).
+    pub control_errors: usize,
+    /// Fault-injection and degradation counters.
+    pub faults: FaultSummary,
 }
 
 /// The distributed feedback control loop of the paper's §4: at the end of
@@ -111,6 +151,16 @@ pub struct ClosedLoop {
     lanes: LaneState,
     /// Per-task discrete rate grids when actuation is quantized.
     rate_grid: Option<Vec<Vec<f64>>>,
+    /// Fault injector driving scripted/stochastic faults (None = the
+    /// fault-free fast path: zero per-period overhead).
+    injector: Option<FaultInjector>,
+    /// Processor hosting each task's rate modulator (first subtask) —
+    /// actuation-lane faults are routed per task through this map.
+    head_proc: Vec<usize>,
+    /// Rate commands in flight when actuation is delayed.
+    act_queue: VecDeque<Vector>,
+    act_delay: usize,
+    summary: FaultSummary,
 }
 
 impl std::fmt::Debug for ClosedLoop {
@@ -133,6 +183,7 @@ pub struct ClosedLoopBuilder {
     ts: f64,
     lanes: LaneModel,
     rate_levels: Option<usize>,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for ClosedLoopBuilder {
@@ -181,6 +232,20 @@ impl ClosedLoopBuilder {
     /// ideal lanes — zero delay, zero loss).
     pub fn lanes(mut self, model: LaneModel) -> Self {
         self.lanes = model;
+        self
+    }
+
+    /// Installs a fault-injection plan: scripted or stochastic processor
+    /// crashes, execution-time bursts, sensor faults and actuation-lane
+    /// faults (default: no faults).
+    ///
+    /// Crashed processors execute nothing, pile up a backlog and report
+    /// `NaN` utilization (the monitor dies with its host); the closed
+    /// loop feeds whatever the faulty sensors produce straight to the
+    /// controller, which is exactly what [`ControllerSpec::SupervisedEucon`]
+    /// exists to survive.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -243,6 +308,21 @@ impl ClosedLoopBuilder {
                 })
                 .collect()
         });
+        let head_proc: Vec<usize> = self
+            .set
+            .tasks()
+            .iter()
+            .map(|t| t.subtasks()[0].processor.0)
+            .collect();
+        let injector = if self.faults.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(
+                self.faults.clone(),
+                self.set.num_processors(),
+            ))
+        };
+        let act_delay = self.faults.actuation_delay_periods();
         let mut sim = Simulator::new(self.set, self.sim_config);
         // Apply the controller's initial rates from time zero (OPEN's
         // design rates take effect immediately; feedback controllers start
@@ -258,6 +338,11 @@ impl ClosedLoopBuilder {
             control_errors: 0,
             lanes: LaneState::new(self.lanes),
             rate_grid,
+            injector,
+            head_proc,
+            act_queue: VecDeque::new(),
+            act_delay,
+            summary: FaultSummary::default(),
         })
     }
 }
@@ -274,6 +359,7 @@ impl ClosedLoop {
             ts: DEFAULT_SAMPLING_PERIOD,
             lanes: LaneModel::ideal(),
             rate_levels: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -303,27 +389,80 @@ impl ClosedLoop {
         &self.sim
     }
 
-    /// Executes one sampling period: advance the plant, sample the
-    /// monitors, update the controller, apply the rates.
+    /// Fault and degradation counters so far.
+    pub fn fault_summary(&self) -> FaultSummary {
+        let mut s = self.summary;
+        if let Some(inj) = &self.injector {
+            s.sensor_fault_periods = inj.sensor_fault_periods();
+            s.actuation_drops = inj.actuation_drops();
+        }
+        s
+    }
+
+    /// Executes one sampling period: inject scheduled faults, advance the
+    /// plant, sample the monitors, update the controller, apply the rates.
     ///
     /// Controller failures (which do not occur under normal configurations)
     /// keep the previous rates and are counted in
     /// [`ClosedLoop::control_errors`], mirroring a real deployment where a
     /// controller fault must not stop the plant.
     pub fn step(&mut self) -> &TraceStep {
+        // The fault schedule indexes periods from 0.
+        let k = self.period;
         self.period += 1;
+        let mut ann = StepAnnotations::default();
+
+        // 1. Fault injection acts on the plant before the period runs.
+        if let Some(inj) = &mut self.injector {
+            ann.crashed = inj.begin_period(k);
+            self.summary.crashed_periods += ann.crashed.len();
+            for p in 0..self.set_points.len() {
+                self.sim
+                    .set_speed_override(ProcessorId(p), inj.speed_factor(k, p));
+                if ann.crashed.contains(&p) {
+                    self.sim.crash_processor(ProcessorId(p));
+                } else {
+                    self.sim.recover_processor(ProcessorId(p));
+                }
+            }
+        }
+
+        // 2. Run the plant and sample the true utilizations.
         let t_end = self.period as f64 * self.ts;
         self.sim.run_until(t_end);
-        let u = self.sim.sample_utilizations();
-        // The report crosses the feedback lanes (possibly delayed/lost).
-        let u_received = self.lanes.transmit(u.clone());
-        let rates = match self.controller.update(&u_received) {
+        let u_true = self.sim.sample_utilizations();
+
+        // 3. Sensor faults corrupt what the monitors report (a crashed
+        // processor's monitor dies with it and reports NaN).
+        let mut u_sensed = u_true.clone();
+        if let Some(inj) = &mut self.injector {
+            for &p in &ann.crashed {
+                u_sensed[p] = f64::NAN;
+            }
+            inj.corrupt_sensors(k, &mut u_sensed);
+        }
+
+        // 4. The report crosses the feedback lanes (possibly delayed or
+        // lost); `None` means it arrived unchanged.
+        let laned = self.lanes.transmit(&u_sensed);
+        let u_ctrl = laned.as_ref().unwrap_or(&u_sensed);
+
+        // 5. Control update.
+        let rates = match self.controller.update(u_ctrl) {
             Ok(rates) => rates,
             Err(_) => {
                 self.control_errors += 1;
+                ann.control_error = true;
                 self.controller.rates().clone()
             }
         };
+        if self.controller.mode() == ControlMode::Degraded {
+            ann.degraded = true;
+            self.summary.degraded_periods += 1;
+        }
+
+        // 6. Actuation: quantize, then cross the (possibly faulty)
+        // actuation lanes to the rate modulators.
         let actuated = match &self.rate_grid {
             Some(grid) => Vector::from_iter(
                 rates
@@ -333,11 +472,50 @@ impl ClosedLoop {
             ),
             None => rates,
         };
-        self.sim.set_rates(&actuated);
+        let arriving = if self.act_delay > 0 {
+            self.act_queue.push_back(actuated);
+            if self.act_queue.len() > self.act_delay {
+                self.act_queue.pop_front()
+            } else {
+                // Nothing has crossed the actuation lanes yet; the rates
+                // in force stay in force.
+                None
+            }
+        } else {
+            Some(actuated)
+        };
+        if let Some(mut cmd) = arriving {
+            if let Some(inj) = &mut self.injector {
+                // A dropped lane means every task modulated on that
+                // processor keeps its previous rate this period.
+                let n = self.set_points.len();
+                let dropped: Vec<usize> = (0..n).filter(|&p| inj.actuation_lost(p)).collect();
+                if !dropped.is_empty() {
+                    let in_force = self.sim.rates();
+                    for (t, &p) in self.head_proc.iter().enumerate() {
+                        if dropped.contains(&p) {
+                            cmd[t] = in_force[t];
+                        }
+                    }
+                    ann.actuation_dropped = dropped;
+                }
+            }
+            self.sim.set_rates(&cmd);
+        }
+
+        // 7. Record: the true utilizations, plus what the controller
+        // actually received whenever that differed.
+        let received = if laned.is_some() || u_sensed != u_true {
+            Some(laned.unwrap_or(u_sensed))
+        } else {
+            None
+        };
         self.trace.push(TraceStep {
             time: t_end,
-            utilization: u,
+            utilization: u_true,
+            received,
             rates: self.sim.rates(),
+            annotations: ann,
         });
         self.trace.steps().last().expect("step just pushed")
     }
@@ -351,12 +529,16 @@ impl ClosedLoop {
             trace: self.trace.clone(),
             deadlines: self.sim.deadline_stats(),
             set_points: self.set_points.clone(),
+            control_errors: self.control_errors,
+            faults: self.fault_summary(),
         }
     }
 
     /// Consumes the loop, returning the final result.
     pub fn into_result(self) -> RunResult {
         RunResult {
+            control_errors: self.control_errors,
+            faults: self.fault_summary(),
             trace: self.trace,
             deadlines: self.sim.deadline_stats(),
             set_points: self.set_points,
@@ -600,6 +782,89 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn quantizer_needs_two_levels() {
         let _ = ClosedLoop::builder(workloads::simple()).quantized_rates(1);
+    }
+
+    #[test]
+    fn crash_is_annotated_and_counted() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::SupervisedEucon {
+                mpc: MpcConfig::simple(),
+                supervisor: Default::default(),
+            })
+            .faults(FaultPlan::none().crash(1, 10, 20))
+            .build()
+            .unwrap();
+        let result = cl.run(40);
+        assert_eq!(result.faults.crashed_periods, 10);
+        let steps = result.trace.steps();
+        assert_eq!(steps[10].annotations.crashed, vec![1]);
+        assert!(
+            steps[10].seen()[1].is_nan(),
+            "crashed monitor reports NaN to the controller"
+        );
+        assert!(
+            steps[10].utilization[1].is_finite(),
+            "the true trace stays physical"
+        );
+        assert!(steps[25].annotations.crashed.is_empty());
+        assert_eq!(result.control_errors, 0, "supervisor absorbs the outage");
+    }
+
+    #[test]
+    fn unsupervised_mpc_accumulates_errors_under_sensor_nan() {
+        use eucon_sim::SensorFaultKind;
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .faults(FaultPlan::none().sensor(0, 20, 30, SensorFaultKind::NaN))
+            .build()
+            .unwrap();
+        let result = cl.run(40);
+        assert_eq!(
+            result.control_errors, 10,
+            "raw MPC rejects every NaN period"
+        );
+        assert!(result.trace.steps()[20].annotations.control_error);
+        // Rejection (satellite a) protects the optimizer: once the sensor
+        // heals the loop keeps regulating instead of being NaN-poisoned.
+        let tail = crate::metrics::window(&result.trace.utilization_series(0), 35, 40);
+        assert!(tail.mean.is_finite());
+        assert!(result.trace.steps().last().unwrap().rates.is_finite());
+    }
+
+    #[test]
+    fn actuation_loss_freezes_rates_on_dropped_lanes() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .faults(FaultPlan::none().actuation_loss(1.0 - 1e-9).seed(7))
+            .build()
+            .unwrap();
+        let r0 = cl.simulator().rates();
+        let result = cl.run(30);
+        // Every command dropped: the plant never leaves its initial rates.
+        assert!(result
+            .trace
+            .steps()
+            .last()
+            .unwrap()
+            .rates
+            .approx_eq(&r0, 0.0));
+        assert!(result.faults.actuation_drops >= 30);
+        assert!(!result.trace.steps()[0]
+            .annotations
+            .actuation_dropped
+            .is_empty());
+    }
+
+    #[test]
+    fn fault_free_runs_record_no_received_vector() {
+        let mut cl = eucon_loop(0.5);
+        let result = cl.run(20);
+        assert!(result.trace.steps().iter().all(|s| s.received.is_none()));
+        assert!(result.trace.steps().iter().all(|s| !s.annotations.any()));
+        assert_eq!(result.faults, FaultSummary::default());
     }
 
     #[test]

@@ -98,35 +98,51 @@ impl LaneState {
     }
 
     /// Pushes this period's measurement and returns what the controller
-    /// receives: a (possibly delayed, possibly stale) utilization vector.
-    pub fn transmit(&mut self, fresh: Vector) -> Vector {
-        self.in_flight.push_back(fresh);
+    /// receives.
+    ///
+    /// Borrows the fresh measurement: `None` means the lane delivered it
+    /// unchanged this period (the caller keeps using its own vector — the
+    /// ideal-lane hot path never clones), `Some(v)` carries a mutated
+    /// delivery (delayed or stale report).
+    pub fn transmit(&mut self, fresh: &Vector) -> Option<Vector> {
+        if self.model.report_delay == 0 && self.model.loss_probability == 0.0 {
+            // Ideal lanes: transparent, allocation-free.
+            return None;
+        }
+        self.in_flight.push_back(fresh.clone());
         let candidate = if self.in_flight.len() > self.model.report_delay {
             self.in_flight.pop_front()
         } else {
             // Nothing has crossed the lane yet.
             None
         };
-        let delivered = match candidate {
+        match candidate {
             Some(report) => {
                 let lost = self.model.loss_probability > 0.0
                     && self.rng.gen::<f64>() < self.model.loss_probability;
                 if lost {
                     // Drop: the controller keeps the previous value.
-                    self.last_delivered
-                        .clone()
-                        .unwrap_or_else(|| report.map(|_| 0.0))
+                    Some(
+                        self.last_delivered
+                            .clone()
+                            .unwrap_or_else(|| report.map(|_| 0.0)),
+                    )
                 } else {
+                    let unchanged = self.model.report_delay == 0;
                     self.last_delivered = Some(report.clone());
-                    report
+                    if unchanged {
+                        None
+                    } else {
+                        Some(report)
+                    }
                 }
             }
-            None => self
-                .last_delivered
-                .clone()
-                .unwrap_or_else(|| Vector::zeros(self.in_flight.back().map_or(0, Vector::len))),
-        };
-        delivered
+            None => Some(
+                self.last_delivered
+                    .clone()
+                    .unwrap_or_else(|| Vector::zeros(fresh.len())),
+            ),
+        }
     }
 }
 
@@ -138,22 +154,29 @@ mod tests {
         Vector::from_slice(&[x])
     }
 
+    /// What the controller ends up seeing for a transmission.
+    fn seen(lane: &mut LaneState, x: f64) -> f64 {
+        let fresh = v(x);
+        lane.transmit(&fresh).unwrap_or(fresh)[0]
+    }
+
     #[test]
-    fn ideal_lane_is_transparent() {
+    fn ideal_lane_is_transparent_without_cloning() {
         let mut lane = LaneState::new(LaneModel::ideal());
-        assert_eq!(lane.transmit(v(0.5))[0], 0.5);
-        assert_eq!(lane.transmit(v(0.7))[0], 0.7);
+        // `None` = delivered unchanged; the caller's vector is the delivery.
+        assert!(lane.transmit(&v(0.5)).is_none());
+        assert!(lane.transmit(&v(0.7)).is_none());
     }
 
     #[test]
     fn delay_shifts_reports() {
         let mut lane = LaneState::new(LaneModel::delayed(2));
         // Until the pipe fills, the controller sees zeros.
-        assert_eq!(lane.transmit(v(0.1))[0], 0.0);
-        assert_eq!(lane.transmit(v(0.2))[0], 0.0);
+        assert_eq!(seen(&mut lane, 0.1), 0.0);
+        assert_eq!(seen(&mut lane, 0.2), 0.0);
         // Then reports arrive in order, two periods late.
-        assert_eq!(lane.transmit(v(0.3))[0], 0.1);
-        assert_eq!(lane.transmit(v(0.4))[0], 0.2);
+        assert_eq!(seen(&mut lane, 0.3), 0.1);
+        assert_eq!(seen(&mut lane, 0.4), 0.2);
     }
 
     #[test]
@@ -165,11 +188,11 @@ mod tests {
             loss_probability: 0.99,
             seed: 3,
         });
-        let first = lane.transmit(v(0.5))[0];
+        let first = seen(&mut lane, 0.5);
         // All subsequent values are frozen at whatever got through (0.5 or
         // 0.0 if even the first was dropped).
         for _ in 0..20 {
-            let got = lane.transmit(v(0.9))[0];
+            let got = seen(&mut lane, 0.9);
             assert!(got == first || got == 0.5 || got == 0.0);
             assert_ne!(
                 got, 0.9,
@@ -184,7 +207,7 @@ mod tests {
         let mut delivered_fresh = 0;
         for k in 0..1000 {
             let x = k as f64;
-            if lane.transmit(v(x))[0] == x {
+            if seen(&mut lane, x) == x {
                 delivered_fresh += 1;
             }
         }

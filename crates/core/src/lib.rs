@@ -51,9 +51,9 @@ pub mod svg;
 mod trace;
 
 pub use closed_loop::{
-    ClosedLoop, ClosedLoopBuilder, ControllerSpec, RunResult, DEFAULT_SAMPLING_PERIOD,
+    ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunResult, DEFAULT_SAMPLING_PERIOD,
 };
 pub use error::CoreError;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
 pub use lanes::LaneModel;
-pub use trace::{Trace, TraceStep};
+pub use trace::{StepAnnotations, Trace, TraceStep};

@@ -2,15 +2,67 @@
 
 use eucon_math::Vector;
 
+/// Per-period fault and health annotations (all empty/false in a
+/// fault-free run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepAnnotations {
+    /// Processors down (crashed) during this period.
+    pub crashed: Vec<usize>,
+    /// The controller reported [`eucon_control::ControlMode::Degraded`]
+    /// (a supervisory wrapper's fallback law was in charge).
+    pub degraded: bool,
+    /// The controller returned an error this period (previous rates kept).
+    pub control_error: bool,
+    /// Processors whose actuation lane dropped this period's rate command.
+    pub actuation_dropped: Vec<usize>,
+}
+
+impl StepAnnotations {
+    /// Whether anything noteworthy happened this period.
+    pub fn any(&self) -> bool {
+        !self.crashed.is_empty()
+            || self.degraded
+            || self.control_error
+            || !self.actuation_dropped.is_empty()
+    }
+}
+
 /// One sampling period's record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceStep {
     /// Simulation time at the end of the period.
     pub time: f64,
-    /// Measured utilization `u(k)` per processor over the period.
+    /// True measured utilization `u(k)` per processor over the period.
     pub utilization: Vector,
+    /// What the controller actually received after sensor faults and the
+    /// feedback lanes — `None` whenever identical to `utilization` (the
+    /// common fault-free case records no extra vector).
+    pub received: Option<Vector>,
     /// Task rates in force during the *next* period (controller output).
     pub rates: Vector,
+    /// Fault and health annotations for the period.
+    pub annotations: StepAnnotations,
+}
+
+impl TraceStep {
+    /// A fault-free step: the controller received exactly what the
+    /// monitors measured.
+    pub fn clean(time: f64, utilization: Vector, rates: Vector) -> Self {
+        TraceStep {
+            time,
+            utilization,
+            received: None,
+            rates,
+            annotations: StepAnnotations::default(),
+        }
+    }
+
+    /// The utilization vector the controller acted on (`received` when
+    /// the lanes or sensor faults mutated the report, else the true
+    /// measurement).
+    pub fn seen(&self) -> &Vector {
+        self.received.as_ref().unwrap_or(&self.utilization)
+    }
 }
 
 /// The full trace of a closed-loop run: one [`TraceStep`] per sampling
@@ -102,11 +154,7 @@ mod tests {
     use super::*;
 
     fn step(t: f64, u: &[f64], r: &[f64]) -> TraceStep {
-        TraceStep {
-            time: t,
-            utilization: Vector::from_slice(u),
-            rates: Vector::from_slice(r),
-        }
+        TraceStep::clean(t, Vector::from_slice(u), Vector::from_slice(r))
     }
 
     #[test]
@@ -126,6 +174,17 @@ mod tests {
         tr.push(step(1000.0, &[0.5], &[0.01]));
         let times: Vec<f64> = (&tr).into_iter().map(|s| s.time).collect();
         assert_eq!(times, vec![1000.0]);
+    }
+
+    #[test]
+    fn seen_prefers_the_received_vector() {
+        let mut s = step(1000.0, &[0.5], &[0.01]);
+        assert_eq!(s.seen()[0], 0.5, "fault-free: controller saw the truth");
+        assert!(!s.annotations.any());
+        s.received = Some(Vector::from_slice(&[f64::NAN]));
+        s.annotations.crashed.push(0);
+        assert!(s.seen()[0].is_nan(), "faulted: controller saw the report");
+        assert!(s.annotations.any());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use eucon_math::Vector;
-use eucon_tasks::{TaskId, TaskSet};
+use eucon_tasks::{ProcessorId, TaskId, TaskSet};
 
 use crate::event::{EventKind, EventQueue};
 use crate::{DeadlineStats, SimConfig, SubtaskStats, TaskStats};
@@ -43,6 +43,9 @@ struct ProcState {
     /// Busy time accumulated since the start of the run.
     busy_total: f64,
     last_update: f64,
+    /// Crashed processors execute nothing: time passes but no job makes
+    /// progress and no busy time accrues, so the monitor reports `u = 0`.
+    crashed: bool,
 }
 
 /// RMS dispatch order: smallest period first, ties broken by earlier
@@ -83,14 +86,17 @@ impl ProcState {
     }
 
     /// Advances the processor's clock to `t`, charging the elapsed time to
-    /// the currently running job.
+    /// the currently running job.  A crashed processor lets time pass
+    /// without executing: queued jobs stall and accrue deadline misses.
     fn advance(&mut self, t: f64) {
         let delta = t - self.last_update;
         if delta > 0.0 {
-            if let Some(i) = self.running_index() {
-                self.ready[i].remaining = (self.ready[i].remaining - delta).max(0.0);
-                self.busy_window += delta;
-                self.busy_total += delta;
+            if !self.crashed {
+                if let Some(i) = self.running_index() {
+                    self.ready[i].remaining = (self.ready[i].remaining - delta).max(0.0);
+                    self.busy_window += delta;
+                    self.busy_total += delta;
+                }
             }
             self.last_update = t;
         } else {
@@ -141,6 +147,9 @@ pub struct Simulator {
     /// Release time and absolute deadline of in-flight instances.
     inflight: Vec<std::collections::HashMap<u64, (f64, f64)>>,
     procs: Vec<ProcState>,
+    /// Runtime per-processor execution-time multipliers (fault injection:
+    /// transient bursts on top of the configured speeds); all 1.0 nominally.
+    speed_override: Vec<f64>,
     suspended: Vec<bool>,
     deadline_stats: DeadlineStats,
     task_stats: Vec<TaskStats>,
@@ -184,6 +193,7 @@ impl Simulator {
             sub_last_release,
             inflight: vec![std::collections::HashMap::new(); m],
             procs: (0..n).map(|_| ProcState::default()).collect(),
+            speed_override: vec![1.0; n],
             suspended: vec![false; m],
             deadline_stats: DeadlineStats::default(),
             task_stats: vec![TaskStats::default(); m],
@@ -369,6 +379,76 @@ impl Simulator {
         self.suspended[task.0]
     }
 
+    /// Crashes a processor: from the current simulation time it executes
+    /// nothing and accrues no busy time (its utilization monitor reports
+    /// `u = 0`).  Releases keep arriving and queue up, so their jobs miss
+    /// deadlines — the paper's infrastructure assumption turned off.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn crash_processor(&mut self, p: ProcessorId) {
+        assert!(p.0 < self.procs.len(), "processor id out of range");
+        if !self.procs[p.0].crashed {
+            self.procs[p.0].advance(self.now);
+            self.procs[p.0].crashed = true;
+            // Invalidate the pending completion of the interrupted job.
+            self.procs[p.0].version += 1;
+        }
+    }
+
+    /// Recovers a crashed processor; the backlog that piled up during the
+    /// outage resumes executing immediately (in RMS priority order).
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn recover_processor(&mut self, p: ProcessorId) {
+        assert!(p.0 < self.procs.len(), "processor id out of range");
+        if self.procs[p.0].crashed {
+            self.procs[p.0].advance(self.now);
+            self.procs[p.0].crashed = false;
+            self.reschedule_completion(p.0);
+        }
+    }
+
+    /// Whether a processor is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn is_crashed(&self, p: ProcessorId) -> bool {
+        self.procs[p.0].crashed
+    }
+
+    /// Sets a runtime execution-time multiplier for one processor
+    /// (fault injection: transient execution-time bursts).  Applies to
+    /// jobs released from now on, multiplying the configured speed and
+    /// etf profile; `1.0` restores nominal behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite, or if the id is out
+    /// of range.
+    pub fn set_speed_override(&mut self, p: ProcessorId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "speed override must be positive and finite"
+        );
+        self.speed_override[p.0] = factor;
+    }
+
+    /// The current runtime execution-time multiplier of a processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn speed_override(&self, p: ProcessorId) -> f64 {
+        self.speed_override[p.0]
+    }
+
     /// Runs the simulation up to (and including) time `t_end`.
     ///
     /// # Panics
@@ -504,7 +584,10 @@ impl Simulator {
             .processor_speeds
             .as_ref()
             .map_or(1.0, |s| s[subtask.processor.0]);
-        let mean = speed * self.cfg.etf.value_at(self.now) * subtask.estimated_time;
+        let mean = speed
+            * self.speed_override[subtask.processor.0]
+            * self.cfg.etf.value_at(self.now)
+            * subtask.estimated_time;
         let exec = self.cfg.exec_model.sample(mean, self.rng.gen::<f64>());
         let job = Job {
             task,
@@ -570,9 +653,14 @@ impl Simulator {
     }
 
     /// Bumps the processor's completion version and schedules a fresh
-    /// completion for its currently running job (if any).
+    /// completion for its currently running job (if any).  Crashed
+    /// processors make no progress, so nothing is scheduled until
+    /// recovery.
     fn reschedule_completion(&mut self, p: usize) {
         self.procs[p].version += 1;
+        if self.procs[p].crashed {
+            return;
+        }
         let version = self.procs[p].version;
         if let Some(i) = self.procs[p].running_index() {
             let eta = self.now + self.procs[p].ready[i].remaining;
@@ -963,6 +1051,90 @@ mod tests {
             "20 exec / 50 period = 0.4, got {}",
             u[0]
         );
+    }
+
+    #[test]
+    fn crash_stops_execution_and_recovery_drains_backlog() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let _ = sim.sample_utilizations();
+        let before = sim.deadline_stats();
+
+        assert!(!sim.is_crashed(ProcessorId(0)));
+        sim.crash_processor(ProcessorId(0));
+        sim.crash_processor(ProcessorId(0)); // idempotent
+        assert!(sim.is_crashed(ProcessorId(0)));
+        sim.run_until(15_000.0);
+        let u = sim.sample_utilizations();
+        assert!(
+            u[0] < 1e-9,
+            "crashed processor must report u = 0, got {}",
+            u[0]
+        );
+        assert!(sim.backlog() >= 40, "releases pile up: {}", sim.backlog());
+
+        sim.recover_processor(ProcessorId(0));
+        sim.recover_processor(ProcessorId(0)); // idempotent
+        assert!(!sim.is_crashed(ProcessorId(0)));
+        // 50 queued jobs × 20 each = 1000 time units of catch-up work
+        // followed by the periodic load: the window saturates first, and
+        // the queued instances complete past their deadlines.
+        sim.run_until(16_000.0);
+        let u = sim.sample_utilizations();
+        assert!(
+            (u[0] - 1.0).abs() < 1e-9,
+            "catch-up saturates, got {}",
+            u[0]
+        );
+        sim.run_until(30_000.0);
+        let after = sim.deadline_stats();
+        assert!(
+            after.missed > before.missed + 30,
+            "outage jobs must miss deadlines: {} -> {}",
+            before.missed,
+            after.missed
+        );
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.05, "steady state restored: {}", u[0]);
+    }
+
+    #[test]
+    fn crash_preserves_interrupted_job_progress() {
+        // A job interrupted mid-execution resumes where it stopped (the
+        // outage adds latency, not work).
+        let set = single_task_set(50.0, 1_000.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(25.0); // halfway through the first job
+        sim.crash_processor(ProcessorId(0));
+        sim.run_until(1_000.0);
+        sim.recover_processor(ProcessorId(0));
+        // Remaining 25 units finish 25 after recovery.
+        sim.run_until(1_030.0);
+        assert_eq!(sim.task_stats()[0].completed, 1);
+    }
+
+    #[test]
+    fn speed_override_scales_utilization() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.set_speed_override(ProcessorId(0), 3.0);
+        assert_eq!(sim.speed_override(ProcessorId(0)), 3.0);
+        sim.run_until(10_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.6).abs() < 0.01, "3x burst: {}", u[0]);
+        sim.set_speed_override(ProcessorId(0), 1.0);
+        sim.run_until(30_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.02, "burst cleared: {}", u[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn speed_override_validated() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.set_speed_override(ProcessorId(0), f64::NAN);
     }
 
     #[test]

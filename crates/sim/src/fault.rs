@@ -1,0 +1,494 @@
+//! Fault injection: scripted and stochastic infrastructure failures.
+//!
+//! The paper assumes ideal infrastructure (§4, §6): monitors never lie,
+//! rate commands always arrive, processors never crash.  This module
+//! scripts exactly those failures so the robustness of the control loop —
+//! and of the supervisory wrapper in `eucon-control` — can be measured:
+//!
+//! * **processor crash + recovery** — a crashed processor executes
+//!   nothing and reports `u = 0`; queued jobs miss deadlines
+//!   ([`FaultPlan::crash`], or stochastic via [`FaultPlan::random_crashes`]);
+//! * **execution-time bursts** — a transient etf spike on one processor
+//!   ([`FaultPlan::burst`]);
+//! * **sensor faults** — a processor's utilization sample is frozen at
+//!   its pre-fault value, replaced by NaN, or forced out of range
+//!   ([`FaultPlan::sensor`]);
+//! * **actuation loss / delay** — rate commands that never reach a
+//!   processor's rate modulator, or arrive whole periods late — the
+//!   symmetric counterpart of the feedback-only `LaneModel`
+//!   ([`FaultPlan::actuation_loss`], [`FaultPlan::actuation_delay`]).
+//!
+//! A [`FaultPlan`] is pure configuration; a [`FaultInjector`] is its
+//! seeded runtime state, stepped once per sampling period by the closed
+//! loop.  All stochastic draws are deterministic given the plan's seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eucon_math::Vector;
+
+/// How a stuck or corrupted utilization sensor misreports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SensorFaultKind {
+    /// The sample freezes at the last pre-fault value (a stuck monitor).
+    Frozen,
+    /// The sample is replaced by NaN (a crashed monitor process).
+    NaN,
+    /// The sample is replaced by a constant bogus value (e.g. `-1.0` or
+    /// `9.9`), modelling a corrupted report.
+    Stuck(f64),
+}
+
+/// A fault window on one processor, active for sampling periods
+/// `from ≤ k < until` (`until = usize::MAX` means "never repaired").
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Window {
+    processor: usize,
+    from: usize,
+    until: usize,
+}
+
+impl Window {
+    fn active(&self, period: usize) -> bool {
+        (self.from..self.until).contains(&period)
+    }
+}
+
+/// Stochastic crash model: per period, a healthy processor crashes with
+/// probability `crash`, and a crashed one recovers with probability
+/// `recover` (geometric outage lengths — a memoryless MTBF/MTTR model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomCrashes {
+    /// Per-period crash probability of a healthy processor, in `[0, 1)`.
+    pub crash: f64,
+    /// Per-period recovery probability of a crashed processor, in `(0, 1]`.
+    pub recover: f64,
+}
+
+/// A scripted (and optionally stochastic) fault scenario.
+///
+/// Built fluently and handed to the closed loop; see the crate docs of
+/// `eucon-core` for the wiring.
+///
+/// # Example
+///
+/// ```
+/// use eucon_sim::{FaultPlan, SensorFaultKind};
+///
+/// // P2 crashes at period 60 and recovers at 100; 20% of rate commands
+/// // to every processor are lost throughout the run.
+/// let plan = FaultPlan::none()
+///     .crash(1, 60, 100)
+///     .actuation_loss(0.2)
+///     .seed(7);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    crashes: Vec<Window>,
+    bursts: Vec<(Window, f64)>,
+    sensors: Vec<(Window, SensorFaultKind)>,
+    /// Probability that a period's rate command to a given processor's
+    /// rate modulator is lost, in `[0, 1)`.
+    actuation_loss: f64,
+    /// Whole sampling periods of delay on rate commands.
+    actuation_delay: usize,
+    random_crashes: Option<RandomCrashes>,
+    /// Seed for every stochastic draw (actuation loss, random crashes).
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults (the paper's idealization).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.bursts.is_empty()
+            && self.sensors.is_empty()
+            && self.actuation_loss == 0.0
+            && self.actuation_delay == 0
+            && self.random_crashes.is_none()
+    }
+
+    /// Crashes `processor` for sampling periods `from ≤ k < until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn crash(mut self, processor: usize, from: usize, until: usize) -> Self {
+        assert!(from < until, "crash window must be non-empty");
+        self.crashes.push(Window {
+            processor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Multiplies execution times on `processor` by `factor` for periods
+    /// `from ≤ k < until` (a transient execution-time burst).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until` and `factor` is positive and finite.
+    pub fn burst(mut self, processor: usize, from: usize, until: usize, factor: f64) -> Self {
+        assert!(from < until, "burst window must be non-empty");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "burst factor must be positive and finite"
+        );
+        self.bursts.push((
+            Window {
+                processor,
+                from,
+                until,
+            },
+            factor,
+        ));
+        self
+    }
+
+    /// Corrupts the utilization sensor of `processor` for periods
+    /// `from ≤ k < until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn sensor(
+        mut self,
+        processor: usize,
+        from: usize,
+        until: usize,
+        kind: SensorFaultKind,
+    ) -> Self {
+        assert!(from < until, "sensor fault window must be non-empty");
+        self.sensors.push((
+            Window {
+                processor,
+                from,
+                until,
+            },
+            kind,
+        ));
+        self
+    }
+
+    /// Loses each period's rate command to each processor independently
+    /// with probability `p` (the affected processor's tasks keep their
+    /// previous rates that period).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn actuation_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "actuation loss probability must be in [0, 1)"
+        );
+        self.actuation_loss = p;
+        self
+    }
+
+    /// Delays every rate command by whole sampling periods (the plant
+    /// runs on rates the controller computed `periods` ago).
+    pub fn actuation_delay(mut self, periods: usize) -> Self {
+        self.actuation_delay = periods;
+        self
+    }
+
+    /// Adds memoryless random crashes on every processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ crash < 1` and `0 < recover ≤ 1`.
+    pub fn random_crashes(mut self, crash: f64, recover: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&crash),
+            "crash probability must be in [0, 1)"
+        );
+        assert!(
+            recover > 0.0 && recover <= 1.0,
+            "recovery probability must be in (0, 1]"
+        );
+        self.random_crashes = Some(RandomCrashes { crash, recover });
+        self
+    }
+
+    /// Seeds the plan's stochastic draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured actuation delay, in sampling periods.
+    pub fn actuation_delay_periods(&self) -> usize {
+        self.actuation_delay
+    }
+}
+
+/// Runtime state of a [`FaultPlan`], stepped once per sampling period.
+///
+/// The closed loop calls, in order: [`FaultInjector::begin_period`] before
+/// advancing the plant, [`FaultInjector::corrupt_sensors`] on the sampled
+/// utilization vector, and [`FaultInjector::actuation_lost`] when applying
+/// the controller's rate commands.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    num_processors: usize,
+    /// Stochastic crash state per processor (scripted windows are
+    /// stateless and evaluated per period).
+    random_down: Vec<bool>,
+    /// Value a frozen sensor is pinned to, captured at fault onset.
+    frozen: Vec<Option<f64>>,
+    /// Scratch: per-processor actuation-loss draws for the current period.
+    lost: Vec<bool>,
+    sensor_fault_periods: usize,
+    actuation_drops: usize,
+}
+
+impl FaultInjector {
+    /// Creates the runtime state for `num_processors` processors.
+    pub fn new(plan: FaultPlan, num_processors: usize) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(plan.seed),
+            plan,
+            num_processors,
+            random_down: vec![false; num_processors],
+            frozen: vec![None; num_processors],
+            lost: vec![false; num_processors],
+            sensor_fault_periods: 0,
+            actuation_drops: 0,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advances stochastic fault state to `period` and returns the set of
+    /// processors that must be down during it.
+    ///
+    /// Call exactly once per period, with strictly increasing `period`
+    /// values, before advancing the plant — the stochastic draws are
+    /// consumed in order.
+    pub fn begin_period(&mut self, period: usize) -> Vec<usize> {
+        if let Some(rc) = self.plan.random_crashes {
+            for p in 0..self.num_processors {
+                let flip = if self.random_down[p] {
+                    self.rng.gen::<f64>() < rc.recover
+                } else {
+                    self.rng.gen::<f64>() < rc.crash
+                };
+                if flip {
+                    self.random_down[p] = !self.random_down[p];
+                }
+            }
+        }
+        // Pre-draw this period's actuation losses so the draw order is
+        // independent of how callers interleave the other queries.
+        for p in 0..self.num_processors {
+            self.lost[p] =
+                self.plan.actuation_loss > 0.0 && self.rng.gen::<f64>() < self.plan.actuation_loss;
+        }
+        (0..self.num_processors)
+            .filter(|&p| {
+                self.random_down[p]
+                    || self
+                        .plan
+                        .crashes
+                        .iter()
+                        .any(|w| w.processor == p && w.active(period))
+            })
+            .collect()
+    }
+
+    /// The execution-time multiplier each processor must run at during
+    /// `period` (compounding overlapping bursts).
+    pub fn speed_factor(&self, period: usize, processor: usize) -> f64 {
+        self.plan
+            .bursts
+            .iter()
+            .filter(|(w, _)| w.processor == processor && w.active(period))
+            .map(|&(_, f)| f)
+            .product()
+    }
+
+    /// Applies the active sensor faults for `period` to the freshly
+    /// sampled utilization vector, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` does not have one entry per processor.
+    pub fn corrupt_sensors(&mut self, period: usize, u: &mut Vector) {
+        assert_eq!(u.len(), self.num_processors, "one sample per processor");
+        let mut any = false;
+        for p in 0..self.num_processors {
+            let mut faulted = false;
+            for &(w, kind) in &self.plan.sensors {
+                if w.processor != p || !w.active(period) {
+                    continue;
+                }
+                faulted = true;
+                match kind {
+                    SensorFaultKind::Frozen => {
+                        let pin = *self.frozen[p].get_or_insert(u[p]);
+                        u[p] = pin;
+                    }
+                    SensorFaultKind::NaN => u[p] = f64::NAN,
+                    SensorFaultKind::Stuck(v) => u[p] = v,
+                }
+            }
+            if !faulted {
+                self.frozen[p] = None;
+            }
+            any |= faulted;
+        }
+        if any {
+            self.sensor_fault_periods += 1;
+        }
+    }
+
+    /// Whether the rate command to `processor`'s modulator is lost this
+    /// period (drawn in [`FaultInjector::begin_period`]).
+    pub fn actuation_lost(&mut self, processor: usize) -> bool {
+        let lost = self.lost[processor];
+        if lost {
+            self.actuation_drops += 1;
+        }
+        lost
+    }
+
+    /// Number of periods in which at least one sensor misreported.
+    pub fn sensor_fault_periods(&self) -> usize {
+        self.sensor_fault_periods
+    }
+
+    /// Number of (period × processor) rate commands lost so far.
+    pub fn actuation_drops(&self) -> usize {
+        self.actuation_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        let mut inj = FaultInjector::new(plan, 2);
+        assert!(inj.begin_period(0).is_empty());
+        assert_eq!(inj.speed_factor(0, 0), 1.0);
+        let mut u = Vector::from_slice(&[0.5, 0.6]);
+        inj.corrupt_sensors(0, &mut u);
+        assert_eq!(u.as_slice(), &[0.5, 0.6]);
+        assert!(!inj.actuation_lost(0));
+        assert_eq!(inj.sensor_fault_periods(), 0);
+        assert_eq!(inj.actuation_drops(), 0);
+    }
+
+    #[test]
+    fn scripted_crash_window_is_half_open() {
+        let mut inj = FaultInjector::new(FaultPlan::none().crash(1, 60, 100), 3);
+        assert!(inj.begin_period(59).is_empty());
+        assert_eq!(inj.begin_period(60), vec![1]);
+        assert_eq!(inj.begin_period(99), vec![1]);
+        assert!(inj.begin_period(100).is_empty());
+    }
+
+    #[test]
+    fn bursts_compound() {
+        let plan = FaultPlan::none()
+            .burst(0, 10, 20, 2.0)
+            .burst(0, 15, 25, 3.0);
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.speed_factor(5, 0), 1.0);
+        assert_eq!(inj.speed_factor(12, 0), 2.0);
+        assert_eq!(inj.speed_factor(17, 0), 6.0);
+        assert_eq!(inj.speed_factor(22, 0), 3.0);
+    }
+
+    #[test]
+    fn frozen_sensor_pins_the_onset_value_and_clears() {
+        let plan = FaultPlan::none().sensor(0, 2, 4, SensorFaultKind::Frozen);
+        let mut inj = FaultInjector::new(plan, 1);
+        for (k, (fresh, want)) in [(0.1, 0.1), (0.2, 0.2), (0.3, 0.3), (0.4, 0.3), (0.5, 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let mut u = Vector::from_slice(&[*fresh]);
+            inj.corrupt_sensors(k, &mut u);
+            assert_eq!(u[0], *want, "period {k}");
+        }
+        assert_eq!(inj.sensor_fault_periods(), 2);
+    }
+
+    #[test]
+    fn nan_and_stuck_sensors() {
+        let plan = FaultPlan::none()
+            .sensor(0, 0, 10, SensorFaultKind::NaN)
+            .sensor(1, 0, 10, SensorFaultKind::Stuck(9.9));
+        let mut inj = FaultInjector::new(plan, 2);
+        let mut u = Vector::from_slice(&[0.5, 0.5]);
+        inj.corrupt_sensors(3, &mut u);
+        assert!(u[0].is_nan());
+        assert_eq!(u[1], 9.9);
+    }
+
+    #[test]
+    fn actuation_loss_rate_matches_probability() {
+        let mut inj = FaultInjector::new(FaultPlan::none().actuation_loss(0.2).seed(11), 2);
+        let mut drops = 0;
+        for k in 0..1000 {
+            let _ = inj.begin_period(k);
+            for p in 0..2 {
+                if inj.actuation_lost(p) {
+                    drops += 1;
+                }
+            }
+        }
+        assert!((300..500).contains(&drops), "≈20% of 2000: {drops}");
+        assert_eq!(inj.actuation_drops(), drops);
+    }
+
+    #[test]
+    fn random_crashes_are_deterministic_and_recover() {
+        let mk = || {
+            let mut inj =
+                FaultInjector::new(FaultPlan::none().random_crashes(0.05, 0.3).seed(5), 4);
+            (0..500)
+                .map(|k| inj.begin_period(k).len())
+                .collect::<Vec<_>>()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "seeded draws must be reproducible");
+        let total_down: usize = a.iter().sum();
+        assert!(total_down > 0, "crashes must occur");
+        assert!(
+            *a.iter().max().unwrap() <= 4 && a.contains(&0),
+            "processors recover"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = FaultPlan::none().crash(0, 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn actuation_loss_validated() {
+        let _ = FaultPlan::none().actuation_loss(1.0);
+    }
+}

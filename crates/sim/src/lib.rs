@@ -16,6 +16,10 @@
 //!   job-level variation ([`ExecModel`]).
 //! * **Deadline bookkeeping** for soft end-to-end deadlines
 //!   (`d_i = n_i / r_i`).
+//! * **Fault injection** ([`FaultPlan`] / [`FaultInjector`]): scripted or
+//!   stochastic processor crash + recovery, execution-time bursts,
+//!   stuck/corrupted utilization sensors, and actuation-lane loss/delay —
+//!   the infrastructure failures the paper idealizes away.
 //!
 //! # Example
 //!
@@ -39,8 +43,10 @@
 mod config;
 mod engine;
 mod event;
+mod fault;
 mod stats;
 
 pub use config::{EtfProfile, ExecModel, ReleaseGuard, SimConfig};
 pub use engine::Simulator;
+pub use fault::{FaultInjector, FaultPlan, RandomCrashes, SensorFaultKind};
 pub use stats::{DeadlineStats, SubtaskStats, TaskStats};

@@ -50,14 +50,17 @@ pub use eucon_tasks as tasks;
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use eucon_control::{
-        ControlPenalty, DecentralizedController, IndependentPid, MpcConfig, MpcController,
-        OpenLoop, RateController,
+        ControlMode, ControlPenalty, DecentralizedController, IndependentPid, MpcConfig,
+        MpcController, OpenLoop, RateController, Supervised, SupervisorConfig, SupervisorReport,
     };
     pub use eucon_core::{
-        metrics, render, ClosedLoop, ControllerSpec, LaneModel, RunResult, SteadyRun, VaryingRun,
+        metrics, render, ClosedLoop, ControllerSpec, FaultSummary, LaneModel, RunResult, SteadyRun,
+        VaryingRun,
     };
     pub use eucon_math::{Matrix, Vector};
-    pub use eucon_sim::{EtfProfile, ExecModel, SimConfig, Simulator};
+    pub use eucon_sim::{
+        EtfProfile, ExecModel, FaultPlan, RandomCrashes, SensorFaultKind, SimConfig, Simulator,
+    };
     pub use eucon_tasks::{
         liu_layland_bound, rms_set_points, workloads, ProcessorId, Task, TaskId, TaskSet,
     };
