@@ -21,14 +21,14 @@ fn bench_paper_configs(c: &mut Criterion) {
     let mut ctrl = controller_for(&simple, MpcConfig::simple());
     let u = Vector::from_slice(&[0.5, 0.6]);
     group.bench_function("simple_3tasks_2procs", |bch| {
-        bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step")))
+        bch.iter(|| ctrl.update(black_box(&u)).expect("step"))
     });
 
     let medium = workloads::medium();
     let mut ctrl = controller_for(&medium, MpcConfig::medium());
     let u = Vector::from_slice(&[0.5, 0.6, 0.4, 0.7]);
     group.bench_function("medium_12tasks_4procs", |bch| {
-        bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step")))
+        bch.iter(|| ctrl.update(black_box(&u)).expect("step"))
     });
 
     group.finish();
@@ -45,7 +45,7 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{procs}procs_{tasks}tasks")),
             &(),
-            |bch, ()| bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step"))),
+            |bch, ()| bch.iter(|| ctrl.update(black_box(&u)).expect("step")),
         );
     }
     group.finish();
@@ -60,7 +60,7 @@ fn bench_horizons(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("P{p}_M{m}")),
             &(),
-            |bch, ()| bch.iter(|| black_box(ctrl.update(black_box(&u)).expect("step"))),
+            |bch, ()| bch.iter(|| ctrl.update(black_box(&u)).expect("step")),
         );
     }
     group.finish();

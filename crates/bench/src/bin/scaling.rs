@@ -12,7 +12,7 @@ use std::time::Instant;
 use eucon_control::{DecentralizedController, MpcConfig, MpcController, RateController};
 use eucon_core::{metrics, render, ClosedLoop, ControllerSpec};
 use eucon_math::Vector;
-use eucon_sim::SimConfig;
+use eucon_sim::{SimConfig, Simulator};
 use eucon_tasks::{rms_set_points, workloads::RandomWorkload};
 
 /// Median wall time of one `update` call, in microseconds.
@@ -20,7 +20,7 @@ fn step_cost(ctrl: &mut dyn RateController, u: &Vector, reps: usize) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
-            let _ = ctrl.update(u).expect("controller step");
+            ctrl.update(u).expect("controller step");
             t0.elapsed().as_secs_f64() * 1e6
         })
         .collect();
@@ -99,4 +99,63 @@ fn main() {
     );
     println!("\nExpected shape: centralized cost grows superlinearly with system size;");
     println!("per-node decentralized cost stays roughly flat (bounded local problems).");
+
+    event_throughput();
+}
+
+/// Raw simulator event throughput as the platform grows, up to the
+/// 64-processor configuration.  The engine counters make per-size event
+/// volume, queue residency and reschedule pressure visible alongside the
+/// wall clock.
+fn event_throughput() {
+    println!("\n== Scaling: simulator event throughput ==\n");
+    let mut rows = Vec::new();
+    for procs in [4usize, 8, 16, 32, 64] {
+        let tasks = procs * 3;
+        let set = RandomWorkload::new(procs, tasks).seed(3).generate();
+        let t0 = Instant::now();
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let secs = t0.elapsed().as_secs_f64();
+        let c = sim.counters();
+        rows.push(vec![
+            format!("{procs}x{tasks}"),
+            c.events.to_string(),
+            format!("{:.1}", secs * 1e3),
+            format!("{:.2}", c.events as f64 / secs / 1e6),
+            c.queue_peak.to_string(),
+            c.reschedules.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render::table(
+            &[
+                "procs x tasks",
+                "events",
+                "wall ms",
+                "Mevents/s",
+                "peak queue",
+                "reschedules",
+            ],
+            &rows
+        )
+    );
+    eucon_bench::write_result(
+        "event_throughput.csv",
+        &render::csv(
+            &[
+                "size",
+                "events",
+                "wall_ms",
+                "mevents_per_s",
+                "queue_peak",
+                "reschedules",
+            ],
+            &rows,
+        ),
+    );
+    println!("\nExpected shape: cost per event grows only gently with platform size —");
+    println!("the indexed per-source queue does O(log sources) work per event with");
+    println!("no tombstone churn, so cost per event is independent of run length.");
 }

@@ -70,9 +70,9 @@ impl OpenLoop {
 }
 
 impl RateController for OpenLoop {
-    fn update(&mut self, _u: &Vector) -> Result<Vector, ControlError> {
-        // Open loop: feedback is ignored.
-        Ok(self.rates.clone())
+    fn update(&mut self, _u: &Vector) -> Result<(), ControlError> {
+        // Open loop: feedback is ignored, the design rates stay in force.
+        Ok(())
     }
 
     fn rates(&self) -> &Vector {
@@ -104,6 +104,9 @@ pub struct IndependentPid {
     kp: f64,
     ki: f64,
     integral: Vector,
+    /// Per-processor correction factors, rewritten in place every period
+    /// (scratch — kept across calls so `update` never allocates).
+    factor: Vector,
 }
 
 impl IndependentPid {
@@ -135,6 +138,7 @@ impl IndependentPid {
             .collect();
         Ok(IndependentPid {
             integral: Vector::zeros(set_points.len()),
+            factor: Vector::zeros(set_points.len()),
             set_points,
             rates: set.initial_rates(),
             rmin,
@@ -147,7 +151,7 @@ impl IndependentPid {
 }
 
 impl RateController for IndependentPid {
-    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+    fn update(&mut self, u: &Vector) -> Result<(), ControlError> {
         if u.len() != self.set_points.len() {
             return Err(ControlError::DimensionMismatch(format!(
                 "{} utilization samples for {} processors",
@@ -156,22 +160,21 @@ impl RateController for IndependentPid {
             )));
         }
         // Per-processor multiplicative correction from the relative error.
-        let mut factor = Vector::zeros(u.len());
         for i in 0..u.len() {
             let err = self.set_points[i] - u[i];
             self.integral[i] += err;
-            factor[i] = 1.0 + self.kp * err + self.ki * self.integral[i];
-            factor[i] = factor[i].clamp(0.5, 2.0); // rate-limit each step
+            self.factor[i] = 1.0 + self.kp * err + self.ki * self.integral[i];
+            self.factor[i] = self.factor[i].clamp(0.5, 2.0); // rate-limit each step
         }
         for (t, hosts) in self.hosts.iter().enumerate() {
             // Conservative: a shared task follows its most loaded host.
             let f = hosts
                 .iter()
-                .map(|&p| factor[p])
+                .map(|&p| self.factor[p])
                 .fold(f64::INFINITY, f64::min);
             self.rates[t] = (self.rates[t] * f).clamp(self.rmin[t], self.rmax[t]);
         }
-        Ok(self.rates.clone())
+        Ok(())
     }
 
     fn rates(&self) -> &Vector {
@@ -211,9 +214,10 @@ mod tests {
         let set = workloads::simple();
         let b = rms_set_points(&set);
         let mut open = OpenLoop::design(&set, &b).unwrap();
-        let r1 = open.update(&Vector::from_slice(&[0.1, 0.1])).unwrap();
-        let r2 = open.update(&Vector::from_slice(&[1.0, 1.0])).unwrap();
-        assert!(r1.approx_eq(&r2, 0.0));
+        open.update(&Vector::from_slice(&[0.1, 0.1])).unwrap();
+        let r1 = open.rates().clone();
+        open.update(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+        assert!(r1.approx_eq(open.rates(), 0.0));
     }
 
     #[test]
@@ -241,8 +245,8 @@ mod tests {
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.1).unwrap();
         let r0 = pid.rates().clone();
-        let r1 = pid.update(&Vector::from_slice(&[0.2, 0.2])).unwrap();
-        assert!(r1.sum() > r0.sum());
+        pid.update(&Vector::from_slice(&[0.2, 0.2])).unwrap();
+        assert!(pid.rates().sum() > r0.sum());
     }
 
     #[test]
@@ -251,8 +255,8 @@ mod tests {
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.1).unwrap();
         let r0 = pid.rates().clone();
-        let r1 = pid.update(&Vector::from_slice(&[1.0, 1.0])).unwrap();
-        assert!(r1.sum() < r0.sum());
+        pid.update(&Vector::from_slice(&[1.0, 1.0])).unwrap();
+        assert!(pid.rates().sum() < r0.sum());
     }
 
     #[test]
@@ -261,9 +265,9 @@ mod tests {
         let b = rms_set_points(&set);
         let mut pid = IndependentPid::new(&set, b, 2.0, 0.5).unwrap();
         for _ in 0..100 {
-            let r = pid.update(&Vector::from_slice(&[0.0, 0.0])).unwrap();
+            pid.update(&Vector::from_slice(&[0.0, 0.0])).unwrap();
             for (t, task) in set.tasks().iter().enumerate() {
-                assert!(r[t] <= task.rate_max() + 1e-12);
+                assert!(pid.rates()[t] <= task.rate_max() + 1e-12);
             }
         }
         let r = pid.rates().clone();
@@ -294,8 +298,8 @@ mod tests {
         let mut pid = IndependentPid::new(&set, b, 0.5, 0.0).unwrap();
         let r0 = pid.rates().clone();
         // P1 overloaded, P2 idle: shared task T2 must not be raised.
-        let r1 = pid.update(&Vector::from_slice(&[1.0, 0.0])).unwrap();
-        assert!(r1[1] <= r0[1] + 1e-12, "T2 follows overloaded P1");
-        assert!(r1[2] > r0[2], "T3 (P2-only) is raised");
+        pid.update(&Vector::from_slice(&[1.0, 0.0])).unwrap();
+        assert!(pid.rates()[1] <= r0[1] + 1e-12, "T2 follows overloaded P1");
+        assert!(pid.rates()[2] > r0[2], "T3 (P2-only) is raised");
     }
 }

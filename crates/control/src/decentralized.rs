@@ -61,8 +61,8 @@ struct LocalController {
 /// let set = workloads::medium();
 /// let b = rms_set_points(&set);
 /// let mut ctrl = DecentralizedController::new(&set, b, MpcConfig::medium())?;
-/// let rates = ctrl.update(&Vector::from_slice(&[0.4, 0.4, 0.4, 0.4]))?;
-/// assert_eq!(rates.len(), 12);
+/// ctrl.update(&Vector::from_slice(&[0.4, 0.4, 0.4, 0.4]))?;
+/// assert_eq!(ctrl.rates().len(), 12);
 /// # Ok(())
 /// # }
 /// ```
@@ -197,7 +197,7 @@ impl DecentralizedController {
 }
 
 impl RateController for DecentralizedController {
-    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+    fn update(&mut self, u: &Vector) -> Result<(), ControlError> {
         if u.len() != self.num_processors {
             return Err(ControlError::DimensionMismatch(format!(
                 "{} utilization samples for {} processors",
@@ -205,6 +205,9 @@ impl RateController for DecentralizedController {
                 self.num_processors
             )));
         }
+        // Stage the team's result and commit only after every local solve
+        // succeeded — a mid-loop failure must not leave `rates` half
+        // updated.
         let mut new_rates = self.rates.clone();
         // Gauss–Seidel coordination: controllers act in a fixed order;
         // each sees the moves already committed this period by earlier
@@ -225,7 +228,8 @@ impl RateController for DecentralizedController {
                     let err = u[q] + disturbance[r] - b;
                     (b + err / actuator_count[q] as f64).clamp(0.0, 1.0)
                 }));
-            let r_local = local.mpc.step(&u_local)?;
+            local.mpc.step_in_place(&u_local)?;
+            let r_local = local.mpc.rates();
             for (c, &j) in local.owned.iter().enumerate() {
                 new_moves[j] = r_local[c] - self.rates[j];
                 predicted_moves[j] = new_moves[j];
@@ -233,8 +237,8 @@ impl RateController for DecentralizedController {
             }
         }
         self.last_moves = new_moves;
-        self.rates = new_rates.clone();
-        Ok(new_rates)
+        self.rates = new_rates;
+        Ok(())
     }
 
     fn rates(&self) -> &Vector {
@@ -323,7 +327,8 @@ mod tests {
         let mut u = set.estimated_utilization(&set.initial_rates()).scale(0.5);
         let mut prev = ctrl.rates().clone();
         for _ in 0..200 {
-            let r = ctrl.update(&u).unwrap();
+            ctrl.update(&u).unwrap();
+            let r = ctrl.rates().clone();
             u = &u + &f.mul_vec(&(&r - &prev)).scale(0.5);
             prev = r;
         }
@@ -338,10 +343,10 @@ mod tests {
         let set = workloads::medium();
         let mut ctrl = medium_controller();
         for _ in 0..30 {
-            let r = ctrl.update(&Vector::filled(4, 1.0)).unwrap();
+            ctrl.update(&Vector::filled(4, 1.0)).unwrap();
             for (j, task) in set.tasks().iter().enumerate() {
-                assert!(r[j] >= task.rate_min() - 1e-12);
-                assert!(r[j] <= task.rate_max() + 1e-12);
+                assert!(ctrl.rates()[j] >= task.rate_min() - 1e-12);
+                assert!(ctrl.rates()[j] <= task.rate_max() + 1e-12);
             }
         }
     }

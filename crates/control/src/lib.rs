@@ -74,14 +74,20 @@ pub enum ControlMode {
 /// Common interface of utilization controllers: once per sampling period,
 /// consume the measured utilization vector and produce new task rates.
 pub trait RateController {
-    /// Consumes the utilization measurement `u(k)` and returns the rate
-    /// vector to apply for the next sampling period.
+    /// Consumes the utilization measurement `u(k)` and commits the rate
+    /// vector for the next sampling period, readable (without an
+    /// allocation) through [`RateController::rates`].
+    ///
+    /// Returning `()` instead of a fresh `Vector` keeps the per-period
+    /// control exchange allocation-free; callers that need ownership of
+    /// the commanded rates clone `rates()` explicitly.
     ///
     /// # Errors
     ///
     /// Implementations report dimension mismatches and optimization
-    /// failures as [`ControlError`].
-    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError>;
+    /// failures as [`ControlError`]; on error the previously commanded
+    /// rates stay in force.
+    fn update(&mut self, u: &Vector) -> Result<(), ControlError>;
 
     /// The rates currently commanded by the controller.
     ///
@@ -129,8 +135,8 @@ mod tests {
         ];
         let u = Vector::from_slice(&[0.5, 0.5]);
         for c in controllers.iter_mut() {
-            let r = c.update(&u).unwrap();
-            assert_eq!(r.len(), 3, "{} returned wrong arity", c.name());
+            c.update(&u).unwrap();
+            assert_eq!(c.rates().len(), 3, "{} commands wrong arity", c.name());
         }
     }
 }

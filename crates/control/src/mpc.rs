@@ -89,6 +89,9 @@ pub struct MpcController {
     h_util: Vector,
     h_rate: Vector,
     d_buf: Vector,
+    /// Tracking-error scratch `u − B`, rewritten in place every period so
+    /// the hot path never allocates.
+    err_buf: Vector,
     /// Active sets of the previous period, used to warm-start the dual
     /// active-set solver.  In steady state the set is unchanged and the
     /// solve takes zero iterations.
@@ -164,6 +167,7 @@ impl MpcController {
             (None, Vector::zeros(0))
         };
         let d_buf = Vector::zeros(pred.c.rows());
+        let err_buf = Vector::zeros(n);
 
         Ok(MpcController {
             f,
@@ -180,6 +184,7 @@ impl MpcController {
             h_util,
             h_rate,
             d_buf,
+            err_buf,
             warm_util: Vec::new(),
             warm_rate: Vec::new(),
         })
@@ -226,6 +231,16 @@ impl MpcController {
     ///   dropping the utilization constraints (does not happen for valid
     ///   rate boxes, which are always feasible at `Δr = 0`).
     pub fn step(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+        self.step_in_place(u)?;
+        Ok(self.rates.clone())
+    }
+
+    /// The allocation-free core of [`MpcController::step`]: commits the new
+    /// rates into `self.rates` instead of returning a fresh vector.  All
+    /// per-period right-hand sides and the tracking error are rewritten in
+    /// long-lived scratch buffers (the QP solver still allocates its
+    /// solution internally).
+    pub(crate) fn step_in_place(&mut self, u: &Vector) -> Result<(), ControlError> {
         if u.len() != self.pred.n {
             return Err(ControlError::DimensionMismatch(format!(
                 "{} utilization samples for {} processors",
@@ -239,8 +254,11 @@ impl MpcController {
                 u[p]
             )));
         }
-        let error = u - &self.b;
-        self.pred.rhs_into(&error, &self.prev_move, &mut self.d_buf);
+        for i in 0..u.len() {
+            self.err_buf[i] = u[i] - self.b[i];
+        }
+        self.pred
+            .rhs_into(&self.err_buf, &self.prev_move, &mut self.d_buf);
 
         let mut relaxed = false;
         let primary = match &self.solver_util {
@@ -291,21 +309,20 @@ impl MpcController {
             Some(Err(e)) => return Err(ControlError::Optimization(e)),
         };
 
-        // Receding horizon: apply only the first move.
+        // Receding horizon: apply only the first move (the leading `m`
+        // entries of the optimal move trajectory), in place.
         let m = self.pred.m;
-        let dr = solution.x.subvector(0, m);
-        let mut new_rates = Vector::zeros(m);
         for t in 0..m {
-            new_rates[t] = (self.rates[t] + dr[t]).clamp(self.rmin[t], self.rmax[t]);
+            let nr = (self.rates[t] + solution.x[t]).clamp(self.rmin[t], self.rmax[t]);
+            self.prev_move[t] = nr - self.rates[t];
+            self.rates[t] = nr;
         }
-        self.prev_move = &new_rates - &self.rates;
-        self.rates = new_rates;
         self.last_info = MpcStepInfo {
             qp_iterations: solution.iterations,
             relaxed_utilization: relaxed,
             residual: solution.residual,
         };
-        Ok(self.rates.clone())
+        Ok(())
     }
 }
 
@@ -335,8 +352,8 @@ fn solve_amortized(
 }
 
 impl RateController for MpcController {
-    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
-        self.step(u)
+    fn update(&mut self, u: &Vector) -> Result<(), ControlError> {
+        self.step_in_place(u)
     }
 
     fn rates(&self) -> &Vector {

@@ -143,8 +143,8 @@ pub struct SupervisorReport {
 /// let mpc = MpcController::new(&set, b, MpcConfig::simple())?;
 /// let mut sup = Supervised::new(mpc, &set, SupervisorConfig::default())?;
 /// // A NaN sample never reaches the MPC and never produces a bad rate.
-/// let r = sup.update(&Vector::from_slice(&[f64::NAN, 0.5]))?;
-/// assert!(r.iter().all(|ri| ri.is_finite()));
+/// sup.update(&Vector::from_slice(&[f64::NAN, 0.5]))?;
+/// assert!(sup.rates().iter().all(|ri| ri.is_finite()));
 /// assert_eq!(sup.report().rejected_samples, 1);
 /// # Ok(())
 /// # }
@@ -259,7 +259,7 @@ impl<C: RateController> RateController for Supervised<C> {
     /// Never fails for correctly-sized input: sensor faults and primary
     /// controller errors are absorbed by the watchdog, and the returned
     /// rates are always finite and inside the rate box.
-    fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+    fn update(&mut self, u: &Vector) -> Result<(), ControlError> {
         if u.len() != self.last_good.len() {
             return Err(ControlError::DimensionMismatch(format!(
                 "{} utilization samples for {} processors",
@@ -295,25 +295,24 @@ impl<C: RateController> RateController for Supervised<C> {
             self.degrade();
         }
 
-        // 2. Primary law, guarded by the watchdog.
+        // 2. Primary law, guarded by the watchdog.  A non-finite rate
+        // command is a controller fault even if the call "succeeded".
         if !self.degraded {
-            match self.inner.update(&self.sanitized) {
-                Ok(r) if r.is_finite() => {
-                    self.consecutive_errors = 0;
-                    for t in 0..self.rates.len() {
-                        self.rates[t] = r[t].clamp(self.rmin[t], self.rmax[t]);
-                    }
+            let healthy =
+                self.inner.update(&self.sanitized).is_ok() && self.inner.rates().is_finite();
+            if healthy {
+                self.consecutive_errors = 0;
+                let r = self.inner.rates();
+                for t in 0..self.rates.len() {
+                    self.rates[t] = r[t].clamp(self.rmin[t], self.rmax[t]);
                 }
-                // A non-finite rate command is a controller fault even if
-                // the call "succeeded".
-                Ok(_) | Err(_) => {
-                    self.report.control_errors += 1;
-                    self.consecutive_errors += 1;
-                    if self.consecutive_errors >= self.cfg.max_control_errors {
-                        self.degrade();
-                    }
-                    // Until the watchdog trips, hold the previous rates.
+            } else {
+                self.report.control_errors += 1;
+                self.consecutive_errors += 1;
+                if self.consecutive_errors >= self.cfg.max_control_errors {
+                    self.degrade();
                 }
+                // Until the watchdog trips, hold the previous rates.
             }
         }
 
@@ -338,7 +337,7 @@ impl<C: RateController> RateController for Supervised<C> {
             }
         }
 
-        Ok(self.rates.clone())
+        Ok(())
     }
 
     fn rates(&self) -> &Vector {
@@ -397,9 +396,12 @@ mod tests {
         let mut sup = supervised_mpc(SupervisorConfig::default());
         let u = Vector::from_slice(&[0.4, 0.4]);
         for _ in 0..20 {
-            let r_raw = raw.update(&u).unwrap();
-            let r_sup = sup.update(&u).unwrap();
-            assert!(r_sup.approx_eq(&r_raw, 1e-12), "transparent when healthy");
+            raw.update(&u).unwrap();
+            sup.update(&u).unwrap();
+            assert!(
+                sup.rates().approx_eq(raw.rates(), 1e-12),
+                "transparent when healthy"
+            );
         }
         assert_eq!(sup.report(), SupervisorReport::default());
         assert_eq!(sup.mode(), ControlMode::Nominal);
@@ -408,10 +410,14 @@ mod tests {
     #[test]
     fn invalid_samples_are_substituted_not_forwarded() {
         let mut sup = supervised_mpc(SupervisorConfig::default());
-        let _ = sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+        sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
         for bad in [f64::NAN, f64::INFINITY, -0.2, 7.0] {
-            let r = sup.update(&Vector::from_slice(&[bad, 0.5])).unwrap();
-            assert!(in_box(&r), "bad sample {bad} leaked: {r}");
+            sup.update(&Vector::from_slice(&[bad, 0.5])).unwrap();
+            assert!(
+                in_box(sup.rates()),
+                "bad sample {bad} leaked: {}",
+                sup.rates()
+            );
         }
         assert_eq!(sup.report().rejected_samples, 4);
         // Interleaved valid samples keep staleness below the threshold.
@@ -424,18 +430,19 @@ mod tests {
         let cfg = SupervisorConfig::default().max_stale(4).reengage_hold(3);
         let mut sup = supervised_mpc(cfg);
         for _ in 0..10 {
-            let _ = sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+            sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
         }
         // Monitor on P1 dies: NaN forever.
         for k in 0..4 {
-            let _ = sup.update(&Vector::from_slice(&[f64::NAN, 0.5])).unwrap();
+            sup.update(&Vector::from_slice(&[f64::NAN, 0.5])).unwrap();
             assert_eq!(sup.is_degraded(), k == 3, "degrades exactly at M = 4");
         }
         assert_eq!(sup.report().degradations, 1);
         // While dead, rates slew toward the safe rates (Rmin by default).
         let mut prev_gap = f64::INFINITY;
         for _ in 0..20 {
-            let r = sup.update(&Vector::from_slice(&[f64::NAN, 0.5])).unwrap();
+            sup.update(&Vector::from_slice(&[f64::NAN, 0.5])).unwrap();
+            let r = sup.rates().clone();
             assert!(in_box(&r));
             let gap: f64 = (0..r.len()).map(|t| (r[t] - sup.safe_rates[t]).abs()).sum();
             assert!(gap <= prev_gap + 1e-12, "monotone approach to safe rates");
@@ -445,14 +452,14 @@ mod tests {
         // Monitor comes back: three healthy periods re-engage the MPC.
         for _ in 0..3 {
             assert!(sup.is_degraded());
-            let _ = sup.update(&Vector::from_slice(&[0.3, 0.3])).unwrap();
+            sup.update(&Vector::from_slice(&[0.3, 0.3])).unwrap();
         }
         assert!(!sup.is_degraded());
         assert_eq!(sup.report().reengagements, 1);
         // Re-engaged MPC raises rates from the floor again.
         let before = sup.rates().sum();
-        let after = sup.update(&Vector::from_slice(&[0.3, 0.3])).unwrap().sum();
-        assert!(after > before, "primary law back in charge");
+        sup.update(&Vector::from_slice(&[0.3, 0.3])).unwrap();
+        assert!(sup.rates().sum() > before, "primary law back in charge");
     }
 
     /// A primary law that always fails, for watchdog tests.
@@ -461,7 +468,7 @@ mod tests {
     }
 
     impl RateController for Dead {
-        fn update(&mut self, _u: &Vector) -> Result<Vector, ControlError> {
+        fn update(&mut self, _u: &Vector) -> Result<(), ControlError> {
             Err(ControlError::DimensionMismatch("dead".into()))
         }
         fn rates(&self) -> &Vector {
@@ -482,16 +489,19 @@ mod tests {
         let mut sup = Supervised::new(dead, &set, cfg).unwrap();
         let u = Vector::from_slice(&[0.5, 0.5]);
         for k in 0..3 {
-            let r = sup.update(&u).unwrap();
-            assert!(in_box(&r), "update stays total while errors accumulate");
+            sup.update(&u).unwrap();
+            assert!(
+                in_box(sup.rates()),
+                "update stays total while errors accumulate"
+            );
             assert_eq!(sup.is_degraded(), k == 2, "degrades at N = 3");
         }
         assert_eq!(sup.report().control_errors, 3);
         // The inner law keeps failing, so even with healthy sensors the
         // wrapper stays in (or re-enters) safe mode and drives to Rmin.
         for _ in 0..40 {
-            let r = sup.update(&u).unwrap();
-            assert!(in_box(&r));
+            sup.update(&u).unwrap();
+            assert!(in_box(sup.rates()));
         }
         let (rmin, _) = set.rate_bounds();
         assert!(
@@ -508,8 +518,9 @@ mod tests {
     }
 
     impl RateController for Lying {
-        fn update(&mut self, _u: &Vector) -> Result<Vector, ControlError> {
-            Ok(self.rates.map(|_| f64::NAN))
+        fn update(&mut self, _u: &Vector) -> Result<(), ControlError> {
+            self.rates = self.rates.map(|_| f64::NAN);
+            Ok(())
         }
         fn rates(&self) -> &Vector {
             &self.rates
@@ -527,8 +538,8 @@ mod tests {
         };
         let mut sup = Supervised::new(lying, &set, SupervisorConfig::default()).unwrap();
         for _ in 0..10 {
-            let r = sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
-            assert!(r.is_finite(), "NaN must never escape the wrapper");
+            sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+            assert!(sup.rates().is_finite(), "NaN must never escape the wrapper");
         }
         assert!(sup.is_degraded());
         assert!(sup.report().control_errors >= 3);
@@ -545,8 +556,7 @@ mod tests {
             .unwrap()
             .with_safe_rates(design.clone());
         for _ in 0..60 {
-            let _ = sup
-                .update(&Vector::from_slice(&[f64::NAN, f64::NAN]))
+            sup.update(&Vector::from_slice(&[f64::NAN, f64::NAN]))
                 .unwrap();
         }
         assert!(sup.is_degraded());
@@ -595,8 +605,8 @@ mod tests {
                         let which = (seed as usize + k) % garbage.len();
                         u[(k + seed as usize) % 2] = garbage[which];
                     }
-                    let r = sup.update(&u).unwrap();
-                    prop_assert!(in_box(&r), "period {k}: {r}");
+                    sup.update(&u).unwrap();
+                    prop_assert!(in_box(sup.rates()), "period {k}: {}", sup.rates());
                     prop_assert!(sup.rates().is_finite());
                 }
             }

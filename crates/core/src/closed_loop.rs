@@ -8,7 +8,7 @@ use eucon_control::{
     OpenLoop, RateController, Supervised, SupervisorConfig,
 };
 use eucon_math::Vector;
-use eucon_sim::{DeadlineStats, FaultInjector, FaultPlan, SimConfig, Simulator};
+use eucon_sim::{DeadlineStats, EngineCounters, FaultInjector, FaultPlan, SimConfig, Simulator};
 use eucon_tasks::{rms_set_points, ProcessorId, TaskSet};
 
 use crate::lanes::LaneState;
@@ -113,6 +113,9 @@ pub struct RunResult {
     pub control_errors: usize,
     /// Fault-injection and degradation counters.
     pub faults: FaultSummary,
+    /// Event-engine counters accumulated by the simulator over the run
+    /// (events processed, in-place reschedules, queue high-water mark).
+    pub engine: EngineCounters,
 }
 
 /// The distributed feedback control loop of the paper's §4: at the end of
@@ -161,6 +164,20 @@ pub struct ClosedLoop {
     act_queue: VecDeque<Vector>,
     act_delay: usize,
     summary: FaultSummary,
+    /// Whether steps are accumulated into the trace (off for long
+    /// unattended runs that only need the final statistics).
+    record: bool,
+    /// True utilizations of the current period (persistent scratch —
+    /// rewritten in place every period, never reallocated).
+    u_scratch: Vector,
+    /// What the monitors reported after sensor faults (persistent scratch,
+    /// only touched when an injector is configured).
+    sensed: Vector,
+    /// Processors whose actuation lane dropped this period (persistent
+    /// fault-routing scratch).
+    dropped: Vec<usize>,
+    /// The most recent period's record, rewritten in place each step.
+    last: TraceStep,
 }
 
 impl std::fmt::Debug for ClosedLoop {
@@ -184,6 +201,7 @@ pub struct ClosedLoopBuilder {
     lanes: LaneModel,
     rate_levels: Option<usize>,
     faults: FaultPlan,
+    record: bool,
 }
 
 impl std::fmt::Debug for ClosedLoopBuilder {
@@ -266,6 +284,18 @@ impl ClosedLoopBuilder {
         self
     }
 
+    /// Turns trace recording on or off (default: on).
+    ///
+    /// With recording off the loop keeps only the most recent
+    /// [`TraceStep`] (returned by [`ClosedLoop::step`]) and the running
+    /// statistics; long unattended runs — chaos sweeps, scaling studies —
+    /// avoid the per-period trace allocations entirely, making the
+    /// fault-free period step allocation-free.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record = on;
+        self
+    }
+
     /// Overrides the sampling period (default
     /// [`DEFAULT_SAMPLING_PERIOD`]).
     ///
@@ -323,6 +353,8 @@ impl ClosedLoopBuilder {
             ))
         };
         let act_delay = self.faults.actuation_delay_periods();
+        let num_procs = self.set.num_processors();
+        let num_tasks = self.set.num_tasks();
         let mut sim = Simulator::new(self.set, self.sim_config);
         // Apply the controller's initial rates from time zero (OPEN's
         // design rates take effect immediately; feedback controllers start
@@ -343,6 +375,11 @@ impl ClosedLoopBuilder {
             act_queue: VecDeque::new(),
             act_delay,
             summary: FaultSummary::default(),
+            record: self.record,
+            u_scratch: Vector::zeros(num_procs),
+            sensed: Vector::zeros(num_procs),
+            dropped: Vec::new(),
+            last: TraceStep::clean(0.0, Vector::zeros(num_procs), Vector::zeros(num_tasks)),
         })
     }
 }
@@ -360,6 +397,7 @@ impl ClosedLoop {
             lanes: LaneModel::ideal(),
             rate_levels: None,
             faults: FaultPlan::none(),
+            record: true,
         }
     }
 
@@ -427,110 +465,133 @@ impl ClosedLoop {
             }
         }
 
-        // 2. Run the plant and sample the true utilizations.
+        // 2. Run the plant and sample the true utilizations into the
+        // persistent scratch (no allocation).
         let t_end = self.period as f64 * self.ts;
         self.sim.run_until(t_end);
-        let u_true = self.sim.sample_utilizations();
+        self.sim.sample_utilizations_into(&mut self.u_scratch);
 
         // 3. Sensor faults corrupt what the monitors report (a crashed
-        // processor's monitor dies with it and reports NaN).
-        let mut u_sensed = u_true.clone();
+        // processor's monitor dies with it and reports NaN).  Without an
+        // injector the truth is the report and the scratch is untouched.
+        let mut sensor_faulted = false;
         if let Some(inj) = &mut self.injector {
+            self.sensed.copy_from(&self.u_scratch);
             for &p in &ann.crashed {
-                u_sensed[p] = f64::NAN;
+                self.sensed[p] = f64::NAN;
             }
-            inj.corrupt_sensors(k, &mut u_sensed);
+            inj.corrupt_sensors(k, &mut self.sensed);
+            sensor_faulted = self.sensed != self.u_scratch;
         }
+        let u_report = if sensor_faulted {
+            &self.sensed
+        } else {
+            &self.u_scratch
+        };
 
         // 4. The report crosses the feedback lanes (possibly delayed or
         // lost); `None` means it arrived unchanged.
-        let laned = self.lanes.transmit(&u_sensed);
-        let u_ctrl = laned.as_ref().unwrap_or(&u_sensed);
+        let laned = self.lanes.transmit(u_report);
+        let u_ctrl = laned.as_ref().unwrap_or(u_report);
 
-        // 5. Control update.
-        let rates = match self.controller.update(u_ctrl) {
-            Ok(rates) => rates,
-            Err(_) => {
-                self.control_errors += 1;
-                ann.control_error = true;
-                self.controller.rates().clone()
-            }
-        };
+        // 5. Control update: the controller commits its new rates
+        // internally; on error the previous rates stay in force.
+        if self.controller.update(u_ctrl).is_err() {
+            self.control_errors += 1;
+            ann.control_error = true;
+        }
         if self.controller.mode() == ControlMode::Degraded {
             ann.degraded = true;
             self.summary.degraded_periods += 1;
         }
 
         // 6. Actuation: quantize, then cross the (possibly faulty)
-        // actuation lanes to the rate modulators.
-        let actuated = match &self.rate_grid {
-            Some(grid) => Vector::from_iter(
-                rates
-                    .iter()
-                    .enumerate()
-                    .map(|(t, &r)| snap_to_grid(&grid[t], r)),
-            ),
-            None => rates,
-        };
-        let arriving = if self.act_delay > 0 {
-            self.act_queue.push_back(actuated);
-            if self.act_queue.len() > self.act_delay {
-                self.act_queue.pop_front()
-            } else {
-                // Nothing has crossed the actuation lanes yet; the rates
-                // in force stay in force.
-                None
-            }
+        // actuation lanes to the rate modulators.  The common fault-free
+        // configuration hands the controller's rates to the modulators by
+        // reference — no copy, no allocation.
+        if self.rate_grid.is_none() && self.act_delay == 0 && self.injector.is_none() {
+            self.sim.set_rates(self.controller.rates());
         } else {
-            Some(actuated)
-        };
-        if let Some(mut cmd) = arriving {
-            if let Some(inj) = &mut self.injector {
-                // A dropped lane means every task modulated on that
-                // processor keeps its previous rate this period.
-                let n = self.set_points.len();
-                let dropped: Vec<usize> = (0..n).filter(|&p| inj.actuation_lost(p)).collect();
-                if !dropped.is_empty() {
-                    let in_force = self.sim.rates();
-                    for (t, &p) in self.head_proc.iter().enumerate() {
-                        if dropped.contains(&p) {
-                            cmd[t] = in_force[t];
-                        }
-                    }
-                    ann.actuation_dropped = dropped;
+            let actuated = match &self.rate_grid {
+                Some(grid) => Vector::from_iter(
+                    self.controller
+                        .rates()
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &r)| snap_to_grid(&grid[t], r)),
+                ),
+                None => self.controller.rates().clone(),
+            };
+            let arriving = if self.act_delay > 0 {
+                self.act_queue.push_back(actuated);
+                if self.act_queue.len() > self.act_delay {
+                    self.act_queue.pop_front()
+                } else {
+                    // Nothing has crossed the actuation lanes yet; the
+                    // rates in force stay in force.
+                    None
                 }
+            } else {
+                Some(actuated)
+            };
+            if let Some(mut cmd) = arriving {
+                if let Some(inj) = &mut self.injector {
+                    // A dropped lane means every task modulated on that
+                    // processor keeps its previous rate this period.
+                    let n = self.set_points.len();
+                    self.dropped.clear();
+                    self.dropped
+                        .extend((0..n).filter(|&p| inj.actuation_lost(p)));
+                    if !self.dropped.is_empty() {
+                        let in_force = self.sim.rates_slice();
+                        for (t, &p) in self.head_proc.iter().enumerate() {
+                            if self.dropped.contains(&p) {
+                                cmd[t] = in_force[t];
+                            }
+                        }
+                        ann.actuation_dropped = self.dropped.clone();
+                    }
+                }
+                self.sim.set_rates(&cmd);
             }
-            self.sim.set_rates(&cmd);
         }
 
-        // 7. Record: the true utilizations, plus what the controller
-        // actually received whenever that differed.
-        let received = if laned.is_some() || u_sensed != u_true {
-            Some(laned.unwrap_or(u_sensed))
+        // 7. Record into the reused step: the true utilizations, plus what
+        // the controller actually received whenever that differed.
+        self.last.time = t_end;
+        self.last.utilization.copy_from(&self.u_scratch);
+        self.last.received = if laned.is_some() {
+            laned
+        } else if sensor_faulted {
+            Some(self.sensed.clone())
         } else {
             None
         };
-        self.trace.push(TraceStep {
-            time: t_end,
-            utilization: u_true,
-            received,
-            rates: self.sim.rates(),
-            annotations: ann,
-        });
-        self.trace.steps().last().expect("step just pushed")
+        self.last.rates.copy_from_slice(self.sim.rates_slice());
+        self.last.annotations = ann;
+        if self.record {
+            self.trace.push(self.last.clone());
+            return self.trace.steps().last().expect("step just pushed");
+        }
+        &self.last
     }
 
     /// Runs `periods` sampling periods and returns the accumulated result.
+    ///
+    /// The recorded trace is *moved* into the result (long runs do not pay
+    /// a second copy of the whole time series); the loop keeps running
+    /// state, but its internal trace restarts empty.
     pub fn run(&mut self, periods: usize) -> RunResult {
         for _ in 0..periods {
             self.step();
         }
         RunResult {
-            trace: self.trace.clone(),
+            trace: std::mem::take(&mut self.trace),
             deadlines: self.sim.deadline_stats(),
             set_points: self.set_points.clone(),
             control_errors: self.control_errors,
             faults: self.fault_summary(),
+            engine: self.sim.counters(),
         }
     }
 
@@ -539,6 +600,7 @@ impl ClosedLoop {
         RunResult {
             control_errors: self.control_errors,
             faults: self.fault_summary(),
+            engine: self.sim.counters(),
             trace: self.trace,
             deadlines: self.sim.deadline_stats(),
             set_points: self.set_points,
@@ -677,12 +739,12 @@ mod tests {
     }
 
     impl RateController for FlakyController {
-        fn update(&mut self, u: &Vector) -> Result<Vector, ControlError> {
+        fn update(&mut self, u: &Vector) -> Result<(), ControlError> {
             self.calls += 1;
             if self.calls > self.fail_after {
                 return Err(ControlError::DimensionMismatch("injected fault".into()));
             }
-            self.inner.step(u)
+            self.inner.step(u).map(|_| ())
         }
 
         fn rates(&self) -> &Vector {

@@ -18,9 +18,24 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// let err = &b - &u;
 /// assert!((err[0] - 0.028).abs() < 1e-12);
 /// ```
-#[derive(Clone, PartialEq, Default)]
+#[derive(PartialEq, Default)]
 pub struct Vector {
     data: Vec<f64>,
+}
+
+// Not derived: the derived impl would not override `clone_from`, and the
+// closed-loop hot path clones into long-lived scratch vectors every
+// sampling period — `clone_from` reuses their allocations.
+impl Clone for Vector {
+    fn clone(&self) -> Self {
+        Vector {
+            data: self.data.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Vector {
@@ -78,6 +93,31 @@ impl Vector {
     /// Mutably borrows the entries as a slice.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Copies the entries of `source` into `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ (use [`Clone::clone_from`] to also
+    /// resize).
+    pub fn copy_from(&mut self, source: &Vector) {
+        assert_eq!(self.len(), source.len(), "copy_from requires equal lengths");
+        self.data.copy_from_slice(&source.data);
+    }
+
+    /// Copies the entries of `source` into `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from_slice(&mut self, source: &[f64]) {
+        assert_eq!(
+            self.len(),
+            source.len(),
+            "copy_from_slice requires equal lengths"
+        );
+        self.data.copy_from_slice(source);
     }
 
     /// Consumes the vector, returning the underlying `Vec`.

@@ -84,6 +84,22 @@ macro_rules! signed_range_strategy {
 
 signed_range_strategy!(i8, i16, i32, i64, isize);
 
+// Tuples of strategies generate tuples of values (upstream supports up to
+// 12 elements; the workspace uses at most 3).
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A 0, B 1), (A 0, B 1, C 2), (A 0, B 1, C 2, D 3));
+
 /// A strategy producing one constant value (mirrors `Just`).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);

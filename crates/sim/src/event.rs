@@ -1,102 +1,404 @@
-//! Discrete-event queue.
+//! Indexed, per-source event core — the tombstone-free replacement for the
+//! global `BinaryHeap` event queue.
+//!
+//! The engine's event set has fixed structure: each task has exactly one
+//! live "next head release", each processor exactly one live tentative
+//! completion, and each subtask a short list of release-guarded successor
+//! instances.  Instead of pushing a fresh heap entry on every reschedule
+//! and leaving the stale one to rot until pop (the version-tombstone
+//! pattern), every *event source* owns one slot in an indexed binary
+//! min-heap with a position table: rescheduling is a decrease/increase-key
+//! sift, cancellation is a removal, and `pop` never discards anything.
+//! Memory is `O(m + n + Σ subtasks)` and the steady state allocates
+//! nothing.
+//!
+//! Determinism is inherited from the old queue: every (re)schedule stamps
+//! a fresh monotone sequence number, and events are ordered by
+//! `(time, seq)` — so simultaneous events fire in exactly the order the
+//! tombstone engine fired them (live entries were always the most recently
+//! pushed for their source there, too).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Kinds of events processed by the simulation engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum EventKind {
+/// An event popped from the [`EventCore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FiredEvent {
     /// Periodic release of a task's head subtask.
-    ///
-    /// Carries a version so rate changes can invalidate stale releases.
-    TaskRelease { task: usize, version: u64 },
-    /// Release-guarded release of a successor subtask.
+    TaskRelease { task: usize },
+    /// Release-guarded release of a successor subtask instance.
     SubtaskRelease {
         task: usize,
         index: usize,
         instance: u64,
     },
-    /// Tentative completion of the job currently running on a processor.
-    ///
-    /// Carries a version; any change to the processor's ready queue bumps
-    /// the version, invalidating in-flight completions.
-    Completion { processor: usize, version: u64 },
+    /// Tentative completion of the job running on a processor.
+    Completion { processor: usize },
 }
 
-/// An event with a total order: by time, then by insertion sequence
-/// (guaranteeing deterministic FIFO processing of simultaneous events).
+/// A pending successor-subtask release: `(time, seq, instance)`.
+///
+/// Entries of one subtask source are kept sorted by `(time, seq)`.  They
+/// are *not* a FIFO: a guard-deferred instance (future release time) can
+/// coexist with a later-arriving instance whose release time is earlier.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Event {
-    pub time: f64,
-    pub seq: u64,
-    pub kind: EventKind,
+struct Pending {
+    time: f64,
+    seq: u64,
+    instance: u64,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// Sentinel for "source not in the heap".
+const ABSENT: u32 = u32::MAX;
+
+/// Heap branching factor.  `(time, seq)` is a strict total order (`seq`
+/// is unique), so the pop sequence is independent of the heap's shape —
+/// arity is purely a constant-factor knob.  Four halves the sift depth
+/// relative to a binary heap and keeps each node's children in adjacent
+/// cache lines.
+const ARITY: usize = 4;
+
+/// A heap slot: the key is stored inline so sift comparisons touch only
+/// the heap array itself (indirecting through per-source key arrays costs
+/// two extra cache misses per comparison, which dominates at scale).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    time: f64,
+    seq: u64,
+    src: u32,
+}
+
+impl Slot {
+    #[inline]
+    fn less(&self, other: &Slot) -> bool {
+        match self.time.total_cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// Earliest-first event queue with deterministic tie-breaking.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
+/// Indexed earliest-first event queue with one slot per event source.
+///
+/// Source ids are laid out as `[tasks | processors | subtasks]`:
+/// task `t` → `t`, processor `p` → `m + p`, successor subtask `(t, i)`
+/// (with `i ≥ 1`) → `sub_base[t] + (i − 1)`.
+#[derive(Debug)]
+pub(crate) struct EventCore {
+    num_tasks: usize,
+    /// First subtask-source id of each task (successors only).
+    sub_base: Vec<u32>,
+    /// Heap of sources with inline keys, ordered by `(time, seq)`.
+    heap: Vec<Slot>,
+    /// Position of each source in `heap`, or [`ABSENT`].
+    pos: Vec<u32>,
+    /// Per-subtask-source pending instances, sorted by `(time, seq)`;
+    /// the front entry is the source's heap key.
+    pending: Vec<Vec<Pending>>,
     next_seq: u64,
+    /// Live events (heap singletons + queued pending entries).
+    live: usize,
+    /// Largest live-event count ever observed.
+    peak: usize,
+    /// In-place reschedules of an already-queued source (each of these
+    /// would have been a tombstone in the old queue).
+    reschedules: u64,
+    /// `(time, seq)` of the last popped event, for the monotonicity
+    /// invariant (debug builds only).
+    #[cfg(debug_assertions)]
+    last_popped: (f64, u64),
 }
 
-impl EventQueue {
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
+impl EventCore {
+    /// Creates a core for `num_tasks` tasks on `num_procs` processors,
+    /// where task `t` has `subtask_counts[t]` subtasks (so
+    /// `subtask_counts[t] − 1` successor sources).
+    pub fn new(num_tasks: usize, num_procs: usize, subtask_counts: &[usize]) -> Self {
+        assert_eq!(subtask_counts.len(), num_tasks);
+        let mut sub_base = Vec::with_capacity(num_tasks);
+        let mut next = (num_tasks + num_procs) as u32;
+        for &len in subtask_counts {
+            sub_base.push(next);
+            next += len.saturating_sub(1) as u32;
+        }
+        let total = next as usize;
+        EventCore {
+            num_tasks,
+            sub_base,
+            heap: Vec::with_capacity(total),
+            pos: vec![ABSENT; total],
+            pending: vec![Vec::new(); total - num_tasks - num_procs],
             next_seq: 0,
+            live: 0,
+            peak: 0,
+            reschedules: 0,
+            #[cfg(debug_assertions)]
+            last_popped: (f64::NEG_INFINITY, 0),
         }
     }
 
-    /// Schedules `kind` at absolute time `time`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `time` is NaN.
-    pub fn push(&mut self, time: f64, kind: EventKind) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+    /// Number of live events.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.live
     }
 
-    /// Time of the next event, if any.
+    /// Largest number of simultaneously live events so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// In-place reschedules performed so far (the old queue would have
+    /// left one tombstone per reschedule).
+    pub fn reschedules(&self) -> u64 {
+        self.reschedules
+    }
+
+    /// Schedules (or reschedules) the next head release of `task`.
+    pub fn schedule_task_release(&mut self, task: usize, time: f64) {
+        self.upsert(task as u32, time);
+    }
+
+    /// Cancels the pending head release of `task`, if any.
+    pub fn cancel_task_release(&mut self, task: usize) {
+        self.cancel(task as u32);
+    }
+
+    /// Schedules (or reschedules) the tentative completion of the job
+    /// running on processor `p`.
+    pub fn schedule_completion(&mut self, p: usize, time: f64) {
+        self.upsert(self.proc_source(p), time);
+    }
+
+    /// Cancels the pending completion of processor `p`, if any.
+    pub fn cancel_completion(&mut self, p: usize) {
+        self.cancel(self.proc_source(p));
+    }
+
+    /// Queues a successor-subtask release (`index ≥ 1`) of `instance` at
+    /// `time`.
+    pub fn push_subtask(&mut self, task: usize, index: usize, instance: u64, time: f64) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let s = self.sub_source(task, index);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Pending {
+            time,
+            seq,
+            instance,
+        };
+        let idx = self.pending_idx(s as usize);
+        let list = &mut self.pending[idx];
+        // Sorted insert by (time, seq); lists are a handful of entries at
+        // worst (bounded by the release-guard backlog of one subtask).
+        let at = list.partition_point(|e| (e.time, e.seq) < (entry.time, entry.seq));
+        list.insert(at, entry);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        if at == 0 {
+            // New front: the source's heap key changes (counted as a plain
+            // schedule, not a reschedule — nothing was invalidated).
+            let front = (time, seq);
+            self.set_key(s, front.0, front.1);
+        }
+    }
+
+    /// Time of the earliest event, if any.
+    #[cfg(test)]
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|slot| slot.time)
+    }
+
+    /// Pops the earliest event if it fires no later than `t_end`
+    /// (fused peek + pop for the engine's main loop).
+    pub fn pop_before(&mut self, t_end: f64) -> Option<(f64, FiredEvent)> {
+        if self.heap.first()?.time > t_end {
+            return None;
+        }
+        self.pop()
     }
 
     /// Pops the earliest event.
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<(f64, FiredEvent)> {
+        let &slot = self.heap.first()?;
+        let s = slot.src as usize;
+        let at = (slot.time, slot.seq);
+        #[cfg(debug_assertions)]
+        {
+            let (lt, lq) = self.last_popped;
+            debug_assert!(
+                at.0 > lt || (at.0 == lt && at.1 > lq),
+                "event core must pop in (time, seq) order: {at:?} after {:?}",
+                (lt, lq)
+            );
+            self.last_popped = at;
+        }
+        self.live -= 1;
+        let fired = if s < self.num_tasks {
+            self.remove_root();
+            FiredEvent::TaskRelease { task: s }
+        } else if s < self.sub0() + self.num_tasks {
+            self.remove_root();
+            FiredEvent::Completion {
+                processor: s - self.num_tasks,
+            }
+        } else {
+            let (task, index) = self.sub_owner(s as u32);
+            let idx = self.pending_idx(s);
+            let entry = self.pending[idx].remove(0);
+            debug_assert_eq!((entry.time, entry.seq), at);
+            match self.pending[idx].first().map(|e| (e.time, e.seq)) {
+                Some((t, q)) => self.set_key(s as u32, t, q),
+                None => self.remove_root(),
+            }
+            FiredEvent::SubtaskRelease {
+                task,
+                index,
+                instance: entry.instance,
+            }
+        };
+        Some((at.0, fired))
     }
 
-    /// Number of pending events.
-    #[cfg(test)]
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    // ---- source-id arithmetic ----
+
+    fn sub0(&self) -> usize {
+        // Processor sources span [num_tasks, num_tasks + num_procs).
+        self.sub_base.first().map_or(0, |&b| b as usize) - self.num_tasks
+    }
+
+    /// Index of a subtask source's pending list.
+    fn pending_idx(&self, s: usize) -> usize {
+        s - self.num_tasks - self.sub0()
+    }
+
+    fn proc_source(&self, p: usize) -> u32 {
+        debug_assert!(p < self.sub0());
+        (self.num_tasks + p) as u32
+    }
+
+    fn sub_source(&self, task: usize, index: usize) -> u32 {
+        debug_assert!(index >= 1, "index 0 is the head release source");
+        self.sub_base[task] + (index as u32 - 1)
+    }
+
+    /// Maps a subtask source id back to `(task, index)`.
+    fn sub_owner(&self, s: u32) -> (usize, usize) {
+        let task = self.sub_base.partition_point(|&b| b <= s) - 1;
+        (task, (s - self.sub_base[task]) as usize + 1)
+    }
+
+    // ---- indexed-heap primitives ----
+
+    /// Inserts or reschedules a single-slot source (task or processor)
+    /// with a fresh sequence number.
+    fn upsert(&mut self, s: u32, time: f64) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        if self.pos[s as usize] == ABSENT {
+            self.live += 1;
+            self.peak = self.peak.max(self.live);
+        } else {
+            self.reschedules += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.set_key(s, time, seq);
+    }
+
+    /// Removes a single-slot source if present.
+    fn cancel(&mut self, s: u32) {
+        if self.pos[s as usize] != ABSENT {
+            self.remove(s);
+            self.live -= 1;
+        }
+    }
+
+    /// Sets a source's key and restores the heap order (inserting the
+    /// source if absent).
+    fn set_key(&mut self, s: u32, time: f64, seq: u64) {
+        let slot = Slot { time, seq, src: s };
+        let i = self.pos[s as usize];
+        if i == ABSENT {
+            self.heap.push(slot);
+            self.sift_up(self.heap.len() - 1, slot);
+        } else {
+            let i = i as usize;
+            self.heap[i] = slot;
+            // The key may have moved either way: try both directions (one
+            // is a no-op).
+            self.sift_up(i, slot);
+            self.sift_down(self.pos[s as usize] as usize);
+        }
+    }
+
+    /// Removes the heap root (cheaper than the general `remove`).
+    fn remove_root(&mut self) {
+        let removed = self.heap.swap_remove(0);
+        self.pos[removed.src as usize] = ABSENT;
+        if let Some(moved) = self.heap.first() {
+            self.pos[moved.src as usize] = 0;
+            self.sift_down(0);
+        }
+    }
+
+    /// Removes an arbitrary source from the heap.
+    fn remove(&mut self, s: u32) {
+        let i = self.pos[s as usize] as usize;
+        self.pos[s as usize] = ABSENT;
+        let last = self.heap.len() - 1;
+        self.heap.swap_remove(i);
+        if i <= last && i < self.heap.len() {
+            let moved = self.heap[i];
+            self.pos[moved.src as usize] = i as u32;
+            self.sift_up(i, moved);
+            self.sift_down(self.pos[moved.src as usize] as usize);
+        }
+    }
+
+    /// Moves the slot at `i` (already equal to `slot`) toward the root
+    /// until its parent is no greater.  Hole-based: ancestors shift down
+    /// and positions are written once per visited level.
+    fn sift_up(&mut self, mut i: usize, slot: Slot) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            let p = self.heap[parent];
+            if slot.less(&p) {
+                self.heap[i] = p;
+                self.pos[p.src as usize] = i as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = slot;
+        self.pos[slot.src as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let slot = self.heap[i];
+        loop {
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + ARITY).min(n);
+            let mut best = first;
+            let mut b = self.heap[first];
+            for c in first + 1..last {
+                if self.heap[c].less(&b) {
+                    best = c;
+                    b = self.heap[c];
+                }
+            }
+            if b.less(&slot) {
+                self.heap[i] = b;
+                self.pos[b.src as usize] = i as u32;
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = slot;
+        self.pos[slot.src as usize] = i as u32;
     }
 }
 
@@ -104,76 +406,203 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn core3() -> EventCore {
+        // 3 tasks on 2 processors; task 0 has 3 subtasks, task 1 has 1,
+        // task 2 has 2 → successor sources: t0 ×2, t2 ×1.
+        EventCore::new(3, 2, &[3, 1, 2])
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(
-            5.0,
-            EventKind::TaskRelease {
-                task: 0,
-                version: 0,
-            },
-        );
-        q.push(
-            1.0,
-            EventKind::TaskRelease {
-                task: 1,
-                version: 0,
-            },
-        );
-        q.push(
-            3.0,
-            EventKind::TaskRelease {
-                task: 2,
-                version: 0,
-            },
-        );
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
-        assert_eq!(order, vec![1.0, 3.0, 5.0]);
-    }
-
-    #[test]
-    fn simultaneous_events_pop_fifo() {
-        let mut q = EventQueue::new();
-        for task in 0..5 {
-            q.push(2.0, EventKind::TaskRelease { task, version: 0 });
+        let mut q = core3();
+        q.schedule_task_release(0, 5.0);
+        q.schedule_task_release(1, 1.0);
+        q.schedule_task_release(2, 3.0);
+        let mut order = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            order.push(t);
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::TaskRelease { task, .. } => task,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+        assert_eq!(q.len(), 0);
     }
 
     #[test]
-    fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(
-            7.0,
-            EventKind::Completion {
-                processor: 0,
-                version: 1,
-            },
+    fn simultaneous_events_pop_in_schedule_order() {
+        let mut q = core3();
+        for task in 0..3 {
+            q.schedule_task_release(task, 2.0);
+        }
+        q.schedule_completion(1, 2.0);
+        q.push_subtask(0, 1, 7, 2.0);
+        let mut order = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            order.push(e);
+        }
+        assert_eq!(
+            order,
+            vec![
+                FiredEvent::TaskRelease { task: 0 },
+                FiredEvent::TaskRelease { task: 1 },
+                FiredEvent::TaskRelease { task: 2 },
+                FiredEvent::Completion { processor: 1 },
+                FiredEvent::SubtaskRelease {
+                    task: 0,
+                    index: 1,
+                    instance: 7
+                },
+            ]
         );
-        assert_eq!(q.peek_time(), Some(7.0));
+    }
+
+    #[test]
+    fn reschedule_updates_in_place() {
+        let mut q = core3();
+        q.schedule_task_release(0, 10.0);
+        q.schedule_task_release(1, 5.0);
+        assert_eq!(q.len(), 2);
+        // Move task 0 ahead of task 1: same source, no tombstone.
+        q.schedule_task_release(0, 1.0);
+        assert_eq!(q.len(), 2, "reschedule must not grow the queue");
+        assert_eq!(q.reschedules(), 1);
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 0 });
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 1 });
+    }
+
+    #[test]
+    fn reschedule_at_same_time_moves_behind_ties() {
+        // The old queue invalidated + re-pushed, so a rescheduled event
+        // fell behind other events at the same time.  The indexed core
+        // must reproduce that order via the fresh sequence number.
+        let mut q = core3();
+        q.schedule_task_release(0, 2.0);
+        q.schedule_task_release(1, 2.0);
+        q.schedule_task_release(0, 2.0); // reschedule, same time
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 1 });
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 0 });
+    }
+
+    #[test]
+    fn cancel_removes_without_tombstones() {
+        let mut q = core3();
+        q.schedule_task_release(0, 1.0);
+        q.schedule_completion(0, 2.0);
+        q.cancel_task_release(0);
+        q.cancel_task_release(0); // idempotent
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().time, 7.0);
+        assert_eq!(q.pop().unwrap().1, FiredEvent::Completion { processor: 0 });
         assert!(q.pop().is_none());
+        q.cancel_completion(1); // absent: no-op
+    }
+
+    #[test]
+    fn subtask_entries_sort_by_time_not_arrival() {
+        let mut q = core3();
+        // A guard-deferred instance at t=10 arrives before a completion-
+        // driven instance at t=4: the earlier time must pop first.
+        q.push_subtask(0, 1, 0, 10.0);
+        q.push_subtask(0, 1, 1, 4.0);
+        q.push_subtask(0, 2, 2, 6.0);
+        let popped: Vec<(f64, FiredEvent)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            popped,
+            vec![
+                (
+                    4.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 0,
+                        index: 1,
+                        instance: 1
+                    }
+                ),
+                (
+                    6.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 0,
+                        index: 2,
+                        instance: 2
+                    }
+                ),
+                (
+                    10.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 0,
+                        index: 1,
+                        instance: 0
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn peek_matches_pop_and_peak_tracks_high_water() {
+        let mut q = core3();
+        assert_eq!(q.peek_time(), None);
+        q.schedule_completion(0, 7.0);
+        q.schedule_task_release(2, 9.0);
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.peak(), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, 7.0);
+        assert_eq!(e, FiredEvent::Completion { processor: 0 });
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak(), 2, "peak is a high-water mark");
     }
 
     #[test]
     #[should_panic(expected = "NaN")]
     fn nan_time_rejected() {
-        let mut q = EventQueue::new();
-        q.push(
-            f64::NAN,
-            EventKind::Completion {
-                processor: 0,
-                version: 0,
-            },
-        );
+        let mut q = core3();
+        q.schedule_completion(0, f64::NAN);
+    }
+
+    #[test]
+    fn sub_owner_roundtrip() {
+        let q = EventCore::new(4, 3, &[2, 5, 1, 3]);
+        for (task, len) in [(0usize, 2usize), (1, 5), (2, 1), (3, 3)] {
+            for index in 1..len {
+                let s = q.sub_source(task, index);
+                assert_eq!(q.sub_owner(s), (task, index));
+            }
+        }
+    }
+
+    #[test]
+    fn randomish_schedule_pops_sorted() {
+        // Deterministic pseudo-random churn over every source kind; the
+        // popped sequence must be sorted by (time, seq).
+        let mut q = EventCore::new(5, 3, &[2, 3, 1, 2, 4]);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for round in 0..200 {
+            let t = rnd() * 100.0;
+            match round % 4 {
+                0 => q.schedule_task_release(round % 5, t),
+                1 => q.schedule_completion(round % 3, t),
+                2 => {
+                    let task = [0usize, 1, 3, 4][round % 4];
+                    let index = 1 + round
+                        % (match task {
+                            1 => 2,
+                            4 => 3,
+                            _ => 1,
+                        });
+                    q.push_subtask(task, index, round as u64, t);
+                }
+                _ => q.cancel_completion(round % 3),
+            }
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "out of order: {t} after {last}");
+            last = t;
+            n += 1;
+        }
+        assert!(n > 50);
+        assert_eq!(q.len(), 0);
     }
 }

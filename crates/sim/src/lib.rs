@@ -49,4 +49,4 @@ mod stats;
 pub use config::{EtfProfile, ExecModel, ReleaseGuard, SimConfig};
 pub use engine::Simulator;
 pub use fault::{FaultInjector, FaultPlan, RandomCrashes, SensorFaultKind};
-pub use stats::{DeadlineStats, SubtaskStats, TaskStats};
+pub use stats::{DeadlineStats, EngineCounters, SubtaskStats, TaskStats};
