@@ -14,12 +14,18 @@
 //! ```
 
 use eucon_control::{MpcConfig, SupervisorConfig};
+use eucon_core::telemetry::{CsvSink, JsonlSink, Snapshot};
 use eucon_core::{metrics, render, ClosedLoop, ControllerSpec, RunResult};
 use eucon_sim::{FaultPlan, SensorFaultKind, SimConfig};
 use eucon_tasks::{rms_set_points, workloads};
 use rayon::prelude::*;
 
 const PERIODS: usize = 250;
+/// The scenario whose SUP-EUCON run streams per-period telemetry to
+/// `results/telemetry_chaos.{csv,jsonl}` — the combined crash +
+/// actuation-loss case, where warm-start churn, supervisor transitions
+/// and the engine counters are all exercised at once.
+const TELEMETRY_SCENARIO: &str = "crash P2 + 20% act loss";
 /// Tail window for convergence statistics (well after every fault
 /// scenario has healed at period 150).
 const TAIL: (usize, usize) = (200, 250);
@@ -94,18 +100,32 @@ struct Outcome {
     control_errors: usize,
     degraded: usize,
     non_finite: usize,
+    transitions: u64,
+    telemetry: Snapshot,
 }
 
 fn evaluate(scenario: &'static str, plan: FaultPlan, spec: ControllerSpec) -> Outcome {
     let set = workloads::simple();
     let b = rms_set_points(&set);
     let label = controller_label(&spec);
-    let mut cl = ClosedLoop::builder(set)
+    let mut builder = ClosedLoop::builder(set)
         .sim_config(SimConfig::constant_etf(0.5))
         .controller(spec)
-        .faults(plan)
-        .build()
-        .expect("controller builds");
+        .faults(plan);
+    // The acceptance scenario streams its full per-period telemetry —
+    // one CSV and one JSONL row per sampling period.
+    if scenario == TELEMETRY_SCENARIO && label == "SUP-EUCON" {
+        builder = builder
+            .telemetry_sink(
+                CsvSink::create(eucon_bench::results_dir().join("telemetry_chaos.csv"))
+                    .expect("create telemetry csv"),
+            )
+            .telemetry_sink(
+                JsonlSink::create(eucon_bench::results_dir().join("telemetry_chaos.jsonl"))
+                    .expect("create telemetry jsonl"),
+            );
+    }
+    let mut cl = builder.build().expect("controller builds");
     let result: RunResult = cl.run(PERIODS);
     let non_finite = result
         .trace
@@ -128,6 +148,8 @@ fn evaluate(scenario: &'static str, plan: FaultPlan, spec: ControllerSpec) -> Ou
         control_errors: result.control_errors,
         degraded: result.faults.degraded_periods,
         non_finite,
+        transitions: result.telemetry.counter("mode_transitions").unwrap_or(0),
+        telemetry: result.telemetry,
     }
 }
 
@@ -162,6 +184,7 @@ fn main() {
                 o.control_errors.to_string(),
                 o.degraded.to_string(),
                 o.non_finite.to_string(),
+                o.transitions.to_string(),
             ]
         })
         .collect();
@@ -174,6 +197,7 @@ fn main() {
         "ctrl errs",
         "degraded Ts",
         "non-finite",
+        "transitions",
     ];
     println!("{}", render::table(&headers, &rows));
     println!(
@@ -192,10 +216,22 @@ fn main() {
                 "control_errors",
                 "degraded_periods",
                 "non_finite_rates",
+                "mode_transitions",
             ],
             &rows,
         ),
     );
+    // Per-run telemetry snapshots for every scenario × controller cell.
+    let summary: String = outcomes
+        .iter()
+        .map(|o| {
+            eucon_bench::telemetry_jsonl_line(
+                &format!("{} / {}", o.scenario, o.controller),
+                &o.telemetry,
+            ) + "\n"
+        })
+        .collect();
+    eucon_bench::write_result("chaos_telemetry.jsonl", &summary);
 
     // The headline robustness claims, enforced so regressions fail loudly
     // when this binary runs in CI or locally.
@@ -212,6 +248,49 @@ fn main() {
                 o.scenario, o.worst_err
             );
         }
+    }
+
+    // The acceptance telemetry artifact: the streamed per-period files
+    // exist, cover every period, and captured the QP warm-start stats,
+    // the supervisor's mode transitions and the engine counters.
+    let accept = outcomes
+        .iter()
+        .find(|o| o.scenario == TELEMETRY_SCENARIO && o.controller == "SUP-EUCON")
+        .expect("acceptance cell present");
+    assert!(
+        accept.telemetry.counter("qp_warm_hits").is_some()
+            && accept.telemetry.counter("qp_cold_retries").is_some(),
+        "QP warm-start stats recorded"
+    );
+    assert!(
+        accept.transitions >= 2,
+        "supervisor tripped and re-engaged (got {} transitions)",
+        accept.transitions
+    );
+    assert!(accept.telemetry.counter("engine_events").unwrap() > 0);
+    assert_eq!(
+        accept.telemetry.counter("crashed_periods"),
+        Some(40),
+        "crash [60,100) spans 40 periods"
+    );
+    for name in ["telemetry_chaos.csv", "telemetry_chaos.jsonl"] {
+        let path = eucon_bench::results_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect("telemetry artifact readable");
+        let expected = if name.ends_with(".csv") {
+            PERIODS + 1 // header
+        } else {
+            PERIODS
+        };
+        assert_eq!(
+            text.lines().count(),
+            expected,
+            "{name} has one row per sampling period"
+        );
+        assert!(
+            text.contains("qp_warm_hits") || text.contains("\"qp_warm_hits\":"),
+            "{name} carries the QP warm-start schema"
+        );
+        println!("  [verified {}]", path.display());
     }
     println!("\nall survival assertions held");
 }

@@ -111,6 +111,16 @@ fn main() {
 
     println!("\n== Figure 7: MEDIUM under EUCON, varying execution times ==\n");
     summarize(&eucon, "EUCON");
+    // Per-run telemetry for both Experiment II runs: QP solve stats,
+    // tracking-error distributions and engine counters, one row per run.
+    eucon_bench::write_result(
+        "fig6_7_telemetry.jsonl",
+        &format!(
+            "{}\n{}\n",
+            eucon_bench::telemetry_jsonl_line("fig6 open", &open.telemetry),
+            eucon_bench::telemetry_jsonl_line("fig7 eucon", &eucon.telemetry)
+        ),
+    );
     eucon_bench::write_result("fig7_eucon.csv", &utilization_csv(&eucon));
     eucon_bench::write_result(
         "fig7_eucon.svg",

@@ -31,6 +31,7 @@ fn step_cost(ctrl: &mut dyn RateController, u: &Vector, reps: usize) -> f64 {
 fn main() {
     println!("== Scaling: centralized vs decentralized control ==\n");
     let mut rows = Vec::new();
+    let mut telemetry_lines = String::new();
     for (procs, tasks) in [(4usize, 12usize), (8, 24), (16, 48), (24, 72), (32, 96)] {
         let set = RandomWorkload::new(procs, tasks).seed(11).generate();
         let b = rms_set_points(&set);
@@ -59,6 +60,13 @@ fn main() {
             let s = metrics::window(&result.trace.utilization_series(p), 80, 120);
             worst = worst.max((s.mean - b[p]).abs());
         }
+        // Per-run telemetry: QP totals, tracking error and engine
+        // pressure for each DEUCON convergence run, one JSONL row each.
+        telemetry_lines.push_str(&eucon_bench::telemetry_jsonl_line(
+            &format!("deucon {procs}x{tasks}"),
+            &result.telemetry,
+        ));
+        telemetry_lines.push('\n');
 
         rows.push(vec![
             format!("{procs}x{tasks}"),
@@ -97,6 +105,7 @@ fn main() {
             &rows,
         ),
     );
+    eucon_bench::write_result("scaling_telemetry.jsonl", &telemetry_lines);
     println!("\nExpected shape: centralized cost grows superlinearly with system size;");
     println!("per-node decentralized cost stays roughly flat (bounded local problems).");
 

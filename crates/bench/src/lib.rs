@@ -59,6 +59,44 @@ pub fn write_result(name: &str, contents: &str) {
     println!("  [wrote {}]", path.display());
 }
 
+/// Renders a telemetry [`Snapshot`] as one flat JSON-Lines object with a
+/// `run` label — the per-run telemetry format the figure and scaling
+/// binaries append into `results/*.jsonl`.
+///
+/// Counters export as integers, gauges as numbers, histograms as
+/// `_count`/`_sum`/`_max` triples (the same flattening the per-period
+/// sinks use), so one schema serves both granularities.
+///
+/// [`Snapshot`]: eucon_core::telemetry::Snapshot
+pub fn telemetry_jsonl_line(run: &str, snap: &eucon_core::telemetry::Snapshot) -> String {
+    use eucon_core::telemetry::MetricValue;
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut line = format!(
+        "{{\"run\":\"{}\"",
+        run.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    for (name, value) in snap.entries() {
+        match value {
+            MetricValue::Counter(c) => line.push_str(&format!(",\"{name}\":{c}")),
+            MetricValue::Gauge(g) => line.push_str(&format!(",\"{name}\":{}", num(*g))),
+            MetricValue::Histogram(h) => line.push_str(&format!(
+                ",\"{name}_count\":{},\"{name}_sum\":{},\"{name}_max\":{}",
+                h.count,
+                num(h.sum),
+                num(h.max)
+            )),
+        }
+    }
+    line.push('}');
+    line
+}
+
 /// Standard etf grid of the paper's Figure 4 (SIMPLE sweep).
 pub fn fig4_etfs() -> Vec<f64> {
     let mut v = vec![0.2, 0.5];
@@ -90,6 +128,26 @@ mod tests {
         let dir = results_dir();
         assert!(dir.ends_with("results"));
         assert!(dir.exists());
+    }
+
+    #[test]
+    fn telemetry_lines_are_flat_json_objects() {
+        use eucon_core::{ClosedLoop, ControllerSpec};
+        use eucon_sim::SimConfig;
+        use eucon_tasks::workloads;
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Open)
+            .build()
+            .unwrap();
+        let result = cl.run(5);
+        let line = telemetry_jsonl_line("smoke \"run\"", &result.telemetry);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"run\":\"smoke \\\"run\\\"\""));
+        assert!(line.contains("\"periods\":5"));
+        assert!(line.contains("\"tracking_error_count\":"));
+        // Flat: no nested objects.
+        assert_eq!(line.matches('{').count(), 1);
     }
 
     #[test]

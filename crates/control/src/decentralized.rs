@@ -26,7 +26,7 @@
 use eucon_math::{Matrix, Vector};
 use eucon_tasks::TaskSet;
 
-use crate::{ControlError, MpcConfig, MpcController, RateController};
+use crate::{ControlError, ControllerTelemetry, MpcConfig, MpcController, RateController};
 
 /// One per-processor controller and its bookkeeping.
 #[derive(Debug, Clone)]
@@ -247,6 +247,24 @@ impl RateController for DecentralizedController {
 
     fn name(&self) -> &'static str {
         "DEUCON"
+    }
+
+    fn telemetry(&self) -> ControllerTelemetry {
+        // Aggregate across the per-processor local MPCs: iteration and
+        // active-set counts add up, warm-start / retry / relaxation flags
+        // report "any local did this" — the period is only as clean as its
+        // worst local solve.
+        let mut t = ControllerTelemetry::default();
+        for local in &self.locals {
+            let lt = local.mpc.telemetry();
+            t.qp_iterations += lt.qp_iterations;
+            t.active_set_size += lt.active_set_size;
+            t.active_churn += lt.active_churn;
+            t.warm_start |= lt.warm_start;
+            t.cold_retry |= lt.cold_retry;
+            t.relaxed_utilization |= lt.relaxed_utilization;
+        }
+        t
     }
 
     fn reset(&mut self, rates: &Vector) {

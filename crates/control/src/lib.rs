@@ -71,6 +71,47 @@ pub enum ControlMode {
     Degraded,
 }
 
+/// Per-period observability snapshot of a controller, polled by the
+/// closed loop after every update — the consolidated observer interface
+/// through which *all* controller internals reach telemetry (instead of
+/// N bespoke counter fields on N controller types).
+///
+/// Cheap to produce (`Copy`, no allocation) so polling it every sampling
+/// period preserves the loop's zero-allocation steady state.  Controllers
+/// fill in what they know and leave the rest at the defaults: plain
+/// controllers report only their mode, [`MpcController`] adds the QP
+/// solver internals, [`Supervised`] adds watchdog counters on top of
+/// whatever its primary law reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerTelemetry {
+    /// Active-set iterations spent by the QP solver this period.
+    pub qp_iterations: usize,
+    /// The solve started from a non-empty warm-started active set.
+    pub warm_start: bool,
+    /// The warm-started attempt failed and the solver re-ran cold.
+    pub cold_retry: bool,
+    /// The hard utilization constraints were dropped (infeasible period).
+    pub relaxed_utilization: bool,
+    /// Constraints active (at their bound) at the optimum — the period's
+    /// constraint-saturation count.
+    pub active_set_size: usize,
+    /// Entries by which the optimal active set differs from the previous
+    /// period's (symmetric difference); 0 in steady state.
+    pub active_churn: usize,
+    /// A fallback law is currently in charge (mirrors
+    /// [`ControlMode::Degraded`]).
+    pub degraded: bool,
+    /// Cumulative sensor samples rejected by validation.
+    pub rejected_samples: u64,
+    /// Largest current consecutive-invalid-sample streak across
+    /// processors (0 when all monitors are healthy).
+    pub stale_max: usize,
+    /// Cumulative safe-mode entries (watchdog trips).
+    pub degradations: u64,
+    /// Cumulative primary-law re-engagements.
+    pub reengagements: u64,
+}
+
 /// Common interface of utilization controllers: once per sampling period,
 /// consume the measured utilization vector and produce new task rates.
 pub trait RateController {
@@ -104,6 +145,19 @@ pub trait RateController {
     /// keep the default ([`ControlMode::Nominal`]).
     fn mode(&self) -> ControlMode {
         ControlMode::Nominal
+    }
+
+    /// Observability snapshot of the most recent update.
+    ///
+    /// The default implementation reports only the operating mode;
+    /// controllers with interesting internals (QP solvers, watchdogs)
+    /// override it.  Must be allocation-free — the closed loop polls it
+    /// every sampling period.
+    fn telemetry(&self) -> ControllerTelemetry {
+        ControllerTelemetry {
+            degraded: self.mode() == ControlMode::Degraded,
+            ..ControllerTelemetry::default()
+        }
     }
 
     /// Discards accumulated internal state (integrators, warm starts,

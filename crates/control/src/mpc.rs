@@ -5,7 +5,7 @@ use eucon_qp::{LsqSolution, PreparedLsq, QpError};
 use eucon_tasks::TaskSet;
 
 use crate::prediction::{constraint_matrix, constraint_rhs_into, Predictor};
-use crate::{ControlError, MpcConfig, RateController};
+use crate::{ControlError, ControllerTelemetry, MpcConfig, RateController};
 
 /// Tiny Tikhonov weight keeping the least-squares problem strictly convex
 /// even when the tracking matrix is rank deficient and the control penalty
@@ -22,6 +22,17 @@ pub struct MpcStepInfo {
     pub relaxed_utilization: bool,
     /// Residual norm of the least-squares objective at the optimum.
     pub residual: f64,
+    /// The committed solve started from a non-empty warm-started active
+    /// set (false on the first period and right after a reset).
+    pub warm_start: bool,
+    /// The warm-started attempt failed and the problem was re-solved
+    /// cold before the verdict was believed.
+    pub cold_retry: bool,
+    /// Constraints active at the optimum (constraint saturation).
+    pub active_set_size: usize,
+    /// Symmetric difference between this period's optimal active set and
+    /// the previous period's; 0 once the loop has settled.
+    pub active_churn: usize,
 }
 
 /// The EUCON MIMO model-predictive controller (paper §6.1).
@@ -283,7 +294,7 @@ impl MpcController {
             }
             None => None,
         };
-        let solution = match primary {
+        let (solution, stats) = match primary {
             Some(Ok(sol)) => sol,
             Some(Err(QpError::Infeasible)) | None => {
                 relaxed = self.solver_util.is_some();
@@ -321,9 +332,23 @@ impl MpcController {
             qp_iterations: solution.iterations,
             relaxed_utilization: relaxed,
             residual: solution.residual,
+            warm_start: stats.warm_start,
+            cold_retry: stats.cold_retry,
+            active_set_size: solution.active.len(),
+            active_churn: stats.active_churn,
         };
         Ok(())
     }
+}
+
+/// Warm-start bookkeeping of one amortized solve (observability: every
+/// period's warm/cold outcome reaches telemetry through
+/// [`MpcStepInfo`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct SolveStats {
+    warm_start: bool,
+    cold_retry: bool,
+    active_churn: usize,
 }
 
 /// One amortized solve: warm-start from the previous active set, retry
@@ -334,7 +359,11 @@ fn solve_amortized(
     d: &Vector,
     h: &Vector,
     warm: &mut Vec<usize>,
-) -> Result<LsqSolution, QpError> {
+) -> Result<(LsqSolution, SolveStats), QpError> {
+    let mut stats = SolveStats {
+        warm_start: !warm.is_empty(),
+        ..SolveStats::default()
+    };
     let attempt = solver.solve_with(d, h, warm);
     let result = match attempt {
         // The warm start is only a heuristic: a stale active set can make
@@ -342,13 +371,26 @@ fn solve_amortized(
         // infeasibility from an ill-conditioned subproblem.  Any failure is
         // re-checked cold before the verdict is believed — feasibility
         // decisions must not depend on the previous period's guess.
-        Err(_) if !warm.is_empty() => solver.solve_with(d, h, &[]),
+        Err(_) if !warm.is_empty() => {
+            stats.cold_retry = true;
+            solver.solve_with(d, h, &[])
+        }
         other => other,
     };
     let sol = result?;
+    stats.active_churn = symmetric_difference(warm, &sol.active);
     warm.clear();
     warm.extend_from_slice(&sol.active);
-    Ok(sol)
+    Ok((sol, stats))
+}
+
+/// Size of the symmetric difference of two small index sets (the active
+/// sets stay tiny, so the quadratic scan beats sorting or hashing — and
+/// allocates nothing).
+fn symmetric_difference(a: &[usize], b: &[usize]) -> usize {
+    let only_a = a.iter().filter(|x| !b.contains(x)).count();
+    let only_b = b.iter().filter(|x| !a.contains(x)).count();
+    only_a + only_b
 }
 
 impl RateController for MpcController {
@@ -362,6 +404,18 @@ impl RateController for MpcController {
 
     fn name(&self) -> &'static str {
         "EUCON"
+    }
+
+    fn telemetry(&self) -> ControllerTelemetry {
+        ControllerTelemetry {
+            qp_iterations: self.last_info.qp_iterations,
+            warm_start: self.last_info.warm_start,
+            cold_retry: self.last_info.cold_retry,
+            relaxed_utilization: self.last_info.relaxed_utilization,
+            active_set_size: self.last_info.active_set_size,
+            active_churn: self.last_info.active_churn,
+            ..ControllerTelemetry::default()
+        }
     }
 
     /// Discards all accumulated internal state — the previous move, the

@@ -27,7 +27,7 @@
 use eucon_math::Vector;
 use eucon_tasks::TaskSet;
 
-use crate::{ControlError, ControlMode, RateController};
+use crate::{ControlError, ControlMode, ControllerTelemetry, RateController};
 
 /// Thresholds and gains of the supervisory wrapper.
 #[derive(Debug, Clone, PartialEq)]
@@ -353,6 +353,19 @@ impl<C: RateController> RateController for Supervised<C> {
             ControlMode::Degraded
         } else {
             ControlMode::Nominal
+        }
+    }
+
+    /// The primary law's telemetry (QP internals when it is an MPC) with
+    /// the watchdog's own counters layered on top.
+    fn telemetry(&self) -> ControllerTelemetry {
+        ControllerTelemetry {
+            degraded: self.degraded,
+            rejected_samples: self.report.rejected_samples as u64,
+            stale_max: self.stale.iter().copied().max().unwrap_or(0),
+            degradations: self.report.degradations as u64,
+            reengagements: self.report.reengagements as u64,
+            ..self.inner.telemetry()
         }
     }
 

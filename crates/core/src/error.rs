@@ -14,6 +14,9 @@ pub enum CoreError {
     Control(ControlError),
     /// The workload definition was invalid.
     Task(TaskError),
+    /// A builder input failed validation (non-finite set point,
+    /// non-positive sampling period, degenerate rate quantization, ...).
+    Config(String),
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +24,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Control(e) => write!(f, "controller failure: {e}"),
             CoreError::Task(e) => write!(f, "invalid workload: {e}"),
+            CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -30,6 +34,7 @@ impl Error for CoreError {
         match self {
             CoreError::Control(e) => Some(e),
             CoreError::Task(e) => Some(e),
+            CoreError::Config(_) => None,
         }
     }
 }
@@ -57,5 +62,13 @@ mod tests {
         let e = CoreError::Task(TaskError::EmptyTaskSet);
         assert!(e.to_string().contains("no tasks"));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn config_errors_carry_their_message() {
+        let e = CoreError::Config("sampling period must be positive".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("sampling period"));
+        assert!(Error::source(&e).is_none());
     }
 }

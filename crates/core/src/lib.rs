@@ -13,6 +13,10 @@
 //!   0.33 step profile → Figures 6–8).
 //! * [`metrics`] — windowed mean/σ, the paper's acceptability criterion
 //!   (±0.02 mean, σ < 0.05) and settling times.
+//! * [`telemetry`] — the per-period observability layer: a fixed metric
+//!   registry (QP solver internals, supervisor transitions, tracking
+//!   error, engine counters, phase timings) exported through pluggable
+//!   sinks; see [`RunResult::metrics`] for the consolidated view.
 //! * [`render`] — CSV / aligned-table / ASCII-plot output for the figure
 //!   regeneration binaries; [`svg`] renders the recorded series as
 //!   standalone SVG figures.
@@ -44,16 +48,20 @@ pub mod admission;
 mod closed_loop;
 mod error;
 pub mod experiments;
+mod factory;
 mod lanes;
 pub mod metrics;
 pub mod render;
 pub mod svg;
+pub mod telemetry;
 mod trace;
 
 pub use closed_loop::{
-    ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunResult, DEFAULT_SAMPLING_PERIOD,
+    ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunMetrics, RunResult,
+    DEFAULT_SAMPLING_PERIOD,
 };
 pub use error::CoreError;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
+pub use factory::{factory_fn, ControllerFactory};
 pub use lanes::LaneModel;
 pub use trace::{StepAnnotations, Trace, TraceStep};

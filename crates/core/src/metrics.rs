@@ -1,212 +1,36 @@
 //! Metrics over utilization series: mean/deviation windows, the paper's
 //! acceptability criterion, and settling times.
+//!
+//! The implementation lives in [`eucon_telemetry::series`] (folded into
+//! the telemetry crate so figure binaries and sinks share one statistics
+//! layer); this module re-exports it under its historical path, so
+//! existing `eucon_core::metrics::*` call sites keep compiling
+//! unchanged.
+//!
+//! For per-run use, prefer the consolidated view behind
+//! [`RunResult::metrics`](crate::RunResult::metrics).
 
-/// Mean and (population) standard deviation of a window of samples.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct SeriesStats {
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Population standard deviation.
-    pub std_dev: f64,
-}
-
-/// Computes mean and population standard deviation of `samples`.
-///
-/// Returns zeros for an empty slice.
-///
-/// # Example
-///
-/// ```
-/// let s = eucon_core::metrics::mean_std(&[1.0, 2.0, 3.0]);
-/// assert!((s.mean - 2.0).abs() < 1e-12);
-/// assert!((s.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
-/// ```
-pub fn mean_std(samples: &[f64]) -> SeriesStats {
-    if samples.is_empty() {
-        return SeriesStats::default();
-    }
-    let n = samples.len() as f64;
-    let mean = samples.iter().sum::<f64>() / n;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    SeriesStats {
-        mean,
-        std_dev: var.sqrt(),
-    }
-}
-
-/// Computes [`mean_std`] over the half-open index window `[from, to)`,
-/// clamped to the series length.
-///
-/// The paper evaluates each run over `[100·Ts, 300·Ts]` to exclude the
-/// transient (§7.2); use `window(series, 100, 300)` for that.
-pub fn window(series: &[f64], from: usize, to: usize) -> SeriesStats {
-    let to = to.min(series.len());
-    let from = from.min(to);
-    mean_std(&series[from..to])
-}
-
-/// The paper's acceptable-performance criterion (§7.1): the mean
-/// utilization lies within `±0.02` of the set point and the standard
-/// deviation is below `0.05`.
-///
-/// # Example
-///
-/// ```
-/// use eucon_core::metrics::{acceptable, SeriesStats};
-///
-/// let good = SeriesStats { mean: 0.83, std_dev: 0.01 };
-/// assert!(acceptable(good, 0.828));
-/// let oscillating = SeriesStats { mean: 0.828, std_dev: 0.09 };
-/// assert!(!acceptable(oscillating, 0.828));
-/// ```
-pub fn acceptable(stats: SeriesStats, set_point: f64) -> bool {
-    (stats.mean - set_point).abs() <= 0.02 && stats.std_dev < 0.05
-}
-
-/// First index `k ≥ from` such that every sample from `k` to the end of
-/// the series stays within `±band` of `target`; `None` if the series never
-/// settles.
-///
-/// Measures the settling time the paper reports for Experiment II ("the
-/// utilization on all processors re-converges to their set points within
-/// 20·Ts").
-///
-/// # Example
-///
-/// ```
-/// let series = [0.2, 0.5, 0.80, 0.82, 0.83, 0.83];
-/// assert_eq!(eucon_core::metrics::settling_index(&series, 0.828, 0.05, 0), Some(2));
-/// ```
-pub fn settling_index(series: &[f64], target: f64, band: f64, from: usize) -> Option<usize> {
-    if from >= series.len() {
-        return None;
-    }
-    // Scan backwards: find the last out-of-band sample.
-    let mut settle = from;
-    for (k, &x) in series.iter().enumerate().skip(from) {
-        if (x - target).abs() > band {
-            settle = k + 1;
-        }
-    }
-    if settle < series.len() {
-        Some(settle)
-    } else {
-        None
-    }
-}
-
-/// First index `k ≥ from` such that `hold` consecutive samples starting
-/// at `k` all stay within `±band` of `target`; `None` if that never
-/// happens.
-///
-/// Unlike [`settling_index`], this tolerates later noise excursions — the
-/// right notion for measuring re-convergence of a stochastic plant after a
-/// disturbance (Experiment II).
-///
-/// # Example
-///
-/// ```
-/// let series = [0.2, 0.80, 0.82, 0.83, 0.90, 0.83];
-/// assert_eq!(eucon_core::metrics::settling_hold(&series, 0.828, 0.05, 0, 3), Some(1));
-/// ```
-pub fn settling_hold(
-    series: &[f64],
-    target: f64,
-    band: f64,
-    from: usize,
-    hold: usize,
-) -> Option<usize> {
-    if hold == 0 || from + hold > series.len() {
-        return None;
-    }
-    'outer: for k in from..=(series.len() - hold) {
-        for &x in &series[k..k + hold] {
-            if (x - target).abs() > band {
-                continue 'outer;
-            }
-        }
-        return Some(k);
-    }
-    None
-}
+pub use eucon_telemetry::series::{
+    acceptable, mean_std, settling_hold, settling_index, window, SeriesStats,
+};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
+    // The behavioral tests moved with the implementation to
+    // `eucon_telemetry::series`; here we only pin the re-export surface.
     #[test]
-    fn mean_std_basics() {
-        let s = mean_std(&[2.0, 2.0, 2.0]);
+    fn historical_names_resolve() {
+        let s = super::mean_std(&[1.0, 3.0]);
         assert_eq!(s.mean, 2.0);
-        assert_eq!(s.std_dev, 0.0);
-        assert_eq!(mean_std(&[]), SeriesStats::default());
-    }
-
-    #[test]
-    fn window_clamps() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        let s = window(&xs, 2, 100);
-        assert!((s.mean - 3.5).abs() < 1e-12);
-        let s = window(&xs, 10, 20);
-        assert_eq!(s, SeriesStats::default());
-    }
-
-    #[test]
-    fn acceptability_boundaries() {
-        assert!(acceptable(
-            SeriesStats {
-                mean: 0.8479,
-                std_dev: 0.049
-            },
-            0.828
-        ));
-        assert!(!acceptable(
-            SeriesStats {
-                mean: 0.8485,
+        assert!(super::acceptable(
+            super::SeriesStats {
+                mean: 0.83,
                 std_dev: 0.01
             },
             0.828
         ));
-        assert!(!acceptable(
-            SeriesStats {
-                mean: 0.828,
-                std_dev: 0.05
-            },
-            0.828
-        ));
-    }
-
-    #[test]
-    fn settling_cases() {
-        // Settles immediately.
-        assert_eq!(settling_index(&[0.8, 0.8], 0.8, 0.01, 0), Some(0));
-        // Never settles.
-        assert_eq!(settling_index(&[0.0, 1.0, 0.0], 0.8, 0.05, 0), None);
-        // Respects `from`.
-        let xs = [0.8, 0.0, 0.8, 0.8];
-        assert_eq!(settling_index(&xs, 0.8, 0.05, 0), Some(2));
-        assert_eq!(settling_index(&xs, 0.8, 0.05, 2), Some(2));
-        // Out-of-range `from`.
-        assert_eq!(settling_index(&xs, 0.8, 0.05, 10), None);
-    }
-
-    #[test]
-    fn settling_hold_cases() {
-        let xs = [0.0, 0.8, 0.8, 0.8, 0.0, 0.8];
-        // Three consecutive in-band samples start at index 1.
-        assert_eq!(settling_hold(&xs, 0.8, 0.05, 0, 3), Some(1));
-        // Four consecutive never happen.
-        assert_eq!(settling_hold(&xs, 0.8, 0.05, 0, 4), None);
-        // `from` past the stable stretch.
-        assert_eq!(settling_hold(&xs, 0.8, 0.05, 2, 2), Some(2));
-        // Degenerate holds.
-        assert_eq!(settling_hold(&xs, 0.8, 0.05, 0, 0), None);
-        assert_eq!(settling_hold(&xs, 0.8, 0.05, 5, 3), None);
-    }
-
-    #[test]
-    fn last_sample_out_of_band_never_settles() {
-        let xs = [0.8, 0.8, 0.0];
-        assert_eq!(settling_index(&xs, 0.8, 0.05, 0), None);
+        assert_eq!(super::settling_index(&[0.8, 0.8], 0.8, 0.01, 0), Some(0));
+        assert_eq!(super::settling_hold(&[0.8, 0.8], 0.8, 0.01, 0, 2), Some(0));
+        assert_eq!(super::window(&[1.0, 2.0], 0, 2).mean, 1.5);
     }
 }

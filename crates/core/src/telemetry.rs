@@ -1,0 +1,434 @@
+//! Closed-loop observability: one metric registry per loop, updated every
+//! sampling period, exported through pluggable sinks.
+//!
+//! The metric layer itself lives in the `eucon-telemetry` crate (fixed
+//! registry, histograms, sinks) and is re-exported here; this module adds
+//! the loop-specific wiring — which counters, gauges and histograms a
+//! [`ClosedLoop`] maintains and how the per-period observations flow into
+//! them.  The registry is declared once at [`ClosedLoop::build`] time and
+//! updated strictly in place, so the loop's zero-allocations-per-period
+//! guarantee holds with telemetry at the default level (registry only, no
+//! file sinks).
+//!
+//! See DESIGN.md §12 for the architecture and the exported schema.
+//!
+//! [`ClosedLoop`]: crate::ClosedLoop
+//! [`ClosedLoop::build`]: crate::ClosedLoopBuilder::build
+
+pub use eucon_telemetry::{
+    CsvSink, Histogram, HistogramSummary, JsonlSink, MetricValue, Registry, RingBufferSink,
+    Snapshot, TelemetrySink,
+};
+
+use eucon_control::ControllerTelemetry;
+use eucon_math::Vector;
+use eucon_sim::EngineCounters;
+use eucon_telemetry::{CounterId, GaugeId, HistogramId, RegistryBuilder};
+
+/// Wall-clock nanoseconds spent in each phase of one sampling period.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PeriodTimings {
+    /// Fault injection + advancing the plant to the period boundary.
+    pub simulate_ns: u64,
+    /// Sampling the monitors, sensor corruption, feedback lanes.
+    pub sample_ns: u64,
+    /// The controller update (includes the QP solve).
+    pub control_ns: u64,
+    /// Quantization and the actuation lanes.
+    pub actuate_ns: u64,
+}
+
+/// Everything the loop observed in one sampling period, handed to
+/// [`LoopTelemetry::record_period`] as one bundle.
+pub(crate) struct PeriodObservation<'a> {
+    /// Sampling-period index (0-based).
+    pub period: u64,
+    /// Simulation time at the end of the period.
+    pub time: f64,
+    /// True per-processor utilizations.
+    pub utilization: &'a Vector,
+    /// The set points the controller tracks.
+    pub set_points: &'a Vector,
+    /// The controller's self-reported internals.
+    pub controller: ControllerTelemetry,
+    /// The controller update returned an error this period.
+    pub control_error: bool,
+    /// Processors crashed this period.
+    pub crashed: usize,
+    /// Cumulative actuation-lane drops so far (the injector's total; the
+    /// per-period delta is derived here).
+    pub actuation_drops_total: usize,
+    /// The engine's cumulative counters (deltas derived here).
+    pub engine: EngineCounters,
+    /// Phase timings for the span histograms.
+    pub timings: PeriodTimings,
+}
+
+/// The closed loop's metric registry plus its sinks: declared at build,
+/// fed once per period, flushed at the end of a run.
+pub(crate) struct LoopTelemetry {
+    registry: Registry,
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    // Counters (cumulative over the run).
+    c_periods: CounterId,
+    c_control_errors: CounterId,
+    c_degraded: CounterId,
+    c_mode_transitions: CounterId,
+    c_crashed: CounterId,
+    c_act_drops: CounterId,
+    c_warm_hits: CounterId,
+    c_cold_retries: CounterId,
+    c_relaxed: CounterId,
+    c_sink_errors: CounterId,
+    c_engine_events: CounterId,
+    c_engine_resched: CounterId,
+    c_engine_guard: CounterId,
+    c_engine_stale: CounterId,
+    // Gauges (the period's point-in-time values).
+    g_u: Vec<GaugeId>,
+    g_err: Vec<GaugeId>,
+    g_qp_iterations: GaugeId,
+    g_active_set: GaugeId,
+    g_active_churn: GaugeId,
+    g_stale_max: GaugeId,
+    g_queue_peak: GaugeId,
+    // The supervisor's own cumulative counters arrive pre-accumulated in
+    // [`ControllerTelemetry`], so they export as gauges, not counters.
+    g_rejected: GaugeId,
+    g_degradations: GaugeId,
+    g_reengagements: GaugeId,
+    // Histograms (distributions over the run).
+    h_tracking: HistogramId,
+    h_overshoot: HistogramId,
+    h_qp_iters: HistogramId,
+    h_simulate: HistogramId,
+    h_sample: HistogramId,
+    h_control: HistogramId,
+    h_actuate: HistogramId,
+    // State for turning cumulative inputs into per-period increments.
+    last_engine: EngineCounters,
+    last_act_drops: usize,
+    was_degraded: bool,
+}
+
+/// Span-histogram bounds: 1 µs .. 100 ms in decades (nanoseconds).
+const SPAN_BOUNDS: [f64; 6] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+/// Utilization-error bounds: the paper's ±0.02 acceptability band sits in
+/// the second bucket.
+const ERROR_BOUNDS: [f64; 6] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
+/// QP active-set iteration bounds (a warm-started steady state solves in
+/// 0 iterations).
+const ITER_BOUNDS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// `{prefix}{idx}` without the `format!` machinery — registries are
+/// rebuilt per loop, and benchmark iterations rebuild the loop.
+fn indexed_name(prefix: &str, idx: usize) -> String {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = idx;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let tail = std::str::from_utf8(&digits[i..]).expect("ascii digits");
+    let mut s = String::with_capacity(prefix.len() + tail.len());
+    s.push_str(prefix);
+    s.push_str(tail);
+    s
+}
+
+impl LoopTelemetry {
+    /// Declares the full metric set for a loop over `num_procs`
+    /// processors.  All storage is allocated here, once.
+    pub(crate) fn new(num_procs: usize) -> Self {
+        let mut b = RegistryBuilder::new();
+        let c_periods = b.counter("periods");
+        let c_control_errors = b.counter("control_errors");
+        let c_degraded = b.counter("degraded_periods");
+        let c_mode_transitions = b.counter("mode_transitions");
+        let c_crashed = b.counter("crashed_periods");
+        let c_act_drops = b.counter("actuation_drops");
+        let c_warm_hits = b.counter("qp_warm_hits");
+        let c_cold_retries = b.counter("qp_cold_retries");
+        let c_relaxed = b.counter("qp_relaxed");
+        let c_sink_errors = b.counter("sink_errors");
+        let c_engine_events = b.counter("engine_events");
+        let c_engine_resched = b.counter("engine_reschedules");
+        let c_engine_guard = b.counter("engine_guard_deferrals");
+        let c_engine_stale = b.counter("engine_stale_wakeups");
+        let g_u = (0..num_procs)
+            .map(|p| b.gauge(indexed_name("u_p", p + 1)))
+            .collect();
+        let g_err = (0..num_procs)
+            .map(|p| b.gauge(indexed_name("err_p", p + 1)))
+            .collect();
+        let g_qp_iterations = b.gauge("qp_iterations");
+        let g_active_set = b.gauge("qp_active_set");
+        let g_active_churn = b.gauge("qp_active_churn");
+        let g_stale_max = b.gauge("stale_max");
+        let g_queue_peak = b.gauge("engine_queue_peak");
+        let g_rejected = b.gauge("rejected_samples");
+        let g_degradations = b.gauge("supervisor_degradations");
+        let g_reengagements = b.gauge("supervisor_reengagements");
+        let h_tracking = b.histogram("tracking_error", &ERROR_BOUNDS);
+        let h_overshoot = b.histogram("overshoot", &ERROR_BOUNDS);
+        let h_qp_iters = b.histogram("qp_iterations_hist", &ITER_BOUNDS);
+        let h_simulate = b.histogram("span_simulate_ns", &SPAN_BOUNDS);
+        let h_sample = b.histogram("span_sample_ns", &SPAN_BOUNDS);
+        let h_control = b.histogram("span_control_ns", &SPAN_BOUNDS);
+        let h_actuate = b.histogram("span_actuate_ns", &SPAN_BOUNDS);
+        LoopTelemetry {
+            registry: b.build(),
+            sinks: Vec::new(),
+            c_periods,
+            c_control_errors,
+            c_degraded,
+            c_mode_transitions,
+            c_crashed,
+            c_act_drops,
+            c_warm_hits,
+            c_cold_retries,
+            c_relaxed,
+            c_sink_errors,
+            c_engine_events,
+            c_engine_resched,
+            c_engine_guard,
+            c_engine_stale,
+            g_u,
+            g_err,
+            g_qp_iterations,
+            g_active_set,
+            g_active_churn,
+            g_stale_max,
+            g_queue_peak,
+            g_rejected,
+            g_degradations,
+            g_reengagements,
+            h_tracking,
+            h_overshoot,
+            h_qp_iters,
+            h_simulate,
+            h_sample,
+            h_control,
+            h_actuate,
+            last_engine: EngineCounters::default(),
+            last_act_drops: 0,
+            was_degraded: false,
+        }
+    }
+
+    /// Attaches a sink and sends it the schema.  Sink failures never fail
+    /// the loop — they are counted in `sink_errors`.
+    pub(crate) fn add_sink(&mut self, mut sink: Box<dyn TelemetrySink>) {
+        if sink.begin(self.registry.columns()).is_err() {
+            self.registry.inc(self.c_sink_errors);
+        }
+        self.sinks.push(sink);
+    }
+
+    /// Folds one period's observation into the registry and pushes the
+    /// export row to every sink.  Allocation-free (the sinks installed by
+    /// default — none — and the registry both update in place).
+    pub(crate) fn record_period(&mut self, obs: PeriodObservation<'_>) {
+        let reg = &mut self.registry;
+        reg.inc(self.c_periods);
+        if obs.control_error {
+            reg.inc(self.c_control_errors);
+        }
+        let ct = obs.controller;
+        if ct.degraded {
+            reg.inc(self.c_degraded);
+        }
+        if ct.degraded != self.was_degraded {
+            reg.inc(self.c_mode_transitions);
+            self.was_degraded = ct.degraded;
+        }
+        reg.add(self.c_crashed, obs.crashed as u64);
+        reg.add(
+            self.c_act_drops,
+            obs.actuation_drops_total
+                .saturating_sub(self.last_act_drops) as u64,
+        );
+        self.last_act_drops = obs.actuation_drops_total;
+        if ct.warm_start {
+            reg.inc(self.c_warm_hits);
+        }
+        if ct.cold_retry {
+            reg.inc(self.c_cold_retries);
+        }
+        if ct.relaxed_utilization {
+            reg.inc(self.c_relaxed);
+        }
+        let d = obs.engine.delta(&self.last_engine);
+        self.last_engine = obs.engine;
+        reg.add(self.c_engine_events, d.events);
+        reg.add(self.c_engine_resched, d.reschedules);
+        reg.add(self.c_engine_guard, d.guard_deferrals);
+        reg.add(self.c_engine_stale, d.stale_wakeups);
+        for p in 0..self.g_u.len() {
+            let u = obs.utilization[p];
+            let e = u - obs.set_points[p];
+            reg.set(self.g_u[p], u);
+            reg.set(self.g_err[p], e);
+            reg.observe(self.h_tracking, e.abs());
+            reg.observe(self.h_overshoot, e.max(0.0));
+        }
+        reg.set(self.g_qp_iterations, ct.qp_iterations as f64);
+        reg.set(self.g_active_set, ct.active_set_size as f64);
+        reg.set(self.g_active_churn, ct.active_churn as f64);
+        reg.set(self.g_stale_max, ct.stale_max as f64);
+        reg.set(self.g_queue_peak, obs.engine.queue_peak as f64);
+        reg.set(self.g_rejected, ct.rejected_samples as f64);
+        reg.set(self.g_degradations, ct.degradations as f64);
+        reg.set(self.g_reengagements, ct.reengagements as f64);
+        reg.observe(self.h_qp_iters, ct.qp_iterations as f64);
+        reg.observe(self.h_simulate, obs.timings.simulate_ns as f64);
+        reg.observe(self.h_sample, obs.timings.sample_ns as f64);
+        reg.observe(self.h_control, obs.timings.control_ns as f64);
+        reg.observe(self.h_actuate, obs.timings.actuate_ns as f64);
+        if !self.sinks.is_empty() {
+            let row = self.registry.export_row();
+            let mut errs = 0u64;
+            for sink in &mut self.sinks {
+                if sink.record(obs.period, obs.time, row).is_err() {
+                    errs += 1;
+                }
+            }
+            if errs > 0 {
+                self.registry.add(self.c_sink_errors, errs);
+            }
+        }
+    }
+
+    /// Flushes every sink (safe to call more than once).
+    pub(crate) fn flush(&mut self) {
+        let mut errs = 0u64;
+        for sink in &mut self.sinks {
+            if sink.finish().is_err() {
+                errs += 1;
+            }
+        }
+        if errs > 0 {
+            self.registry.add(self.c_sink_errors, errs);
+        }
+    }
+
+    /// Read-only view of the live registry.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Owned snapshot of the current metric state.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(u: &'a Vector, b: &'a Vector, period: u64) -> PeriodObservation<'a> {
+        PeriodObservation {
+            period,
+            time: 1000.0 * (period + 1) as f64,
+            utilization: u,
+            set_points: b,
+            controller: ControllerTelemetry::default(),
+            control_error: false,
+            crashed: 0,
+            actuation_drops_total: 0,
+            engine: EngineCounters::default(),
+            timings: PeriodTimings::default(),
+        }
+    }
+
+    #[test]
+    fn cumulative_inputs_become_per_period_increments() {
+        let u = Vector::from_slice(&[0.8, 0.9]);
+        let b = Vector::from_slice(&[0.828, 0.828]);
+        let mut lt = LoopTelemetry::new(2);
+        let mut o = obs(&u, &b, 0);
+        o.actuation_drops_total = 3;
+        o.engine.events = 100;
+        lt.record_period(o);
+        let mut o = obs(&u, &b, 1);
+        o.actuation_drops_total = 5;
+        o.engine.events = 150;
+        lt.record_period(o);
+        let snap = lt.snapshot();
+        assert_eq!(snap.counter("periods"), Some(2));
+        // Cumulative totals survive as cumulative counters, not as
+        // double-counted sums of the raw inputs (3 + 5 or 100 + 150).
+        assert_eq!(snap.counter("actuation_drops"), Some(5));
+        assert_eq!(snap.counter("engine_events"), Some(150));
+        assert_eq!(snap.gauge("u_p2"), Some(0.9));
+        let t = snap.histogram("tracking_error").unwrap();
+        assert_eq!(t.count, 4, "one observation per processor per period");
+    }
+
+    #[test]
+    fn mode_transitions_count_edges_not_periods() {
+        let u = Vector::from_slice(&[0.8]);
+        let b = Vector::from_slice(&[0.828]);
+        let mut lt = LoopTelemetry::new(1);
+        for (k, degraded) in [false, true, true, true, false, false].iter().enumerate() {
+            let mut o = obs(&u, &b, k as u64);
+            o.controller.degraded = *degraded;
+            lt.record_period(o);
+        }
+        let snap = lt.snapshot();
+        assert_eq!(snap.counter("degraded_periods"), Some(3));
+        assert_eq!(
+            snap.counter("mode_transitions"),
+            Some(2),
+            "one trip + one recovery"
+        );
+    }
+
+    #[test]
+    fn sinks_receive_every_period_and_schema() {
+        let u = Vector::from_slice(&[0.5]);
+        let b = Vector::from_slice(&[0.828]);
+        let mut lt = LoopTelemetry::new(1);
+        lt.add_sink(Box::new(RingBufferSink::new(8)));
+        for k in 0..3 {
+            lt.record_period(obs(&u, &b, k));
+        }
+        lt.flush();
+        // Registry state and the pushed rows must agree.
+        assert_eq!(
+            lt.registry().columns().len(),
+            lt.snapshot().entries().len() + 2 * 7
+        );
+        assert_eq!(lt.snapshot().counter("sink_errors"), Some(0));
+    }
+
+    #[test]
+    fn failing_sinks_are_counted_not_fatal() {
+        struct Broken;
+        impl TelemetrySink for Broken {
+            fn begin(&mut self, _c: &[String]) -> std::io::Result<()> {
+                Err(std::io::Error::other("begin"))
+            }
+            fn record(&mut self, _p: u64, _t: f64, _v: &[f64]) -> std::io::Result<()> {
+                Err(std::io::Error::other("record"))
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("finish"))
+            }
+        }
+        let u = Vector::from_slice(&[0.5]);
+        let b = Vector::from_slice(&[0.828]);
+        let mut lt = LoopTelemetry::new(1);
+        lt.add_sink(Box::new(Broken));
+        lt.record_period(obs(&u, &b, 0));
+        lt.flush();
+        assert_eq!(lt.snapshot().counter("sink_errors"), Some(3));
+        assert_eq!(lt.snapshot().counter("periods"), Some(1));
+    }
+}

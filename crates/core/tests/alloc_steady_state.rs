@@ -6,6 +6,12 @@
 //! writes into persistent scratch, the controller commits rates
 //! internally, and actuation passes them by reference.
 //!
+//! The telemetry layer (ISSUE 4) must preserve this: the metric registry
+//! is fully preallocated at build and updated in place every period, so
+//! the guarantee holds with telemetry at the default level — and even
+//! with an in-memory ring sink attached, whose slots recycle once the
+//! ring fills.
+//!
 //! A counting `#[global_allocator]` makes the contract checkable.  The
 //! file contains a single `#[test]` on purpose: the counter is global, so
 //! concurrent tests in the same binary would pollute each other's deltas.
@@ -82,6 +88,28 @@ fn fault_free_steady_state_period_is_allocation_free() {
     assert_eq!(
         counters.stale_wakeups, 0,
         "constant execution times never leave residual work"
+    );
+    // The default-level telemetry registry was live the whole time.
+    let snap = cl.telemetry().snapshot();
+    assert_eq!(snap.counter("periods"), Some(150));
+    assert_eq!(snap.histogram("span_control_ns").unwrap().count, 150);
+
+    // 1b. Same loop with an in-memory ring sink attached: once the ring
+    // has filled, its slots recycle and the period stays allocation-free.
+    let mut ringed = ClosedLoop::builder(workloads::medium())
+        .sim_config(SimConfig::constant_etf(0.5))
+        .controller(ControllerSpec::Open)
+        .record_trace(false)
+        .telemetry_sink(eucon_core::telemetry::RingBufferSink::new(32))
+        .build()
+        .unwrap();
+    for _ in 0..100 {
+        ringed.step();
+    }
+    let ring_steady = measure(&mut ringed, 50);
+    assert_eq!(
+        ring_steady, 0,
+        "ring-sink steady state must not allocate (got {ring_steady} over 50 periods)"
     );
 
     // 2. Same loop with trace recording on: the only per-period

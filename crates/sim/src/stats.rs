@@ -51,6 +51,22 @@ pub struct EngineCounters {
 }
 
 impl EngineCounters {
+    /// Counter increments since an `earlier` snapshot of the same engine.
+    ///
+    /// The monotone counters come back as differences; `queue_peak` is a
+    /// high-water mark, not a rate, so the current value carries over
+    /// unchanged.  This is what per-period telemetry uses to turn the
+    /// engine's cumulative totals into per-sampling-period activity.
+    pub fn delta(&self, earlier: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            events: self.events.saturating_sub(earlier.events),
+            reschedules: self.reschedules.saturating_sub(earlier.reschedules),
+            guard_deferrals: self.guard_deferrals.saturating_sub(earlier.guard_deferrals),
+            stale_wakeups: self.stale_wakeups.saturating_sub(earlier.stale_wakeups),
+            queue_peak: self.queue_peak,
+        }
+    }
+
     /// Events processed per simulated time unit.
     pub fn events_per_time(&self, elapsed: f64) -> f64 {
         if elapsed <= 0.0 {

@@ -1,0 +1,323 @@
+//! Fixed-bucket histograms: preallocated at construction, updated in
+//! place, mergeable across runs.
+
+/// A histogram with fixed, ascending bucket upper bounds.
+///
+/// Observation `v` lands in the first bucket whose upper bound satisfies
+/// `v <= bound`; values above every bound land in the implicit overflow
+/// bucket.  The bucket layout is fixed at construction so observation
+/// never allocates — the price is choosing bounds up front, which is the
+/// right trade for a control loop with a known operating envelope.
+///
+/// # Example
+///
+/// ```
+/// use eucon_telemetry::Histogram;
+///
+/// let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+/// h.observe(0.5);
+/// h.observe(50.0);
+/// h.observe(1e6); // overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts(), &[1, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Box<[u64]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            counts: vec![0; bounds.len() + 1].into(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation (in place, never allocates).
+    ///
+    /// Non-finite observations are counted in the overflow bucket but do
+    /// not poison the running sum/min/max.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        if !v.is_finite() {
+            *self.counts.last_mut().expect("overflow bucket") += 1;
+            return;
+        }
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite observations; zero before the first one.
+    pub fn mean(&self) -> f64 {
+        let finite = self.count - self.counts.last().copied().unwrap_or(0);
+        // Non-finite observations sit in the overflow bucket alongside
+        // legitimate large values; approximate by the total count, which
+        // is exact whenever nothing non-finite was observed.
+        if self.count == 0 || finite == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest finite observation; `None` before the first one.
+    pub fn min(&self) -> Option<f64> {
+        (self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest finite observation; `None` before the first one.
+    pub fn max(&self) -> Option<f64> {
+        (self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Resets all counts while keeping the bucket layout.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
+    /// Upper quantile estimate from the bucket counts: the smallest
+    /// bucket bound at which the cumulative count reaches `q · count`
+    /// (the max for the overflow bucket).  `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max().unwrap_or(f64::INFINITY)
+                });
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram's observations into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` (leaving `self` untouched) when the bucket layouts
+    /// differ — merging histograms with different bounds would silently
+    /// misattribute counts.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), BucketMismatch> {
+        if self.bounds != other.bounds {
+            return Err(BucketMismatch);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
+    /// A cheap copyable summary of the current state.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Error returned by [`Histogram::merge`] on differing bucket layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketMismatch;
+
+impl std::fmt::Display for BucketMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram bucket layouts differ")
+    }
+}
+
+impl std::error::Error for BucketMismatch {}
+
+/// Copyable summary of a [`Histogram`] (for snapshots and reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (0 while empty).
+    pub min: f64,
+    /// Largest finite observation (0 while empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation; zero while empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_half_open_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // on the bound: first bucket
+        h.observe(1.5);
+        h.observe(3.0); // overflow
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(3.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert!((h.sum() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_are_quarantined() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts(), &[1, 2]);
+        assert_eq!(h.sum(), 0.5, "sum stays finite");
+        assert_eq!(h.max(), Some(0.5));
+    }
+
+    #[test]
+    fn merge_requires_identical_layout() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(9.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.max(), Some(9.0));
+        assert_eq!(a.min(), Some(0.5));
+
+        let other = Histogram::new(&[1.0]);
+        assert_eq!(a.merge(&other), Err(BucketMismatch));
+        assert_eq!(a.count(), 3, "failed merge leaves self untouched");
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_observing_everything() {
+        let bounds = [0.1, 1.0, 10.0];
+        let xs = [0.05, 0.5, 5.0, 50.0, 0.2];
+        let ys = [7.0, 0.01, 100.0];
+        let mut all = Histogram::new(&bounds);
+        for &v in xs.iter().chain(ys.iter()) {
+            all.observe(v);
+        }
+        let mut a = Histogram::new(&bounds);
+        xs.iter().for_each(|&v| a.observe(v));
+        let mut b = Histogram::new(&bounds);
+        ys.iter().for_each(|&v| b.observe(v));
+        a.merge(&b).unwrap();
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.6, 1.5, 3.0, 3.5, 3.9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn reset_keeps_layout() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bounds(), &[1.0]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn bounds_must_ascend() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_mean() {
+        let mut h = Histogram::new(&[10.0]);
+        h.observe(2.0);
+        h.observe(4.0);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(HistogramSummary::default().mean(), 0.0);
+    }
+}

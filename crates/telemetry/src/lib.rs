@@ -1,0 +1,62 @@
+//! Zero-allocation observability for the EUCON closed loop.
+//!
+//! The paper's premise is that the controller only sees *sampled*
+//! utilization; this crate gives the reproduction the same courtesy —
+//! a first-class view of what the loop is doing each sampling period
+//! without perturbing the thing being measured:
+//!
+//! * [`Registry`] — a **fixed** metrics registry: counters, gauges and
+//!   fixed-bucket [`Histogram`]s are declared once through
+//!   [`RegistryBuilder`] and preallocated; every subsequent update is an
+//!   in-place write.  With no sinks attached, recording telemetry costs
+//!   zero heap allocations per sampling period, preserving the closed
+//!   loop's steady-state allocation guarantee.
+//! * [`Span`] — a scoped timer recording elapsed wall time into a
+//!   histogram when dropped, for the hot phases of a period
+//!   (simulate → sample → controller step → actuate).
+//! * [`TelemetrySink`] — the pluggable per-period export interface, with
+//!   three implementations: [`RingBufferSink`] (bounded in-memory),
+//!   [`CsvSink`] and [`JsonlSink`] (streaming to any `io::Write`).
+//! * [`series`] — windowed series statistics (mean/σ, the paper's
+//!   acceptability criterion, settling times), folded in from
+//!   `eucon_core::metrics` which now re-exports them.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_telemetry::{RegistryBuilder, TelemetrySink, RingBufferSink};
+//!
+//! let mut b = RegistryBuilder::new();
+//! let periods = b.counter("periods");
+//! let u1 = b.gauge("u_p1");
+//! let solve = b.histogram("solve_ns", &[1_000.0, 10_000.0, 100_000.0]);
+//! let mut reg = b.build();
+//!
+//! let mut sink = RingBufferSink::new(64);
+//! sink.begin(reg.columns()).unwrap();
+//! for k in 0..10u64 {
+//!     reg.inc(periods);
+//!     reg.set(u1, 0.8 + 0.001 * k as f64);
+//!     reg.observe(solve, 25_000.0);
+//!     let row = reg.export_row();
+//!     sink.record(k, k as f64 * 1000.0, &row).unwrap();
+//! }
+//! assert_eq!(sink.len(), 10);
+//! assert_eq!(reg.snapshot().counter("periods"), Some(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+pub mod series;
+mod sink;
+mod span;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, MetricValue, Registry, RegistryBuilder, Snapshot,
+};
+pub use sink::{CsvSink, JsonlSink, RingBufferSink, TelemetrySink};
+pub use span::Span;

@@ -1,0 +1,346 @@
+//! The fixed metrics registry: declared once, updated in place.
+
+use std::sync::Arc;
+
+use crate::histogram::{Histogram, HistogramSummary};
+use crate::span::Span;
+
+/// Handle to a counter in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a gauge in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle to a histogram in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// Declares the metric set of a [`Registry`] before any recording starts.
+///
+/// All storage — metric slots, column names, the export row — is
+/// allocated here, once; the built registry never allocates on update or
+/// export.  That is the property that lets the closed loop keep its
+/// zero-allocations-per-period guarantee with telemetry enabled.
+#[derive(Debug, Default)]
+pub struct RegistryBuilder {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    histograms: Vec<(String, Vec<f64>)>,
+}
+
+impl RegistryBuilder {
+    /// Starts an empty metric declaration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a monotone counter and returns its handle.
+    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
+        self.counters.push(name.into());
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Declares a gauge (a point-in-time value) and returns its handle.
+    pub fn gauge(&mut self, name: impl Into<String>) -> GaugeId {
+        self.gauges.push(name.into());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Declares a fixed-bucket histogram (see [`Histogram::new`] for the
+    /// bound rules) and returns its handle.
+    pub fn histogram(&mut self, name: impl Into<String>, bounds: &[f64]) -> HistogramId {
+        self.histograms.push((name.into(), bounds.to_vec()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Freezes the declaration into a ready [`Registry`].
+    pub fn build(self) -> Registry {
+        let histograms: Vec<Histogram> = self
+            .histograms
+            .iter()
+            .map(|(_, bounds)| Histogram::new(bounds))
+            .collect();
+        // One export column per counter and gauge; three per histogram
+        // (count / sum / max) so sinks see scalar columns only.  Built by
+        // hand (capacity + push_str) rather than `format!` — registries
+        // are constructed per closed loop, and benchmark loops rebuild
+        // them every iteration.
+        let mut columns = Vec::new();
+        columns.extend(self.counters.iter().cloned());
+        columns.extend(self.gauges.iter().cloned());
+        for (name, _) in &self.histograms {
+            for suffix in ["_count", "_sum", "_max"] {
+                let mut col = String::with_capacity(name.len() + suffix.len());
+                col.push_str(name);
+                col.push_str(suffix);
+                columns.push(col);
+            }
+        }
+        let width = columns.len();
+        Registry {
+            counter_names: self.counters.iter().map(|s| s.as_str().into()).collect(),
+            counters: vec![0; self.counters.len()],
+            gauge_names: self.gauges.iter().map(|s| s.as_str().into()).collect(),
+            gauges: vec![0.0; self.gauges.len()],
+            hist_names: self
+                .histograms
+                .iter()
+                .map(|(s, _)| s.as_str().into())
+                .collect(),
+            histograms,
+            columns,
+            row: vec![0.0; width],
+        }
+    }
+}
+
+/// The live metric store: fixed layout, in-place updates, allocation-free
+/// export.
+///
+/// Built by [`RegistryBuilder`]; see the crate docs for a worked example.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    // `Arc<str>` so snapshots share the names instead of re-allocating
+    // them — a snapshot is taken at the end of every run.
+    counter_names: Vec<Arc<str>>,
+    counters: Vec<u64>,
+    gauge_names: Vec<Arc<str>>,
+    gauges: Vec<f64>,
+    hist_names: Vec<Arc<str>>,
+    histograms: Vec<Histogram>,
+    columns: Vec<String>,
+    row: Vec<f64>,
+}
+
+impl Registry {
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0] += 1;
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0] = v;
+    }
+
+    /// Current value of a gauge.
+    #[inline]
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0]
+    }
+
+    /// Records an observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: f64) {
+        self.histograms[id.0].observe(v);
+    }
+
+    /// Borrows a histogram (for summaries and quantiles).
+    pub fn histogram(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Starts a scoped wall-clock timer; the elapsed nanoseconds are
+    /// observed into `id` when the returned [`Span`] drops.
+    #[inline]
+    pub fn span(&mut self, id: HistogramId) -> Span<'_> {
+        Span::new(self, id)
+    }
+
+    /// The ordered export column names (the sink schema): counters,
+    /// then gauges, then `_count`/`_sum`/`_max` triples per histogram.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rewrites and returns the export row matching [`Registry::columns`]
+    /// — counters as cumulative values, gauges as-is, histograms as
+    /// count/sum/max.  The row buffer is persistent: no allocation.
+    pub fn export_row(&mut self) -> &[f64] {
+        let mut i = 0;
+        for &c in &self.counters {
+            self.row[i] = c as f64;
+            i += 1;
+        }
+        for &g in &self.gauges {
+            self.row[i] = g;
+            i += 1;
+        }
+        for h in &self.histograms {
+            let s = h.summary();
+            self.row[i] = s.count as f64;
+            self.row[i + 1] = s.sum;
+            self.row[i + 2] = s.max;
+            i += 3;
+        }
+        debug_assert_eq!(i, self.row.len());
+        &self.row
+    }
+
+    /// Clones the current state into an owned, queryable [`Snapshot`].
+    /// Metric names are shared (`Arc<str>`), not copied.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.histograms.len());
+        for (name, &v) in self.counter_names.iter().zip(&self.counters) {
+            entries.push((Arc::clone(name), MetricValue::Counter(v)));
+        }
+        for (name, &v) in self.gauge_names.iter().zip(&self.gauges) {
+            entries.push((Arc::clone(name), MetricValue::Gauge(v)));
+        }
+        for (name, h) in self.hist_names.iter().zip(&self.histograms) {
+            entries.push((Arc::clone(name), MetricValue::Histogram(h.summary())));
+        }
+        Snapshot { entries }
+    }
+}
+
+/// One exported metric value inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Cumulative counter value.
+    Counter(u64),
+    /// Point-in-time gauge value.
+    Gauge(f64),
+    /// Histogram summary (count / sum / min / max).
+    Histogram(HistogramSummary),
+}
+
+/// An owned copy of a [`Registry`]'s state at one instant, queryable by
+/// metric name.  This is what a closed-loop run embeds in its result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<(Arc<str>, MetricValue)>,
+}
+
+impl Snapshot {
+    /// All `(name, value)` pairs, in registry declaration order.
+    pub fn entries(&self) -> &[(Arc<str>, MetricValue)] {
+        &self.entries
+    }
+
+    /// Whether the snapshot holds no metrics (telemetry was off).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up any metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.get(name)? {
+            MetricValue::Histogram(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaration_order_defines_columns() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter("events");
+        let g = b.gauge("u_p1");
+        let h = b.histogram("lat", &[1.0, 2.0]);
+        let mut reg = b.build();
+        assert_eq!(
+            reg.columns(),
+            &["events", "u_p1", "lat_count", "lat_sum", "lat_max"]
+        );
+        reg.add(c, 3);
+        reg.set(g, 0.5);
+        reg.observe(h, 1.5);
+        reg.observe(h, 9.0);
+        assert_eq!(reg.export_row(), &[3.0, 0.5, 2.0, 10.5, 9.0]);
+        assert_eq!(reg.counter(c), 3);
+        assert_eq!(reg.gauge(g), 0.5);
+        assert_eq!(reg.histogram(h).bucket_counts(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn export_row_reuses_its_buffer() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter("n");
+        let mut reg = b.build();
+        let p0 = reg.export_row().as_ptr();
+        reg.inc(c);
+        let p1 = reg.export_row().as_ptr();
+        assert_eq!(p0, p1, "export must not reallocate");
+        assert_eq!(reg.export_row(), &[1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_queryable_by_name() {
+        let mut b = RegistryBuilder::new();
+        let c = b.counter("errors");
+        let g = b.gauge("mode");
+        let h = b.histogram("iters", &[1.0]);
+        let mut reg = b.build();
+        reg.inc(c);
+        reg.set(g, 1.0);
+        reg.observe(h, 0.5);
+        let snap = reg.snapshot();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("errors"), Some(1));
+        assert_eq!(snap.gauge("mode"), Some(1.0));
+        assert_eq!(snap.histogram("iters").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("errors"), None, "kind-checked lookup");
+        assert_eq!(snap.entries().len(), 3);
+        assert_eq!(Snapshot::default().get("x"), None);
+    }
+
+    #[test]
+    fn span_times_into_histogram() {
+        let mut b = RegistryBuilder::new();
+        let h = b.histogram("span_ns", &[1e9]);
+        let mut reg = b.build();
+        {
+            let _s = reg.span(h);
+            std::hint::black_box(3 + 4);
+        }
+        assert_eq!(reg.histogram(h).count(), 1);
+        assert!(reg.histogram(h).max().unwrap() >= 0.0);
+    }
+}

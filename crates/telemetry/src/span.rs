@@ -1,0 +1,75 @@
+//! Scoped wall-clock timers recording into registry histograms.
+
+use std::time::Instant;
+
+use crate::registry::{HistogramId, Registry};
+
+/// A scoped timer: created by [`Registry::span`], records the elapsed
+/// wall time (in nanoseconds) into its histogram when dropped.
+///
+/// `Instant::now` reads the monotonic clock without touching the heap,
+/// so spanning a hot phase keeps the phase allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use eucon_telemetry::RegistryBuilder;
+///
+/// let mut b = RegistryBuilder::new();
+/// let solve = b.histogram("solve_ns", &[1e3, 1e6]);
+/// let mut reg = b.build();
+/// {
+///     let _span = reg.span(solve);
+///     // ... the timed phase ...
+/// }
+/// assert_eq!(reg.histogram(solve).count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a mut Registry,
+    id: HistogramId,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn new(registry: &'a mut Registry, id: HistogramId) -> Self {
+        Span {
+            registry,
+            id,
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the span started.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.start.elapsed().as_nanos() as f64
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as f64;
+        self.registry.observe(self.id, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::RegistryBuilder;
+
+    #[test]
+    fn explicit_end_and_elapsed() {
+        let mut b = RegistryBuilder::new();
+        let h = b.histogram("t_ns", &[1e12]);
+        let mut reg = b.build();
+        let span = reg.span(h);
+        assert!(span.elapsed_ns() >= 0.0);
+        span.end();
+        let span2 = reg.span(h);
+        drop(span2);
+        assert_eq!(reg.histogram(h).count(), 2);
+    }
+}

@@ -17,7 +17,9 @@
 //!   utilization monitors, rate modulators, execution-time factors.
 //! * [`control`] — the EUCON MPC, OPEN and PID baselines, stability
 //!   analysis.
-//! * [`core`] — the closed feedback loop, experiment protocols, metrics.
+//! * [`core`] — the closed feedback loop, experiment protocols, metrics,
+//!   and the telemetry surface (fixed metric registry, span timers,
+//!   pluggable sinks — re-exported from `eucon-telemetry`).
 //!
 //! # Quickstart
 //!
@@ -54,8 +56,8 @@ pub mod prelude {
         MpcController, OpenLoop, RateController, Supervised, SupervisorConfig, SupervisorReport,
     };
     pub use eucon_core::{
-        metrics, render, ClosedLoop, ControllerSpec, FaultSummary, LaneModel, RunResult, SteadyRun,
-        VaryingRun,
+        factory_fn, metrics, render, telemetry, ClosedLoop, ControllerFactory, ControllerSpec,
+        FaultSummary, LaneModel, RunMetrics, RunResult, SteadyRun, VaryingRun,
     };
     pub use eucon_math::{Matrix, Vector};
     pub use eucon_sim::{
