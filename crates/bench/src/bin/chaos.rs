@@ -54,6 +54,10 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
             FaultPlan::none().burst(0, 80, 120, 3.0),
         ),
         (
+            "lane partition P2 [60,100)",
+            FaultPlan::none().partition(1, 60, 100),
+        ),
+        (
             "crash P2 + 20% act loss",
             FaultPlan::none()
                 .crash(1, 60, 100)

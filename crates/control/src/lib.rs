@@ -171,6 +171,20 @@ pub trait RateController {
     fn reset(&mut self, rates: &Vector) {
         let _ = rates;
     }
+
+    /// Tells the controller that `processor`'s next utilization sample is
+    /// a stale reuse, not a fresh measurement — its feedback lane lost or
+    /// delayed this period's report, and the loop substituted the last
+    /// delivered value.
+    ///
+    /// Called (once per affected processor) *before* the corresponding
+    /// [`RateController::update`].  Plain controllers ignore it (the
+    /// default is a no-op); [`Supervised`] advances its per-processor
+    /// staleness counter so a dead lane trips the watchdog exactly like a
+    /// dead monitor.
+    fn note_stale(&mut self, processor: usize) {
+        let _ = processor;
+    }
 }
 
 #[cfg(test)]

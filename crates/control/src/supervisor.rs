@@ -113,6 +113,10 @@ impl SupervisorConfig {
 pub struct SupervisorReport {
     /// Samples rejected by validation (non-finite or out of range).
     pub rejected_samples: usize,
+    /// Samples flagged as stale lane reuses (the feedback lane lost or
+    /// delayed the report and the loop substituted the last delivered
+    /// value; see [`RateController::note_stale`]).
+    pub stale_reports: usize,
     /// Errors returned by the primary controller (absorbed, not
     /// propagated).
     pub control_errors: usize,
@@ -166,6 +170,9 @@ pub struct Supervised<C> {
     last_good: Vector,
     seen_valid: Vec<bool>,
     stale: Vec<usize>,
+    /// Lanes flagged stale for the upcoming update (set by `note_stale`,
+    /// consumed and cleared by `update`).
+    lane_stale: Vec<bool>,
     consecutive_errors: usize,
     healthy_streak: usize,
     degraded: bool,
@@ -204,6 +211,7 @@ impl<C: RateController> Supervised<C> {
             last_good: Vector::zeros(n),
             seen_valid: vec![false; n],
             stale: vec![0; n],
+            lane_stale: vec![false; n],
             consecutive_errors: 0,
             healthy_streak: 0,
             degraded: false,
@@ -272,7 +280,23 @@ impl<C: RateController> RateController for Supervised<C> {
         let mut all_valid = true;
         for p in 0..u.len() {
             let v = u[p];
-            if v.is_finite() && (0.0..=self.cfg.u_max).contains(&v) {
+            let lane_stale = std::mem::replace(&mut self.lane_stale[p], false);
+            if lane_stale {
+                // The lane reused an old value: the sample is finite but
+                // carries no fresh information.  Advance the staleness
+                // counter (a dead lane trips the watchdog like a dead
+                // monitor), but the value itself is safe to forward.
+                all_valid = false;
+                self.stale[p] += 1;
+                self.report.stale_reports += 1;
+                self.sanitized[p] = if v.is_finite() && (0.0..=self.cfg.u_max).contains(&v) {
+                    v
+                } else if self.seen_valid[p] {
+                    self.last_good[p]
+                } else {
+                    0.0
+                };
+            } else if v.is_finite() && (0.0..=self.cfg.u_max).contains(&v) {
                 self.last_good[p] = v;
                 self.seen_valid[p] = true;
                 self.stale[p] = 0;
@@ -375,9 +399,16 @@ impl<C: RateController> RateController for Supervised<C> {
         }
         self.inner.reset(&self.rates);
         self.stale.iter_mut().for_each(|s| *s = 0);
+        self.lane_stale.iter_mut().for_each(|s| *s = false);
         self.consecutive_errors = 0;
         self.healthy_streak = 0;
         self.degraded = false;
+    }
+
+    fn note_stale(&mut self, processor: usize) {
+        if let Some(flag) = self.lane_stale.get_mut(processor) {
+            *flag = true;
+        }
     }
 }
 
@@ -577,6 +608,49 @@ mod tests {
             sup.rates().approx_eq(&design, 1e-3),
             "fallback holds the design point"
         );
+    }
+
+    #[test]
+    fn stale_lane_trips_the_watchdog_like_a_dead_monitor() {
+        let cfg = SupervisorConfig::default().max_stale(4).reengage_hold(3);
+        let mut sup = supervised_mpc(cfg);
+        for _ in 0..5 {
+            sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+        }
+        // P1's feedback lane dies: the loop keeps substituting the last
+        // delivered value (finite, in range) but flags every reuse.
+        for k in 0..4 {
+            sup.note_stale(0);
+            sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+            assert_eq!(sup.is_degraded(), k == 3, "trips exactly at M = 4");
+        }
+        assert_eq!(sup.report().stale_reports, 4);
+        assert_eq!(
+            sup.report().rejected_samples,
+            0,
+            "stale reuses are not invalid samples"
+        );
+        // The lane heals: fresh samples re-engage the primary law.
+        for _ in 0..3 {
+            sup.update(&Vector::from_slice(&[0.4, 0.5])).unwrap();
+        }
+        assert!(!sup.is_degraded());
+        assert_eq!(sup.report().reengagements, 1);
+    }
+
+    #[test]
+    fn interleaved_fresh_reports_keep_a_flaky_lane_engaged() {
+        let mut sup = supervised_mpc(SupervisorConfig::default().max_stale(3));
+        sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+        // 50% lane loss: staleness never accumulates to the threshold.
+        for k in 0..20 {
+            if k % 2 == 0 {
+                sup.note_stale(1);
+            }
+            sup.update(&Vector::from_slice(&[0.5, 0.5])).unwrap();
+        }
+        assert!(!sup.is_degraded());
+        assert_eq!(sup.report().stale_reports, 10);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use eucon_math::Vector;
 use eucon_sim::{DeadlineStats, EngineCounters, FaultInjector, FaultPlan, SimConfig, Simulator};
 use eucon_tasks::{rms_set_points, ProcessorId, TaskSet};
 
+use crate::distributed::{NetConfig, NetRuntime};
 use crate::lanes::LaneState;
 use crate::metrics::{self, SeriesStats};
 use crate::telemetry::{
@@ -102,6 +103,9 @@ pub struct FaultSummary {
     pub actuation_drops: usize,
     /// Periods the controller reported [`ControlMode::Degraded`].
     pub degraded_periods: usize,
+    /// Processor-periods spent with the feedback lane partitioned from
+    /// the controller (no report out, no command in).
+    pub partitioned_periods: usize,
 }
 
 /// Result of a closed-loop run.
@@ -256,6 +260,16 @@ pub struct ClosedLoop {
     /// the loop struct itself stays compact (it is moved by value out of
     /// the builder, and its hot fields should share cache lines).
     telemetry: Box<LoopTelemetry>,
+    /// Transport lanes in distributed mode (`None` = single-process loop;
+    /// phases 4 and 6 then bypass the lanes entirely).
+    pub(crate) net: Option<Box<NetRuntime>>,
+    /// Last utilization each feedback lane delivered — what a partitioned
+    /// lane's entry falls back to in the single-process loop (distributed
+    /// mode keeps its own hold inside [`NetRuntime`]).
+    lane_hold: Vector,
+    /// Whether the fault plan schedules lane partitions (skips the
+    /// partition bookkeeping entirely when it does not).
+    has_partitions: bool,
 }
 
 impl std::fmt::Debug for ClosedLoop {
@@ -315,16 +329,6 @@ impl ClosedLoopBuilder {
     pub fn controller(mut self, factory: impl ControllerFactory + 'static) -> Self {
         self.factory = Box::new(factory);
         self
-    }
-
-    /// Installs a user-supplied controller.
-    #[deprecated(
-        since = "0.1.0",
-        note = "a prebuilt `Box<dyn RateController>` is a `ControllerFactory`; \
-                pass it to `controller` directly"
-    )]
-    pub fn custom_controller(self, controller: Box<dyn RateController>) -> Self {
-        self.controller(controller)
     }
 
     /// Attaches a telemetry sink; the loop pushes one row per sampling
@@ -474,6 +478,7 @@ impl ClosedLoopBuilder {
             ))
         };
         let act_delay = self.faults.actuation_delay_periods();
+        let has_partitions = self.faults.has_partitions();
         let num_procs = self.set.num_processors();
         let num_tasks = self.set.num_tasks();
         let mut sim = Simulator::new(self.set, self.sim_config);
@@ -508,6 +513,9 @@ impl ClosedLoopBuilder {
             dropped: Vec::new(),
             last: TraceStep::clean(0.0, Vector::zeros(num_procs), Vector::zeros(num_tasks)),
             telemetry,
+            net: None,
+            lane_hold: Vector::zeros(num_procs),
+            has_partitions,
         })
     }
 }
@@ -555,6 +563,17 @@ impl ClosedLoop {
         &self.sim
     }
 
+    /// Connects the transport lanes of a distributed loop (called by
+    /// `DistributedLoopBuilder::build`; the loop must not have stepped).
+    pub(crate) fn attach_net(&mut self, cfg: &NetConfig) -> Result<(), CoreError> {
+        self.net = Some(Box::new(NetRuntime::new(
+            cfg,
+            self.set_points.len(),
+            &self.head_proc,
+        )?));
+        Ok(())
+    }
+
     /// Fault and degradation counters so far.
     pub fn fault_summary(&self) -> FaultSummary {
         let mut s = self.summary;
@@ -596,6 +615,14 @@ impl ClosedLoop {
                 }
             }
         }
+        if self.has_partitions {
+            if let Some(inj) = &self.injector {
+                let n = self.set_points.len();
+                ann.partitioned
+                    .extend((0..n).filter(|&p| inj.lane_partitioned(k, p)));
+                self.summary.partitioned_periods += ann.partitioned.len();
+            }
+        }
 
         // 2. Run the plant and sample the true utilizations into the
         // persistent scratch (no allocation).
@@ -623,13 +650,47 @@ impl ClosedLoop {
         };
 
         // 4. The report crosses the feedback lanes (possibly delayed or
-        // lost); `None` means it arrived unchanged.
-        let laned = self.lanes.transmit(u_report);
+        // lost, or — in distributed mode — real transport frames); `None`
+        // means it arrived unchanged.
+        let mut laned = match &mut self.net {
+            Some(net) => net.exchange_reports(k, u_report, &ann.partitioned),
+            None => self.lanes.transmit(u_report),
+        };
+        if self.net.is_none() && self.has_partitions {
+            // A partitioned lane delivers nothing: the controller keeps
+            // the lane's last delivered value for those entries.
+            if !ann.partitioned.is_empty() {
+                let mut v = laned.take().unwrap_or_else(|| u_report.clone());
+                for &p in &ann.partitioned {
+                    v[p] = self.lane_hold[p];
+                }
+                laned = Some(v);
+            }
+            let delivered = laned.as_ref().unwrap_or(u_report);
+            for p in 0..self.set_points.len() {
+                if !ann.partitioned.contains(&p) {
+                    self.lane_hold[p] = delivered[p];
+                }
+            }
+        }
         let u_ctrl = laned.as_ref().unwrap_or(u_report);
 
         // 5. Control update: the controller commits its new rates
-        // internally; on error the previous rates stay in force.
+        // internally; on error the previous rates stay in force.  Silent
+        // lanes are flagged first, so a watchdog treats them like dead
+        // monitors.
         let t_sampled = Instant::now();
+        if let Some(net) = &self.net {
+            for p in 0..self.set_points.len() {
+                if net.lane_stale(p) {
+                    self.controller.note_stale(p);
+                }
+            }
+        } else {
+            for &p in &ann.partitioned {
+                self.controller.note_stale(p);
+            }
+        }
         if self.controller.update(u_ctrl).is_err() {
             self.control_errors += 1;
             ann.control_error = true;
@@ -644,7 +705,11 @@ impl ClosedLoop {
         // actuation lanes to the rate modulators.  The common fault-free
         // configuration hands the controller's rates to the modulators by
         // reference — no copy, no allocation.
-        if self.rate_grid.is_none() && self.act_delay == 0 && self.injector.is_none() {
+        if self.rate_grid.is_none()
+            && self.act_delay == 0
+            && self.injector.is_none()
+            && self.net.is_none()
+        {
             self.sim.set_rates(self.controller.rates());
         } else {
             let actuated = match &self.rate_grid {
@@ -687,7 +752,25 @@ impl ClosedLoop {
                         ann.actuation_dropped = self.dropped.clone();
                     }
                 }
-                self.sim.set_rates(&cmd);
+                if let Some(net) = &mut self.net {
+                    // Distributed mode: the command crosses the lanes and
+                    // the modulators merge whatever arrived (a silent or
+                    // partitioned lane keeps its tasks' rates in force).
+                    let merged = net.actuate(k, &cmd, self.sim.rates_slice(), &ann.partitioned);
+                    self.sim.set_rates(merged);
+                } else {
+                    if !ann.partitioned.is_empty() {
+                        // Partitioned lanes can't deliver commands either:
+                        // their tasks keep the rates in force.
+                        let in_force = self.sim.rates_slice();
+                        for (t, &p) in self.head_proc.iter().enumerate() {
+                            if ann.partitioned.contains(&p) {
+                                cmd[t] = in_force[t];
+                            }
+                        }
+                    }
+                    self.sim.set_rates(&cmd);
+                }
             }
         }
         let t_actuated = Instant::now();
@@ -695,6 +778,7 @@ impl ClosedLoop {
         // 7. Telemetry: fold this period's observations into the metric
         // registry (and any sinks) — controller internals via the
         // consolidated observer interface, engine counters as deltas.
+        let net_obs = self.net.as_mut().map(|n| n.period_observation());
         self.telemetry.record_period(PeriodObservation {
             period: k as u64,
             time: t_end,
@@ -714,6 +798,7 @@ impl ClosedLoop {
                 control_ns: (t_controlled - t_sampled).as_nanos() as u64,
                 actuate_ns: (t_actuated - t_controlled).as_nanos() as u64,
             },
+            net: net_obs,
         });
 
         // 8. Record into the reused step: the true utilizations, plus what
@@ -1061,22 +1146,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_custom_controller_shim_still_works() {
-        let set = workloads::simple();
-        let b = rms_set_points(&set);
-        let prebuilt: Box<dyn RateController> =
-            Box::new(eucon_control::OpenLoop::design(&set, &b).unwrap());
-        let mut cl = ClosedLoop::builder(workloads::simple())
-            .sim_config(SimConfig::constant_etf(0.5))
-            .custom_controller(prebuilt)
-            .build()
-            .unwrap();
-        cl.run(5);
-        assert_eq!(cl.controller_name(), "OPEN");
-    }
-
-    #[test]
     fn telemetry_tracks_qp_and_engine_activity() {
         let mut cl = eucon_loop(0.5);
         let result = cl.run(60);
@@ -1244,6 +1313,51 @@ mod tests {
             .annotations
             .actuation_dropped
             .is_empty());
+    }
+
+    #[test]
+    fn single_process_partition_freezes_the_lane() {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .faults(FaultPlan::none().partition(1, 5, 10))
+            .build()
+            .unwrap();
+        let result = cl.run(20);
+        assert_eq!(result.faults.partitioned_periods, 5);
+        let steps = result.trace.steps();
+        assert_eq!(steps[5].annotations.partitioned, vec![1]);
+        assert!(steps[4].annotations.partitioned.is_empty());
+        // The controller keeps seeing the last pre-partition delivery on
+        // the dead lane, while the live lane stays fresh.
+        let held = steps[4].utilization[1];
+        for (k, step) in steps.iter().enumerate().take(10).skip(5) {
+            assert_eq!(step.seen()[1].to_bits(), held.to_bits(), "period {k}");
+            assert_eq!(
+                step.seen()[0].to_bits(),
+                step.utilization[0].to_bits(),
+                "lane 0 unaffected at period {k}"
+            );
+        }
+        // Commands can't reach the partitioned processor either: every
+        // task modulated there keeps its rate across the window.
+        let set = workloads::simple();
+        for (t, task) in set.tasks().iter().enumerate() {
+            if task.subtasks()[0].processor.0 == 1 {
+                for k in 5..10 {
+                    assert_eq!(
+                        steps[k].rates[t].to_bits(),
+                        steps[4].rates[t].to_bits(),
+                        "T{} must hold its rate at period {k}",
+                        t + 1
+                    );
+                }
+            }
+        }
+        // After the partition heals the loop re-engages and still
+        // converges.
+        assert!(steps[19].annotations.partitioned.is_empty());
+        assert_eq!(result.control_errors, 0);
     }
 
     #[test]

@@ -1,0 +1,803 @@
+//! Distributed mode: the closed loop split into a controller node and
+//! `m` processor nodes exchanging frames over real transport lanes.
+//!
+//! The paper's architecture (§4) runs the utilization monitors and rate
+//! modulators *on the controlled processors* and connects them to the
+//! controller through per-processor TCP connections — the feedback
+//! lanes.  [`DistributedLoop`] makes that split real: every sampling
+//! period each processor node sends a [`Frame::UtilizationReport`] over
+//! its lane, the controller node computes new rates and answers with one
+//! [`Frame::RateCommand`] per lane, and the modulators merge whatever
+//! arrived into the rates in force.
+//!
+//! Two backends ship (see `eucon-net`): bounded in-process channels —
+//! the *ideal lane*, whose closed-loop traces are bit-identical to the
+//! single-process [`ClosedLoop`] — and real loopback TCP with reconnect
+//! and backpressure.  Network effects (per-lane delay and loss) compose
+//! over either backend as [`DelayLoss`] middleware configured through
+//! the same [`LaneModel`] the single-process loop uses.
+//!
+//! Lost or late frames never stall the loop: a lane that stays silent
+//! past the receive window is marked stale, the controller reuses the
+//! lane's last delivered utilization (zero before the first delivery,
+//! exactly like [`LaneModel`] loss), and the watchdog is notified via
+//! [`RateController::note_stale`] so a dead lane eventually trips the
+//! same degraded mode as a dead monitor.
+//!
+//! See DESIGN.md §13 for the node topology, the frame format and the
+//! backpressure/reconnect policy.
+//!
+//! [`Frame::UtilizationReport`]: eucon_net::Frame::UtilizationReport
+//! [`Frame::RateCommand`]: eucon_net::Frame::RateCommand
+//! [`RateController::note_stale`]: eucon_control::RateController::note_stale
+
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+use eucon_math::Vector;
+use eucon_net::{channel_pair, tcp_pair, DelayLoss, Frame, TcpConfig, Transport, TransportStats};
+use eucon_sim::{FaultPlan, SimConfig};
+use eucon_tasks::TaskSet;
+
+use crate::telemetry::{NetPeriod, TelemetrySink};
+use crate::{ClosedLoop, ClosedLoopBuilder, ControllerFactory, CoreError, LaneModel, RunResult};
+
+/// Which transport backend carries the feedback lanes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum NetBackend {
+    /// In-process bounded channels with drop-oldest backpressure — the
+    /// ideal lane (bit-identical traces to the single-process loop).
+    Channel {
+        /// Frames each direction may queue before the oldest is evicted.
+        capacity: usize,
+    },
+    /// Real loopback TCP over `std::net` (nonblocking, per-lane send
+    /// timeouts, reconnect with exponential backoff plus jitter).
+    Tcp(TcpConfig),
+}
+
+/// Transport configuration of a [`DistributedLoop`]: the backend plus
+/// the network effects layered on each direction of every lane.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The transport backend.
+    pub backend: NetBackend,
+    /// Delay/loss applied to utilization reports (processor → controller).
+    /// Lane `p` draws losses from `seed + p`, so lanes fail independently.
+    pub report_lanes: LaneModel,
+    /// Delay/loss applied to rate commands (controller → processor).
+    pub command_lanes: LaneModel,
+    /// How long each period's exchange waits for outstanding frames
+    /// before declaring the silent lanes stale.  In-process channels
+    /// deliver synchronously and want [`Duration::ZERO`]; TCP needs a
+    /// small window for the kernel round trip.
+    pub recv_timeout: Duration,
+}
+
+impl NetConfig {
+    /// Ideal in-process lanes: bounded channels, no delay, no loss, no
+    /// receive window (channel delivery is synchronous).
+    pub fn channel() -> Self {
+        NetConfig {
+            backend: NetBackend::Channel { capacity: 4 },
+            report_lanes: LaneModel::ideal(),
+            command_lanes: LaneModel::ideal(),
+            recv_timeout: Duration::ZERO,
+        }
+    }
+
+    /// Loopback-TCP lanes with default tuning and a 2 ms receive window.
+    pub fn tcp() -> Self {
+        NetConfig {
+            backend: NetBackend::Tcp(TcpConfig::default()),
+            report_lanes: LaneModel::ideal(),
+            command_lanes: LaneModel::ideal(),
+            recv_timeout: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::channel()
+    }
+}
+
+/// Layers the configured delay/loss middleware over a lane endpoint
+/// (ideal models stay unwrapped: zero overhead, and `tick` is a no-op).
+fn wrap(inner: Box<dyn Transport>, model: &LaneModel, lane: usize) -> Box<dyn Transport> {
+    if model.report_delay == 0 && model.loss_probability == 0.0 {
+        inner
+    } else {
+        Box::new(DelayLoss::new(
+            inner,
+            model.report_delay,
+            model.loss_probability,
+            model.seed.wrapping_add(lane as u64),
+        ))
+    }
+}
+
+/// The transport side of a distributed loop: one bidirectional lane per
+/// processor, the per-lane freshness/stale bookkeeping, and the merge
+/// scratch for partially delivered rate commands.
+///
+/// Owned by [`ClosedLoop`] (boxed, `None` in single-process mode) so the
+/// period step can route phase 4 (reports) and phase 6 (commands)
+/// through the lanes without duplicating the loop itself.
+pub(crate) struct NetRuntime {
+    /// Controller-node endpoint of each lane (receives reports, sends
+    /// commands; command middleware wraps this side).
+    ctrl: Vec<Box<dyn Transport>>,
+    /// Processor-node endpoint of each lane (sends reports, receives
+    /// commands; report middleware wraps this side).
+    proc: Vec<Box<dyn Transport>>,
+    backend_name: &'static str,
+    recv_timeout: Duration,
+    /// Tasks whose rate modulator lives on each processor, ascending —
+    /// the payload layout of that lane's [`Frame::RateCommand`].
+    tasks_of: Vec<Vec<usize>>,
+    report_seq: u64,
+    cmd_seq: u64,
+    /// Last utilization each lane delivered (zeros before the first
+    /// delivery) — what a stale lane's entry falls back to.
+    hold: Vector,
+    /// Whether a report arrived on the lane this period.
+    fresh: Vec<bool>,
+    /// Newest report / command sequence seen per lane (late duplicates
+    /// never roll a lane backwards).
+    last_report_seq: Vec<u64>,
+    last_cmd_seq: Vec<u64>,
+    /// Which lanes received this period's command (drain-loop exit).
+    cmd_got: Vec<bool>,
+    /// When this period's report left each processor node — the start of
+    /// the lane's RTT measurement.
+    sent_at: Vec<Option<Instant>>,
+    /// Completed report→command round trips this period, nanoseconds.
+    rtt_scratch: Vec<u64>,
+    /// Rates in force merged with whatever commands arrived.
+    cmd_scratch: Vector,
+    /// Frames not sent this period because the lane was partitioned.
+    period_partition_lost: u64,
+    /// Lanes whose hold value was reused this period.
+    period_stale: u64,
+    /// Aggregate endpoint stats at the last observation (delta source).
+    last_stats: TransportStats,
+}
+
+impl NetRuntime {
+    pub(crate) fn new(
+        cfg: &NetConfig,
+        num_procs: usize,
+        head_proc: &[usize],
+    ) -> Result<NetRuntime, CoreError> {
+        for (dir, model) in [
+            ("report", &cfg.report_lanes),
+            ("command", &cfg.command_lanes),
+        ] {
+            if !(0.0..1.0).contains(&model.loss_probability) {
+                return Err(CoreError::Config(format!(
+                    "{dir}-lane loss probability must be in [0, 1), got {}",
+                    model.loss_probability
+                )));
+            }
+        }
+        let mut ctrl: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
+        let mut proc: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
+        let mut backend_name = "channel";
+        for lane in 0..num_procs {
+            let (c, p): (Box<dyn Transport>, Box<dyn Transport>) = match &cfg.backend {
+                NetBackend::Channel { capacity } => {
+                    if *capacity == 0 {
+                        return Err(CoreError::Config("channel lanes need capacity >= 1".into()));
+                    }
+                    let (a, b) = channel_pair(*capacity);
+                    (Box::new(a), Box::new(b))
+                }
+                NetBackend::Tcp(tcp) => {
+                    backend_name = "tcp";
+                    let per_lane = TcpConfig {
+                        // De-correlate the lanes' backoff jitter streams
+                        // (tcp_pair itself splits the two endpoints).
+                        jitter_seed: tcp.jitter_seed.wrapping_add(lane as u64 * 2),
+                        ..tcp.clone()
+                    };
+                    let (acceptor, connector) =
+                        tcp_pair(&per_lane).map_err(eucon_net::TransportError::from)?;
+                    (Box::new(acceptor), Box::new(connector))
+                }
+            };
+            ctrl.push(wrap(c, &cfg.command_lanes, lane));
+            proc.push(wrap(p, &cfg.report_lanes, lane));
+        }
+        let mut tasks_of = vec![Vec::new(); num_procs];
+        for (t, &p) in head_proc.iter().enumerate() {
+            tasks_of[p].push(t);
+        }
+        Ok(NetRuntime {
+            ctrl,
+            proc,
+            backend_name,
+            recv_timeout: cfg.recv_timeout,
+            tasks_of,
+            report_seq: 0,
+            cmd_seq: 0,
+            hold: Vector::zeros(num_procs),
+            fresh: vec![false; num_procs],
+            last_report_seq: vec![0; num_procs],
+            last_cmd_seq: vec![0; num_procs],
+            cmd_got: vec![false; num_procs],
+            sent_at: vec![None; num_procs],
+            rtt_scratch: Vec::with_capacity(num_procs),
+            cmd_scratch: Vector::zeros(head_proc.len()),
+            period_partition_lost: 0,
+            period_stale: 0,
+            last_stats: TransportStats::default(),
+        })
+    }
+
+    /// Phase 4 of a distributed period: each processor node sends its
+    /// utilization over its lane, the controller node collects what
+    /// arrives and fills silent lanes from the hold values.
+    ///
+    /// Returns `None` when the delivered vector is bit-identical to
+    /// `u_report` (the ideal-lane common case — nothing to record),
+    /// mirroring `LaneState::transmit`.
+    pub(crate) fn exchange_reports(
+        &mut self,
+        k: usize,
+        u_report: &Vector,
+        partitioned: &[usize],
+    ) -> Option<Vector> {
+        let n = self.proc.len();
+        self.rtt_scratch.clear();
+        self.period_partition_lost = 0;
+        self.report_seq += 1;
+        let seq = self.report_seq;
+        for p in 0..n {
+            self.fresh[p] = false;
+            if partitioned.contains(&p) {
+                self.period_partition_lost += 1;
+                self.sent_at[p] = None;
+                continue;
+            }
+            self.sent_at[p] = Some(Instant::now());
+            // Send failures surface in the endpoint stats; the lane is
+            // simply stale this period.
+            let _ = self.proc[p].send(Frame::UtilizationReport {
+                seq,
+                period: k as u64,
+                values: vec![u_report[p]],
+            });
+        }
+        // One tick per period after the sends: the middleware clock.
+        for t in &mut self.proc {
+            t.tick();
+        }
+        // Controller node: drain until every reachable lane delivered at
+        // least one report or the receive window closes.  In-process
+        // channels deliver synchronously, so the first pass suffices.
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            for p in 0..n {
+                if partitioned.contains(&p) {
+                    continue;
+                }
+                while let Ok(Some(frame)) = self.ctrl[p].try_recv() {
+                    if let Frame::UtilizationReport { seq, values, .. } = frame {
+                        // A delayed frame still counts as the delivery —
+                        // the controller acts on u(k − d), exactly like
+                        // the in-loop lane model.
+                        if seq >= self.last_report_seq[p] && !values.is_empty() {
+                            self.last_report_seq[p] = seq;
+                            self.hold[p] = values[0];
+                            self.fresh[p] = true;
+                        }
+                    }
+                }
+            }
+            let missing = (0..n).any(|p| !self.fresh[p] && !partitioned.contains(&p));
+            if !missing || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.period_stale = self.fresh.iter().filter(|f| !**f).count() as u64;
+        let identical = (0..n).all(|p| self.hold[p].to_bits() == u_report[p].to_bits());
+        if identical {
+            None
+        } else {
+            Some(self.hold.clone())
+        }
+    }
+
+    /// Whether lane `p` delivered nothing in the last exchange (its hold
+    /// value was reused).
+    pub(crate) fn lane_stale(&self, p: usize) -> bool {
+        !self.fresh[p]
+    }
+
+    /// Phase 6 of a distributed period: the controller node routes each
+    /// processor's slice of `cmd` over its lane; the modulators merge
+    /// what arrives into the rates `in_force` (a lane that delivers
+    /// nothing keeps its tasks' rates unchanged).
+    pub(crate) fn actuate(
+        &mut self,
+        k: usize,
+        cmd: &Vector,
+        in_force: &[f64],
+        partitioned: &[usize],
+    ) -> &Vector {
+        let n = self.ctrl.len();
+        self.cmd_scratch.copy_from_slice(in_force);
+        self.cmd_seq += 1;
+        let seq = self.cmd_seq;
+        for p in 0..n {
+            self.cmd_got[p] = false;
+            if partitioned.contains(&p) {
+                self.period_partition_lost += 1;
+                continue;
+            }
+            let rates = self.tasks_of[p].iter().map(|&t| cmd[t]).collect();
+            let _ = self.ctrl[p].send(Frame::RateCommand {
+                seq,
+                period: k as u64,
+                rates,
+            });
+        }
+        for t in &mut self.ctrl {
+            t.tick();
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            for p in 0..n {
+                if partitioned.contains(&p) {
+                    continue;
+                }
+                while let Ok(Some(frame)) = self.proc[p].try_recv() {
+                    if let Frame::RateCommand { seq, period, rates } = frame {
+                        if seq < self.last_cmd_seq[p] {
+                            continue;
+                        }
+                        self.last_cmd_seq[p] = seq;
+                        // A command delayed past its period still takes
+                        // effect when it arrives (honest lane delay).
+                        if rates.len() == self.tasks_of[p].len() {
+                            for (i, &t) in self.tasks_of[p].iter().enumerate() {
+                                self.cmd_scratch[t] = rates[i];
+                            }
+                        }
+                        if period == k as u64 {
+                            self.cmd_got[p] = true;
+                            if let Some(at) = self.sent_at[p].take() {
+                                self.rtt_scratch.push(at.elapsed().as_nanos() as u64);
+                            }
+                        }
+                    }
+                }
+            }
+            let missing = (0..n).any(|p| !self.cmd_got[p] && !partitioned.contains(&p));
+            if !missing || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        &self.cmd_scratch
+    }
+
+    /// Aggregate stats over every endpoint of every lane (both sides, so
+    /// report and command traffic are both counted once, at the sender
+    /// and the receiver respectively).
+    pub(crate) fn aggregate_stats(&self) -> TransportStats {
+        let mut agg = TransportStats::default();
+        for t in &self.ctrl {
+            agg = agg.merge(&t.stats());
+        }
+        for t in &self.proc {
+            agg = agg.merge(&t.stats());
+        }
+        agg
+    }
+
+    pub(crate) fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// This period's transport activity for the telemetry registry
+    /// (per-period deltas of the cumulative endpoint stats, plus the
+    /// period-local stale/partition/RTT bookkeeping).
+    pub(crate) fn period_observation(&mut self) -> NetPeriod<'_> {
+        let agg = self.aggregate_stats();
+        let last = self.last_stats;
+        self.last_stats = agg;
+        NetPeriod {
+            sent: agg.sent.saturating_sub(last.sent),
+            received: agg.received.saturating_sub(last.received),
+            lost: agg.dropped.saturating_sub(last.dropped) + self.period_partition_lost,
+            reconnects: agg.reconnects.saturating_sub(last.reconnects),
+            decode_errors: agg.decode_errors.saturating_sub(last.decode_errors),
+            stale_reuse: self.period_stale,
+            rtt_ns: &self.rtt_scratch,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetRuntime")
+            .field("backend", &self.backend_name)
+            .field("lanes", &self.proc.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A [`ClosedLoop`] whose feedback lanes are real transport lanes: a
+/// controller node and one node per processor exchanging versioned
+/// binary frames each sampling period.
+///
+/// Dereferences to [`ClosedLoop`], so `step`, `run`, `telemetry` and the
+/// rest of the loop API work unchanged.  Over the ideal in-process
+/// backend the traces are bit-identical to the single-process loop; over
+/// TCP (or with lossy/delayed lane middleware) the loop degrades the
+/// same way the in-loop [`LaneModel`] does — stale lanes reuse the last
+/// delivered value and the watchdog is told.
+///
+/// # Example
+///
+/// ```
+/// use eucon_core::{ControllerSpec, DistributedLoop};
+/// use eucon_sim::SimConfig;
+/// use eucon_tasks::workloads;
+///
+/// # fn main() -> Result<(), eucon_core::CoreError> {
+/// let mut dl = DistributedLoop::builder(workloads::simple())
+///     .sim_config(SimConfig::constant_etf(0.5))
+///     .controller(ControllerSpec::Eucon(eucon_control::MpcConfig::simple()))
+///     .channel(4)
+///     .build()?;
+/// let result = dl.run(50);
+/// assert_eq!(result.control_errors, 0);
+/// assert!(dl.transport_stats().sent > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DistributedLoop {
+    inner: ClosedLoop,
+}
+
+impl DistributedLoop {
+    /// Starts building a distributed loop around a task set (default
+    /// backend: ideal in-process channels).
+    pub fn builder(set: TaskSet) -> DistributedLoopBuilder {
+        DistributedLoopBuilder {
+            inner: ClosedLoop::builder(set),
+            net: NetConfig::channel(),
+        }
+    }
+
+    /// Aggregate transport counters over every lane endpoint.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.inner
+            .net
+            .as_ref()
+            .map(|n| n.aggregate_stats())
+            .unwrap_or_default()
+    }
+
+    /// The transport backend label (`"channel"` or `"tcp"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.net.as_ref().map_or("none", |n| n.backend_name())
+    }
+
+    /// Consumes the loop, returning the final result.
+    pub fn into_result(self) -> RunResult {
+        self.inner.into_result()
+    }
+}
+
+impl Deref for DistributedLoop {
+    type Target = ClosedLoop;
+
+    fn deref(&self) -> &ClosedLoop {
+        &self.inner
+    }
+}
+
+impl DerefMut for DistributedLoop {
+    fn deref_mut(&mut self) -> &mut ClosedLoop {
+        &mut self.inner
+    }
+}
+
+impl std::fmt::Debug for DistributedLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedLoop")
+            .field("backend", &self.backend_name())
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Builder for [`DistributedLoop`]: the full [`ClosedLoopBuilder`]
+/// surface plus the transport configuration.
+#[derive(Debug)]
+pub struct DistributedLoopBuilder {
+    inner: ClosedLoopBuilder,
+    net: NetConfig,
+}
+
+impl DistributedLoopBuilder {
+    /// See [`ClosedLoopBuilder::sim_config`].
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.inner = self.inner.sim_config(cfg);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::controller`].
+    pub fn controller(mut self, factory: impl ControllerFactory + 'static) -> Self {
+        self.inner = self.inner.controller(factory);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::set_points`].
+    pub fn set_points(mut self, b: Vector) -> Self {
+        self.inner = self.inner.set_points(b);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::faults`] (lane-partition windows in the
+    /// plan silence the affected lanes in both directions).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.inner = self.inner.faults(plan);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::sampling_period`].
+    pub fn sampling_period(mut self, ts: f64) -> Self {
+        self.inner = self.inner.sampling_period(ts);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::record_trace`].
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.inner = self.inner.record_trace(on);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::quantized_rates`].
+    pub fn quantized_rates(mut self, levels: usize) -> Self {
+        self.inner = self.inner.quantized_rates(levels);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::telemetry_sink`].
+    pub fn telemetry_sink(mut self, sink: impl TelemetrySink + 'static) -> Self {
+        self.inner = self.inner.telemetry_sink(sink);
+        self
+    }
+
+    /// Replaces the whole transport configuration.
+    pub fn net(mut self, cfg: NetConfig) -> Self {
+        self.net = cfg;
+        self
+    }
+
+    /// Uses in-process channel lanes with the given per-direction
+    /// capacity (frames beyond it evict the oldest).
+    pub fn channel(mut self, capacity: usize) -> Self {
+        self.net.backend = NetBackend::Channel { capacity };
+        self.net.recv_timeout = Duration::ZERO;
+        self
+    }
+
+    /// Uses loopback-TCP lanes with the given tuning and a 2 ms receive
+    /// window (override with [`DistributedLoopBuilder::recv_timeout`]).
+    pub fn tcp(mut self, cfg: TcpConfig) -> Self {
+        self.net.backend = NetBackend::Tcp(cfg);
+        if self.net.recv_timeout.is_zero() {
+            self.net.recv_timeout = Duration::from_millis(2);
+        }
+        self
+    }
+
+    /// Applies delay/loss middleware to the report direction of every
+    /// lane (lane `p` draws its losses from `model.seed + p`).
+    pub fn report_lanes(mut self, model: LaneModel) -> Self {
+        self.net.report_lanes = model;
+        self
+    }
+
+    /// Applies delay/loss middleware to the command direction of every
+    /// lane.
+    pub fn command_lanes(mut self, model: LaneModel) -> Self {
+        self.net.command_lanes = model;
+        self
+    }
+
+    /// Overrides how long each period's exchange waits for outstanding
+    /// frames before declaring the silent lanes stale.
+    pub fn recv_timeout(mut self, window: Duration) -> Self {
+        self.net.recv_timeout = window;
+        self
+    }
+
+    /// Builds the loop and connects the lanes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ClosedLoopBuilder::build`] rejects, plus
+    /// [`CoreError::Transport`] when the backend fails to connect (e.g.
+    /// binding the loopback sockets) and [`CoreError::Config`] for
+    /// out-of-domain lane parameters.
+    pub fn build(self) -> Result<DistributedLoop, CoreError> {
+        let mut inner = self.inner.build()?;
+        inner.attach_net(&self.net)?;
+        Ok(DistributedLoop { inner })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ControllerSpec;
+    use eucon_control::MpcConfig;
+    use eucon_tasks::workloads;
+
+    fn single(etf: f64, periods: usize) -> RunResult {
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(etf))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .build()
+            .unwrap();
+        cl.run(periods)
+    }
+
+    #[test]
+    fn ideal_channel_lanes_match_the_single_process_loop_bitwise() {
+        let want = single(0.5, 40);
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .channel(4)
+            .build()
+            .unwrap();
+        let got = dl.run(40);
+        assert_eq!(dl.backend_name(), "channel");
+        assert_eq!(got.trace, want.trace, "traces must be bit-identical");
+        assert_eq!(got.control_errors, 0);
+        // Every step delivered unchanged — no received vectors recorded.
+        assert!(got.trace.steps().iter().all(|s| s.received.is_none()));
+        // 2 lanes × (1 report + 1 command) × 40 periods.
+        let stats = dl.transport_stats();
+        assert_eq!(stats.sent, 160);
+        assert_eq!(stats.received, 160);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn lossy_report_lanes_reuse_the_hold_value_and_count_stale() {
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .channel(4)
+            .report_lanes(LaneModel::lossy(0.3, 11))
+            .build()
+            .unwrap();
+        let result = dl.run(60);
+        assert_eq!(result.control_errors, 0);
+        let stats = dl.transport_stats();
+        assert!(stats.dropped > 0, "30% loss must drop frames");
+        let stale = result.telemetry.counter("stale_report_reuse").unwrap();
+        assert!(stale > 0, "lost reports reuse the hold value");
+        assert_eq!(result.telemetry.counter("frames_lost"), Some(stats.dropped));
+        // Loss shows up as received vectors differing from the truth.
+        assert!(result.trace.steps().iter().any(|s| s.received.is_some()));
+    }
+
+    #[test]
+    fn delayed_report_lanes_shift_what_the_controller_sees() {
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .channel(8)
+            .report_lanes(LaneModel::delayed(2))
+            .build()
+            .unwrap();
+        let result = dl.run(20);
+        let steps = result.trace.steps();
+        // The first two periods deliver nothing: the controller saw zeros.
+        for (k, step) in steps.iter().enumerate().take(2) {
+            let seen = step.seen();
+            assert!((0..2).all(|p| seen[p] == 0.0), "period {k} not held at 0");
+        }
+        // From period 2 on, the controller sees u(k − 2) bit-for-bit.
+        for k in 2..20 {
+            let seen = steps[k].seen();
+            for p in 0..2 {
+                assert_eq!(
+                    seen[p].to_bits(),
+                    steps[k - 2].utilization[p].to_bits(),
+                    "period {k} lane {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_lanes_run_the_loop_with_zero_errors() {
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .tcp(TcpConfig::default())
+            // A generous window keeps the bit-exactness assertions below
+            // deterministic even on a loaded CI machine.
+            .recv_timeout(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let result = dl.run(30);
+        assert_eq!(dl.backend_name(), "tcp");
+        assert_eq!(result.control_errors, 0);
+        let stats = dl.transport_stats();
+        assert_eq!(stats.sent, 120, "2 lanes × 2 directions × 30 periods");
+        assert_eq!(stats.decode_errors, 0);
+        assert!(stats.bytes_sent > 0, "real bytes crossed the wire");
+        // Loopback TCP is fast and lossless: everything arrived, so the
+        // trace records no mutated deliveries.
+        assert_eq!(stats.received, 120);
+        assert!(result.trace.steps().iter().all(|s| s.received.is_none()));
+        assert!(
+            result.telemetry.histogram("lane_rtt_ns").unwrap().count > 0,
+            "round trips were measured"
+        );
+    }
+
+    #[test]
+    fn partitioned_lanes_freeze_reports_and_commands() {
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .channel(4)
+            .faults(FaultPlan::none().partition(1, 10, 15))
+            .build()
+            .unwrap();
+        let result = dl.run(30);
+        assert_eq!(result.faults.partitioned_periods, 5);
+        let steps = result.trace.steps();
+        assert_eq!(steps[10].annotations.partitioned, vec![1]);
+        assert!(steps[9].annotations.partitioned.is_empty());
+        // During the partition the controller sees lane 1's last delivery.
+        let held = steps[9].utilization[1];
+        for (k, step) in steps.iter().enumerate().take(15).skip(10) {
+            assert_eq!(
+                step.seen()[1].to_bits(),
+                held.to_bits(),
+                "period {k} must reuse the pre-partition report"
+            );
+        }
+        // After it heals, fresh reports flow again.
+        assert!(steps[16].received.is_none());
+        assert!(
+            result.telemetry.counter("stale_report_reuse").unwrap() >= 5,
+            "each partitioned period reused the hold value"
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_capacity_and_bad_loss() {
+        let err = DistributedLoop::builder(workloads::simple())
+            .channel(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Config(ref m) if m.contains("capacity")));
+        let err = DistributedLoop::builder(workloads::simple())
+            .report_lanes(LaneModel {
+                report_delay: 0,
+                loss_probability: 1.0,
+                seed: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Config(ref m) if m.contains("loss probability")));
+    }
+}

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use eucon_control::ControlError;
+use eucon_net::TransportError;
 use eucon_tasks::TaskError;
 
 /// Errors produced while assembling or running closed-loop experiments.
@@ -17,6 +18,9 @@ pub enum CoreError {
     /// A builder input failed validation (non-finite set point,
     /// non-positive sampling period, degenerate rate quantization, ...).
     Config(String),
+    /// Setting up or operating the feedback-lane transport failed
+    /// (binding the loopback sockets, a torn-down channel peer, ...).
+    Transport(TransportError),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +29,7 @@ impl fmt::Display for CoreError {
             CoreError::Control(e) => write!(f, "controller failure: {e}"),
             CoreError::Task(e) => write!(f, "invalid workload: {e}"),
             CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Transport(e) => write!(f, "feedback-lane transport failure: {e}"),
         }
     }
 }
@@ -35,7 +40,15 @@ impl Error for CoreError {
             CoreError::Control(e) => Some(e),
             CoreError::Task(e) => Some(e),
             CoreError::Config(_) => None,
+            CoreError::Transport(e) => Some(e),
         }
+    }
+}
+
+#[doc(hidden)]
+impl From<TransportError> for CoreError {
+    fn from(e: TransportError) -> Self {
+        CoreError::Transport(e)
     }
 }
 

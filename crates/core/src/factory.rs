@@ -1,12 +1,9 @@
 //! The single controller-construction path of [`ClosedLoopBuilder`].
 //!
-//! Historically the builder had two parallel entry points: the
-//! [`ControllerSpec`] enum for built-in controllers and
-//! `custom_controller(Box<dyn RateController>)` for user-supplied ones.
-//! [`ControllerFactory`] collapses them: everything that can produce a
-//! controller for a `(task set, set points)` pair — a spec, a prebuilt
-//! controller, a closure — goes through
-//! [`ClosedLoopBuilder::controller`].
+//! [`ControllerFactory`] is the one way controllers reach the loop:
+//! everything that can produce a controller for a `(task set, set
+//! points)` pair — a [`ControllerSpec`], a prebuilt controller, a
+//! closure — goes through [`ClosedLoopBuilder::controller`].
 //!
 //! [`ClosedLoopBuilder`]: crate::ClosedLoopBuilder
 //! [`ClosedLoopBuilder::controller`]: crate::ClosedLoopBuilder::controller
@@ -86,8 +83,7 @@ impl ControllerFactory for ControllerSpec {
 }
 
 /// A prebuilt controller is a factory that ignores the task set and set
-/// points — the replacement for the builder's old `custom_controller`
-/// path.
+/// points.
 impl ControllerFactory for Box<dyn RateController> {
     fn build_controller(
         self: Box<Self>,

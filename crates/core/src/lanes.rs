@@ -77,8 +77,14 @@ impl Default for LaneModel {
 }
 
 /// Run-time state of the lane model inside a closed loop.
+///
+/// Public as the *reference semantics* of a delayed/lossy lane: the
+/// transport-level `DelayLoss` middleware in `eucon-net` must agree with
+/// this model draw-for-draw (the transport-equivalence property tests
+/// compare the two directly), so a distributed loop over real lanes and
+/// a single-process loop over [`LaneModel`] see the same network.
 #[derive(Debug)]
-pub(crate) struct LaneState {
+pub struct LaneState {
     model: LaneModel,
     rng: StdRng,
     /// Reports in flight (oldest first); length ≤ report_delay + 1.
@@ -88,6 +94,7 @@ pub(crate) struct LaneState {
 }
 
 impl LaneState {
+    /// Fresh lane state for a model (seeds the loss RNG).
     pub fn new(model: LaneModel) -> Self {
         LaneState {
             rng: StdRng::seed_from_u64(model.seed),
@@ -104,6 +111,9 @@ impl LaneState {
     /// unchanged this period (the caller keeps using its own vector — the
     /// ideal-lane hot path never clones), `Some(v)` carries a mutated
     /// delivery (delayed or stale report).
+    ///
+    /// Call exactly once per sampling period — the loss draws are
+    /// consumed in period order.
     pub fn transmit(&mut self, fresh: &Vector) -> Option<Vector> {
         if self.model.report_delay == 0 && self.model.loss_probability == 0.0 {
             // Ideal lanes: transparent, allocation-free.

@@ -7,6 +7,10 @@
 //! * [`ClosedLoop`] — the distributed feedback loop of §4: sample the
 //!   utilization monitors each period, run the controller, apply the rate
 //!   modulators.
+//! * [`DistributedLoop`] — the same loop with the node split made real:
+//!   controller node and per-processor nodes exchanging binary frames
+//!   over pluggable transport lanes (`eucon-net`) — ideal in-process
+//!   channels (bit-identical traces) or loopback TCP.
 //! * [`ControllerSpec`] — pick EUCON, OPEN, or the PID ablation baseline.
 //! * [`experiments`] — Experiment I ([`SteadyRun`], constant etf sweeps →
 //!   Figures 4 and 5) and Experiment II ([`VaryingRun`], the 0.5 → 0.9 →
@@ -46,6 +50,7 @@
 
 pub mod admission;
 mod closed_loop;
+mod distributed;
 mod error;
 pub mod experiments;
 mod factory;
@@ -60,8 +65,14 @@ pub use closed_loop::{
     ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunMetrics, RunResult,
     DEFAULT_SAMPLING_PERIOD,
 };
+pub use distributed::{DistributedLoop, DistributedLoopBuilder, NetBackend, NetConfig};
 pub use error::CoreError;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
 pub use factory::{factory_fn, ControllerFactory};
-pub use lanes::LaneModel;
+pub use lanes::{LaneModel, LaneState};
 pub use trace::{StepAnnotations, Trace, TraceStep};
+
+/// The transport layer of distributed mode, re-exported: the
+/// [`net::Transport`] trait, the wire [`net::Frame`] format, the channel
+/// and TCP backends and the [`net::DelayLoss`] middleware.
+pub use eucon_net as net;

@@ -38,6 +38,31 @@ pub(crate) struct PeriodTimings {
     pub actuate_ns: u64,
 }
 
+/// One sampling period's transport activity in a distributed loop —
+/// per-period deltas plus the period's end-to-end lane round-trip
+/// samples.  Absent (`None`) in a single-process loop; the net metrics
+/// then stay at zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NetPeriod<'a> {
+    /// Frames accepted for sending this period (reports + commands).
+    pub sent: u64,
+    /// Frames delivered this period.
+    pub received: u64,
+    /// Frames lost this period (middleware losses, backpressure
+    /// evictions, send timeouts, partition drops).
+    pub lost: u64,
+    /// Connections re-established this period.
+    pub reconnects: u64,
+    /// Malformed frames encountered this period.
+    pub decode_errors: u64,
+    /// Lanes whose report did not arrive, making the controller reuse
+    /// the last delivered value.
+    pub stale_reuse: u64,
+    /// End-to-end lane round trips completed this period (report sent →
+    /// matching rate command received), in nanoseconds.
+    pub rtt_ns: &'a [u64],
+}
+
 /// Everything the loop observed in one sampling period, handed to
 /// [`LoopTelemetry::record_period`] as one bundle.
 pub(crate) struct PeriodObservation<'a> {
@@ -62,6 +87,8 @@ pub(crate) struct PeriodObservation<'a> {
     pub engine: EngineCounters,
     /// Phase timings for the span histograms.
     pub timings: PeriodTimings,
+    /// Transport activity (distributed loops only).
+    pub net: Option<NetPeriod<'a>>,
 }
 
 /// The closed loop's metric registry plus its sinks: declared at build,
@@ -84,6 +111,13 @@ pub(crate) struct LoopTelemetry {
     c_engine_resched: CounterId,
     c_engine_guard: CounterId,
     c_engine_stale: CounterId,
+    // Transport counters (all zero in a single-process loop).
+    c_frames_sent: CounterId,
+    c_frames_received: CounterId,
+    c_frames_lost: CounterId,
+    c_lane_reconnects: CounterId,
+    c_frame_decode_errors: CounterId,
+    c_stale_reuse: CounterId,
     // Gauges (the period's point-in-time values).
     g_u: Vec<GaugeId>,
     g_err: Vec<GaugeId>,
@@ -105,6 +139,7 @@ pub(crate) struct LoopTelemetry {
     h_sample: HistogramId,
     h_control: HistogramId,
     h_actuate: HistogramId,
+    h_lane_rtt: HistogramId,
     // State for turning cumulative inputs into per-period increments.
     last_engine: EngineCounters,
     last_act_drops: usize,
@@ -160,6 +195,12 @@ impl LoopTelemetry {
         let c_engine_resched = b.counter("engine_reschedules");
         let c_engine_guard = b.counter("engine_guard_deferrals");
         let c_engine_stale = b.counter("engine_stale_wakeups");
+        let c_frames_sent = b.counter("frames_sent");
+        let c_frames_received = b.counter("frames_received");
+        let c_frames_lost = b.counter("frames_lost");
+        let c_lane_reconnects = b.counter("lane_reconnects");
+        let c_frame_decode_errors = b.counter("frame_decode_errors");
+        let c_stale_reuse = b.counter("stale_report_reuse");
         let g_u = (0..num_procs)
             .map(|p| b.gauge(indexed_name("u_p", p + 1)))
             .collect();
@@ -181,6 +222,7 @@ impl LoopTelemetry {
         let h_sample = b.histogram("span_sample_ns", &SPAN_BOUNDS);
         let h_control = b.histogram("span_control_ns", &SPAN_BOUNDS);
         let h_actuate = b.histogram("span_actuate_ns", &SPAN_BOUNDS);
+        let h_lane_rtt = b.histogram("lane_rtt_ns", &SPAN_BOUNDS);
         LoopTelemetry {
             registry: b.build(),
             sinks: Vec::new(),
@@ -198,6 +240,12 @@ impl LoopTelemetry {
             c_engine_resched,
             c_engine_guard,
             c_engine_stale,
+            c_frames_sent,
+            c_frames_received,
+            c_frames_lost,
+            c_lane_reconnects,
+            c_frame_decode_errors,
+            c_stale_reuse,
             g_u,
             g_err,
             g_qp_iterations,
@@ -215,6 +263,7 @@ impl LoopTelemetry {
             h_sample,
             h_control,
             h_actuate,
+            h_lane_rtt,
             last_engine: EngineCounters::default(),
             last_act_drops: 0,
             was_degraded: false,
@@ -290,6 +339,17 @@ impl LoopTelemetry {
         reg.observe(self.h_sample, obs.timings.sample_ns as f64);
         reg.observe(self.h_control, obs.timings.control_ns as f64);
         reg.observe(self.h_actuate, obs.timings.actuate_ns as f64);
+        if let Some(net) = obs.net {
+            reg.add(self.c_frames_sent, net.sent);
+            reg.add(self.c_frames_received, net.received);
+            reg.add(self.c_frames_lost, net.lost);
+            reg.add(self.c_lane_reconnects, net.reconnects);
+            reg.add(self.c_frame_decode_errors, net.decode_errors);
+            reg.add(self.c_stale_reuse, net.stale_reuse);
+            for &rtt in net.rtt_ns {
+                reg.observe(self.h_lane_rtt, rtt as f64);
+            }
+        }
         if !self.sinks.is_empty() {
             let row = self.registry.export_row();
             let mut errs = 0u64;
@@ -344,6 +404,7 @@ mod tests {
             actuation_drops_total: 0,
             engine: EngineCounters::default(),
             timings: PeriodTimings::default(),
+            net: None,
         }
     }
 
@@ -403,9 +464,35 @@ mod tests {
         // Registry state and the pushed rows must agree.
         assert_eq!(
             lt.registry().columns().len(),
-            lt.snapshot().entries().len() + 2 * 7
+            lt.snapshot().entries().len() + 2 * 8
         );
         assert_eq!(lt.snapshot().counter("sink_errors"), Some(0));
+    }
+
+    #[test]
+    fn net_metrics_flow_into_counters_and_rtt_histogram() {
+        let u = Vector::from_slice(&[0.5]);
+        let b = Vector::from_slice(&[0.828]);
+        let mut lt = LoopTelemetry::new(1);
+        let rtts = [1_000u64, 2_000_000];
+        let mut o = obs(&u, &b, 0);
+        o.net = Some(NetPeriod {
+            sent: 4,
+            received: 3,
+            lost: 1,
+            reconnects: 1,
+            decode_errors: 0,
+            stale_reuse: 2,
+            rtt_ns: &rtts,
+        });
+        lt.record_period(o);
+        let snap = lt.snapshot();
+        assert_eq!(snap.counter("frames_sent"), Some(4));
+        assert_eq!(snap.counter("frames_received"), Some(3));
+        assert_eq!(snap.counter("frames_lost"), Some(1));
+        assert_eq!(snap.counter("lane_reconnects"), Some(1));
+        assert_eq!(snap.counter("stale_report_reuse"), Some(2));
+        assert_eq!(snap.histogram("lane_rtt_ns").unwrap().count, 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub struct StepAnnotations {
     pub control_error: bool,
     /// Processors whose actuation lane dropped this period's rate command.
     pub actuation_dropped: Vec<usize>,
+    /// Processors whose feedback lane was partitioned from the controller
+    /// this period (no report out, no command in).
+    pub partitioned: Vec<usize>,
 }
 
 impl StepAnnotations {
@@ -24,6 +27,7 @@ impl StepAnnotations {
             || self.degraded
             || self.control_error
             || !self.actuation_dropped.is_empty()
+            || !self.partitioned.is_empty()
     }
 }
 

@@ -7,7 +7,9 @@
 //! `f64` hashed by its bit pattern, so even 1-ulp drift fails) captured
 //! from the reference engine, for the paper's SIMPLE and MEDIUM workloads,
 //! fault-free and under a scripted fault plan (processor crash + lossy
-//! actuation lanes).
+//! actuation lanes).  The scenarios and hash live in `trace_hash/` and are
+//! shared with `transport_equivalence`, which pins the distributed loop to
+//! the same constants.
 //!
 //! If an intentional semantic change to the engine breaks these, re-capture
 //! with:
@@ -16,134 +18,11 @@
 //! cargo test -p eucon-core --test engine_equivalence -- --ignored --nocapture
 //! ```
 
-use eucon_control::MpcConfig;
-use eucon_core::{ClosedLoop, ControllerSpec, RunResult};
-use eucon_math::Vector;
-use eucon_sim::{ExecModel, FaultPlan, SimConfig, Simulator};
+mod trace_hash;
+
+use eucon_sim::{ExecModel, SimConfig, Simulator};
 use eucon_tasks::{workloads, ProcessorId, TaskId};
-
-// ---- FNV-1a 64 over the bit patterns of the trace ----
-
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn byte(&mut self, b: u8) {
-        self.0 ^= b as u64;
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    fn u64(&mut self, x: u64) {
-        for b in x.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-    fn f64(&mut self, x: f64) {
-        self.u64(x.to_bits());
-    }
-    fn vector(&mut self, v: &Vector) {
-        self.u64(v.len() as u64);
-        for &x in v.iter() {
-            self.f64(x);
-        }
-    }
-}
-
-/// Hashes everything a closed-loop run observes: each step's time, true
-/// utilizations, sensed/received report, applied rates and annotations,
-/// plus the final deadline statistics.
-fn hash_result(result: &RunResult) -> u64 {
-    let mut h = Fnv::new();
-    for step in result.trace.steps() {
-        h.f64(step.time);
-        h.vector(&step.utilization);
-        match &step.received {
-            None => h.byte(0),
-            Some(v) => {
-                h.byte(1);
-                h.vector(v);
-            }
-        }
-        h.vector(&step.rates);
-        let ann = &step.annotations;
-        h.u64(ann.crashed.len() as u64);
-        for &p in &ann.crashed {
-            h.u64(p as u64);
-        }
-        h.u64(ann.actuation_dropped.len() as u64);
-        for &p in &ann.actuation_dropped {
-            h.u64(p as u64);
-        }
-        h.byte(ann.degraded as u8);
-        h.byte(ann.control_error as u8);
-    }
-    h.u64(result.deadlines.met);
-    h.u64(result.deadlines.missed);
-    h.u64(result.control_errors as u64);
-    h.0
-}
-
-// ---- scenario constructors (shared by the pinned tests and recapture) ----
-
-fn simple_fault_free() -> RunResult {
-    ClosedLoop::builder(workloads::simple())
-        .sim_config(SimConfig::constant_etf(0.5))
-        .controller(ControllerSpec::Eucon(MpcConfig::simple()))
-        .build()
-        .expect("closed loop")
-        .run(40)
-}
-
-fn medium_fault_free() -> RunResult {
-    let cfg = SimConfig::constant_etf(1.0)
-        .exec_model(ExecModel::Uniform { half_width: 0.2 })
-        .seed(1);
-    ClosedLoop::builder(workloads::medium())
-        .sim_config(cfg)
-        .controller(ControllerSpec::Eucon(MpcConfig::medium()))
-        .build()
-        .expect("closed loop")
-        .run(40)
-}
-
-fn fault_plan() -> FaultPlan {
-    // Crash + lossy actuation lanes: exercises NaN sensors, supervisor
-    // degradation, per-processor rate freezing and recovery reschedules.
-    FaultPlan::none()
-        .crash(1, 10, 18)
-        .actuation_loss(0.3)
-        .seed(7)
-}
-
-fn simple_faulted() -> RunResult {
-    ClosedLoop::builder(workloads::simple())
-        .sim_config(SimConfig::constant_etf(0.5))
-        .controller(ControllerSpec::SupervisedEucon {
-            mpc: MpcConfig::simple(),
-            supervisor: Default::default(),
-        })
-        .faults(fault_plan())
-        .build()
-        .expect("closed loop")
-        .run(40)
-}
-
-fn medium_faulted() -> RunResult {
-    let cfg = SimConfig::constant_etf(1.0)
-        .exec_model(ExecModel::Uniform { half_width: 0.2 })
-        .seed(1);
-    ClosedLoop::builder(workloads::medium())
-        .sim_config(cfg)
-        .controller(ControllerSpec::SupervisedEucon {
-            mpc: MpcConfig::medium(),
-            supervisor: Default::default(),
-        })
-        .faults(fault_plan())
-        .build()
-        .expect("closed loop")
-        .run(40)
-}
+use trace_hash::{hash_result, Fnv, Scenario};
 
 /// A pure-simulator scenario with a scripted rate/suspend/crash sequence,
 /// hashing the sampled utilizations and final statistics — this drives
@@ -190,33 +69,33 @@ fn scripted_sim(set: eucon_tasks::TaskSet, seed: u64) -> u64 {
     h.0
 }
 
-// ---- golden hashes captured from the reference engine ----
+// ---- golden hashes of the sim-only scripted scenarios ----
 
-const GOLDEN_SIMPLE_FAULT_FREE: u64 = 0xb286_0648_874c_a00f;
-const GOLDEN_MEDIUM_FAULT_FREE: u64 = 0xae12_aab1_5672_e1a9;
-const GOLDEN_SIMPLE_FAULTED: u64 = 0x82e1_1b45_8111_02a0;
-const GOLDEN_MEDIUM_FAULTED: u64 = 0x0920_d34b_7e38_0a57;
 const GOLDEN_SCRIPTED_SIMPLE: u64 = 0x6dd9_3a7f_b2fc_9bd4;
 const GOLDEN_SCRIPTED_MEDIUM: u64 = 0x80be_e3a9_2814_cc36;
 
 #[test]
 fn golden_simple_fault_free() {
-    assert_eq!(hash_result(&simple_fault_free()), GOLDEN_SIMPLE_FAULT_FREE);
+    let s = Scenario::SimpleFaultFree;
+    assert_eq!(hash_result(&s.run_single()), s.golden());
 }
 
 #[test]
 fn golden_medium_fault_free() {
-    assert_eq!(hash_result(&medium_fault_free()), GOLDEN_MEDIUM_FAULT_FREE);
+    let s = Scenario::MediumFaultFree;
+    assert_eq!(hash_result(&s.run_single()), s.golden());
 }
 
 #[test]
 fn golden_simple_faulted() {
-    assert_eq!(hash_result(&simple_faulted()), GOLDEN_SIMPLE_FAULTED);
+    let s = Scenario::SimpleFaulted;
+    assert_eq!(hash_result(&s.run_single()), s.golden());
 }
 
 #[test]
 fn golden_medium_faulted() {
-    assert_eq!(hash_result(&medium_faulted()), GOLDEN_MEDIUM_FAULTED);
+    let s = Scenario::MediumFaulted;
+    assert_eq!(hash_result(&s.run_single()), s.golden());
 }
 
 #[test]
@@ -235,27 +114,19 @@ fn golden_scripted_sim_medium() {
     );
 }
 
-/// Capture mode: prints the constants block above.  Run with
-/// `-- --ignored --nocapture` and paste the output.
+/// Capture mode: prints the constants blocks (the closed-loop ones belong
+/// in `trace_hash/mod.rs`).  Run with `-- --ignored --nocapture` and paste
+/// the output.
 #[test]
 #[ignore = "recapture tool, not a test"]
 fn print_golden_hashes() {
-    println!(
-        "const GOLDEN_SIMPLE_FAULT_FREE: u64 = {:#018x};",
-        hash_result(&simple_fault_free())
-    );
-    println!(
-        "const GOLDEN_MEDIUM_FAULT_FREE: u64 = {:#018x};",
-        hash_result(&medium_fault_free())
-    );
-    println!(
-        "const GOLDEN_SIMPLE_FAULTED: u64 = {:#018x};",
-        hash_result(&simple_faulted())
-    );
-    println!(
-        "const GOLDEN_MEDIUM_FAULTED: u64 = {:#018x};",
-        hash_result(&medium_faulted())
-    );
+    for s in Scenario::ALL {
+        println!(
+            "pub const GOLDEN_{}: u64 = {:#018x};",
+            s.name().to_uppercase(),
+            hash_result(&s.run_single())
+        );
+    }
     println!(
         "const GOLDEN_SCRIPTED_SIMPLE: u64 = {:#018x};",
         scripted_sim(workloads::simple(), 11)

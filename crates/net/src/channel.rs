@@ -1,0 +1,172 @@
+//! The in-process backend: bounded SPSC queues with drop-oldest
+//! backpressure.
+//!
+//! This is the *ideal lane*: frames cross instantly and in order, so a
+//! distributed loop over channel lanes reproduces the single-process
+//! closed loop bit-for-bit — the property the transport-equivalence
+//! golden tests pin.  It is also the deterministic substrate the
+//! delay/loss middleware composes over in tests.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+use crate::transport::{Transport, TransportStats};
+
+/// One direction of a lane.
+#[derive(Debug, Default)]
+struct Queue {
+    frames: VecDeque<Frame>,
+    /// The consuming endpoint dropped (peer-liveness signal).
+    closed: bool,
+}
+
+type Shared = Arc<Mutex<Queue>>;
+
+/// One endpoint of an in-process lane created by [`channel_pair`].
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Shared,
+    rx: Shared,
+    capacity: usize,
+    stats: TransportStats,
+}
+
+/// Creates a bounded in-process lane and returns its two endpoints.
+///
+/// Each direction holds at most `capacity` frames; a send into a full
+/// queue evicts the oldest undelivered frame (drop-oldest backpressure —
+/// fresh measurements beat stale ones in a control loop) and counts the
+/// eviction.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel_pair(capacity: usize) -> (ChannelTransport, ChannelTransport) {
+    assert!(capacity > 0, "lane capacity must be at least 1");
+    let ab: Shared = Arc::default();
+    let ba: Shared = Arc::default();
+    let a = ChannelTransport {
+        tx: Arc::clone(&ab),
+        rx: Arc::clone(&ba),
+        capacity,
+        stats: TransportStats::default(),
+    };
+    let b = ChannelTransport {
+        tx: ba,
+        rx: ab,
+        capacity,
+        stats: TransportStats::default(),
+    };
+    (a, b)
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Mark both directions closed so the peer sees Disconnected
+        // instead of silently sending into the void.
+        for q in [&self.tx, &self.rx] {
+            if let Ok(mut q) = q.lock() {
+                q.closed = true;
+            }
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: Frame) -> Result<(), TransportError> {
+        let mut q = self.tx.lock().expect("lane lock");
+        if q.closed {
+            return Err(TransportError::Disconnected);
+        }
+        if q.frames.len() == self.capacity {
+            q.frames.pop_front();
+            self.stats.dropped += 1;
+        }
+        q.frames.push_back(frame);
+        self.stats.sent += 1;
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        let mut q = self.rx.lock().expect("lane lock");
+        match q.frames.pop_front() {
+            Some(f) => {
+                self.stats.received += 1;
+                Ok(Some(f))
+            }
+            None if q.closed => Err(TransportError::Disconnected),
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seq: u64) -> Frame {
+        Frame::UtilizationReport {
+            seq,
+            period: seq,
+            values: vec![seq as f64],
+        }
+    }
+
+    #[test]
+    fn frames_cross_in_order() {
+        let (mut a, mut b) = channel_pair(8);
+        a.send(report(1)).unwrap();
+        a.send(report(2)).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap().seq(), 1);
+        assert_eq!(b.try_recv().unwrap().unwrap().seq(), 2);
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(a.stats().sent, 2);
+        assert_eq!(b.stats().received, 2);
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (mut a, mut b) = channel_pair(4);
+        a.send(report(1)).unwrap();
+        b.send(report(9)).unwrap();
+        assert_eq!(a.try_recv().unwrap().unwrap().seq(), 9);
+        assert_eq!(b.try_recv().unwrap().unwrap().seq(), 1);
+    }
+
+    #[test]
+    fn full_queue_drops_oldest() {
+        let (mut a, mut b) = channel_pair(2);
+        for k in 1..=5 {
+            a.send(report(k)).unwrap();
+        }
+        // Only the freshest two survive.
+        assert_eq!(b.try_recv().unwrap().unwrap().seq(), 4);
+        assert_eq!(b.try_recv().unwrap().unwrap().seq(), 5);
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(a.stats().dropped, 3);
+    }
+
+    #[test]
+    fn dropped_peer_is_reported() {
+        let (mut a, b) = channel_pair(2);
+        drop(b);
+        assert_eq!(a.send(report(1)), Err(TransportError::Disconnected));
+        assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = channel_pair(0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The wire format of the feedback lanes: versioned, compact binary
+//! frames.
+//!
+//! Two frame types cross a lane, mirroring the paper's §4 architecture:
+//! a processor's utilization monitor sends [`Frame::UtilizationReport`]s
+//! to the controller, and the controller sends [`Frame::RateCommand`]s
+//! back to the processor's rate modulator.
+//!
+//! ## Layout (little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     version byte (FRAME_VERSION)
+//! 1       1     kind (1 = UtilizationReport, 2 = RateCommand)
+//! 2       2     payload count n (u16)
+//! 4       8     seq   — per-lane monotone sequence number (u64)
+//! 12      8     period — sampling-period index the payload belongs to (u64)
+//! 20      8·n   payload — f64 bit patterns (exact round-trip, NaN-safe)
+//! ```
+//!
+//! Values are serialized through [`f64::to_bits`], so a frame round-trips
+//! every `f64` bit-for-bit — including the `NaN` a crashed monitor
+//! reports.  [`FrameReader`] reassembles frames from an arbitrary byte
+//! stream (TCP delivers partial frames at will).
+
+use crate::error::FrameError;
+
+/// Current wire-format version; bumped on any layout change so mixed
+/// deployments fail loudly instead of mis-decoding.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Maximum payload values per frame (defensive cap: a corrupt length
+/// field must not make the reader buffer unbounded garbage).
+pub const MAX_PAYLOAD: usize = 4096;
+
+const KIND_REPORT: u8 = 1;
+const KIND_COMMAND: u8 = 2;
+
+/// One message crossing a feedback lane.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Frame {
+    /// Monitor → controller: the utilization sample(s) for one sampling
+    /// period.
+    UtilizationReport {
+        /// Per-lane monotone sequence number.
+        seq: u64,
+        /// Sampling-period index the sample belongs to.
+        period: u64,
+        /// Sampled utilizations (one per monitored processor on this
+        /// lane; a dedicated per-processor lane carries exactly one).
+        values: Vec<f64>,
+    },
+    /// Controller → rate modulator: new task rates.
+    RateCommand {
+        /// Per-lane monotone sequence number.
+        seq: u64,
+        /// Sampling-period index the command was computed for.
+        period: u64,
+        /// Commanded rates (in the receiving node's task order).
+        rates: Vec<f64>,
+    },
+}
+
+impl Frame {
+    /// The frame's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Frame::UtilizationReport { seq, .. } | Frame::RateCommand { seq, .. } => *seq,
+        }
+    }
+
+    /// The sampling-period index the frame belongs to.
+    pub fn period(&self) -> u64 {
+        match self {
+            Frame::UtilizationReport { period, .. } | Frame::RateCommand { period, .. } => *period,
+        }
+    }
+
+    /// The payload values (utilizations or rates).
+    pub fn values(&self) -> &[f64] {
+        match self {
+            Frame::UtilizationReport { values, .. } => values,
+            Frame::RateCommand { rates, .. } => rates,
+        }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::UtilizationReport { .. } => KIND_REPORT,
+            Frame::RateCommand { .. } => KIND_COMMAND,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + 8 * self.values().len()
+    }
+
+    /// Appends the wire encoding to `out` (no intermediate allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] values — frames are
+    /// built from task-set-sized vectors, so this is a programming error,
+    /// not a runtime condition.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let values = self.values();
+        assert!(values.len() <= MAX_PAYLOAD, "frame payload too large");
+        out.reserve(self.encoded_len());
+        out.push(FRAME_VERSION);
+        out.push(self.kind_byte());
+        out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.seq().to_le_bytes());
+        out.extend_from_slice(&self.period().to_le_bytes());
+        for &v in values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// The wire encoding as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the start of `bytes`.
+    ///
+    /// Returns the frame and the number of bytes consumed, or `Ok(None)`
+    /// when `bytes` does not yet hold a complete frame (the caller should
+    /// buffer more input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] for an unsupported version byte, an unknown
+    /// frame kind or an oversize payload declaration.
+    pub fn decode(bytes: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+        if bytes.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if bytes[0] != FRAME_VERSION {
+            return Err(FrameError::BadVersion(bytes[0]));
+        }
+        let kind = bytes[1];
+        if kind != KIND_REPORT && kind != KIND_COMMAND {
+            return Err(FrameError::BadKind(kind));
+        }
+        let n = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+        if n > MAX_PAYLOAD {
+            return Err(FrameError::Oversize(n));
+        }
+        let total = HEADER_LEN + 8 * n;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let period = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let values: Vec<f64> = bytes[HEADER_LEN..total]
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        let frame = match kind {
+            KIND_REPORT => Frame::UtilizationReport {
+                seq,
+                period,
+                values,
+            },
+            _ => Frame::RateCommand {
+                seq,
+                period,
+                rates: values,
+            },
+        };
+        Ok(Some((frame, total)))
+    }
+}
+
+/// Reassembles [`Frame`]s from an arbitrarily-chunked byte stream.
+///
+/// TCP is a byte stream: a read may return half a frame, or three frames
+/// and a half.  The reader buffers input and yields complete frames in
+/// order.  A decode error poisons the buffered bytes (there is no way to
+/// resynchronize an unframed stream), so the buffer is cleared and the
+/// error returned; the transport layer treats that as a broken connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the buffer.
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameError`] for malformed input; the internal buffer
+    /// is cleared (the stream cannot be resynchronized past a bad frame).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match Frame::decode(&self.buf[self.consumed..]) {
+            Ok(Some((frame, used))) => {
+                self.consumed += used;
+                Ok(Some(frame))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes currently buffered and not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Discards all buffered bytes (used when a connection is torn down —
+    /// a partial frame from the old connection must not prefix the new
+    /// stream).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.consumed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seq: u64, values: &[f64]) -> Frame {
+        Frame::UtilizationReport {
+            seq,
+            period: seq,
+            values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_for_bit() {
+        let f = report(7, &[0.5, f64::NAN, -0.0, 1e308, f64::INFINITY]);
+        let bytes = f.encode();
+        let (g, used) = Frame::decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        // NaN != NaN, so compare bit patterns.
+        let a: Vec<u64> = f.values().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = g.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(g.seq(), 7);
+        assert_eq!(g.period(), 7);
+    }
+
+    #[test]
+    fn command_round_trips() {
+        let f = Frame::RateCommand {
+            seq: 3,
+            period: 9,
+            rates: vec![1.25, 2.5],
+        };
+        let (g, _) = Frame::decode(&f.encode()).unwrap().unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn incomplete_input_asks_for_more() {
+        let bytes = report(1, &[0.1, 0.2]).encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_kind_rejected() {
+        let mut bytes = report(1, &[0.1]).encode();
+        bytes[0] = 99;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadVersion(99)));
+        let mut bytes = report(1, &[0.1]).encode();
+        bytes[1] = 77;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadKind(77)));
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let mut bytes = report(1, &[0.1]).encode();
+        bytes[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversize(u16::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn reader_reassembles_dribbled_bytes() {
+        let frames = [report(1, &[0.1]), report(2, &[0.2, 0.3]), report(3, &[])];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time: worst-case fragmentation.
+        for &b in &stream {
+            reader.extend(&[b]);
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn reader_poisoned_buffer_clears_on_error() {
+        let mut reader = FrameReader::new();
+        reader.extend(&[0xFF; 64]);
+        assert!(reader.next_frame().is_err());
+        assert_eq!(reader.pending(), 0, "buffer cleared after poison");
+        // A good frame after the clear decodes fine.
+        reader.extend(&report(5, &[0.9]).encode());
+        assert_eq!(reader.next_frame().unwrap().unwrap().seq(), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! `eucon-net` — the feedback-lane transport runtime.
+//!
+//! The EUCON paper (§4) wires each processor's utilization monitor and
+//! rate modulator to the central controller over dedicated TCP
+//! connections, but evaluates the loop with those lanes idealized away.
+//! This crate makes the lanes real and pluggable:
+//!
+//! * [`Frame`] — the versioned, compact binary wire format
+//!   (utilization reports up, rate commands down; `f64` payloads
+//!   round-trip bit-for-bit).
+//! * [`Transport`] — the backend-agnostic lane interface, with two
+//!   backends: [`channel_pair`] (bounded in-process queues with
+//!   drop-oldest backpressure — the *ideal lane*) and [`tcp_pair`]
+//!   (real nonblocking loopback TCP with partial-frame reassembly and
+//!   reconnect backoff).
+//! * [`DelayLoss`] — network effects (report delay, report loss) as
+//!   middleware composable over any backend, draw-for-draw compatible
+//!   with the closed loop's `LaneModel`.
+//!
+//! The distributed loop runtime in `eucon-core` drives these endpoints;
+//! this crate knows nothing about control theory — it moves frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod error;
+mod frame;
+mod middleware;
+mod tcp;
+mod transport;
+
+pub use channel::{channel_pair, ChannelTransport};
+pub use error::{FrameError, TransportError};
+pub use frame::{Frame, FrameReader, FRAME_VERSION, HEADER_LEN, MAX_PAYLOAD};
+pub use middleware::DelayLoss;
+pub use tcp::{tcp_pair, TcpConfig, TcpTransport};
+pub use transport::{Transport, TransportStats};

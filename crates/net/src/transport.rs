@@ -1,0 +1,130 @@
+//! The backend-agnostic lane interface.
+
+use crate::error::TransportError;
+use crate::frame::Frame;
+
+/// Cumulative counters of one [`Transport`] endpoint.
+///
+/// Middleware layers fold their own activity in (a delay/loss layer adds
+/// its drops to [`TransportStats::dropped`]), so the top of a transport
+/// stack reports the whole stack's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames accepted for sending at this endpoint.
+    pub sent: u64,
+    /// Frames delivered to the caller by [`Transport::try_recv`].
+    pub received: u64,
+    /// Frames dropped before reaching the peer: backpressure evictions,
+    /// middleware losses, send timeouts.
+    pub dropped: u64,
+    /// Times a broken connection was re-established.
+    pub reconnects: u64,
+    /// Malformed frames encountered while decoding the inbound stream.
+    pub decode_errors: u64,
+    /// Raw bytes written to the wire (0 for in-process backends).
+    pub bytes_sent: u64,
+    /// Raw bytes read from the wire (0 for in-process backends).
+    pub bytes_received: u64,
+}
+
+impl TransportStats {
+    /// Element-wise sum (for aggregating a set of lanes).
+    pub fn merge(&self, other: &TransportStats) -> TransportStats {
+        TransportStats {
+            sent: self.sent + other.sent,
+            received: self.received + other.received,
+            dropped: self.dropped + other.dropped,
+            reconnects: self.reconnects + other.reconnects,
+            decode_errors: self.decode_errors + other.decode_errors,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+        }
+    }
+}
+
+/// One endpoint of a bidirectional feedback lane.
+///
+/// A lane connects the controller node to one processor node; each side
+/// holds one `Transport` endpoint and exchanges [`Frame`]s through it.
+/// Endpoints are non-blocking: [`Transport::try_recv`] returns
+/// immediately, and [`Transport::send`] blocks at most for the backend's
+/// configured send timeout.
+///
+/// Two backends ship with `eucon-net`:
+///
+/// * [`channel_pair`] — in-process bounded SPSC queues with drop-oldest
+///   backpressure; the *ideal lane* whose closed-loop traces are
+///   bit-identical to the single-process loop.
+/// * [`tcp_pair`] — real loopback TCP over `std::net`: nonblocking
+///   sockets, partial-frame reassembly, reconnect with exponential
+///   backoff and jitter.
+///
+/// [`DelayLoss`] composes over any backend to model lossy or delayed
+/// lanes.
+///
+/// [`channel_pair`]: crate::channel_pair
+/// [`tcp_pair`]: crate::tcp_pair
+/// [`DelayLoss`]: crate::DelayLoss
+pub trait Transport: Send {
+    /// Queues a frame for delivery to the peer endpoint.
+    ///
+    /// Backends may drop frames under backpressure (counted in
+    /// [`TransportStats::dropped`]) rather than block the control loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when the peer is unreachable and the
+    /// frame could not even be queued.
+    fn send(&mut self, frame: Frame) -> Result<(), TransportError>;
+
+    /// Delivers the next received frame, without blocking.
+    ///
+    /// `Ok(None)` means no complete frame is currently available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] for connection failures and malformed
+    /// inbound streams; after an error the endpoint keeps trying to
+    /// recover on subsequent calls (reconnecting backends re-establish
+    /// the connection with backoff).
+    fn try_recv(&mut self) -> Result<Option<Frame>, TransportError>;
+
+    /// Advances time-based machinery by one sampling period.
+    ///
+    /// Plain backends ignore it; the delay/loss middleware uses the tick
+    /// as its clock (a frame sent at period `k` over a lane with delay
+    /// `d` becomes receivable after `d` ticks).  The loop runtime calls
+    /// this exactly once per sampling period, after all sends.
+    fn tick(&mut self) {}
+
+    /// Cumulative counters for this endpoint (including any middleware
+    /// layered on top of it).
+    fn stats(&self) -> TransportStats;
+
+    /// Short backend label for diagnostics (`"channel"`, `"tcp"`, ...).
+    fn name(&self) -> &'static str;
+}
+
+// Boxed endpoints are endpoints, so middleware composes over
+// `Box<dyn Transport>` the same as over a concrete backend.
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, frame: Frame) -> Result<(), TransportError> {
+        (**self).send(frame)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        (**self).try_recv()
+    }
+
+    fn tick(&mut self) {
+        (**self).tick()
+    }
+
+    fn stats(&self) -> TransportStats {
+        (**self).stats()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -89,6 +89,13 @@ pub struct FaultPlan {
     crashes: Vec<Window>,
     bursts: Vec<(Window, f64)>,
     sensors: Vec<(Window, SensorFaultKind)>,
+    /// Windows during which a processor's feedback lane is partitioned
+    /// from the controller: no utilization report arrives (the controller
+    /// reuses the last delivered value) and no rate command arrives (the
+    /// processor's tasks keep their in-force rates).  The processor itself
+    /// keeps executing — only the network between it and the controller
+    /// is down.
+    partitions: Vec<Window>,
     /// Probability that a period's rate command to a given processor's
     /// rate modulator is lost, in `[0, 1)`.
     actuation_loss: f64,
@@ -110,6 +117,7 @@ impl FaultPlan {
         self.crashes.is_empty()
             && self.bursts.is_empty()
             && self.sensors.is_empty()
+            && self.partitions.is_empty()
             && self.actuation_loss == 0.0
             && self.actuation_delay == 0
             && self.random_crashes.is_none()
@@ -176,6 +184,29 @@ impl FaultPlan {
             kind,
         ));
         self
+    }
+
+    /// Partitions `processor`'s feedback lane from the controller for
+    /// sampling periods `from ≤ k < until`: both directions of the lane
+    /// are dead (reports out, commands in), while the processor itself
+    /// keeps executing on its in-force rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn partition(mut self, processor: usize, from: usize, until: usize) -> Self {
+        assert!(from < until, "partition window must be non-empty");
+        self.partitions.push(Window {
+            processor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Whether the plan contains any lane-partition windows.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
     }
 
     /// Loses each period's rate command to each processor independently
@@ -356,6 +387,15 @@ impl FaultInjector {
         }
     }
 
+    /// Whether `processor`'s feedback lane is partitioned from the
+    /// controller during `period` (scripted windows; stateless query).
+    pub fn lane_partitioned(&self, period: usize, processor: usize) -> bool {
+        self.plan
+            .partitions
+            .iter()
+            .any(|w| w.processor == processor && w.active(period))
+    }
+
     /// Whether the rate command to `processor`'s modulator is lost this
     /// period (drawn in [`FaultInjector::begin_period`]).
     pub fn actuation_lost(&mut self, processor: usize) -> bool {
@@ -478,6 +518,19 @@ mod tests {
             *a.iter().max().unwrap() <= 4 && a.contains(&0),
             "processors recover"
         );
+    }
+
+    #[test]
+    fn partition_windows_are_half_open_and_per_processor() {
+        let plan = FaultPlan::none().partition(1, 30, 60);
+        assert!(!plan.is_empty());
+        assert!(plan.has_partitions());
+        let inj = FaultInjector::new(plan, 3);
+        assert!(!inj.lane_partitioned(29, 1));
+        assert!(inj.lane_partitioned(30, 1));
+        assert!(inj.lane_partitioned(59, 1));
+        assert!(!inj.lane_partitioned(60, 1));
+        assert!(!inj.lane_partitioned(40, 0), "other lanes unaffected");
     }
 
     #[test]

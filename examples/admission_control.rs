@@ -13,7 +13,7 @@
 use eucon::core::admission::{AdaptiveLoop, AdmissionPolicy};
 use eucon::prelude::*;
 
-fn main() -> Result<(), eucon::core::CoreError> {
+fn main() -> Result<(), eucon::Error> {
     // etf 25 for 80 periods (catastrophic overload), then relief at 0.5.
     let profile = EtfProfile::steps(&[(0.0, 25.0), (80_000.0, 0.5)]);
     let mut al = AdaptiveLoop::new(

@@ -1,15 +1,16 @@
 //! A larger cluster scenario combining the repository's extensions: an
 //! 8-processor, 24-task multi-tier server farm (the paper's on-line
 //! trading motivation), controlled *decentrally* (one local MPC per
-//! processor, the paper's future-work direction) over non-ideal feedback
-//! lanes, with quantized actuation.
+//! processor, the paper's future-work direction) over **real feedback
+//! lanes** — controller node and tier nodes exchanging binary frames over
+//! loopback TCP, with one period of report delay and 5% report loss on
+//! every lane, and quantized actuation.
 //!
 //! Run with: `cargo run --release --example multi_tier_cluster`
 
-use eucon::core::LaneModel;
 use eucon::prelude::*;
 
-fn main() -> Result<(), eucon::core::CoreError> {
+fn main() -> Result<(), eucon::Error> {
     // Synthesize a cluster-scale workload: 24 request pipelines across 8
     // tiers/processors, chains up to 4 stages deep.
     let cluster = workloads::RandomWorkload::new(8, 24)
@@ -26,16 +27,18 @@ fn main() -> Result<(), eucon::core::CoreError> {
         cluster.num_processors()
     );
 
-    // Decentralized control team; realistic lanes (1 period delay, 5%
-    // report loss); actuators support 32 discrete rates per pipeline.
-    let mut cl = ClosedLoop::builder(cluster.clone())
+    // Decentralized control team over per-tier TCP feedback lanes with
+    // realistic effects (1 period delay, 5% report loss); actuators
+    // support 32 discrete rates per pipeline.
+    let mut cl = DistributedLoop::builder(cluster.clone())
         .sim_config(
             SimConfig::constant_etf(0.6)
                 .exec_model(ExecModel::Uniform { half_width: 0.3 })
                 .seed(8),
         )
         .controller(ControllerSpec::Decentralized(MpcConfig::medium()))
-        .lanes(LaneModel {
+        .tcp(TcpConfig::default())
+        .report_lanes(LaneModel {
             report_delay: 1,
             loss_probability: 0.05,
             seed: 4,
@@ -44,6 +47,15 @@ fn main() -> Result<(), eucon::core::CoreError> {
         .build()?;
 
     let result = cl.run(250);
+    let net = cl.transport_stats();
+    println!(
+        "\nlanes ({}): {} frames sent, {} received, {} lost, {} decode errors",
+        cl.backend_name(),
+        net.sent,
+        net.received,
+        net.dropped,
+        net.decode_errors
+    );
     println!("\ntier utilization after 250 sampling periods (target = RMS bound):");
     let mut worst = 0.0f64;
     for p in 0..cluster.num_processors() {
@@ -66,6 +78,7 @@ fn main() -> Result<(), eucon::core::CoreError> {
         worst < 0.06,
         "decentralized control must hold every tier near its bound"
     );
+    assert_eq!(net.decode_errors, 0, "every frame decodes");
 
     // The point of decentralization: per-node problems stay small.
     let team =

@@ -12,7 +12,7 @@
 
 use eucon::prelude::*;
 
-fn deploy(platform: &str, etf: f64) -> Result<(Vec<f64>, f64), eucon::core::CoreError> {
+fn deploy(platform: &str, etf: f64) -> Result<(Vec<f64>, f64), eucon::Error> {
     let workload = workloads::medium();
     let mut cl = ClosedLoop::builder(workload)
         .sim_config(
@@ -31,7 +31,7 @@ fn deploy(platform: &str, etf: f64) -> Result<(Vec<f64>, f64), eucon::core::Core
     Ok((rates, u1))
 }
 
-fn main() -> Result<(), eucon::core::CoreError> {
+fn main() -> Result<(), eucon::Error> {
     println!("Deploying the MEDIUM application on two platforms...\n");
     let (fast_rates, fast_u) = deploy("fast platform", 0.4)?;
     let (slow_rates, slow_u) = deploy("slow platform", 1.6)?;

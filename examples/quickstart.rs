@@ -7,7 +7,7 @@
 
 use eucon::prelude::*;
 
-fn main() -> Result<(), eucon::core::CoreError> {
+fn main() -> Result<(), eucon::Error> {
     // The paper's SIMPLE configuration (Table 1): 3 end-to-end tasks on 2
     // processors.  The set points default to the Liu–Layland bound,
     // 2(√2 − 1) ≈ 0.828 with two subtasks per processor.

@@ -20,13 +20,18 @@
 //! * [`core`] — the closed feedback loop, experiment protocols, metrics,
 //!   and the telemetry surface (fixed metric registry, span timers,
 //!   pluggable sinks — re-exported from `eucon-telemetry`).
+//! * [`net`] — the feedback-lane transport runtime: the [`Transport`]
+//!   trait, versioned binary frames, in-process channel and loopback-TCP
+//!   backends, delay/loss middleware.
+//!
+//! [`Transport`]: prelude::Transport
 //!
 //! # Quickstart
 //!
 //! ```
 //! use eucon::prelude::*;
 //!
-//! # fn main() -> Result<(), eucon::core::CoreError> {
+//! # fn main() -> Result<(), eucon::Error> {
 //! // Close the loop on the paper's SIMPLE workload with actual execution
 //! // times at half their estimates; EUCON still settles on the RMS bound.
 //! let mut cl = ClosedLoop::builder(workloads::simple())
@@ -42,28 +47,115 @@
 
 #![forbid(unsafe_code)]
 
+use std::fmt;
+
 pub use eucon_control as control;
 pub use eucon_core as core;
 pub use eucon_math as math;
+pub use eucon_net as net;
 pub use eucon_qp as qp;
 pub use eucon_sim as sim;
 pub use eucon_tasks as tasks;
 
+/// Top-level error of the facade: everything the builders, loops and
+/// transports can fail with, behind one type so application code needs a
+/// single `?` conversion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Assembling or running a closed loop failed.
+    Core(core::CoreError),
+    /// Controller construction or update failed.
+    Control(control::ControlError),
+    /// A feedback-lane transport failed.
+    Transport(net::TransportError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Control(e) => write!(f, "controller failure: {e}"),
+            Error::Transport(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Control(e) => Some(e),
+            Error::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<core::CoreError> for Error {
+    fn from(e: core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<control::ControlError> for Error {
+    fn from(e: control::ControlError) -> Self {
+        Error::Control(e)
+    }
+}
+
+impl From<net::TransportError> for Error {
+    fn from(e: net::TransportError) -> Self {
+        Error::Transport(e)
+    }
+}
+
 /// Convenient single-import surface for applications.
 pub mod prelude {
+    pub use crate::Error;
     pub use eucon_control::{
         ControlMode, ControlPenalty, DecentralizedController, IndependentPid, MpcConfig,
         MpcController, OpenLoop, RateController, Supervised, SupervisorConfig, SupervisorReport,
     };
     pub use eucon_core::{
-        factory_fn, metrics, render, telemetry, ClosedLoop, ControllerFactory, ControllerSpec,
-        FaultSummary, LaneModel, RunMetrics, RunResult, SteadyRun, VaryingRun,
+        factory_fn, metrics, render, telemetry, ClosedLoop, ClosedLoopBuilder, ControllerFactory,
+        ControllerSpec, DistributedLoop, DistributedLoopBuilder, FaultSummary, LaneModel,
+        NetBackend, NetConfig, RunMetrics, RunResult, SteadyRun, VaryingRun,
     };
     pub use eucon_math::{Matrix, Vector};
+    pub use eucon_net::{TcpConfig, Transport, TransportStats};
     pub use eucon_sim::{
         EtfProfile, ExecModel, FaultPlan, RandomCrashes, SensorFaultKind, SimConfig, Simulator,
     };
     pub use eucon_tasks::{
         liu_layland_bound, rms_set_points, workloads, ProcessorId, Task, TaskId, TaskSet,
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wraps_every_layer_with_source_chains() {
+        let c: Error = core::CoreError::Config("bad".into()).into();
+        assert!(matches!(c, Error::Core(_)));
+        assert!(std::error::Error::source(&c).is_some());
+        let t: Error = net::TransportError::Disconnected.into();
+        assert!(t.to_string().contains("transport failure"));
+        let k: Error = control::ControlError::DimensionMismatch("x".into()).into();
+        assert!(k.to_string().contains("controller failure"));
+    }
+
+    #[test]
+    fn question_mark_converts_from_the_builders() {
+        fn build() -> Result<(), Error> {
+            use crate::prelude::*;
+            let _ = ClosedLoop::builder(workloads::simple()).build()?;
+            let _ = DistributedLoop::builder(workloads::simple())
+                .channel(4)
+                .build()?;
+            Ok(())
+        }
+        build().unwrap();
+    }
 }

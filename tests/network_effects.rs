@@ -2,7 +2,6 @@
 //! paper idealizes them as delay- and loss-free TCP connections; here we
 //! measure what those assumptions are worth).
 
-use eucon::core::LaneModel;
 use eucon::prelude::*;
 
 fn run_with_lanes(lanes: LaneModel, periods: usize) -> RunResult {
