@@ -1,0 +1,68 @@
+//! Fleet-runtime benchmarks: aggregate cost of running N independent
+//! closed loops through the work-stealing pool, and the per-loop
+//! overhead the runner adds on top of a hand-rolled loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eucon_core::{FleetConfig, FleetLoopSpec, FleetRunner};
+use eucon_sim::SimConfig;
+use eucon_tasks::workloads;
+
+const PERIODS: usize = 5;
+
+fn fleet_of(n: usize) -> Vec<FleetLoopSpec> {
+    (0..n)
+        .map(|i| {
+            FleetLoopSpec::new(workloads::simple())
+                .sim_config(SimConfig::constant_etf(0.5).seed(i as u64))
+        })
+        .collect()
+}
+
+fn bench_fleet_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    for n in [64usize, 256] {
+        let specs = fleet_of(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}loops_{PERIODS}periods")),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    let mut fleet = FleetRunner::new(FleetConfig::new(PERIODS).threads(2));
+                    for spec in specs.iter().cloned() {
+                        fleet.push(spec);
+                    }
+                    black_box(fleet.run().expect("fleet runs").total_periods)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batched_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_telemetry");
+    let specs = fleet_of(64);
+    // `no_sink` is the floor (no export at all); `ring_batch16` adds a
+    // bounded ring sink drained once per 16 periods.
+    for (label, batch) in [("no_sink", 0usize), ("ring_batch16", 16)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bch, ()| {
+            bch.iter(|| {
+                let mut cfg = FleetConfig::new(PERIODS).threads(2);
+                if batch > 0 {
+                    cfg = cfg.telemetry_batch(batch);
+                }
+                let mut fleet = FleetRunner::new(cfg);
+                for spec in specs.iter().cloned() {
+                    fleet.push(spec);
+                }
+                black_box(fleet.run().expect("fleet runs").partial_flushes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_sizes, bench_batched_telemetry);
+criterion_main!(benches);

@@ -110,6 +110,7 @@ fn main() {
     println!("per-node decentralized cost stays roughly flat (bounded local problems).");
 
     event_throughput();
+    fleet_throughput();
 }
 
 /// Raw simulator event throughput as the platform grows, up to the
@@ -167,4 +168,73 @@ fn event_throughput() {
     println!("\nExpected shape: cost per event grows only gently with platform size —");
     println!("the indexed per-source queue does O(log sources) work per event with");
     println!("no tombstone churn, so cost per event is independent of run length.");
+}
+
+/// Fleet tier: aggregate throughput of N independent closed loops on the
+/// work-stealing pool, as the fleet grows to 10 000 loops.  Cost per loop
+/// must stay flat — each loop is self-contained, so fleet size only adds
+/// work, never contention on shared state.
+fn fleet_throughput() {
+    use eucon_core::{FleetConfig, FleetLoopSpec, FleetRunner};
+
+    println!("\n== Scaling: fleet throughput ==\n");
+    let threads = rayon::current_num_threads();
+    let periods = 25;
+    let mut rows = Vec::new();
+    for n in [256usize, 1024, 4096, 10_000] {
+        let mut fleet = FleetRunner::new(
+            FleetConfig::new(periods)
+                .threads(threads)
+                .telemetry_batch(16),
+        );
+        for i in 0..n {
+            fleet.push(
+                FleetLoopSpec::new(eucon_tasks::workloads::simple())
+                    .sim_config(SimConfig::constant_etf(0.5).seed(i as u64)),
+            );
+        }
+        let report = fleet.run().expect("fleet runs");
+        rows.push(vec![
+            n.to_string(),
+            threads.to_string(),
+            format!("{:.1}", report.elapsed_secs * 1e3),
+            format!("{:.0}", report.periods_per_sec()),
+            format!("{:.2}", report.mevents_per_sec()),
+            format!(
+                "{:.1}",
+                report.elapsed_secs * 1e6 / report.total_periods as f64
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render::table(
+            &[
+                "loops",
+                "threads",
+                "wall ms",
+                "periods/s",
+                "Mevents/s",
+                "us/period",
+            ],
+            &rows
+        )
+    );
+    eucon_bench::write_result(
+        "fleet_throughput.csv",
+        &render::csv(
+            &[
+                "loops",
+                "threads",
+                "wall_ms",
+                "periods_per_s",
+                "mevents_per_s",
+                "us_per_period",
+            ],
+            &rows,
+        ),
+    );
+    println!("\nExpected shape: periods/s is flat in fleet size (loops are independent");
+    println!("work items; the pool steals whole loops, so there is no cross-loop");
+    println!("synchronization on the period path).");
 }

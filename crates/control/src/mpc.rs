@@ -227,6 +227,18 @@ impl MpcController {
         self.last_info
     }
 
+    /// Lower bandwidth detected in the MPC Hessian `CᵀC + εI` by the
+    /// amortized solver's Cholesky factorization.
+    ///
+    /// The horizon structure makes the Hessian block banded: move blocks
+    /// `j₁, j₂` only couple through prediction steps that apply both, and
+    /// within a block tasks only couple when the allocation matrix puts
+    /// them on a shared processor.  Anything below `num_vars − 1` means
+    /// the banded `O(n·b²)` factor/solve paths are active.
+    pub fn hessian_bandwidth(&self) -> usize {
+        self.solver_rate.hessian_bandwidth()
+    }
+
     /// Computes the control input `Δr(k)` for the measured utilization
     /// `u(k)` and returns the new rate vector `r(k) = r(k−1) + Δr(k)`.
     ///

@@ -299,6 +299,7 @@ pub struct ClosedLoopBuilder {
     faults: FaultPlan,
     record: bool,
     sinks: Vec<Box<dyn TelemetrySink>>,
+    batch_rows: usize,
 }
 
 impl std::fmt::Debug for ClosedLoopBuilder {
@@ -339,6 +340,17 @@ impl ClosedLoopBuilder {
     /// `sink_errors` metric.
     pub fn telemetry_sink(mut self, sink: impl TelemetrySink + 'static) -> Self {
         self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Batches sink export: rows accumulate in preallocated buffers and
+    /// reach the sinks once per `rows` periods instead of once per period
+    /// (default `0` = unbatched).  A run that ends mid-batch delivers the
+    /// partial batch exactly once at its final flush and counts it in the
+    /// `partial_flushes` metric.  Large fleets of loops use this to
+    /// amortize per-period sink traffic.
+    pub fn telemetry_batch(mut self, rows: usize) -> Self {
+        self.batch_rows = rows;
         self
     }
 
@@ -492,6 +504,9 @@ impl ClosedLoopBuilder {
         for sink in self.sinks {
             telemetry.add_sink(sink);
         }
+        if self.batch_rows > 0 {
+            telemetry.set_batch(self.batch_rows);
+        }
         Ok(ClosedLoop {
             sim,
             controller,
@@ -534,6 +549,7 @@ impl ClosedLoop {
             faults: FaultPlan::none(),
             record: true,
             sinks: Vec::new(),
+            batch_rows: 0,
         }
     }
 
@@ -1227,6 +1243,23 @@ mod tests {
         let snap = cl.telemetry().snapshot();
         assert_eq!(snap.counter("periods"), Some(10));
         assert_eq!(snap.counter("sink_errors"), Some(0));
+    }
+
+    #[test]
+    fn batched_telemetry_run_flushes_partial_batch_once() {
+        use crate::telemetry::RingBufferSink;
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .telemetry_sink(RingBufferSink::new(64))
+            .telemetry_batch(8)
+            .build()
+            .unwrap();
+        // 10 periods with batch = 8: one full drain plus a 2-row partial
+        // batch delivered by the end-of-run flush.
+        let res = cl.run(10);
+        assert_eq!(res.telemetry.counter("periods"), Some(10));
+        assert_eq!(res.telemetry.counter("partial_flushes"), Some(1));
+        assert_eq!(res.telemetry.counter("sink_errors"), Some(0));
     }
 
     #[test]

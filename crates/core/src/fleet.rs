@@ -1,0 +1,461 @@
+//! Fleet runtime: thousands of independent closed loops on one
+//! work-stealing thread pool.
+//!
+//! The paper's experiments run one loop at a time; capacity studies and
+//! parameter sweeps want the opposite — *N* independent EUCON loops (one
+//! per simulated system) packed onto the machine and measured as a fleet.
+//! This module provides that:
+//!
+//! * [`FleetLoopSpec`] — a `Send + Clone` description of one loop (task
+//!   set, simulator configuration, controller, fault plan).  Workers
+//!   build the actual [`ClosedLoop`] locally, so the non-`Send` solver
+//!   state (amortized factorizations behind a `RefCell`) never crosses a
+//!   thread boundary.
+//! * [`FleetRunner`] — runs every spec to completion on a work-stealing
+//!   pool ([`rayon::par_map_init`]), stealing loop-sized work items so an
+//!   expensive loop (faults, supervisor churn) does not stall the pool.
+//! * [`FleetReport`] — aggregate throughput (periods/s, simulator
+//!   events/s) plus one order-independent digest per loop.
+//!
+//! # Determinism
+//!
+//! Each loop is self-contained — its own simulator, RNG streams and
+//! controller scratch — and specs are handed to workers whole, so the
+//! per-loop trace digest is a pure function of the spec.  The digest
+//! vector is therefore **bit-identical across thread counts** (pinned by
+//! the `fleet_determinism` integration test), which makes fleet results
+//! reproducible on any machine regardless of parallelism.
+//!
+//! # Steady-state cost
+//!
+//! Loops run with trace recording off and (optionally) batched telemetry
+//! export, so the per-period step stays allocation-free: scratch lives in
+//! per-loop arenas allocated at build time, and sink traffic is one drain
+//! per [`FleetConfig::telemetry_batch`] periods instead of one per period.
+//!
+//! # Example
+//!
+//! ```
+//! use eucon_core::{FleetConfig, FleetLoopSpec, FleetRunner};
+//! use eucon_sim::SimConfig;
+//! use eucon_tasks::workloads;
+//!
+//! # fn main() -> Result<(), eucon_core::CoreError> {
+//! let spec = FleetLoopSpec::new(workloads::simple())
+//!     .sim_config(SimConfig::constant_etf(0.5));
+//! let fleet = FleetRunner::replicated(spec, 8, FleetConfig::new(25));
+//! let report = fleet.run()?;
+//! assert_eq!(report.loops, 8);
+//! assert_eq!(report.total_periods, 8 * 25);
+//! // Identical specs produce identical digests.
+//! assert!(report.digests.iter().all(|&d| d == report.digests[0]));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::time::Instant;
+
+use eucon_math::Vector;
+use eucon_sim::{FaultPlan, SimConfig};
+use eucon_tasks::TaskSet;
+
+use crate::telemetry::RingBufferSink;
+use crate::{ClosedLoop, ControllerSpec, CoreError};
+
+/// A `Send + Clone` description of one closed loop in a fleet.
+///
+/// Everything here is plain configuration data; the loop itself (with its
+/// non-`Send` solver caches) is built inside the worker that runs it.
+#[derive(Debug, Clone)]
+pub struct FleetLoopSpec {
+    set: TaskSet,
+    sim: SimConfig,
+    controller: ControllerSpec,
+    set_points: Option<Vector>,
+    faults: FaultPlan,
+}
+
+impl FleetLoopSpec {
+    /// A spec for `set` with the defaults of [`ClosedLoop::builder`]:
+    /// EUCON with SIMPLE's parameters, ideal lanes, no faults.
+    pub fn new(set: TaskSet) -> Self {
+        FleetLoopSpec {
+            set,
+            sim: SimConfig::default(),
+            controller: ControllerSpec::Eucon(eucon_control::MpcConfig::simple()),
+            set_points: None,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Chooses the simulator configuration.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Chooses the controller.
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = spec;
+        self
+    }
+
+    /// Overrides the utilization set points (default: the RMS bounds).
+    pub fn set_points(mut self, b: Vector) -> Self {
+        self.set_points = Some(b);
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+/// Fleet-wide execution parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    periods: usize,
+    threads: Option<usize>,
+    telemetry_batch: usize,
+}
+
+impl FleetConfig {
+    /// Runs every loop for `periods` sampling periods on the default
+    /// thread pool ([`rayon::current_num_threads`], i.e. the machine's
+    /// parallelism unless `EUCON_THREADS` / `RAYON_NUM_THREADS` pins it),
+    /// telemetry unbatched.
+    pub fn new(periods: usize) -> Self {
+        FleetConfig {
+            periods,
+            threads: None,
+            telemetry_batch: 0,
+        }
+    }
+
+    /// Pins the worker-pool size explicitly instead of reading the
+    /// process environment — determinism tests sweep this over
+    /// {1, 2, 8} without racing on `std::env::set_var`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Batches each loop's telemetry export: a bounded ring sink is
+    /// attached and drained once per `rows` periods (plus one final
+    /// partial drain, counted in [`FleetReport::partial_flushes`])
+    /// instead of being written once per period.  `0` (the default)
+    /// leaves loops sink-free — the cheapest configuration.
+    pub fn telemetry_batch(mut self, rows: usize) -> Self {
+        self.telemetry_batch = rows;
+        self
+    }
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Number of loops run.
+    pub loops: usize,
+    /// Total sampling periods executed across the fleet.
+    pub total_periods: u64,
+    /// Total simulator events processed across the fleet.
+    pub engine_events: u64,
+    /// Controller-error periods summed across the fleet (0 in a healthy
+    /// fleet).
+    pub control_errors: u64,
+    /// Partial telemetry batches delivered at end-of-run flushes (0 when
+    /// batching is off or every batch filled exactly).
+    pub partial_flushes: u64,
+    /// Wall-clock seconds for the whole fleet.
+    pub elapsed_secs: f64,
+    /// One FNV-1a digest per loop, in spec order, over every step's time,
+    /// true utilizations and applied rates.  A pure function of the spec:
+    /// independent of thread count and scheduling order.
+    pub digests: Vec<u64>,
+}
+
+impl FleetReport {
+    /// Aggregate control throughput: sampling periods per wall-clock
+    /// second across the whole fleet.
+    pub fn periods_per_sec(&self) -> f64 {
+        self.total_periods as f64 / self.elapsed_secs
+    }
+
+    /// Aggregate simulator throughput in millions of events per second.
+    pub fn mevents_per_sec(&self) -> f64 {
+        self.engine_events as f64 / self.elapsed_secs / 1e6
+    }
+}
+
+/// Runs a set of [`FleetLoopSpec`]s to completion on a work-stealing
+/// thread pool.  See the [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    specs: Vec<FleetLoopSpec>,
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// An empty fleet; add loops with [`FleetRunner::push`].
+    pub fn new(config: FleetConfig) -> Self {
+        FleetRunner {
+            specs: Vec::new(),
+            config,
+        }
+    }
+
+    /// A homogeneous fleet: `n` copies of one spec (each still runs its
+    /// own independent simulator and controller).
+    pub fn replicated(spec: FleetLoopSpec, n: usize, config: FleetConfig) -> Self {
+        FleetRunner {
+            specs: vec![spec; n],
+            config,
+        }
+    }
+
+    /// Adds one loop to the fleet.
+    pub fn push(&mut self, spec: FleetLoopSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Number of loops queued.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Runs every loop to completion and aggregates the fleet report.
+    ///
+    /// Loops are the work items: workers steal whole loops from a shared
+    /// queue, so heterogeneous fleets balance automatically.  Digests in
+    /// the report follow spec order regardless of which worker ran what.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first loop-construction failure ([`CoreError::Config`]
+    /// or [`CoreError::Control`]); loops that already ran are discarded.
+    pub fn run(&self) -> Result<FleetReport, CoreError> {
+        let periods = self.config.periods;
+        let batch = self.config.telemetry_batch;
+        let t0 = Instant::now();
+        let outcomes: Result<Vec<LoopOutcome>, CoreError> = rayon::par_map_init(
+            self.specs.clone(),
+            self.config.threads,
+            || (),
+            |(), spec| run_one(&spec, periods, batch),
+        )
+        .into_iter()
+        .collect();
+        let elapsed_secs = t0.elapsed().as_secs_f64();
+        let outcomes = outcomes?;
+        let mut report = FleetReport {
+            loops: outcomes.len(),
+            total_periods: 0,
+            engine_events: 0,
+            control_errors: 0,
+            partial_flushes: 0,
+            elapsed_secs,
+            digests: Vec::with_capacity(outcomes.len()),
+        };
+        for o in outcomes {
+            report.total_periods += o.periods;
+            report.engine_events += o.engine_events;
+            report.control_errors += o.control_errors;
+            report.partial_flushes += o.partial_flushes;
+            report.digests.push(o.digest);
+        }
+        Ok(report)
+    }
+}
+
+/// What one worker hands back per loop — small plain data, so the result
+/// collection stays cheap even at 10k+ loops.
+struct LoopOutcome {
+    digest: u64,
+    periods: u64,
+    engine_events: u64,
+    control_errors: u64,
+    partial_flushes: u64,
+}
+
+/// Builds and runs one loop inside a worker thread.
+fn run_one(spec: &FleetLoopSpec, periods: usize, batch: usize) -> Result<LoopOutcome, CoreError> {
+    let mut builder = ClosedLoop::builder(spec.set.clone())
+        .sim_config(spec.sim.clone())
+        .controller(spec.controller.clone())
+        .faults(spec.faults.clone())
+        .record_trace(false);
+    if let Some(b) = &spec.set_points {
+        builder = builder.set_points(b.clone());
+    }
+    if batch > 0 {
+        builder = builder
+            .telemetry_sink(RingBufferSink::new(batch))
+            .telemetry_batch(batch);
+    }
+    let mut cl = builder.build()?;
+    let mut digest = Fnv::new();
+    for _ in 0..periods {
+        let step = cl.step();
+        digest.f64(step.time);
+        for &x in step.utilization.iter() {
+            digest.f64(x);
+        }
+        for &x in step.rates.iter() {
+            digest.f64(x);
+        }
+    }
+    // `run(0)` steps nothing further: it flushes the telemetry (delivering
+    // any partial batch exactly once) and snapshots the counters.
+    let result = cl.run(0);
+    Ok(LoopOutcome {
+        digest: digest.0,
+        periods: periods as u64,
+        engine_events: result.engine.events,
+        control_errors: result.control_errors as u64,
+        partial_flushes: result.telemetry.counter("partial_flushes").unwrap_or(0),
+    })
+}
+
+/// FNV-1a 64 over bit patterns — the same digest the golden-trace suites
+/// pin, applied per loop.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn f64(&mut self, x: f64) {
+        for b in x.to_bits().to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eucon_control::MpcConfig;
+    use eucon_tasks::workloads;
+
+    fn mixed_specs() -> Vec<FleetLoopSpec> {
+        let mut specs = Vec::new();
+        for i in 0..12 {
+            let spec = match i % 3 {
+                0 => {
+                    FleetLoopSpec::new(workloads::simple()).sim_config(SimConfig::constant_etf(0.5))
+                }
+                1 => FleetLoopSpec::new(workloads::medium())
+                    .sim_config(SimConfig::constant_etf(0.9).seed(i as u64))
+                    .controller(ControllerSpec::Eucon(MpcConfig::medium())),
+                _ => FleetLoopSpec::new(workloads::simple())
+                    .sim_config(SimConfig::constant_etf(0.5))
+                    .controller(ControllerSpec::SupervisedEucon {
+                        mpc: MpcConfig::simple(),
+                        supervisor: Default::default(),
+                    })
+                    .faults(FaultPlan::none().crash(1, 5, 9).seed(7)),
+            };
+            specs.push(spec);
+        }
+        specs
+    }
+
+    #[test]
+    fn digests_are_thread_count_invariant() {
+        let run_at = |threads: usize| {
+            let mut fleet = FleetRunner::new(FleetConfig::new(15).threads(threads));
+            for spec in mixed_specs() {
+                fleet.push(spec);
+            }
+            fleet.run().expect("fleet runs")
+        };
+        let one = run_at(1);
+        let four = run_at(4);
+        assert_eq!(one.digests, four.digests);
+        assert_eq!(one.total_periods, 12 * 15);
+        assert_eq!(one.control_errors, four.control_errors);
+        assert_eq!(one.engine_events, four.engine_events);
+    }
+
+    #[test]
+    fn fleet_loop_matches_standalone_loop() {
+        // A fleet member and a hand-built loop over the same spec observe
+        // the same trace, bit for bit.
+        let report = FleetRunner::replicated(
+            FleetLoopSpec::new(workloads::simple()).sim_config(SimConfig::constant_etf(0.5)),
+            1,
+            FleetConfig::new(20).threads(1),
+        )
+        .run()
+        .expect("fleet runs");
+        let mut cl = ClosedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .record_trace(false)
+            .build()
+            .expect("loop");
+        let mut digest = Fnv::new();
+        for _ in 0..20 {
+            let s = cl.step();
+            digest.f64(s.time);
+            for &x in s.utilization.iter() {
+                digest.f64(x);
+            }
+            for &x in s.rates.iter() {
+                digest.f64(x);
+            }
+        }
+        assert_eq!(report.digests, vec![digest.0]);
+    }
+
+    #[test]
+    fn batched_fleet_counts_partial_flushes() {
+        // 25 periods with batch = 10: two full drains + one 5-row partial
+        // per loop.
+        let report = FleetRunner::replicated(
+            FleetLoopSpec::new(workloads::simple()).sim_config(SimConfig::constant_etf(0.5)),
+            3,
+            FleetConfig::new(25).threads(2).telemetry_batch(10),
+        )
+        .run()
+        .expect("fleet runs");
+        assert_eq!(report.partial_flushes, 3);
+        assert_eq!(report.control_errors, 0);
+        // Batching must not perturb the loops themselves.
+        let unbatched = FleetRunner::replicated(
+            FleetLoopSpec::new(workloads::simple()).sim_config(SimConfig::constant_etf(0.5)),
+            3,
+            FleetConfig::new(25).threads(2),
+        )
+        .run()
+        .expect("fleet runs");
+        assert_eq!(report.digests, unbatched.digests);
+        assert_eq!(unbatched.partial_flushes, 0);
+    }
+
+    #[test]
+    fn empty_fleet_reports_zeros() {
+        let report = FleetRunner::new(FleetConfig::new(10)).run().expect("runs");
+        assert_eq!(report.loops, 0);
+        assert_eq!(report.total_periods, 0);
+        assert!(report.digests.is_empty());
+    }
+
+    #[test]
+    fn bad_spec_surfaces_the_config_error() {
+        let spec = FleetLoopSpec::new(workloads::simple()).set_points(Vector::from_slice(&[0.8]));
+        let err = FleetRunner::replicated(spec, 2, FleetConfig::new(5).threads(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)), "got {err:?}");
+    }
+}

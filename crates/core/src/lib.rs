@@ -12,6 +12,9 @@
 //!   over pluggable transport lanes (`eucon-net`) — ideal in-process
 //!   channels (bit-identical traces) or loopback TCP.
 //! * [`ControllerSpec`] — pick EUCON, OPEN, or the PID ablation baseline.
+//! * [`FleetRunner`] — thousands of independent loops packed onto a
+//!   work-stealing thread pool, with per-loop trace digests that are
+//!   bit-identical across thread counts (see DESIGN.md §14).
 //! * [`experiments`] — Experiment I ([`SteadyRun`], constant etf sweeps →
 //!   Figures 4 and 5) and Experiment II ([`VaryingRun`], the 0.5 → 0.9 →
 //!   0.33 step profile → Figures 6–8).
@@ -54,6 +57,7 @@ mod distributed;
 mod error;
 pub mod experiments;
 mod factory;
+mod fleet;
 mod lanes;
 pub mod metrics;
 pub mod render;
@@ -69,6 +73,7 @@ pub use distributed::{DistributedLoop, DistributedLoopBuilder, NetBackend, NetCo
 pub use error::CoreError;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
 pub use factory::{factory_fn, ControllerFactory};
+pub use fleet::{FleetConfig, FleetLoopSpec, FleetReport, FleetRunner};
 pub use lanes::{LaneModel, LaneState};
 pub use trace::{StepAnnotations, Trace, TraceStep};
 

@@ -1,0 +1,111 @@
+//! Fleet determinism: per-loop results are bit-identical across worker
+//! thread counts.
+//!
+//! The fleet runner's contract is that parallelism is invisible — a
+//! loop's trace digest is a pure function of its spec, never of which
+//! worker ran it or in what order loops were stolen.  This suite runs a
+//! heterogeneous fleet (both paper workloads, stochastic execution
+//! times, supervised loops under a crash + lossy-actuation plan) at
+//! 1, 2 and 8 threads and requires identical digest vectors, in both
+//! debug and release profiles (CI runs both).
+
+use eucon_control::MpcConfig;
+use eucon_core::{ControllerSpec, FleetConfig, FleetLoopSpec, FleetRunner};
+use eucon_sim::{ExecModel, FaultPlan, SimConfig};
+use eucon_tasks::workloads;
+
+const PERIODS: usize = 20;
+
+/// A fleet that exercises every per-loop code path whose determinism
+/// matters: warm-started QP solves, seeded stochastic execution times,
+/// fault injection and supervisor degradation.
+fn fleet_specs() -> Vec<FleetLoopSpec> {
+    let mut specs = Vec::new();
+    for i in 0..24u64 {
+        let spec = match i % 4 {
+            0 => FleetLoopSpec::new(workloads::simple()).sim_config(SimConfig::constant_etf(0.5)),
+            1 => FleetLoopSpec::new(workloads::medium())
+                .sim_config(
+                    SimConfig::constant_etf(1.0)
+                        .exec_model(ExecModel::Uniform { half_width: 0.2 })
+                        .seed(i),
+                )
+                .controller(ControllerSpec::Eucon(MpcConfig::medium())),
+            2 => FleetLoopSpec::new(workloads::simple())
+                .sim_config(SimConfig::constant_etf(0.5))
+                .controller(ControllerSpec::SupervisedEucon {
+                    mpc: MpcConfig::simple(),
+                    supervisor: Default::default(),
+                })
+                .faults(
+                    FaultPlan::none()
+                        .crash(1, 10, 18)
+                        .actuation_loss(0.3)
+                        .seed(7),
+                ),
+            _ => FleetLoopSpec::new(workloads::medium())
+                .sim_config(SimConfig::constant_etf(0.9).seed(i))
+                .controller(ControllerSpec::Pid { kp: 0.5, ki: 0.05 }),
+        };
+        specs.push(spec);
+    }
+    specs
+}
+
+fn run_at(threads: usize, batch: usize) -> eucon_core::FleetReport {
+    let mut cfg = FleetConfig::new(PERIODS).threads(threads);
+    if batch > 0 {
+        cfg = cfg.telemetry_batch(batch);
+    }
+    let mut fleet = FleetRunner::new(cfg);
+    for spec in fleet_specs() {
+        fleet.push(spec);
+    }
+    fleet.run().expect("fleet runs")
+}
+
+#[test]
+fn digests_identical_across_thread_counts() {
+    let baseline = run_at(1, 0);
+    assert_eq!(baseline.loops, 24);
+    assert_eq!(baseline.total_periods, 24 * PERIODS as u64);
+    for threads in [2usize, 8] {
+        let parallel = run_at(threads, 0);
+        assert_eq!(
+            baseline.digests, parallel.digests,
+            "digest vector must not depend on thread count ({threads} threads)"
+        );
+        assert_eq!(baseline.engine_events, parallel.engine_events);
+        assert_eq!(baseline.control_errors, parallel.control_errors);
+    }
+}
+
+#[test]
+fn batched_telemetry_does_not_perturb_digests() {
+    // Batch = 7 never divides 20 periods: every loop ends mid-batch and
+    // delivers exactly one partial flush — without touching the plant.
+    let unbatched = run_at(2, 0);
+    let batched = run_at(8, 7);
+    assert_eq!(unbatched.digests, batched.digests);
+    assert_eq!(batched.partial_flushes, 24);
+    assert_eq!(unbatched.partial_flushes, 0);
+}
+
+#[test]
+fn identical_specs_produce_identical_digests() {
+    let spec = FleetLoopSpec::new(workloads::medium())
+        .sim_config(
+            SimConfig::constant_etf(1.0)
+                .exec_model(ExecModel::Uniform { half_width: 0.2 })
+                .seed(1),
+        )
+        .controller(ControllerSpec::Eucon(MpcConfig::medium()));
+    let report = FleetRunner::replicated(spec, 16, FleetConfig::new(PERIODS).threads(8))
+        .run()
+        .expect("fleet runs");
+    assert!(
+        report.digests.iter().all(|&d| d == report.digests[0]),
+        "replicated specs must agree: {:?}",
+        report.digests
+    );
+}

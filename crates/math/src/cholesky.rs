@@ -25,6 +25,28 @@ use crate::{MathError, Matrix, Vector};
 pub struct Cholesky {
     /// Lower-triangular factor.
     l: Matrix,
+    /// Detected lower bandwidth of the input (and hence of `L`).
+    band: usize,
+}
+
+/// Largest `i - j` with `a[(i, j)] != 0` in the lower triangle.
+///
+/// A matrix with lower bandwidth `b` has a Cholesky factor with the same
+/// bandwidth, so the factorization below can skip all out-of-band terms.
+fn lower_bandwidth(a: &Matrix) -> usize {
+    let n = a.rows();
+    let mut band = 0;
+    for i in 0..n {
+        let row = a.row(i);
+        // The first nonzero gives this row's widest reach below the diagonal.
+        for (j, &v) in row.iter().enumerate().take(i) {
+            if v != 0.0 {
+                band = band.max(i - j);
+                break;
+            }
+        }
+    }
+    band
 }
 
 impl Cholesky {
@@ -33,12 +55,25 @@ impl Cholesky {
     /// Only the lower triangle of `a` is read; symmetry of the input is the
     /// caller's responsibility (as with LAPACK's `dpotrf`).
     ///
+    /// The lower bandwidth of `a` is detected up front and the factorization
+    /// loops are restricted to the band, taking the cost from `O(n³)` to
+    /// `O(n·b²)`.  Because the factor of a banded matrix is banded, the
+    /// skipped terms are all exactly zero: the banded path returns the same
+    /// values as the dense one (a full-bandwidth input simply falls back to
+    /// the classic dense loop).
+    ///
     /// # Errors
     ///
     /// Returns [`MathError::NotSquare`] for non-square input,
     /// [`MathError::NonFinite`] for NaN/infinite entries, and
     /// [`MathError::NotPositiveDefinite`] when a pivot is non-positive.
     pub fn decompose(a: &Matrix) -> Result<Cholesky, MathError> {
+        Cholesky::factor(a, lower_bandwidth(a))
+    }
+
+    /// Factors `a` assuming lower bandwidth `band` (the dense path is
+    /// `band = n - 1`; the public entry point detects the true band).
+    fn factor(a: &Matrix, band: usize) -> Result<Cholesky, MathError> {
         if !a.is_square() {
             return Err(MathError::NotSquare {
                 rows: a.rows(),
@@ -51,10 +86,17 @@ impl Cholesky {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
-            for j in 0..=i {
+            let lo = i.saturating_sub(band);
+            for j in lo..=i {
                 let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
+                {
+                    let row_i = l.row(i);
+                    let row_j = l.row(j);
+                    // k < lo would multiply an out-of-band (exactly zero)
+                    // entry of row i.
+                    for k in lo..j {
+                        sum -= row_i[k] * row_j[k];
+                    }
                 }
                 if i == j {
                     if sum <= 0.0 {
@@ -66,12 +108,20 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(Cholesky { l, band })
     }
 
     /// Returns the lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
+    }
+
+    /// Detected lower bandwidth of the factored matrix.
+    ///
+    /// `n - 1` means the dense fallback; anything smaller means the banded
+    /// `O(n·b²)` factor/solve loops were in effect.
+    pub fn bandwidth(&self) -> usize {
+        self.band
     }
 
     /// Solves `A·x = b` via forward/back substitution on the factor.
@@ -88,19 +138,23 @@ impl Cholesky {
                 b.len()
             )));
         }
+        // Both sweeps only visit the band of `L`; out-of-band entries are
+        // exactly zero, so the skipped terms contribute nothing.
         // L·y = b
         let mut y = b.clone();
         for i in 0..n {
+            let row = self.l.row(i);
             let mut acc = y[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * y[j];
+            for j in i.saturating_sub(self.band)..i {
+                acc -= row[j] * y[j];
             }
-            y[i] = acc / self.l[(i, i)];
+            y[i] = acc / row[i];
         }
         // Lᵀ·x = y
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
+            let hi = (i + self.band).min(n - 1);
+            for j in (i + 1)..=hi {
                 acc -= self.l[(j, i)] * y[j];
             }
             y[i] = acc / self.l[(i, i)];
@@ -171,6 +225,48 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn bandwidth_detection() {
+        // Tridiagonal: band 1.
+        let tri = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0, 0.0],
+            &[1.0, 4.0, 1.0, 0.0],
+            &[0.0, 1.0, 4.0, 1.0],
+            &[0.0, 0.0, 1.0, 4.0],
+        ]);
+        assert_eq!(Cholesky::decompose(&tri).unwrap().bandwidth(), 1);
+        // Diagonal: band 0.
+        assert_eq!(
+            Cholesky::decompose(&Matrix::identity(3))
+                .unwrap()
+                .bandwidth(),
+            0
+        );
+        // A corner entry forces the dense fallback.
+        let mut dense = tri.clone();
+        dense[(3, 0)] = 0.5;
+        dense[(0, 3)] = 0.5;
+        assert_eq!(Cholesky::decompose(&dense).unwrap().bandwidth(), 3);
+    }
+
+    #[test]
+    fn banded_factor_matches_dense_fallback_exactly() {
+        let tri = Matrix::from_rows(&[
+            &[4.0, 1.2, 0.0, 0.0],
+            &[1.2, 5.0, -0.7, 0.0],
+            &[0.0, -0.7, 4.5, 0.3],
+            &[0.0, 0.0, 0.3, 6.0],
+        ]);
+        let banded = Cholesky::decompose(&tri).unwrap();
+        let dense = Cholesky::factor(&tri, 3).unwrap();
+        assert_eq!(banded.l().as_slice(), dense.l().as_slice());
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5, 3.0]);
+        assert_eq!(
+            banded.solve(&b).unwrap().as_slice(),
+            dense.solve(&b).unwrap().as_slice()
+        );
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -199,6 +295,53 @@ mod tests {
                     for j in (i + 1)..3 {
                         prop_assert_eq!(l[(i, j)], 0.0);
                     }
+                }
+            }
+        }
+
+        /// Random SPD matrices with lower bandwidth `<= band`: a banded
+        /// random symmetric matrix made diagonally dominant.
+        fn spd_banded(n: usize, band: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+                let mut a = Matrix::zeros(n, n);
+                for i in 0..n {
+                    for j in 0..=i {
+                        if i - j <= band {
+                            let v = data[i * n + j];
+                            a[(i, j)] = v;
+                            a[(j, i)] = v;
+                        }
+                    }
+                }
+                // Diagonal dominance makes the matrix positive definite.
+                for i in 0..n {
+                    let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+                    a[(i, i)] = row_sum + 1.0;
+                }
+                a
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn banded_solve_matches_dense_cholesky(
+                a in spd_banded(8, 2),
+                b in proptest::collection::vec(-5.0..5.0f64, 8),
+            ) {
+                let b = Vector::from_slice(&b);
+                let banded = Cholesky::decompose(&a).unwrap();
+                prop_assert!(banded.bandwidth() <= 2);
+                // Dense reference: same input factored with the full-band
+                // (classic O(n³)) loops.
+                let dense = Cholesky::factor(&a, 7).unwrap();
+                let xb = banded.solve(&b).unwrap();
+                let xd = dense.solve(&b).unwrap();
+                for i in 0..8 {
+                    prop_assert!((xb[i] - xd[i]).abs() <= 1e-12);
+                    prop_assert_eq!(xb[i], xd[i]); // in fact identical
+                }
+                for (p, q) in banded.l().as_slice().iter().zip(dense.l().as_slice()) {
+                    prop_assert_eq!(p, q);
                 }
             }
         }

@@ -41,6 +41,7 @@
 mod cholesky;
 mod eig;
 mod error;
+pub mod kernel;
 mod lu;
 mod matrix;
 mod qr;

@@ -253,8 +253,9 @@ impl Matrix {
             x.len(),
             self.cols
         );
+        let x = x.as_slice();
         Vector::from_iter(
-            (0..self.rows).map(|i| self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()),
+            (0..self.rows).map(|i| crate::kernel::dot(&self.data[i * self.cols..][..self.cols], x)),
         )
     }
 
@@ -278,8 +279,10 @@ impl Matrix {
             out.len(),
             self.rows
         );
-        for i in 0..self.rows {
-            out[i] = self.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        let xs = x.as_slice();
+        let out = out.as_mut_slice();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = crate::kernel::dot(&self.data[i * self.cols..][..self.cols], xs);
         }
     }
 
@@ -304,13 +307,10 @@ impl Matrix {
             out.len(),
             self.rows
         );
-        for i in 0..self.rows {
-            out[i] += self
-                .row(i)
-                .iter()
-                .zip(x.iter())
-                .map(|(a, b)| a * b)
-                .sum::<f64>();
+        let xs = x.as_slice();
+        let out = out.as_mut_slice();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += crate::kernel::dot(&self.data[i * self.cols..][..self.cols], xs);
         }
     }
 
@@ -546,15 +546,27 @@ impl Mul for &Matrix {
             "matrix product requires inner dimensions to match ({}x{} * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        // Cache-blocked i–l–j loop over column tiles of `rhs`.  For every
+        // output entry the l terms still accumulate in increasing order and
+        // exactly-zero lhs entries are still skipped, so the result is
+        // bit-identical to the untiled triple loop (the property tests and
+        // the golden closed-loop hashes both pin this).
+        const TILE: usize = 64;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for l in 0..self.cols {
-                let a = self[(i, l)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(l, j)];
+        let rc = rhs.cols;
+        for jb in (0..rc).step_by(TILE) {
+            let je = (jb + TILE).min(rc);
+            for i in 0..self.rows {
+                let lhs_row = &self.data[i * self.cols..][..self.cols];
+                let out_row = &mut out.data[i * rc..][..rc];
+                for (l, &a) in lhs_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[l * rc..][..rc];
+                    for (o, &r) in out_row[jb..je].iter_mut().zip(&rhs_row[jb..je]) {
+                        *o += a * r;
+                    }
                 }
             }
         }
@@ -732,5 +744,85 @@ mod tests {
         assert!(m.is_finite());
         m[(0, 1)] = f64::NAN;
         assert!(!m.is_finite());
+    }
+
+    /// The untiled i–l–j triple loop the blocked `Mul` impl replaced.
+    fn reference_mul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for l in 0..a.cols {
+                let v = a[(i, l)];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    out[(i, j)] += v * b[(l, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mul_vec_tail_lengths_match_naive() {
+        // Columns 1..=9 cover every tail size of the unrolled row kernel.
+        for cols in 1..=9usize {
+            let a = Matrix::from_fn(3, cols, |i, j| 0.7 * i as f64 - 0.3 * j as f64 + 0.1);
+            let x = Vector::from_iter((0..cols).map(|j| 1.0 - 0.25 * j as f64));
+            let naive = Vector::from_iter((0..3).map(|i| {
+                a.row(i)
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(p, q)| p * q)
+                    .sum::<f64>()
+            }));
+            assert_eq!(a.mul_vec(&x).as_slice(), naive.as_slice(), "cols {cols}");
+
+            let mut out = Vector::filled(3, 9.0);
+            a.mul_vec_into(&x, &mut out);
+            assert_eq!(out.as_slice(), naive.as_slice(), "into, cols {cols}");
+
+            a.mul_vec_acc(&x, &mut out);
+            assert_eq!(
+                out.as_slice(),
+                naive.scale(2.0).as_slice(),
+                "acc, cols {cols}"
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Shapes up to and across the 64-column tile boundary.
+        fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+            (1usize..8, 1usize..8, 1usize..70)
+        }
+
+        proptest! {
+            #[test]
+            fn tiled_mul_is_bit_identical_to_triple_loop(
+                dims in dims(),
+                seed in 0u64..1024,
+            ) {
+                let (m, k, n) = dims;
+                // Deterministic pseudo-random entries with some exact zeros
+                // so the zero-skip path is exercised.
+                let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mut next = move || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let v = ((state >> 33) as f64) / ((1u64 << 31) as f64) - 1.0;
+                    if v.abs() < 0.1 { 0.0 } else { v }
+                };
+                let a = Matrix::from_fn(m, k, |_, _| next());
+                let b = Matrix::from_fn(k, n, |_, _| next());
+                let tiled = &a * &b;
+                let reference = reference_mul(&a, &b);
+                for (x, y) in tiled.as_slice().iter().zip(reference.as_slice()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 }

@@ -141,7 +141,20 @@ impl Vector {
             other.len(),
             "dot product requires equal lengths"
         );
-        self.iter().zip(other.iter()).map(|(a, b)| a * b).sum()
+        crate::kernel::dot(&self.data, &other.data)
+    }
+
+    /// Fused in-place update `self += alpha · x` (BLAS `axpy`).
+    ///
+    /// Each entry becomes `self[i] + (alpha · x[i])`, the same expression
+    /// the allocating form `&self + &x.scale(alpha)` evaluates, so hot
+    /// paths can switch to this without changing results by a single ULP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, x: &Vector) {
+        crate::kernel::axpy(&mut self.data, alpha, &x.data);
     }
 
     /// Euclidean norm.

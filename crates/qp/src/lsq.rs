@@ -195,7 +195,7 @@ impl ConstrainedLsq {
             active,
             iterations,
             ..
-        } = solve_with_chol(&chol, &f, &self.g, &self.h, base_scale, None, &[])?;
+        } = solve_with_chol(&chol, &f, &self.g, &self.h, base_scale, None, &[], None)?;
         let residual = (&self.c.mul_vec(&x) - &self.d).norm();
         Ok(LsqSolution {
             x,
@@ -287,6 +287,13 @@ impl PreparedLsq {
         self.qp.num_constraints()
     }
 
+    /// Lower bandwidth of the normal-equation Hessian `CᵀC + εI`
+    /// detected at preparation time (see
+    /// [`PreparedQp::hessian_bandwidth`]).
+    pub fn hessian_bandwidth(&self) -> usize {
+        self.qp.hessian_bandwidth()
+    }
+
     /// Solves for a new target `d` and constraint rhs `h`, optionally
     /// warm-starting from a previous active set (see
     /// [`PreparedQp::solve`]).
@@ -311,14 +318,25 @@ impl PreparedLsq {
             self.c.rows(),
             "rhs length must equal the number of rows of C"
         );
-        let f = -&self.ct.mul_vec(d);
+        let mut f = self.ct.mul_vec(d);
+        for v in f.as_mut_slice() {
+            *v *= -1.0;
+        }
         let QpSolution {
             x,
             active,
             iterations,
             ..
         } = self.qp.solve(&f, h, warm)?;
-        let residual = (&self.c.mul_vec(&x) - d).norm();
+        // ‖C·x − d‖ accumulated row by row; same per-row dots and the same
+        // left-to-right sum of squares as the allocating
+        // `(&self.c.mul_vec(&x) - d).norm()`, without the two temporaries.
+        let mut acc = 0.0;
+        for i in 0..self.c.rows() {
+            let diff = eucon_math::kernel::dot(self.c.row(i), x.as_slice()) - d[i];
+            acc += diff * diff;
+        }
+        let residual = acc.sqrt();
         Ok(LsqSolution {
             x,
             residual,

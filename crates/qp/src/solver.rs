@@ -1,6 +1,8 @@
 //! Dual active-set quadratic-program solver (Goldfarb–Idnani).
 
-use eucon_math::{Cholesky, MathError, Matrix, Vector};
+use std::cell::RefCell;
+
+use eucon_math::{Cholesky, Lu, MathError, Matrix, Vector};
 
 use crate::QpError;
 
@@ -173,7 +175,9 @@ impl QuadProg {
         }
         let chol = factorize(&self.h)?;
         let base_scale = self.g.max_abs().max(self.h.max_abs()).max(1.0);
-        solve_with_chol(&chol, &self.f, &self.g, &self.hvec, base_scale, None, warm)
+        solve_with_chol(
+            &chol, &self.f, &self.g, &self.hvec, base_scale, None, warm, None,
+        )
     }
 
     /// Maximum KKT residual of a candidate solution: stationarity,
@@ -236,6 +240,30 @@ impl ConstraintCache {
     }
 }
 
+/// Memoized LU factors of the warm-start equality subproblems.
+///
+/// The subproblem matrix `M = NᵀH⁻¹N` is a pure function of the active-set
+/// guess (`H` and `G` are fixed for a [`PreparedQp`]), and on the
+/// controller hot path the active set is usually *identical* between
+/// consecutive periods — only the right-hand side moves.  Re-using the
+/// factor turns the per-period `O(q³)` decomposition into an `O(q²)`
+/// back-substitution.  Because [`Lu::decompose`] is deterministic, a
+/// cache hit yields bit-identical multipliers to a fresh factorization,
+/// so solver trajectories (and the golden trace hashes built on them) are
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WarmFactors {
+    /// Active set (deduplicated, in guess order) the factors belong to.
+    cand: Vec<usize>,
+    /// LU factor of the full subproblem matrix over `cand`.
+    full: Option<Lu>,
+    /// Position within `cand` whose removal `reduced` corresponds to.
+    reduced_weakest: usize,
+    /// LU factor of the tentative-drop subproblem (`cand` minus
+    /// `reduced_weakest`), used by the degeneracy alignment step.
+    reduced: Option<Lu>,
+}
+
 /// A quadratic program with fixed `H` and `G`, prepared for repeated
 /// solves with varying `f` and `h`.
 ///
@@ -253,6 +281,10 @@ pub struct PreparedQp {
     cache: ConstraintCache,
     /// `max(|G|, |H|, 1)`; the per-solve tolerance also folds in `|h|`.
     base_scale: f64,
+    /// Warm-start subproblem factors memoized across solves (see
+    /// [`WarmFactors`]); interior mutability keeps [`PreparedQp::solve`]
+    /// callable through a shared reference.
+    warm_factors: RefCell<WarmFactors>,
 }
 
 impl PreparedQp {
@@ -283,6 +315,7 @@ impl PreparedQp {
             chol,
             cache,
             base_scale,
+            warm_factors: RefCell::new(WarmFactors::default()),
         })
     }
 
@@ -299,6 +332,16 @@ impl PreparedQp {
     /// The Hessian this problem was prepared with.
     pub fn hessian(&self) -> &Matrix {
         &self.h
+    }
+
+    /// Lower bandwidth the Cholesky factorization detected in `H`.
+    ///
+    /// The MPC Hessian `CᵀC + εI` is block banded when the subtask
+    /// allocation couples only nearby tasks; anything below
+    /// `num_vars() - 1` means the banded `O(n·b²)` factor/solve paths are
+    /// in effect for this problem.
+    pub fn hessian_bandwidth(&self) -> usize {
+        self.chol.bandwidth()
     }
 
     /// Solves `min ½xᵀHx + fᵀx` s.t. `Gx ≤ hvec` for the prepared `H`, `G`.
@@ -338,6 +381,7 @@ impl PreparedQp {
             self.base_scale,
             Some(&self.cache),
             warm,
+            Some(&self.warm_factors),
         )
     }
 }
@@ -360,7 +404,10 @@ pub(crate) fn factorize(h: &Matrix) -> Result<Cholesky, QpError> {
 
 /// Shared Goldfarb–Idnani core used by [`QuadProg`], [`PreparedQp`] and the
 /// least-squares front end.  `base_scale` is `max(|G|, |H|, 1)`; `cache`
-/// supplies precomputed back-solves when `H`/`G` are fixed across calls.
+/// supplies precomputed back-solves when `H`/`G` are fixed across calls,
+/// and `factors` memoizes the warm-start subproblem factorization across
+/// calls with a stable active set.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by three front ends
 pub(crate) fn solve_with_chol(
     chol: &Cholesky,
     f: &Vector,
@@ -369,6 +416,7 @@ pub(crate) fn solve_with_chol(
     base_scale: f64,
     cache: Option<&ConstraintCache>,
     warm: &[usize],
+    factors: Option<&RefCell<WarmFactors>>,
 ) -> Result<QpSolution, QpError> {
     let n = f.len();
     let m = g.rows();
@@ -378,15 +426,20 @@ pub(crate) fn solve_with_chol(
     let max_iter = 50 * (m + 1);
 
     let mut x = x0.clone();
-    // `active`, `u` and `hinv_act` (= H⁻¹n_j for each active j) stay
-    // parallel throughout; `in_active` mirrors membership for O(1) tests.
+    // `active` and `u` stay parallel throughout; `in_active` mirrors
+    // membership for O(1) tests.  `hinv_act` (= H⁻¹n_j for each active j)
+    // is maintained only without a constraint cache — with one, the
+    // back-solves are read from the shared table instead of being cloned
+    // per active-set change (see [`hinv_at`]).
     let mut active: Vec<usize> = Vec::new();
     let mut u: Vec<f64> = Vec::new();
     let mut hinv_act: Vec<Vector> = Vec::new();
     let mut in_active = vec![false; m];
 
     if !warm.is_empty() {
-        if let Some((wx, wa, wu, wh)) = try_warm_start(chol, g, hvec, cache, &x0, warm, tol, n) {
+        if let Some((wx, wa, wu, wh)) =
+            try_warm_start(chol, g, hvec, cache, &x0, warm, tol, n, factors)
+        {
             x = wx;
             active = wa;
             u = wu;
@@ -457,14 +510,20 @@ pub(crate) fn solve_with_chol(
                 let mut rhs = Vector::zeros(q);
                 for a in 0..q {
                     for b in 0..q {
-                        mmat[(a, b)] = cross(g, cache, active[a], active[b], &hinv_act[b]);
+                        mmat[(a, b)] = cross(
+                            g,
+                            cache,
+                            active[a],
+                            active[b],
+                            hinv_at(cache, &hinv_act, &active, b),
+                        );
                     }
                     rhs[a] = cross(g, cache, active[a], p, hinv_np);
                 }
                 let r = mmat.solve(&rhs).map_err(QpError::Math)?;
                 let mut z = hinv_np.clone();
-                for (b, hn) in hinv_act.iter().enumerate() {
-                    z = &z - &hn.scale(r[b]);
+                for b in 0..q {
+                    z.axpy(-r[b], hinv_at(cache, &hinv_act, &active, b));
                 }
                 (z, r.into_vec())
             };
@@ -498,7 +557,9 @@ pub(crate) fn solve_with_chol(
                 in_active[active[j]] = false;
                 active.remove(j);
                 u.remove(j);
-                hinv_act.remove(j);
+                if cache.is_none() {
+                    hinv_act.remove(j);
+                }
                 continue;
             }
 
@@ -507,7 +568,7 @@ pub(crate) fn solve_with_chol(
             let t2 = s_p / ztnp;
             let t = t1.min(t2);
 
-            x = &x + &z.scale(t);
+            x.axpy(t, &z);
             for (j, rj) in r.iter().enumerate() {
                 u[j] -= t * rj;
             }
@@ -516,7 +577,9 @@ pub(crate) fn solve_with_chol(
             if t2 <= t1 {
                 active.push(p);
                 u.push(u_p);
-                hinv_act.push(hinv_np.clone());
+                if cache.is_none() {
+                    hinv_act.push(hinv_np.clone());
+                }
                 in_active[p] = true;
                 continue 'outer;
             }
@@ -524,7 +587,9 @@ pub(crate) fn solve_with_chol(
             in_active[active[j]] = false;
             active.remove(j);
             u.remove(j);
-            hinv_act.remove(j);
+            if cache.is_none() {
+                hinv_act.remove(j);
+            }
         }
     }
 }
@@ -558,6 +623,7 @@ fn try_warm_start(
     warm: &[usize],
     tol: f64,
     n: usize,
+    factors: Option<&RefCell<WarmFactors>>,
 ) -> Option<(Vector, Vec<usize>, Vec<f64>, Vec<Vector>)> {
     let m = g.rows();
     let mut seen = vec![false; m];
@@ -576,27 +642,64 @@ fn try_warm_start(
             return None;
         }
         let q = cand.len();
-        let mut hinv: Vec<Vector> = Vec::with_capacity(q);
-        for &a in &cand {
-            match cache {
-                Some(c) => hinv.push(c.hinv_n[a].clone()),
-                None => {
-                    let na = Vector::from_iter(g.row(a).iter().map(|v| -v));
-                    hinv.push(chol.solve(&na).ok()?);
+        // With a constraint cache the back-solves `H⁻¹n_a` are read from
+        // the shared table (no per-solve copies); without one they are
+        // computed and owned here.
+        let mut hinv: Vec<Vector> = Vec::new();
+        if cache.is_none() {
+            hinv.reserve(q);
+            for &a in &cand {
+                let na = Vector::from_iter(g.row(a).iter().map(|v| -v));
+                hinv.push(chol.solve(&na).ok()?);
+            }
+        }
+        // Subproblem matrix over the candidates, minus position `skip`
+        // when given (the tentative-drop system).  Entries come from the
+        // Gram table when cached, else from the owned back-solves — the
+        // same values and order as assembling `M = NᵀH⁻¹N` directly.
+        let build_m = |skip: Option<usize>| -> Matrix {
+            let k = q - usize::from(skip.is_some());
+            let mut mm = Matrix::zeros(k, k);
+            for ra in 0..k {
+                let a = ra + usize::from(skip.is_some_and(|s| ra >= s));
+                for rb in 0..k {
+                    let b = rb + usize::from(skip.is_some_and(|s| rb >= s));
+                    mm[(ra, rb)] = match cache {
+                        Some(c) => c.d[(cand[a], cand[b])],
+                        None => -dot_row(g, cand[a], &hinv[b]),
+                    };
                 }
             }
-        }
+            mm
+        };
+
         // M u = b_A − Nᵀx0, with b_a = −hvec[a] and n_a = −g_aᵀ, i.e.
         // rhs[a] = g_a·x0 − hvec[a].
-        let mut mmat = Matrix::zeros(q, q);
         let mut rhs = Vector::zeros(q);
         for a in 0..q {
-            for b in 0..q {
-                mmat[(a, b)] = cross(g, cache, cand[a], cand[b], &hinv[b]);
-            }
             rhs[a] = dot_row(g, cand[a], x0) - hvec[cand[a]];
         }
-        let Ok(u) = mmat.solve(&rhs) else {
+        // `M` depends only on the candidate set, so its LU factor is
+        // memoized across solves (`Lu::decompose` is deterministic: a
+        // cache hit is bit-identical to refactoring).  On the controller
+        // hot path the active set repeats period after period, turning the
+        // O(q³) decomposition into an O(q²) back-substitution.
+        let solved = if let Some(fc) = factors {
+            let mut fcb = fc.borrow_mut();
+            if fcb.cand != cand {
+                fcb.cand.clear();
+                fcb.cand.extend_from_slice(&cand);
+                fcb.full = None;
+                fcb.reduced = None;
+            }
+            if fcb.full.is_none() {
+                fcb.full = Some(Lu::decompose(&build_m(None)).ok()?);
+            }
+            fcb.full.as_ref().expect("factor set above").solve(&rhs)
+        } else {
+            build_m(None).solve(&rhs)
+        };
+        let Ok(u) = solved else {
             return None;
         };
 
@@ -633,28 +736,41 @@ fn try_warm_start(
                     weakest = j;
                 }
             }
-            let mut reduced = cand.clone();
-            let dropped = reduced.remove(weakest);
-            let viol_without = if reduced.is_empty() {
+            let dropped = cand[weakest];
+            let qr = q - 1;
+            let viol_without = if qr == 0 {
                 dot_row(g, dropped, x0) - hvec[dropped]
             } else {
-                let qr = reduced.len();
-                let mut mr = Matrix::zeros(qr, qr);
                 let mut rr = Vector::zeros(qr);
                 for a in 0..qr {
-                    for b in 0..qr {
-                        let hb = b + usize::from(b >= weakest);
-                        mr[(a, b)] = cross(g, cache, reduced[a], reduced[b], &hinv[hb]);
-                    }
-                    rr[a] = dot_row(g, reduced[a], x0) - hvec[reduced[a]];
+                    let ca = cand[a + usize::from(a >= weakest)];
+                    rr[a] = dot_row(g, ca, x0) - hvec[ca];
                 }
-                let Ok(ur) = mr.solve(&rr) else {
+                // The reduced factor is memoized under the same rule,
+                // keyed by (candidate set, dropped position).
+                let solved = if let Some(fc) = factors {
+                    let mut fcb = fc.borrow_mut();
+                    if fcb.reduced.is_none() || fcb.reduced_weakest != weakest {
+                        fcb.reduced_weakest = weakest;
+                        match Lu::decompose(&build_m(Some(weakest))) {
+                            Ok(lu) => fcb.reduced = Some(lu),
+                            Err(_) => {
+                                fcb.reduced = None;
+                                return None;
+                            }
+                        }
+                    }
+                    fcb.reduced.as_ref().expect("factor set above").solve(&rr)
+                } else {
+                    build_m(Some(weakest)).solve(&rr)
+                };
+                let Ok(ur) = solved else {
                     return None;
                 };
                 let mut xr = x0.clone();
                 for b in 0..qr {
                     let hb = b + usize::from(b >= weakest);
-                    xr = &xr + &hinv[hb].scale(ur[b]);
+                    xr.axpy(ur[b], hinv_at(cache, &hinv, &cand, hb));
                 }
                 dot_row(g, dropped, &xr) - hvec[dropped]
             };
@@ -665,15 +781,31 @@ fn try_warm_start(
         }
 
         let mut x = x0.clone();
-        for (b, hn) in hinv.iter().enumerate() {
-            x = &x + &hn.scale(u[b]);
+        for b in 0..q {
+            x.axpy(u[b], hinv_at(cache, &hinv, &cand, b));
         }
         return Some((x, cand, u.into_vec(), hinv));
     }
 }
 
+/// `H⁻¹n` of the constraint at position `b` of `idx`: a borrow from the
+/// shared back-solve table when one exists, else from the solver's own
+/// parallel array (which is only populated in that case).
+fn hinv_at<'a>(
+    cache: Option<&'a ConstraintCache>,
+    owned: &'a [Vector],
+    idx: &[usize],
+    b: usize,
+) -> &'a Vector {
+    match cache {
+        Some(c) => &c.hinv_n[idx[b]],
+        None => &owned[b],
+    }
+}
+
 fn dot_row(g: &Matrix, i: usize, x: &Vector) -> f64 {
-    g.row(i).iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+    // Single-accumulator unrolled kernel: bit-identical to the naive sum.
+    eucon_math::kernel::dot(g.row(i), x.as_slice())
 }
 
 #[cfg(test)]
