@@ -1,0 +1,289 @@
+//! Churn soak: thousands of closed-loop periods under sustained runtime
+//! membership churn, with hard zero-error and bounded-memory gates.
+//!
+//! Three chaos scenarios, each run for `--periods` sampling periods
+//! (default 2000) with the plan seeded by `--seed` (default 0):
+//!
+//! * **poisson churn** — MEDIUM under stochastic arrivals/departures
+//!   (Bernoulli-thinned Poisson, ~2%/1.5% per period), permissive
+//!   admission budget, raw EUCON;
+//! * **churn during crash** — the same churn storm while P2 crashes and
+//!   recovers and the actuation lanes drop 10% of commands, supervised
+//!   EUCON (membership changes racing degraded mode);
+//! * **admission storm** — SIMPLE at the default (tight) budget with an
+//!   arrival every 10 periods: every arrival must be deferred and then
+//!   rejected, without perturbing regulation.
+//!
+//! Gates, enforced per scenario:
+//!
+//! * zero controller errors;
+//! * zero non-finite rates or utilization samples, every period;
+//! * resident memory stays bounded (no per-period growth — RSS at the
+//!   end may not exceed 2× the post-warm-up RSS plus 32 MiB).
+//!
+//! Stats land in `results/churn_soak.csv`.
+//!
+//! ```text
+//! cargo run --release -p eucon-bench --bin churn_soak -- --periods 2000 --seed 0
+//! ```
+
+use std::time::Instant;
+
+use eucon_control::{MpcConfig, SupervisorConfig};
+use eucon_core::{render, AdmissionPolicy, ChurnPlan, ChurnSummary, ClosedLoop, ControllerSpec};
+use eucon_sim::{FaultPlan, SimConfig};
+use eucon_tasks::{workloads, ProcessorId, Task, TaskSet};
+
+struct Args {
+    periods: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        periods: 2000,
+        seed: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        match flag.as_str() {
+            "--periods" => args.periods = value.parse().expect("--periods takes an integer"),
+            "--seed" => args.seed = value.parse().expect("--seed takes an integer"),
+            other => panic!("unknown argument '{other}' (supported: --periods N, --seed S)"),
+        }
+    }
+    args
+}
+
+/// Resident-set size in bytes, if the platform exposes `/proc/self/statm`
+/// (Linux).  `None` elsewhere — the RSS gate is then skipped.
+fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// An extra end-to-end task shaped like SIMPLE's own (used by the
+/// admission storm — at the default budget it can never fit).
+fn storm_task() -> Task {
+    Task::builder(0.02, 0.12, 0.05)
+        .subtask(ProcessorId(0), 4.0)
+        .subtask(ProcessorId(1), 3.0)
+        .build()
+        .expect("valid task")
+}
+
+struct Scenario {
+    name: &'static str,
+    set: TaskSet,
+    sim: SimConfig,
+    controller: ControllerSpec,
+    faults: FaultPlan,
+    churn: ChurnPlan,
+    policy: AdmissionPolicy,
+}
+
+fn scenarios(periods: usize, seed: u64) -> Vec<Scenario> {
+    let medium = workloads::medium();
+    let permissive = AdmissionPolicy {
+        admit_threshold: 1.25,
+        ..AdmissionPolicy::default()
+    };
+    let poisson = ChurnPlan::poisson(&medium, periods, 0.02, 0.015, seed);
+    let mut storm = ChurnPlan::none();
+    for k in (10..periods).step_by(10) {
+        storm = storm.arrival(k, storm_task());
+    }
+    vec![
+        Scenario {
+            name: "poisson churn",
+            set: medium.clone(),
+            sim: SimConfig::constant_etf(0.9).seed(seed),
+            controller: ControllerSpec::Eucon(MpcConfig::medium()),
+            faults: FaultPlan::none(),
+            churn: poisson.clone(),
+            policy: permissive.clone(),
+        },
+        Scenario {
+            name: "churn during crash",
+            set: medium,
+            sim: SimConfig::constant_etf(0.9).seed(seed),
+            controller: ControllerSpec::SupervisedEucon {
+                mpc: MpcConfig::medium(),
+                supervisor: SupervisorConfig::default(),
+            },
+            faults: FaultPlan::none()
+                .crash(1, 60, 100)
+                .actuation_loss(0.1)
+                .seed(seed.wrapping_add(17)),
+            churn: poisson,
+            policy: permissive,
+        },
+        Scenario {
+            name: "admission storm",
+            set: workloads::simple(),
+            sim: SimConfig::constant_etf(0.5).seed(seed),
+            controller: ControllerSpec::Eucon(MpcConfig::simple()),
+            faults: FaultPlan::none(),
+            churn: storm,
+            policy: AdmissionPolicy::default(),
+        },
+    ]
+}
+
+struct Outcome {
+    churn: ChurnSummary,
+    control_errors: usize,
+    rss_growth: Option<f64>,
+    secs: f64,
+}
+
+fn soak(sc: Scenario, periods: usize) -> Outcome {
+    let mut cl = ClosedLoop::builder(sc.set)
+        .sim_config(sc.sim)
+        .controller(sc.controller)
+        .faults(sc.faults)
+        .churn(sc.churn)
+        .admission(sc.policy)
+        .record_trace(false)
+        .build()
+        .expect("loop builds");
+    let warmup = periods / 10;
+    let started = Instant::now();
+    let mut rss_after_warmup = None;
+    for k in 0..periods {
+        let step = cl.step();
+        // The non-finite gate, every period: a NaN rate or utilization
+        // sample anywhere fails the soak immediately.
+        assert!(
+            step.rates.iter().all(|r| r.is_finite()),
+            "[{}] non-finite rate at period {k}",
+            sc.name
+        );
+        assert!(
+            step.utilization.iter().all(|u| u.is_finite()),
+            "[{}] non-finite utilization at period {k}",
+            sc.name
+        );
+        if k + 1 == warmup {
+            rss_after_warmup = rss_bytes();
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let result = cl.run(0);
+    assert_eq!(
+        result.control_errors, 0,
+        "[{}] controller errors after {periods} periods",
+        sc.name
+    );
+    let rss_growth = match (rss_after_warmup, rss_bytes()) {
+        (Some(before), Some(after)) => {
+            assert!(
+                after <= before * 2 + 32 * 1024 * 1024,
+                "[{}] resident memory grew from {before} to {after} bytes",
+                sc.name
+            );
+            Some(after as f64 / before as f64)
+        }
+        _ => None,
+    };
+    Outcome {
+        churn: result.churn,
+        control_errors: result.control_errors,
+        rss_growth,
+        secs,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let periods = args.periods;
+    println!(
+        "== Churn soak: {periods} periods per scenario, plan seed {} ==\n",
+        args.seed
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for sc in scenarios(periods, args.seed) {
+        let name = sc.name;
+        let o = soak(sc, periods);
+        let ch = o.churn;
+        // The storm's arrivals can never fit the default budget: every
+        // one must end rejected, none admitted.
+        if name == "admission storm" {
+            assert_eq!(ch.admitted, 0, "storm arrivals must all be rejected");
+            assert_eq!(ch.rejected, ((periods - 1) / 10) as u64);
+        } else {
+            assert!(
+                ch.admitted + ch.rejected + ch.departed > 0,
+                "[{name}] the churn plan never fired"
+            );
+            assert_eq!(
+                ch.incremental_updates + ch.model_rebuilds,
+                ch.admitted + ch.departed,
+                "[{name}] every membership change updates the plant model"
+            );
+        }
+        println!(
+            "  [{name}] ok: {} admitted, {} rejected, {} deferred, {} departed, \
+             {} incremental / {} rebuilds ({:.2}s)",
+            ch.admitted,
+            ch.rejected,
+            ch.deferred,
+            ch.departed,
+            ch.incremental_updates,
+            ch.model_rebuilds,
+            o.secs
+        );
+        rows.push(vec![
+            name.to_string(),
+            ch.admitted.to_string(),
+            ch.rejected.to_string(),
+            ch.deferred.to_string(),
+            ch.departed.to_string(),
+            ch.mode_changes.to_string(),
+            ch.incremental_updates.to_string(),
+            ch.model_rebuilds.to_string(),
+            o.control_errors.to_string(),
+            o.rss_growth
+                .map_or("n/a".to_string(), |g| format!("{g:.2}")),
+            format!("{:.2}", o.secs),
+        ]);
+    }
+    let headers = [
+        "scenario",
+        "admitted",
+        "rejected",
+        "deferred",
+        "departed",
+        "mode changes",
+        "incremental",
+        "rebuilds",
+        "ctrl errors",
+        "rss growth",
+        "secs",
+    ];
+    println!("\n{}", render::table(&headers, &rows));
+    eucon_bench::write_result(
+        "churn_soak.csv",
+        &render::csv(
+            &[
+                "scenario",
+                "admitted",
+                "rejected",
+                "deferred",
+                "departed",
+                "mode_changes",
+                "incremental_updates",
+                "model_rebuilds",
+                "control_errors",
+                "rss_growth",
+                "seconds",
+            ],
+            &rows,
+        ),
+    );
+    println!(
+        "all churn gates held: zero controller errors, zero non-finite samples, bounded memory"
+    );
+}

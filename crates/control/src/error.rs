@@ -22,6 +22,10 @@ pub enum ControlError {
     Optimization(QpError),
     /// A linear-algebra operation failed (stability analysis).
     Math(MathError),
+    /// The controller cannot perform the requested operation — e.g. a
+    /// runtime membership change on a controller without a plant model,
+    /// or while a supervisory wrapper holds the loop in safe mode.
+    Unsupported(String),
 }
 
 impl fmt::Display for ControlError {
@@ -31,6 +35,7 @@ impl fmt::Display for ControlError {
             ControlError::InvalidSample(msg) => write!(f, "invalid utilization sample: {msg}"),
             ControlError::Optimization(e) => write!(f, "optimization failed: {e}"),
             ControlError::Math(e) => write!(f, "linear algebra failure: {e}"),
+            ControlError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }
@@ -72,6 +77,9 @@ mod tests {
         assert!(Error::source(&e).is_none());
         let e = ControlError::InvalidSample("u[0] = NaN".into());
         assert!(e.to_string().contains("invalid utilization sample"));
+        assert!(Error::source(&e).is_none());
+        let e = ControlError::Unsupported("membership changes".into());
+        assert!(e.to_string().contains("unsupported operation"));
         assert!(Error::source(&e).is_none());
     }
 }

@@ -52,7 +52,7 @@ pub use baselines::{IndependentPid, OpenLoop};
 pub use config::{ControlPenalty, MoveHold, MpcConfig};
 pub use decentralized::DecentralizedController;
 pub use error::ControlError;
-pub use mpc::{MpcController, MpcStepInfo};
+pub use mpc::{ModelUpdate, MpcController, MpcStepInfo};
 pub use supervisor::{Supervised, SupervisorConfig, SupervisorReport};
 
 use eucon_math::Vector;
@@ -170,6 +170,55 @@ pub trait RateController {
     /// default is a no-op).
     fn reset(&mut self, rates: &Vector) {
         let _ = rates;
+    }
+
+    /// Shrinks the controller's plant model to the tasks marked `true` in
+    /// `keep` (one flag per current task column, in order), migrating
+    /// warm-start state so the next solve continues from the surviving
+    /// subproblem instead of cold-starting.
+    ///
+    /// Called by churn-aware loops when tasks depart at runtime.  The
+    /// default refuses with [`ControlError::Unsupported`]: controllers
+    /// without a per-task plant model (OPEN, PID) cannot shrink, and the
+    /// loop then keeps routing their full-arity commands (the departed
+    /// tasks simply ignore theirs).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Unsupported`] by default; implementations add
+    /// their own validation failures.
+    fn membership_retain(&mut self, keep: &[bool]) -> Result<ModelUpdate, ControlError> {
+        let _ = keep;
+        Err(ControlError::Unsupported(
+            "this controller has no per-task plant model to shrink".into(),
+        ))
+    }
+
+    /// Grows the controller's plant model by one task: `f_col` is the new
+    /// task's estimated per-processor utilization per unit rate (the new
+    /// column of the subtask allocation matrix `F`), and the rate box /
+    /// starting rate describe its actuation range.
+    ///
+    /// Called by churn-aware loops when an arrival passes the admission
+    /// test.  The default refuses with [`ControlError::Unsupported`], and
+    /// the admission controller then rejects the arrival — a task nobody
+    /// can control must not enter the plant.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::Unsupported`] by default; implementations add
+    /// their own validation failures.
+    fn membership_admit(
+        &mut self,
+        f_col: &[f64],
+        rate_min: f64,
+        rate_max: f64,
+        initial_rate: f64,
+    ) -> Result<ModelUpdate, ControlError> {
+        let _ = (f_col, rate_min, rate_max, initial_rate);
+        Err(ControlError::Unsupported(
+            "this controller has no per-task plant model to grow".into(),
+        ))
     }
 
     /// Tells the controller that `processor`'s next utilization sample is

@@ -353,6 +353,332 @@ impl MpcController {
     }
 }
 
+/// How a membership update produced the new prepared solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelUpdate {
+    /// The prepared solvers were shrunk from the existing model: the Gauss
+    /// normal matrix and constraint rows of the retained block were
+    /// extracted instead of recomputed ([`PreparedLsq::retain`]).
+    Incremental,
+    /// Full matrix assembly plus Gram product — growth always rebuilds,
+    /// and a shrink falls back here if the incremental contract ever
+    /// fails.  Pinned bit-identical to the incremental path by tests.
+    Rebuild,
+}
+
+/// Membership updates: tasks arriving and departing at runtime.
+///
+/// Both operations build a **new** controller for the changed task set
+/// while migrating every piece of accumulated state that still makes
+/// sense — current rates, the previous move, and the warm-start active
+/// sets (remapped through the constraint-row layout) — so the first solve
+/// after a membership change starts from the surviving tasks' momentum
+/// instead of cold.  The incremental shrink path and the full-rebuild
+/// fallback produce bit-identical controllers: the next solve's rates
+/// agree bit for bit (see `retain_tasks_rebuilt` and the tests pinning
+/// it).
+impl MpcController {
+    /// Number of tasks currently in the model.
+    pub fn num_tasks(&self) -> usize {
+        self.pred.m
+    }
+
+    /// Number of processors in the model.
+    pub fn num_processors(&self) -> usize {
+        self.pred.n
+    }
+
+    /// The allocation matrix `F` currently in use.
+    pub fn allocation(&self) -> &Matrix {
+        &self.f
+    }
+
+    /// Removes the tasks whose `keep` entry is `false`, producing a
+    /// controller over the retained columns of `F`.
+    ///
+    /// The prepared solvers are shrunk incrementally
+    /// ([`PreparedLsq::retain`]): tracking rows survive, the departing
+    /// tasks' rate-penalty rows, move variables and rate-bound constraint
+    /// rows are dropped, and the Gauss normal matrix of the retained block
+    /// is extracted rather than recomputed.  Warm-start active sets are
+    /// remapped row-for-row; rates, previous move and rate bounds keep the
+    /// surviving entries.  If the incremental contract is ever violated
+    /// the update silently falls back to a full rebuild (reported in the
+    /// returned [`ModelUpdate`]), which is bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError::DimensionMismatch`] when `keep` does not have one
+    /// entry per task or would retain no tasks.
+    pub fn retain_tasks(&self, keep: &[bool]) -> Result<(Self, ModelUpdate), ControlError> {
+        self.retain_tasks_impl(keep, false)
+    }
+
+    /// The full-rebuild fallback of [`MpcController::retain_tasks`]: same
+    /// semantics and state migration, but the prepared solvers are rebuilt
+    /// from freshly assembled matrices.  Exists so tests can pin the
+    /// incremental path bit-identical against it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MpcController::retain_tasks`].
+    pub fn retain_tasks_rebuilt(&self, keep: &[bool]) -> Result<Self, ControlError> {
+        Ok(self.retain_tasks_impl(keep, true)?.0)
+    }
+
+    fn retain_tasks_impl(
+        &self,
+        keep: &[bool],
+        force_rebuild: bool,
+    ) -> Result<(Self, ModelUpdate), ControlError> {
+        let m = self.pred.m;
+        let n = self.pred.n;
+        if keep.len() != m {
+            return Err(ControlError::DimensionMismatch(format!(
+                "membership mask has {} entries for {m} tasks",
+                keep.len()
+            )));
+        }
+        let kept: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &k)| k.then_some(t))
+            .collect();
+        if kept.is_empty() {
+            return Err(ControlError::DimensionMismatch(
+                "cannot retain an empty task set".to_string(),
+            ));
+        }
+        let m2 = kept.len();
+        let f = Matrix::from_fn(n, m2, |r, j| self.f[(r, kept[j])]);
+        let pred = Predictor::new(&f, &self.cfg);
+        let p = self.cfg.prediction_horizon;
+        let mh = self.cfg.control_horizon;
+
+        // Masks over the old layout (see `Predictor::new` and
+        // `constraint_matrix`): objective = n·P tracking rows then m·M
+        // penalty rows; variables interleave j·m + t; constraints = per
+        // step 2m rate rows (upper then lower) then n·P utilization rows.
+        let mut keep_rows = vec![true; n * p + m * mh];
+        let mut keep_vars = vec![false; m * mh];
+        let mut keep_rate = vec![false; 2 * m * mh];
+        for i in 0..mh {
+            for t in 0..m {
+                keep_rows[n * p + m * i + t] = keep[t];
+                keep_vars[i * m + t] = keep[t];
+                keep_rate[2 * m * i + t] = keep[t];
+                keep_rate[2 * m * i + m + t] = keep[t];
+            }
+        }
+        let keep_util: Vec<bool> = keep_rate
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(true, n * p))
+            .collect();
+
+        let mut update = ModelUpdate::Incremental;
+        let solver_rate = match (!force_rebuild)
+            .then(|| self.solver_rate.retain(&keep_rows, &keep_vars, &keep_rate))
+            .and_then(Result::ok)
+        {
+            Some(s) => s,
+            None => {
+                update = ModelUpdate::Rebuild;
+                let g = constraint_matrix(&f, &self.cfg, false);
+                PreparedLsq::new(pred.c.clone(), g, REGULARIZATION)
+                    .map_err(ControlError::Optimization)?
+            }
+        };
+        let solver_util = match &self.solver_util {
+            Some(old) => {
+                let incremental = (!force_rebuild && update == ModelUpdate::Incremental)
+                    .then(|| old.retain(&keep_rows, &keep_vars, &keep_util))
+                    .and_then(Result::ok);
+                Some(match incremental {
+                    Some(s) => s,
+                    None => {
+                        update = ModelUpdate::Rebuild;
+                        let g = constraint_matrix(&f, &self.cfg, true);
+                        PreparedLsq::new(pred.c.clone(), g, REGULARIZATION)
+                            .map_err(ControlError::Optimization)?
+                    }
+                })
+            }
+            None => None,
+        };
+
+        let sub =
+            |v: &Vector| Vector::from_slice(&kept.iter().map(|&t| v[t]).collect::<Vec<f64>>());
+        let h_util = match &solver_util {
+            Some(s) => Vector::zeros(s.num_constraints()),
+            None => Vector::zeros(0),
+        };
+        Ok((
+            MpcController {
+                b: self.b.clone(),
+                rmin: sub(&self.rmin),
+                rmax: sub(&self.rmax),
+                cfg: self.cfg.clone(),
+                rates: sub(&self.rates),
+                prev_move: sub(&self.prev_move),
+                last_info: self.last_info,
+                h_util,
+                h_rate: Vector::zeros(solver_rate.num_constraints()),
+                d_buf: Vector::zeros(pred.c.rows()),
+                err_buf: Vector::zeros(n),
+                warm_util: migrate_warm(&self.warm_util, &keep_util),
+                warm_rate: migrate_warm(&self.warm_rate, &keep_rate),
+                f,
+                pred,
+                solver_util,
+                solver_rate,
+            },
+            update,
+        ))
+    }
+
+    /// Adds a task: appends its allocation column `f_col` (its estimated
+    /// utilization contribution per processor), rate bounds and initial
+    /// rate to the model.
+    ///
+    /// Growth changes every matrix dimension, so the prepared solvers are
+    /// rebuilt ([`ModelUpdate::Rebuild`]); what migrates is the state —
+    /// surviving rates, the previous move (the new task starts with zero
+    /// momentum) and the warm-start active sets, remapped through the
+    /// grown constraint layout so the next solve starts warm.
+    ///
+    /// # Errors
+    ///
+    /// * [`ControlError::DimensionMismatch`] — `f_col` does not have one
+    ///   entry per processor.
+    /// * [`ControlError::InvalidSample`] — non-finite allocation entries
+    ///   or an invalid rate box (`rate_min > rate_max`, non-positive or
+    ///   non-finite bounds).
+    pub fn add_task(
+        &self,
+        f_col: &[f64],
+        rate_min: f64,
+        rate_max: f64,
+        initial_rate: f64,
+    ) -> Result<(Self, ModelUpdate), ControlError> {
+        let n = self.pred.n;
+        let m = self.pred.m;
+        if f_col.len() != n {
+            return Err(ControlError::DimensionMismatch(format!(
+                "allocation column has {} entries for {n} processors",
+                f_col.len()
+            )));
+        }
+        if let Some(r) = f_col.iter().position(|x| !x.is_finite()) {
+            return Err(ControlError::InvalidSample(format!(
+                "allocation column entry {r} = {} is not finite",
+                f_col[r]
+            )));
+        }
+        if !(rate_min.is_finite() && rate_max.is_finite() && initial_rate.is_finite())
+            || rate_min <= 0.0
+            || rate_min > rate_max
+        {
+            return Err(ControlError::InvalidSample(format!(
+                "invalid rate box [{rate_min}, {rate_max}] (initial {initial_rate})"
+            )));
+        }
+        let m2 = m + 1;
+        let f = Matrix::from_fn(n, m2, |r, j| if j < m { self.f[(r, j)] } else { f_col[r] });
+        let pred = Predictor::new(&f, &self.cfg);
+        let mh = self.cfg.control_horizon;
+
+        let solver_rate = PreparedLsq::new(
+            pred.c.clone(),
+            constraint_matrix(&f, &self.cfg, false),
+            REGULARIZATION,
+        )
+        .map_err(ControlError::Optimization)?;
+        let solver_util = match &self.solver_util {
+            Some(_) => Some(
+                PreparedLsq::new(
+                    pred.c.clone(),
+                    constraint_matrix(&f, &self.cfg, true),
+                    REGULARIZATION,
+                )
+                .map_err(ControlError::Optimization)?,
+            ),
+            None => None,
+        };
+
+        // Old constraint row → grown constraint row (every old row
+        // survives; indices shift because each step block widens).
+        let map_rate = |row: usize| -> usize {
+            let i = row / (2 * m);
+            let r = row % (2 * m);
+            if r < m {
+                2 * m2 * i + r
+            } else {
+                2 * m2 * i + m2 + (r - m)
+            }
+        };
+        let map_util = |row: usize| -> usize {
+            if row < 2 * m * mh {
+                map_rate(row)
+            } else {
+                2 * m2 * mh + (row - 2 * m * mh)
+            }
+        };
+        let warm_rate: Vec<usize> = self.warm_rate.iter().map(|&r| map_rate(r)).collect();
+        let warm_util: Vec<usize> = self.warm_util.iter().map(|&r| map_util(r)).collect();
+
+        let push = |v: &Vector, extra: f64| {
+            let mut vals = v.as_slice().to_vec();
+            vals.push(extra);
+            Vector::from_slice(&vals)
+        };
+        let h_util = match &solver_util {
+            Some(s) => Vector::zeros(s.num_constraints()),
+            None => Vector::zeros(0),
+        };
+        Ok((
+            MpcController {
+                b: self.b.clone(),
+                rmin: push(&self.rmin, rate_min),
+                rmax: push(&self.rmax, rate_max),
+                cfg: self.cfg.clone(),
+                rates: push(&self.rates, initial_rate.clamp(rate_min, rate_max)),
+                prev_move: push(&self.prev_move, 0.0),
+                last_info: self.last_info,
+                h_util,
+                h_rate: Vector::zeros(solver_rate.num_constraints()),
+                d_buf: Vector::zeros(pred.c.rows()),
+                err_buf: Vector::zeros(n),
+                warm_util,
+                warm_rate,
+                f,
+                pred,
+                solver_util,
+                solver_rate,
+            },
+            ModelUpdate::Rebuild,
+        ))
+    }
+}
+
+/// Remaps warm-start active-set indices across a constraint-row shrink:
+/// entries of dropped rows vanish, survivors get their rank among the
+/// kept rows.
+fn migrate_warm(warm: &[usize], keep: &[bool]) -> Vec<usize> {
+    let mut rank = vec![0usize; keep.len()];
+    let mut c = 0usize;
+    for (i, r) in rank.iter_mut().enumerate() {
+        *r = c;
+        if keep[i] {
+            c += 1;
+        }
+    }
+    warm.iter()
+        .filter(|&&i| keep[i])
+        .map(|&i| rank[i])
+        .collect()
+}
+
 /// Warm-start bookkeeping of one amortized solve (observability: every
 /// period's warm/cold outcome reaches telemetry through
 /// [`MpcStepInfo`]).
@@ -428,6 +754,31 @@ impl RateController for MpcController {
             active_churn: self.last_info.active_churn,
             ..ControllerTelemetry::default()
         }
+    }
+
+    /// Shrinks the plant model in place via the incremental
+    /// [`MpcController::retain_tasks`] path (QP-layer constraint-set
+    /// extraction + warm-state migration), falling back to a full rebuild
+    /// when extraction is not applicable.
+    fn membership_retain(&mut self, keep: &[bool]) -> Result<ModelUpdate, ControlError> {
+        let (next, update) = MpcController::retain_tasks(self, keep)?;
+        *self = next;
+        Ok(update)
+    }
+
+    /// Grows the plant model in place via [`MpcController::add_task`]
+    /// (full rebuild with warm-state migration).
+    fn membership_admit(
+        &mut self,
+        f_col: &[f64],
+        rate_min: f64,
+        rate_max: f64,
+        initial_rate: f64,
+    ) -> Result<ModelUpdate, ControlError> {
+        let (next, update) =
+            MpcController::add_task(self, f_col, rate_min, rate_max, initial_rate)?;
+        *self = next;
+        Ok(update)
     }
 
     /// Discards all accumulated internal state — the previous move, the
@@ -686,6 +1037,196 @@ mod tests {
             (u[0] - 0.5).abs() < 1e-2,
             "P1 must track the new set point, got {}",
             u[0]
+        );
+    }
+
+    fn medium_controller() -> MpcController {
+        let set = workloads::medium();
+        let b = rms_set_points(&set);
+        MpcController::new(&set, b, MpcConfig::medium()).unwrap()
+    }
+
+    fn rate_bits(c: &MpcController) -> Vec<u64> {
+        c.rates().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn retain_tasks_matches_full_rebuild_bit_for_bit() {
+        let mut c = medium_controller();
+        let n = c.num_processors();
+        // Accumulate genuine warm state and momentum first.
+        for k in 0..12 {
+            let u = Vector::filled(n, 0.3 + 0.05 * (k % 5) as f64);
+            let _ = c.step(&u).unwrap();
+        }
+        let m = c.num_tasks();
+        let mut keep = vec![true; m];
+        keep[1] = false;
+        keep[m - 1] = false;
+        let (mut inc, update) = c.retain_tasks(&keep).unwrap();
+        assert_eq!(update, ModelUpdate::Incremental);
+        let mut reb = c.retain_tasks_rebuilt(&keep).unwrap();
+        assert_eq!(inc.num_tasks(), m - 2);
+        assert_eq!(rate_bits(&inc), rate_bits(&reb));
+        // The next solves — warm-started from the migrated active sets —
+        // must agree bit for bit, period after period.
+        for k in 0..8 {
+            let u = Vector::filled(n, 0.25 + 0.07 * (k % 4) as f64);
+            let a = inc.step(&u).unwrap();
+            let b = reb.step(&u).unwrap();
+            let bits = |v: &Vector| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&a), bits(&b), "period {k} diverged");
+            assert_eq!(inc.last_step_info(), reb.last_step_info());
+        }
+    }
+
+    #[test]
+    fn retained_controller_equals_fresh_model_after_reset() {
+        // Dropping tasks and then resetting must behave exactly like a
+        // controller built from the shrunk model directly.
+        let mut c = medium_controller();
+        let n = c.num_processors();
+        for _ in 0..6 {
+            let _ = c.step(&Vector::filled(n, 0.4)).unwrap();
+        }
+        let m = c.num_tasks();
+        let mut keep = vec![true; m];
+        keep[0] = false;
+        let (mut shrunk, _) = c.retain_tasks(&keep).unwrap();
+
+        let f = c.allocation();
+        let f_sub = Matrix::from_fn(n, m - 1, |r, j| f[(r, j + 1)]);
+        let sub = |v: &Vector| Vector::from_slice(&(1..m).map(|t| v[t]).collect::<Vec<f64>>());
+        let mut fresh = MpcController::from_model(
+            f_sub,
+            c.set_points().clone(),
+            sub(&c.rmin),
+            sub(&c.rmax),
+            sub(c.rates()),
+            MpcConfig::medium(),
+        )
+        .unwrap();
+        let restart = fresh.rates().clone();
+        shrunk.reset(&restart);
+        fresh.reset(&restart);
+        for k in 0..6 {
+            let u = Vector::filled(n, 0.3 + 0.1 * (k % 3) as f64);
+            let a = shrunk.step(&u).unwrap();
+            let b = fresh.step(&u).unwrap();
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+            );
+        }
+    }
+
+    #[test]
+    fn add_task_grows_to_the_full_model() {
+        // Start from medium minus its last task, add it back, and compare
+        // against the never-shrunk controller after a common reset.
+        let set = workloads::medium();
+        let b = rms_set_points(&set);
+        let f = set.allocation_matrix();
+        let n = f.rows();
+        let m = f.cols();
+        let f_sub = Matrix::from_fn(n, m - 1, |r, j| f[(r, j)]);
+        let head = |v: &Vector| Vector::from_slice(&(0..m - 1).map(|t| v[t]).collect::<Vec<f64>>());
+        let (rmin, rmax) = set.rate_bounds();
+        let r0 = set.initial_rates();
+        let small = MpcController::from_model(
+            f_sub,
+            b.clone(),
+            head(&rmin),
+            head(&rmax),
+            head(&r0),
+            MpcConfig::medium(),
+        )
+        .unwrap();
+        let col: Vec<f64> = (0..n).map(|r| f[(r, m - 1)]).collect();
+        let (mut grown, update) = small
+            .add_task(&col, rmin[m - 1], rmax[m - 1], r0[m - 1])
+            .unwrap();
+        assert_eq!(update, ModelUpdate::Rebuild);
+        assert_eq!(grown.num_tasks(), m);
+
+        let mut full = MpcController::new(&set, b, MpcConfig::medium()).unwrap();
+        let restart = full.rates().clone();
+        grown.reset(&restart);
+        full.reset(&restart);
+        for k in 0..6 {
+            let u = Vector::filled(n, 0.35 + 0.08 * (k % 4) as f64);
+            let a = grown.step(&u).unwrap();
+            let bb = full.step(&u).unwrap();
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+                bb.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+            );
+        }
+    }
+
+    #[test]
+    fn add_task_migrates_warm_state_and_keeps_solving() {
+        let mut c = simple_controller();
+        for _ in 0..10 {
+            let _ = c.step(&Vector::from_slice(&[0.9, 0.9])).unwrap();
+        }
+        let warm_before = c.warm_util.len() + c.warm_rate.len();
+        let (mut grown, _) = c.add_task(&[10.0, 10.0], 0.002, 0.03, 0.01).unwrap();
+        assert_eq!(
+            warm_before,
+            grown.warm_util.len() + grown.warm_rate.len(),
+            "growth keeps every surviving warm index"
+        );
+        // The grown controller keeps converging against its own model.
+        let f = grown.allocation().clone();
+        let b = grown.set_points().clone();
+        let mut u = Vector::from_slice(&[0.9, 0.9]);
+        let mut prev = grown.rates().clone();
+        for _ in 0..80 {
+            let r = grown.step(&u).unwrap();
+            u = &u + &f.mul_vec(&(&r - &prev));
+            prev = r;
+        }
+        assert!((&u - &b).max_abs() < 1e-2, "u = {u}, B = {b}");
+    }
+
+    #[test]
+    fn membership_input_validation() {
+        let c = simple_controller();
+        assert!(matches!(
+            c.retain_tasks(&[true, false]),
+            Err(ControlError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            c.retain_tasks(&[false, false, false]),
+            Err(ControlError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            c.add_task(&[1.0], 0.001, 0.03, 0.01),
+            Err(ControlError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            c.add_task(&[1.0, f64::NAN], 0.001, 0.03, 0.01),
+            Err(ControlError::InvalidSample(_))
+        ));
+        assert!(matches!(
+            c.add_task(&[1.0, 1.0], 0.03, 0.001, 0.01),
+            Err(ControlError::InvalidSample(_))
+        ));
+    }
+
+    #[test]
+    fn retain_all_is_equivalent_to_the_original() {
+        let mut c = simple_controller();
+        let _ = c.step(&Vector::from_slice(&[0.4, 0.4])).unwrap();
+        let (mut same, update) = c.retain_tasks(&[true, true, true]).unwrap();
+        assert_eq!(update, ModelUpdate::Incremental);
+        let u = Vector::from_slice(&[0.6, 0.2]);
+        let a = c.step(&u).unwrap();
+        let b = same.step(&u).unwrap();
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
         );
     }
 

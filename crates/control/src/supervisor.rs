@@ -27,7 +27,7 @@
 use eucon_math::Vector;
 use eucon_tasks::TaskSet;
 
-use crate::{ControlError, ControlMode, ControllerTelemetry, RateController};
+use crate::{ControlError, ControlMode, ControllerTelemetry, ModelUpdate, RateController};
 
 /// Thresholds and gains of the supervisory wrapper.
 #[derive(Debug, Clone, PartialEq)]
@@ -409,6 +409,54 @@ impl<C: RateController> RateController for Supervised<C> {
         if let Some(flag) = self.lane_stale.get_mut(processor) {
             *flag = true;
         }
+    }
+
+    /// Departures are honored even in safe mode (a task that left the
+    /// plant must leave the model), shrinking the wrapper's own per-task
+    /// state alongside the primary law's plant model.
+    fn membership_retain(&mut self, keep: &[bool]) -> Result<ModelUpdate, ControlError> {
+        if keep.len() != self.rates.len() {
+            return Err(ControlError::DimensionMismatch(format!(
+                "{} keep flags for {} tasks",
+                keep.len(),
+                self.rates.len()
+            )));
+        }
+        let update = self.inner.membership_retain(keep)?;
+        let subset =
+            |v: &Vector| Vector::from_iter((0..keep.len()).filter(|&t| keep[t]).map(|t| v[t]));
+        self.rmin = subset(&self.rmin);
+        self.rmax = subset(&self.rmax);
+        self.safe_rates = subset(&self.safe_rates);
+        self.rates = subset(&self.rates);
+        Ok(update)
+    }
+
+    /// Admissions are frozen while the watchdog holds the loop in safe
+    /// mode: a degraded system must not take on new load.
+    fn membership_admit(
+        &mut self,
+        f_col: &[f64],
+        rate_min: f64,
+        rate_max: f64,
+        initial_rate: f64,
+    ) -> Result<ModelUpdate, ControlError> {
+        if self.degraded {
+            return Err(ControlError::Unsupported(
+                "safe mode: admissions are frozen until the primary law re-engages".into(),
+            ));
+        }
+        let update = self
+            .inner
+            .membership_admit(f_col, rate_min, rate_max, initial_rate)?;
+        let r0 = initial_rate.clamp(rate_min, rate_max);
+        self.rmin.push(rate_min);
+        self.rmax.push(rate_max);
+        // The most conservative safe rate for a task nobody has vetted
+        // under faults is its floor.
+        self.safe_rates.push(rate_min);
+        self.rates.push(r0);
+        Ok(update)
     }
 }
 

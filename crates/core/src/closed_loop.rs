@@ -10,13 +10,17 @@ use eucon_control::{
 };
 use eucon_math::Vector;
 use eucon_sim::{DeadlineStats, EngineCounters, FaultInjector, FaultPlan, SimConfig, Simulator};
-use eucon_tasks::{rms_set_points, ProcessorId, TaskSet};
+use eucon_tasks::{rms_set_points, ProcessorId, Task, TaskId, TaskSet};
 
+use crate::admission::{
+    AdmissionController, AdmissionEvent, AdmissionPolicy, ChurnEvent, ChurnPlan, ChurnSummary,
+    PendingArrival, RejectReason,
+};
 use crate::distributed::{NetConfig, NetRuntime};
 use crate::lanes::LaneState;
 use crate::metrics::{self, SeriesStats};
 use crate::telemetry::{
-    LoopTelemetry, PeriodObservation, PeriodTimings, Registry, Snapshot, TelemetrySink,
+    ChurnPeriod, LoopTelemetry, PeriodObservation, PeriodTimings, Registry, Snapshot, TelemetrySink,
 };
 use crate::trace::StepAnnotations;
 use crate::{ControllerFactory, CoreError, LaneModel, Trace, TraceStep};
@@ -128,6 +132,11 @@ pub struct RunResult {
     /// Final telemetry snapshot (QP solver stats, supervisor counters,
     /// phase timings, tracking-error histograms — see DESIGN.md §12).
     pub telemetry: Snapshot,
+    /// Runtime-membership activity (all zero for churn-free runs).
+    pub churn: ChurnSummary,
+    /// Membership decisions taken over the run, in period order (empty
+    /// for churn-free runs).
+    pub admission_events: Vec<AdmissionEvent>,
 }
 
 impl RunResult {
@@ -270,6 +279,18 @@ pub struct ClosedLoop {
     /// Whether the fault plan schedules lane partitions (skips the
     /// partition bookkeeping entirely when it does not).
     has_partitions: bool,
+    /// Runtime-membership executor (`None` = static task set: the churn
+    /// machinery is bypassed entirely, keeping churn-free traces
+    /// bit-identical to builds without it).
+    admission: Option<Box<AdmissionController>>,
+    /// Controller column → sim task id.  Identity until a departure
+    /// shrinks the plant model; sim slots are never recycled, so the two
+    /// arities diverge under churn.  Only consulted when `admission` is
+    /// engaged.
+    ctrl_cols: Vec<TaskId>,
+    /// Full sim-arity actuation command (persistent scratch — rewritten
+    /// in place every period on the slow path, grown on admission).
+    act_cmd: Vector,
 }
 
 impl std::fmt::Debug for ClosedLoop {
@@ -300,6 +321,8 @@ pub struct ClosedLoopBuilder {
     record: bool,
     sinks: Vec<Box<dyn TelemetrySink>>,
     batch_rows: usize,
+    churn: ChurnPlan,
+    admission_policy: Option<AdmissionPolicy>,
 }
 
 impl std::fmt::Debug for ClosedLoopBuilder {
@@ -382,6 +405,27 @@ impl ClosedLoopBuilder {
         self
     }
 
+    /// Installs a runtime-membership plan: scripted task arrivals,
+    /// departures and mode changes (default: none — a static task set).
+    ///
+    /// Arrivals pass through the admission test of the configured
+    /// [`AdmissionPolicy`]; departures drain their in-flight jobs cleanly
+    /// while the controller shrinks its plant model incrementally.  An
+    /// empty plan leaves the loop byte-identical to one built without
+    /// this call.
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = plan;
+        self
+    }
+
+    /// Overrides the admission policy governing runtime arrivals
+    /// (default: [`AdmissionPolicy::default`]).  Also engages the churn
+    /// machinery even for an empty plan, which is only useful in tests.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission_policy = Some(policy);
+        self
+    }
+
     /// Quantizes actuated rates to a per-task geometric grid of `levels`
     /// values between `Rmin` and `Rmax` (default: continuous rates).
     ///
@@ -424,8 +468,9 @@ impl ClosedLoopBuilder {
     ///
     /// Returns [`CoreError::Config`] when an input fails validation —
     /// a non-positive or non-finite sampling period, fewer than two
-    /// quantized rate levels, or set points that are non-finite,
-    /// non-positive, or of the wrong arity — and propagates
+    /// quantized rate levels, set points that are non-finite,
+    /// non-positive, or of the wrong arity, or a malformed churn plan —
+    /// [`CoreError::Sim`] for a malformed fault plan, and propagates
     /// controller-construction failures as [`CoreError::Control`].
     pub fn build(self) -> Result<ClosedLoop, CoreError> {
         if !(self.ts > 0.0 && self.ts.is_finite()) {
@@ -434,6 +479,8 @@ impl ClosedLoopBuilder {
                 self.ts
             )));
         }
+        self.faults.validate(self.set.num_processors())?;
+        self.churn.validate(&self.set)?;
         if let Some(levels) = self.rate_levels {
             if levels < 2 {
                 return Err(CoreError::Config(format!(
@@ -493,6 +540,18 @@ impl ClosedLoopBuilder {
         let has_partitions = self.faults.has_partitions();
         let num_procs = self.set.num_processors();
         let num_tasks = self.set.num_tasks();
+        // Churn machinery engages only for a non-empty plan (or an
+        // explicit policy); otherwise churn-free runs take byte-identical
+        // code paths to builds without it.
+        let admission = if !self.churn.is_empty() || self.admission_policy.is_some() {
+            Some(Box::new(AdmissionController::new(
+                self.admission_policy.unwrap_or_default(),
+                self.churn,
+                num_tasks,
+            )))
+        } else {
+            None
+        };
         let mut sim = Simulator::new(self.set, self.sim_config);
         // Apply the controller's initial rates from time zero (OPEN's
         // design rates take effect immediately; feedback controllers start
@@ -531,6 +590,9 @@ impl ClosedLoopBuilder {
             net: None,
             lane_hold: Vector::zeros(num_procs),
             has_partitions,
+            admission,
+            ctrl_cols: (0..num_tasks).map(TaskId).collect(),
+            act_cmd: Vector::zeros(num_tasks),
         })
     }
 }
@@ -550,6 +612,8 @@ impl ClosedLoop {
             record: true,
             sinks: Vec::new(),
             batch_rows: 0,
+            churn: ChurnPlan::none(),
+            admission_policy: None,
         }
     }
 
@@ -611,6 +675,10 @@ impl ClosedLoop {
         // The fault schedule indexes periods from 0.
         let k = self.period;
         self.period += 1;
+        // 0. Runtime membership: due arrivals face the admission test
+        // (against the previous period's utilization sample), departures
+        // drain, deferred arrivals retry.  A no-op without a churn plan.
+        self.process_churn(k);
         let mut ann = StepAnnotations::default();
         // Phase boundaries for the span histograms — plain timestamps
         // rather than scoped guards so the hot loop stays free of borrow
@@ -725,32 +793,58 @@ impl ClosedLoop {
             && self.act_delay == 0
             && self.injector.is_none()
             && self.net.is_none()
+            && self.admission.is_none()
         {
             self.sim.set_rates(self.controller.rates());
         } else {
-            let actuated = match &self.rate_grid {
-                Some(grid) => Vector::from_iter(
-                    self.controller
-                        .rates()
-                        .iter()
-                        .enumerate()
-                        .map(|(t, &r)| snap_to_grid(&grid[t], r)),
-                ),
-                None => self.controller.rates().clone(),
-            };
+            // Assemble this period's full sim-arity command into the
+            // persistent scratch (no allocation in steady state).
+            if self.admission.is_some() {
+                // Under churn the controller may command fewer columns
+                // than the sim has slots: start from the rates in force
+                // (departed / unmanaged slots keep theirs) and route the
+                // controller's output through the live column map.
+                self.act_cmd.copy_from_slice(self.sim.rates_slice());
+                let rates = self.controller.rates();
+                for (c, &tid) in self.ctrl_cols.iter().enumerate() {
+                    let r = rates[c];
+                    self.act_cmd[tid.0] = match &self.rate_grid {
+                        Some(grid) => snap_to_grid(&grid[tid.0], r),
+                        None => r,
+                    };
+                }
+            } else {
+                match &self.rate_grid {
+                    Some(grid) => {
+                        let rates = self.controller.rates();
+                        for t in 0..rates.len() {
+                            self.act_cmd[t] = snap_to_grid(&grid[t], rates[t]);
+                        }
+                    }
+                    None => self.act_cmd.copy_from(self.controller.rates()),
+                }
+            }
             let arriving = if self.act_delay > 0 {
-                self.act_queue.push_back(actuated);
+                self.act_queue.push_back(self.act_cmd.clone());
                 if self.act_queue.len() > self.act_delay {
-                    self.act_queue.pop_front()
+                    let front = self.act_queue.pop_front().expect("queue just pushed");
+                    // `clone_from` (not `copy_from`): a queued command may
+                    // predate an admission and be one entry short.
+                    self.act_cmd.clone_from(&front);
+                    while self.act_cmd.len() < self.sim.rates_slice().len() {
+                        let t = self.act_cmd.len();
+                        self.act_cmd.push(self.sim.rates_slice()[t]);
+                    }
+                    true
                 } else {
                     // Nothing has crossed the actuation lanes yet; the
                     // rates in force stay in force.
-                    None
+                    false
                 }
             } else {
-                Some(actuated)
+                true
             };
-            if let Some(mut cmd) = arriving {
+            if arriving {
                 if let Some(inj) = &mut self.injector {
                     // A dropped lane means every task modulated on that
                     // processor keeps its previous rate this period.
@@ -762,7 +856,7 @@ impl ClosedLoop {
                         let in_force = self.sim.rates_slice();
                         for (t, &p) in self.head_proc.iter().enumerate() {
                             if self.dropped.contains(&p) {
-                                cmd[t] = in_force[t];
+                                self.act_cmd[t] = in_force[t];
                             }
                         }
                         ann.actuation_dropped = self.dropped.clone();
@@ -772,7 +866,8 @@ impl ClosedLoop {
                     // Distributed mode: the command crosses the lanes and
                     // the modulators merge whatever arrived (a silent or
                     // partitioned lane keeps its tasks' rates in force).
-                    let merged = net.actuate(k, &cmd, self.sim.rates_slice(), &ann.partitioned);
+                    let merged =
+                        net.actuate(k, &self.act_cmd, self.sim.rates_slice(), &ann.partitioned);
                     self.sim.set_rates(merged);
                 } else {
                     if !ann.partitioned.is_empty() {
@@ -781,11 +876,11 @@ impl ClosedLoop {
                         let in_force = self.sim.rates_slice();
                         for (t, &p) in self.head_proc.iter().enumerate() {
                             if ann.partitioned.contains(&p) {
-                                cmd[t] = in_force[t];
+                                self.act_cmd[t] = in_force[t];
                             }
                         }
                     }
-                    self.sim.set_rates(&cmd);
+                    self.sim.set_rates(&self.act_cmd);
                 }
             }
         }
@@ -795,6 +890,16 @@ impl ClosedLoop {
         // registry (and any sinks) — controller internals via the
         // consolidated observer interface, engine counters as deltas.
         let net_obs = self.net.as_mut().map(|n| n.period_observation());
+        let churn_obs = self.admission.as_ref().map(|a| ChurnPeriod {
+            admitted: a.period_delta.admitted,
+            rejected: a.period_delta.rejected,
+            deferred: a.period_delta.deferred,
+            departed: a.period_delta.departed,
+            mode_changes: a.period_delta.mode_changes,
+            incremental_updates: a.period_delta.incremental_updates,
+            model_rebuilds: a.period_delta.model_rebuilds,
+            update_ns: &a.update_ns,
+        });
         self.telemetry.record_period(PeriodObservation {
             period: k as u64,
             time: t_end,
@@ -815,6 +920,7 @@ impl ClosedLoop {
                 actuate_ns: (t_actuated - t_controlled).as_nanos() as u64,
             },
             net: net_obs,
+            churn: churn_obs,
         });
 
         // 8. Record into the reused step: the true utilizations, plus what
@@ -855,6 +961,8 @@ impl ClosedLoop {
             faults: self.fault_summary(),
             engine: self.sim.counters(),
             telemetry: self.telemetry.snapshot(),
+            churn: self.churn_summary(),
+            admission_events: self.admission_events().to_vec(),
         }
     }
 
@@ -866,6 +974,12 @@ impl ClosedLoop {
             faults: self.fault_summary(),
             engine: self.sim.counters(),
             telemetry: self.telemetry.snapshot(),
+            churn: self.churn_summary(),
+            admission_events: self
+                .admission
+                .as_ref()
+                .map(|a| a.log().to_vec())
+                .unwrap_or_default(),
             trace: self.trace,
             deadlines: self.sim.deadline_stats(),
             set_points: self.set_points,
@@ -876,6 +990,202 @@ impl ClosedLoop {
     /// histograms updated every sampling period).
     pub fn telemetry(&self) -> &Registry {
         self.telemetry.registry()
+    }
+
+    /// Membership decisions taken so far (empty without a churn plan).
+    pub fn admission_events(&self) -> &[AdmissionEvent] {
+        self.admission.as_ref().map_or(&[], |a| a.log())
+    }
+
+    /// Cumulative runtime-membership activity (all zero without a churn
+    /// plan).
+    pub fn churn_summary(&self) -> ChurnSummary {
+        self.admission
+            .as_ref()
+            .map(|a| a.summary())
+            .unwrap_or_default()
+    }
+
+    /// Applies due membership changes at the top of period `k`: deferred
+    /// arrivals retry first (FIFO), then scripted events fire in plan
+    /// order.  Steady-state periods — nothing pending, no event due —
+    /// return after a constant-time check, without allocating.
+    fn process_churn(&mut self, k: usize) {
+        {
+            let Some(adm) = &mut self.admission else {
+                return;
+            };
+            adm.begin_period();
+            if adm.idle(k) {
+                return;
+            }
+        }
+        let mut adm = self.admission.take().expect("checked above");
+        let pending = std::mem::take(&mut adm.pending);
+        for mut p in pending {
+            p.age += 1;
+            self.settle_arrival(&mut adm, k, p);
+        }
+        while adm.events.get(adm.cursor).is_some_and(|e| e.period() <= k) {
+            let ev = adm.events[adm.cursor].clone();
+            adm.cursor += 1;
+            match ev {
+                ChurnEvent::Arrival { task, .. } => {
+                    let plan_id = adm.plan_map.len();
+                    adm.plan_map.push(None);
+                    self.settle_arrival(
+                        &mut adm,
+                        k,
+                        PendingArrival {
+                            plan_id,
+                            task,
+                            age: 0,
+                        },
+                    );
+                }
+                ChurnEvent::Departure { task, .. } => self.depart(&mut adm, k, task),
+                ChurnEvent::ModeChange { task, scale, .. } => {
+                    if let Some(tid) = adm.resolve(task) {
+                        if !self.sim.is_departed(tid) {
+                            self.sim.set_task_mode(tid, scale);
+                            adm.log.push(AdmissionEvent::ModeChanged {
+                                period: k,
+                                task: tid,
+                            });
+                            adm.summary.mode_changes += 1;
+                            adm.period_delta.mode_changes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.admission = Some(adm);
+    }
+
+    /// Decides one (possibly deferred) arrival: admit it, keep deferring,
+    /// or reject once the deferral limit is exhausted.
+    fn settle_arrival(&mut self, adm: &mut AdmissionController, k: usize, p: PendingArrival) {
+        match self.try_admit(adm, &p.task) {
+            Ok(tid) => {
+                adm.plan_map[p.plan_id] = Some(tid);
+                adm.log.push(AdmissionEvent::Admitted {
+                    period: k,
+                    task: tid,
+                });
+                adm.summary.admitted += 1;
+                adm.period_delta.admitted += 1;
+            }
+            Err((_, deferrable)) if deferrable && p.age < adm.policy.defer_limit => {
+                if p.age == 0 {
+                    adm.log.push(AdmissionEvent::Deferred { period: k });
+                }
+                adm.summary.deferred += 1;
+                adm.period_delta.deferred += 1;
+                adm.pending.push(p);
+            }
+            Err((reason, _)) => {
+                adm.log.push(AdmissionEvent::Rejected { period: k, reason });
+                adm.summary.rejected += 1;
+                adm.period_delta.rejected += 1;
+            }
+        }
+    }
+
+    /// Runs the admission test for one arrival and, on success, grows the
+    /// controller's plant model, the simulator, and every per-task table
+    /// the loop keeps.  The second member of the error is whether the
+    /// rejection is transient (worth deferring).
+    fn try_admit(
+        &mut self,
+        adm: &mut AdmissionController,
+        task: &Task,
+    ) -> Result<TaskId, (RejectReason, bool)> {
+        // Safe mode freezes admissions until the primary law re-engages.
+        if self.controller.mode() == ControlMode::Degraded {
+            return Err((RejectReason::Degraded, true));
+        }
+        // Utilization-threshold admission test (the paper's §6.2 pointer):
+        // project the arrival's estimated load at its starting rate on top
+        // of the previous period's utilization sample.
+        let n = self.set_points.len();
+        adm.f_col.clear();
+        adm.f_col.resize(n, 0.0);
+        for s in task.subtasks() {
+            adm.f_col[s.processor.0] += s.estimated_time;
+        }
+        let r0 = task.initial_rate();
+        for p in 0..n {
+            if self.u_scratch[p] + adm.f_col[p] * r0
+                > adm.policy.admit_threshold * self.set_points[p]
+            {
+                return Err((RejectReason::OverBudget, true));
+            }
+        }
+        // Grow the controller first — a task nobody can control must not
+        // enter the plant.  Controllers without a per-task plant model
+        // (OPEN, PID) refuse, which rejects the arrival for good.
+        let t0 = Instant::now();
+        let update = self
+            .controller
+            .membership_admit(&adm.f_col, task.rate_min(), task.rate_max(), r0)
+            .map_err(|_| (RejectReason::ControllerRefused, false))?;
+        adm.note_update(update, t0.elapsed().as_nanos() as u64);
+        let tid = self
+            .sim
+            .admit_task(task.clone())
+            .expect("churn plan validated at build time");
+        self.ctrl_cols.push(tid);
+        self.head_proc.push(task.subtasks()[0].processor.0);
+        if let Some(grid) = &mut self.rate_grid {
+            let lo = task.rate_min();
+            let hi = task.rate_max();
+            let levels = grid[0].len();
+            grid.push(
+                (0..levels)
+                    .map(|i| lo * (hi / lo).powf(i as f64 / (levels - 1) as f64))
+                    .collect(),
+            );
+        }
+        let started = self.sim.rates_slice()[tid.0];
+        self.last.rates.push(started);
+        self.act_cmd.push(started);
+        // Commands already in the delay queue predate this task; they will
+        // be padded with the in-force rate when they arrive.
+        if let Some(net) = &mut self.net {
+            net.add_task(task.subtasks()[0].processor.0);
+        }
+        Ok(tid)
+    }
+
+    /// Executes a departure: the plant drains the task's in-flight jobs,
+    /// and the controller shrinks its plant model (migrating warm state)
+    /// if it has one.
+    fn depart(&mut self, adm: &mut AdmissionController, k: usize, plan_task: TaskId) {
+        let Some(tid) = adm.resolve(plan_task) else {
+            return; // a rejected arrival: nothing to depart
+        };
+        if self.sim.is_departed(tid) {
+            return; // idempotent
+        }
+        self.sim.depart_task(tid);
+        if let Some(col) = self.ctrl_cols.iter().position(|&t| t == tid) {
+            adm.keep_scratch.clear();
+            adm.keep_scratch
+                .extend(self.ctrl_cols.iter().map(|&t| t != tid));
+            let t0 = Instant::now();
+            if let Ok(update) = self.controller.membership_retain(&adm.keep_scratch) {
+                self.ctrl_cols.remove(col);
+                adm.note_update(update, t0.elapsed().as_nanos() as u64);
+            }
+            // Controllers without a per-task plant model keep commanding
+            // the departed slot; the plant simply ignores it.
+        }
+        adm.log.push(AdmissionEvent::Departed {
+            period: k,
+            task: tid,
+        });
+        adm.summary.departed += 1;
+        adm.period_delta.departed += 1;
     }
 }
 

@@ -39,6 +39,7 @@ use eucon_net::{channel_pair, tcp_pair, DelayLoss, Frame, TcpConfig, Transport, 
 use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::TaskSet;
 
+use crate::admission::{AdmissionPolicy, ChurnPlan};
 use crate::telemetry::{NetPeriod, TelemetrySink};
 use crate::{ClosedLoop, ClosedLoopBuilder, ControllerFactory, CoreError, LaneModel, RunResult};
 
@@ -235,6 +236,17 @@ impl NetRuntime {
             period_stale: 0,
             last_stats: TransportStats::default(),
         })
+    }
+
+    /// Registers a newly-admitted task whose rate modulator lives on
+    /// processor `head`.  The task takes the next command-vector slot
+    /// (slots are never recycled, so the new id is the largest and the
+    /// per-lane ascending payload layout is preserved on both endpoints
+    /// of the lane).
+    pub(crate) fn add_task(&mut self, head: usize) {
+        let t = self.cmd_scratch.len();
+        self.tasks_of[head].push(t);
+        self.cmd_scratch.push(0.0);
     }
 
     /// Phase 4 of a distributed period: each processor node sends its
@@ -574,6 +586,19 @@ impl DistributedLoopBuilder {
     /// See [`ClosedLoopBuilder::telemetry_sink`].
     pub fn telemetry_sink(mut self, sink: impl TelemetrySink + 'static) -> Self {
         self.inner = self.inner.telemetry_sink(sink);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::churn`] (arrivals register a fresh slot
+    /// on their head processor's command lane).
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.inner = self.inner.churn(plan);
+        self
+    }
+
+    /// See [`ClosedLoopBuilder::admission`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.inner = self.inner.admission(policy);
         self
     }
 

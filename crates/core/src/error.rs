@@ -5,6 +5,7 @@ use std::fmt;
 
 use eucon_control::ControlError;
 use eucon_net::TransportError;
+use eucon_sim::SimError;
 use eucon_tasks::TaskError;
 
 /// Errors produced while assembling or running closed-loop experiments.
@@ -21,6 +22,10 @@ pub enum CoreError {
     /// Setting up or operating the feedback-lane transport failed
     /// (binding the loopback sockets, a torn-down channel peer, ...).
     Transport(TransportError),
+    /// A fault plan (or other simulator-side configuration) failed
+    /// validation — out-of-range processor, empty/inverted window,
+    /// ambiguous overlap, out-of-range probability.
+    Sim(SimError),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +35,7 @@ impl fmt::Display for CoreError {
             CoreError::Task(e) => write!(f, "invalid workload: {e}"),
             CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Transport(e) => write!(f, "feedback-lane transport failure: {e}"),
+            CoreError::Sim(e) => write!(f, "fault-plan validation failed: {e}"),
         }
     }
 }
@@ -41,7 +47,15 @@ impl Error for CoreError {
             CoreError::Task(e) => Some(e),
             CoreError::Config(_) => None,
             CoreError::Transport(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
         }
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
     }
 }
 
@@ -83,5 +97,15 @@ mod tests {
         assert!(e.to_string().contains("invalid configuration"));
         assert!(e.to_string().contains("sampling period"));
         assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn sim_errors_wrap_with_source() {
+        let e = CoreError::Sim(SimError::InvalidProbability {
+            what: "actuation loss",
+            value: 2.0,
+        });
+        assert!(e.to_string().contains("fault-plan validation failed"));
+        assert!(Error::source(&e).is_some());
     }
 }

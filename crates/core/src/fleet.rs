@@ -59,6 +59,7 @@ use eucon_math::Vector;
 use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::TaskSet;
 
+use crate::admission::{AdmissionPolicy, ChurnPlan, ChurnSummary};
 use crate::telemetry::RingBufferSink;
 use crate::{ClosedLoop, ControllerSpec, CoreError};
 
@@ -73,6 +74,8 @@ pub struct FleetLoopSpec {
     controller: ControllerSpec,
     set_points: Option<Vector>,
     faults: FaultPlan,
+    churn: ChurnPlan,
+    admission: Option<AdmissionPolicy>,
 }
 
 impl FleetLoopSpec {
@@ -85,6 +88,8 @@ impl FleetLoopSpec {
             controller: ControllerSpec::Eucon(eucon_control::MpcConfig::simple()),
             set_points: None,
             faults: FaultPlan::none(),
+            churn: ChurnPlan::none(),
+            admission: None,
         }
     }
 
@@ -109,6 +114,19 @@ impl FleetLoopSpec {
     /// Installs a fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Installs a runtime-membership (churn) plan.
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = plan;
+        self
+    }
+
+    /// Overrides the admission policy (a non-empty churn plan engages
+    /// admission control with [`AdmissionPolicy::default`] already).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
         self
     }
 }
@@ -168,6 +186,9 @@ pub struct FleetReport {
     /// Partial telemetry batches delivered at end-of-run flushes (0 when
     /// batching is off or every batch filled exactly).
     pub partial_flushes: u64,
+    /// Runtime-membership activity summed across the fleet (all zero in a
+    /// churn-free fleet).
+    pub churn: ChurnSummary,
     /// Wall-clock seconds for the whole fleet.
     pub elapsed_secs: f64,
     /// One FNV-1a digest per loop, in spec order, over every step's time,
@@ -261,6 +282,7 @@ impl FleetRunner {
             engine_events: 0,
             control_errors: 0,
             partial_flushes: 0,
+            churn: ChurnSummary::default(),
             elapsed_secs,
             digests: Vec::with_capacity(outcomes.len()),
         };
@@ -269,6 +291,7 @@ impl FleetRunner {
             report.engine_events += o.engine_events;
             report.control_errors += o.control_errors;
             report.partial_flushes += o.partial_flushes;
+            report.churn.add(&o.churn);
             report.digests.push(o.digest);
         }
         Ok(report)
@@ -283,6 +306,7 @@ struct LoopOutcome {
     engine_events: u64,
     control_errors: u64,
     partial_flushes: u64,
+    churn: ChurnSummary,
 }
 
 /// Builds and runs one loop inside a worker thread.
@@ -291,9 +315,13 @@ fn run_one(spec: &FleetLoopSpec, periods: usize, batch: usize) -> Result<LoopOut
         .sim_config(spec.sim.clone())
         .controller(spec.controller.clone())
         .faults(spec.faults.clone())
+        .churn(spec.churn.clone())
         .record_trace(false);
     if let Some(b) = &spec.set_points {
         builder = builder.set_points(b.clone());
+    }
+    if let Some(policy) = &spec.admission {
+        builder = builder.admission(policy.clone());
     }
     if batch > 0 {
         builder = builder
@@ -321,6 +349,7 @@ fn run_one(spec: &FleetLoopSpec, periods: usize, batch: usize) -> Result<LoopOut
         engine_events: result.engine.events,
         control_errors: result.control_errors as u64,
         partial_flushes: result.telemetry.counter("partial_flushes").unwrap_or(0),
+        churn: result.churn,
     })
 }
 

@@ -15,6 +15,10 @@
 //! * [`FleetRunner`] — thousands of independent loops packed onto a
 //!   work-stealing thread pool, with per-loop trace digests that are
 //!   bit-identical across thread counts (see DESIGN.md §14).
+//! * [`ChurnPlan`] / [`AdmissionPolicy`] — runtime membership: scripted
+//!   or stochastic task arrivals, departures and mode changes, gated by
+//!   the §6.2 utilization-threshold admission test, with incremental
+//!   plant-model updates in the controller (see DESIGN.md §15).
 //! * [`experiments`] — Experiment I ([`SteadyRun`], constant etf sweeps →
 //!   Figures 4 and 5) and Experiment II ([`VaryingRun`], the 0.5 → 0.9 →
 //!   0.33 step profile → Figures 6–8).
@@ -65,6 +69,9 @@ pub mod svg;
 pub mod telemetry;
 mod trace;
 
+pub use admission::{
+    AdmissionEvent, AdmissionPolicy, ChurnEvent, ChurnPlan, ChurnSummary, RejectReason,
+};
 pub use closed_loop::{
     ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunMetrics, RunResult,
     DEFAULT_SAMPLING_PERIOD,

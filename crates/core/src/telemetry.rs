@@ -63,6 +63,30 @@ pub(crate) struct NetPeriod<'a> {
     pub rtt_ns: &'a [u64],
 }
 
+/// One sampling period's runtime-membership activity — per-period deltas
+/// plus the period's plant-model update latencies.  Absent (`None`) in a
+/// loop without a churn plan; the churn metrics then stay at zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ChurnPeriod<'a> {
+    /// Arrivals admitted this period.
+    pub admitted: u64,
+    /// Arrivals rejected this period.
+    pub rejected: u64,
+    /// Arrivals deferred this period.
+    pub deferred: u64,
+    /// Tasks departed this period.
+    pub departed: u64,
+    /// Mode changes applied this period.
+    pub mode_changes: u64,
+    /// Plant-model updates absorbed in place this period.
+    pub incremental_updates: u64,
+    /// Plant-model updates that fell back to a full rebuild this period.
+    pub model_rebuilds: u64,
+    /// Latency of each plant-model membership update this period, in
+    /// nanoseconds.
+    pub update_ns: &'a [u64],
+}
+
 /// Everything the loop observed in one sampling period, handed to
 /// [`LoopTelemetry::record_period`] as one bundle.
 pub(crate) struct PeriodObservation<'a> {
@@ -89,6 +113,8 @@ pub(crate) struct PeriodObservation<'a> {
     pub timings: PeriodTimings,
     /// Transport activity (distributed loops only).
     pub net: Option<NetPeriod<'a>>,
+    /// Runtime-membership activity (loops with a churn plan only).
+    pub churn: Option<ChurnPeriod<'a>>,
 }
 
 /// The closed loop's metric registry plus its sinks: declared at build,
@@ -118,6 +144,14 @@ pub(crate) struct LoopTelemetry {
     c_lane_reconnects: CounterId,
     c_frame_decode_errors: CounterId,
     c_stale_reuse: CounterId,
+    // Runtime-membership counters (all zero in a churn-free loop).
+    c_tasks_admitted: CounterId,
+    c_tasks_rejected: CounterId,
+    c_tasks_deferred: CounterId,
+    c_tasks_departed: CounterId,
+    c_task_mode_changes: CounterId,
+    c_incremental_updates: CounterId,
+    c_model_rebuilds: CounterId,
     // Gauges (the period's point-in-time values).
     g_u: Vec<GaugeId>,
     g_err: Vec<GaugeId>,
@@ -140,6 +174,7 @@ pub(crate) struct LoopTelemetry {
     h_control: HistogramId,
     h_actuate: HistogramId,
     h_lane_rtt: HistogramId,
+    h_model_update: HistogramId,
     // State for turning cumulative inputs into per-period increments.
     last_engine: EngineCounters,
     last_act_drops: usize,
@@ -211,6 +246,13 @@ impl LoopTelemetry {
         let c_lane_reconnects = b.counter("lane_reconnects");
         let c_frame_decode_errors = b.counter("frame_decode_errors");
         let c_stale_reuse = b.counter("stale_report_reuse");
+        let c_tasks_admitted = b.counter("tasks_admitted");
+        let c_tasks_rejected = b.counter("tasks_rejected");
+        let c_tasks_deferred = b.counter("tasks_deferred");
+        let c_tasks_departed = b.counter("tasks_departed");
+        let c_task_mode_changes = b.counter("task_mode_changes");
+        let c_incremental_updates = b.counter("incremental_updates");
+        let c_model_rebuilds = b.counter("model_rebuilds");
         let g_u = (0..num_procs)
             .map(|p| b.gauge(indexed_name("u_p", p + 1)))
             .collect();
@@ -233,6 +275,7 @@ impl LoopTelemetry {
         let h_control = b.histogram("span_control_ns", &SPAN_BOUNDS);
         let h_actuate = b.histogram("span_actuate_ns", &SPAN_BOUNDS);
         let h_lane_rtt = b.histogram("lane_rtt_ns", &SPAN_BOUNDS);
+        let h_model_update = b.histogram("model_update_ns", &SPAN_BOUNDS);
         LoopTelemetry {
             registry: b.build(),
             sinks: Vec::new(),
@@ -256,6 +299,13 @@ impl LoopTelemetry {
             c_lane_reconnects,
             c_frame_decode_errors,
             c_stale_reuse,
+            c_tasks_admitted,
+            c_tasks_rejected,
+            c_tasks_deferred,
+            c_tasks_departed,
+            c_task_mode_changes,
+            c_incremental_updates,
+            c_model_rebuilds,
             g_u,
             g_err,
             g_qp_iterations,
@@ -274,6 +324,7 @@ impl LoopTelemetry {
             h_control,
             h_actuate,
             h_lane_rtt,
+            h_model_update,
             last_engine: EngineCounters::default(),
             last_act_drops: 0,
             was_degraded: false,
@@ -373,6 +424,18 @@ impl LoopTelemetry {
             reg.add(self.c_stale_reuse, net.stale_reuse);
             for &rtt in net.rtt_ns {
                 reg.observe(self.h_lane_rtt, rtt as f64);
+            }
+        }
+        if let Some(ch) = obs.churn {
+            reg.add(self.c_tasks_admitted, ch.admitted);
+            reg.add(self.c_tasks_rejected, ch.rejected);
+            reg.add(self.c_tasks_deferred, ch.deferred);
+            reg.add(self.c_tasks_departed, ch.departed);
+            reg.add(self.c_task_mode_changes, ch.mode_changes);
+            reg.add(self.c_incremental_updates, ch.incremental_updates);
+            reg.add(self.c_model_rebuilds, ch.model_rebuilds);
+            for &ns in ch.update_ns {
+                reg.observe(self.h_model_update, ns as f64);
             }
         }
         if !self.sinks.is_empty() {
@@ -475,6 +538,7 @@ mod tests {
             engine: EngineCounters::default(),
             timings: PeriodTimings::default(),
             net: None,
+            churn: None,
         }
     }
 
@@ -534,7 +598,7 @@ mod tests {
         // Registry state and the pushed rows must agree.
         assert_eq!(
             lt.registry().columns().len(),
-            lt.snapshot().entries().len() + 2 * 8
+            lt.snapshot().entries().len() + 2 * 9
         );
         assert_eq!(lt.snapshot().counter("sink_errors"), Some(0));
     }
@@ -563,6 +627,37 @@ mod tests {
         assert_eq!(snap.counter("lane_reconnects"), Some(1));
         assert_eq!(snap.counter("stale_report_reuse"), Some(2));
         assert_eq!(snap.histogram("lane_rtt_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn churn_metrics_flow_into_counters_and_update_histogram() {
+        let u = Vector::from_slice(&[0.5]);
+        let b = Vector::from_slice(&[0.828]);
+        let mut lt = LoopTelemetry::new(1);
+        let updates = [5_000u64, 40_000];
+        let mut o = obs(&u, &b, 0);
+        o.churn = Some(ChurnPeriod {
+            admitted: 2,
+            rejected: 1,
+            deferred: 1,
+            departed: 1,
+            mode_changes: 3,
+            incremental_updates: 2,
+            model_rebuilds: 1,
+            update_ns: &updates,
+        });
+        lt.record_period(o);
+        // A churn-free period leaves the counters untouched.
+        lt.record_period(obs(&u, &b, 1));
+        let snap = lt.snapshot();
+        assert_eq!(snap.counter("tasks_admitted"), Some(2));
+        assert_eq!(snap.counter("tasks_rejected"), Some(1));
+        assert_eq!(snap.counter("tasks_deferred"), Some(1));
+        assert_eq!(snap.counter("tasks_departed"), Some(1));
+        assert_eq!(snap.counter("task_mode_changes"), Some(3));
+        assert_eq!(snap.counter("incremental_updates"), Some(2));
+        assert_eq!(snap.counter("model_rebuilds"), Some(1));
+        assert_eq!(snap.histogram("model_update_ns").unwrap().count, 2);
     }
 
     #[test]

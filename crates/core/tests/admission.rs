@@ -1,0 +1,109 @@
+//! Admission-control regression tests, promoted from the
+//! `admission_control` example so CI enforces what the example's
+//! narrative claims: under a catastrophic overload (execution times at
+//! 25× the estimates) rate adaptation alone cannot fit the workload, so
+//! the supervisor suspends tasks; when the overload clears, every task
+//! is re-admitted and normal utilization regulation resumes.
+
+use eucon_control::MpcConfig;
+use eucon_core::admission::AdaptiveLoop;
+use eucon_core::{metrics, AdmissionEvent, AdmissionPolicy};
+use eucon_sim::{EtfProfile, ExecModel, SimConfig};
+use eucon_tasks::workloads;
+
+/// The example's disaster-recovery scenario: etf 25 for 80 periods
+/// (sensor fusion saturating), then relief at 0.5.
+fn disaster_recovery() -> AdaptiveLoop {
+    let profile = EtfProfile::steps(&[(0.0, 25.0), (80_000.0, 0.5)]);
+    AdaptiveLoop::new(
+        workloads::simple(),
+        MpcConfig::simple(),
+        AdmissionPolicy::default(),
+        SimConfig {
+            exec_model: ExecModel::Constant,
+            etf: profile,
+            seed: 0,
+            release_guard: Default::default(),
+            processor_speeds: None,
+        },
+    )
+    .expect("adaptive loop builds")
+}
+
+#[test]
+fn overload_forces_suspensions_and_relief_readmits_everyone() {
+    let mut al = disaster_recovery();
+    al.run(220);
+
+    assert!(
+        al.events()
+            .iter()
+            .any(|e| matches!(e, AdmissionEvent::Suspended { .. })),
+        "the 25x overload must force suspensions: {:?}",
+        al.events()
+    );
+    assert!(
+        al.events()
+            .iter()
+            .any(|e| matches!(e, AdmissionEvent::Readmitted { .. })),
+        "relief must trigger re-admissions: {:?}",
+        al.events()
+    );
+    assert!(
+        al.suspended_tasks().is_empty(),
+        "relief must bring every task back: {:?}",
+        al.suspended_tasks()
+    );
+
+    // Normal regulation resumes after relief: P1's tail utilization
+    // returns to its RMS set point.
+    let u1 = al.trace().utilization_series(0);
+    let relief_tail = metrics::window(&u1, 180, 220);
+    assert!(
+        (relief_tail.mean - 0.828).abs() < 0.05,
+        "post-relief P1 mean {:.3} should track 0.828",
+        relief_tail.mean
+    );
+}
+
+#[test]
+fn suspensions_and_readmissions_pair_up_in_period_order() {
+    let mut al = disaster_recovery();
+    al.run(220);
+
+    // Every suspension precedes its matching re-admission, and the event
+    // log is ordered by period.
+    let mut last_period = 0usize;
+    let mut outstanding = 0i64;
+    for e in al.events() {
+        match *e {
+            AdmissionEvent::Suspended { period, .. } => {
+                assert!(period >= last_period);
+                last_period = period;
+                outstanding += 1;
+            }
+            AdmissionEvent::Readmitted { period, .. } => {
+                assert!(period >= last_period);
+                last_period = period;
+                outstanding -= 1;
+                assert!(outstanding >= 0, "re-admission without a suspension");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(outstanding, 0, "every suspension is eventually undone");
+}
+
+#[test]
+fn healthy_load_never_touches_admission() {
+    let mut al = AdaptiveLoop::new(
+        workloads::simple(),
+        MpcConfig::simple(),
+        AdmissionPolicy::default(),
+        SimConfig::constant_etf(1.0),
+    )
+    .expect("adaptive loop builds");
+    al.run(40);
+    assert!(al.suspended_tasks().is_empty());
+    assert!(al.events().is_empty(), "events: {:?}", al.events());
+}

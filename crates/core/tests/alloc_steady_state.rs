@@ -129,6 +129,33 @@ fn fault_free_steady_state_period_is_allocation_free() {
         "recording may only pay for the trace itself: {recorded} allocations over 50 periods"
     );
 
+    // 2b. Churn-enabled loop (ISSUE 7), OPEN controller: once the plan's
+    // membership changes have all fired, the per-period churn check is a
+    // constant-time cursor/pending inspection and the actuation slow path
+    // assembles commands into a persistent scratch — steady-state periods
+    // *between* membership changes stay allocation-free.
+    let mut churned = ClosedLoop::builder(workloads::medium())
+        .sim_config(SimConfig::constant_etf(0.5))
+        .controller(ControllerSpec::Open)
+        .churn(
+            eucon_core::ChurnPlan::none()
+                .departure(5, eucon_tasks::TaskId(2))
+                .mode_change(8, eucon_tasks::TaskId(0), 1.2),
+        )
+        .record_trace(false)
+        .build()
+        .unwrap();
+    for _ in 0..200 {
+        churned.step();
+    }
+    assert_eq!(churned.churn_summary().departed, 1, "the plan really ran");
+    let churn_steady = measure(&mut churned, 50);
+    assert_eq!(
+        churn_steady, 0,
+        "steady state between membership changes must not allocate \
+         (got {churn_steady} over 50 periods)"
+    );
+
     // 3. EUCON (MPC): the controller's scratch buffers are persistent,
     // but the QP solver allocates its solution internally — the honest
     // claim is *bounded and steady*, not zero.  Two consecutive windows

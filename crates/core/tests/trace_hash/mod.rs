@@ -10,7 +10,7 @@
 #![allow(dead_code)]
 
 use eucon_control::MpcConfig;
-use eucon_core::{ClosedLoop, ControllerSpec, DistributedLoop, RunResult};
+use eucon_core::{ChurnPlan, ClosedLoop, ControllerSpec, DistributedLoop, RunResult};
 use eucon_math::Vector;
 use eucon_sim::{ExecModel, FaultPlan, SimConfig};
 use eucon_tasks::{workloads, TaskSet};
@@ -176,6 +176,36 @@ impl Scenario {
             .faults(self.faults())
             .build()
             .expect("closed loop")
+            .run(GOLDEN_PERIODS)
+    }
+
+    /// Runs the scenario through the single-process loop with an
+    /// explicit **empty** churn plan: the builder must treat it exactly
+    /// like no plan at all, so the trace stays bit-identical to
+    /// [`Scenario::run_single`] and the golden hashes hold.
+    pub fn run_single_zero_churn(self) -> RunResult {
+        ClosedLoop::builder(self.workload())
+            .sim_config(self.sim_config())
+            .controller(self.controller())
+            .faults(self.faults())
+            .churn(ChurnPlan::none())
+            .build()
+            .expect("closed loop")
+            .run(GOLDEN_PERIODS)
+    }
+
+    /// [`Scenario::run_distributed_channel`] with an explicit empty
+    /// churn plan — same bit-identity contract as
+    /// [`Scenario::run_single_zero_churn`].
+    pub fn run_distributed_zero_churn(self) -> RunResult {
+        DistributedLoop::builder(self.workload())
+            .sim_config(self.sim_config())
+            .controller(self.controller())
+            .faults(self.faults())
+            .churn(ChurnPlan::none())
+            .channel(4)
+            .build()
+            .expect("distributed loop")
             .run(GOLDEN_PERIODS)
     }
 

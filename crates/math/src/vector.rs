@@ -95,6 +95,14 @@ impl Vector {
         &mut self.data
     }
 
+    /// Appends one entry, growing the vector by one.
+    ///
+    /// Used by runtime-membership code (admitting a task grows every
+    /// per-task vector); the steady-state control path never calls it.
+    pub fn push(&mut self, value: f64) {
+        self.data.push(value);
+    }
+
     /// Copies the entries of `source` into `self` without allocating.
     ///
     /// # Panics

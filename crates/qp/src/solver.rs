@@ -344,6 +344,111 @@ impl PreparedQp {
         self.chol.bandwidth()
     }
 
+    /// The constraint matrix this problem was prepared with.
+    pub fn constraints(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// Incremental constraint-set shrink: keeps the rows of `G` selected
+    /// by `keep`, reusing the Cholesky factor of the unchanged `H` and
+    /// *extracting* the retained per-constraint back-solves and Gram-table
+    /// entries instead of recomputing them.
+    ///
+    /// Bit-identical to `PreparedQp::new(h.clone(), g_retained)`: a
+    /// rebuild would recompute exactly the values being copied (`H` and
+    /// the retained rows of `G` are unchanged, and both the back-solves
+    /// and the Gram products are deterministic), so the next
+    /// [`solve`](PreparedQp::solve) follows the same trajectory bit for
+    /// bit.  Cost is `O(k²)` table extraction instead of the `O(k·n²)`
+    /// back-solves plus `O(k²·n)` Gram products of a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`QpError::DimensionMismatch`] — `keep.len()` differs from the
+    /// constraint count.
+    pub fn retain_constraints(&self, keep: &[bool]) -> Result<PreparedQp, QpError> {
+        if keep.len() != self.num_constraints() {
+            return Err(QpError::DimensionMismatch(format!(
+                "keep mask length {} does not match constraint count {}",
+                keep.len(),
+                self.num_constraints()
+            )));
+        }
+        let kept: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        let g = Matrix::from_fn(kept.len(), self.num_vars(), |r, c| self.g[(kept[r], c)]);
+        let hinv_n: Vec<Vector> = kept.iter().map(|&i| self.cache.hinv_n[i].clone()).collect();
+        let d = Matrix::from_fn(kept.len(), kept.len(), |a, b| {
+            self.cache.d[(kept[a], kept[b])]
+        });
+        let base_scale = g.max_abs().max(self.h.max_abs()).max(1.0);
+        Ok(PreparedQp {
+            h: self.h.clone(),
+            g,
+            chol: self.chol.clone(),
+            cache: ConstraintCache { hinv_n, d },
+            base_scale,
+            warm_factors: RefCell::new(WarmFactors::default()),
+        })
+    }
+
+    /// Incremental constraint-set growth: appends the rows of `extra` to
+    /// `G`, computing back-solves and Gram entries only for the new rows
+    /// (the existing table is copied — `H` and the old rows are unchanged,
+    /// so a rebuild would recompute the same bits).
+    ///
+    /// Bit-identical to `PreparedQp::new(h.clone(), g.vstack(extra))` for
+    /// the same reason as [`retain_constraints`](Self::retain_constraints).
+    ///
+    /// # Errors
+    ///
+    /// [`QpError::DimensionMismatch`] — `extra.cols()` differs from the
+    /// variable count.
+    pub fn append_constraints(&self, extra: &Matrix) -> Result<PreparedQp, QpError> {
+        if extra.cols() != self.num_vars() {
+            return Err(QpError::DimensionMismatch(format!(
+                "appended constraint row width {} does not match variable count {}",
+                extra.cols(),
+                self.num_vars()
+            )));
+        }
+        let m0 = self.g.rows();
+        let g = if m0 == 0 {
+            extra.clone()
+        } else {
+            self.g.vstack(extra)
+        };
+        let m = g.rows();
+        let mut hinv_n = self.cache.hinv_n.clone();
+        hinv_n.reserve(m - m0);
+        for i in m0..m {
+            let ni = Vector::from_iter(g.row(i).iter().map(|v| -v));
+            hinv_n.push(self.chol.solve(&ni)?);
+        }
+        let mut d = Matrix::zeros(m, m);
+        for a in 0..m {
+            for b in 0..m {
+                d[(a, b)] = if a < m0 && b < m0 {
+                    self.cache.d[(a, b)]
+                } else {
+                    -dot_row(&g, a, &hinv_n[b])
+                };
+            }
+        }
+        let base_scale = g.max_abs().max(self.h.max_abs()).max(1.0);
+        Ok(PreparedQp {
+            h: self.h.clone(),
+            g,
+            chol: self.chol.clone(),
+            cache: ConstraintCache { hinv_n, d },
+            base_scale,
+            warm_factors: RefCell::new(WarmFactors::default()),
+        })
+    }
+
     /// Solves `min ½xᵀHx + fᵀx` s.t. `Gx ≤ hvec` for the prepared `H`, `G`.
     ///
     /// `warm` seeds the active set (see [`QuadProg::solve_warm`]); pass an
@@ -1030,6 +1135,111 @@ mod tests {
         let h = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
         let r = PreparedQp::new(h, Matrix::zeros(0, 2));
         assert_eq!(r.unwrap_err(), QpError::NotStrictlyConvex);
+    }
+
+    /// Exact bit-pattern equality of two solutions, including the
+    /// active-set trajectory.
+    fn assert_bit_identical(a: &QpSolution, b: &QpSolution) {
+        assert_eq!(a.active, b.active);
+        assert_eq!(a.iterations, b.iterations);
+        let bits = |v: &Vector| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&a.x), bits(&b.x));
+        assert_eq!(bits(&a.multipliers), bits(&b.multipliers));
+    }
+
+    fn coupled_prepared() -> (Matrix, Matrix, PreparedQp) {
+        let h = Matrix::from_rows(&[&[4.0, 1.0, 0.2], &[1.0, 2.0, 0.1], &[0.2, 0.1, 3.0]]);
+        let g = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[-1.0, 0.0, 0.0],
+            &[0.0, -1.0, 0.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let qp = PreparedQp::new(h.clone(), g.clone()).unwrap();
+        (h, g, qp)
+    }
+
+    #[test]
+    fn retain_constraints_is_bit_identical_to_rebuild() {
+        let (h, g, qp) = coupled_prepared();
+        let keep = [true, false, true, true, false, true];
+        let shrunk = qp.retain_constraints(&keep).unwrap();
+        let kept: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        let g_sub = Matrix::from_fn(kept.len(), 3, |r, c| g[(kept[r], c)]);
+        let rebuilt = PreparedQp::new(h, g_sub).unwrap();
+        assert_eq!(shrunk.num_constraints(), 4);
+
+        let f = Vector::from_slice(&[-3.0, 2.0, -1.5]);
+        let hvec = Vector::from_slice(&[0.4, 0.8, 0.3, 0.9]);
+        let a = shrunk.solve(&f, &hvec, &[]).unwrap();
+        let b = rebuilt.solve(&f, &hvec, &[]).unwrap();
+        assert_bit_identical(&a, &b);
+        // Warm restarts agree bit for bit too (shared memoized factors
+        // start empty on both sides).
+        let aw = shrunk.solve(&f, &hvec, &a.active).unwrap();
+        let bw = rebuilt.solve(&f, &hvec, &b.active).unwrap();
+        assert_bit_identical(&aw, &bw);
+    }
+
+    #[test]
+    fn append_constraints_is_bit_identical_to_rebuild() {
+        let (h, g, qp) = coupled_prepared();
+        let extra = Matrix::from_rows(&[&[0.5, -1.0, 0.0], &[0.0, 0.3, -1.0]]);
+        let grown = qp.append_constraints(&extra).unwrap();
+        let rebuilt = PreparedQp::new(h, g.vstack(&extra)).unwrap();
+        assert_eq!(grown.num_constraints(), 8);
+
+        let f = Vector::from_slice(&[-3.0, 2.0, -1.5]);
+        let hvec = Vector::from_slice(&[0.4, 10.0, 0.8, 0.2, 0.9, 0.3, -0.1, 0.05]);
+        let a = grown.solve(&f, &hvec, &[]).unwrap();
+        let b = rebuilt.solve(&f, &hvec, &[]).unwrap();
+        assert_bit_identical(&a, &b);
+    }
+
+    #[test]
+    fn append_onto_unconstrained_problem() {
+        let h = Matrix::identity(2);
+        let qp = PreparedQp::new(h.clone(), Matrix::zeros(0, 2)).unwrap();
+        let extra = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let grown = qp.append_constraints(&extra).unwrap();
+        let rebuilt = PreparedQp::new(h, extra).unwrap();
+        let f = Vector::from_slice(&[-2.0, -0.5]);
+        let hvec = Vector::from_slice(&[1.0]);
+        let a = grown.solve(&f, &hvec, &[]).unwrap();
+        let b = rebuilt.solve(&f, &hvec, &[]).unwrap();
+        assert_bit_identical(&a, &b);
+        assert!((a.x[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn retain_and_append_validate_dimensions() {
+        let (_, _, qp) = coupled_prepared();
+        assert!(matches!(
+            qp.retain_constraints(&[true, false]),
+            Err(QpError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            qp.append_constraints(&Matrix::zeros(1, 5)),
+            Err(QpError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn retain_all_and_retain_none_edge_cases() {
+        let (_, g, qp) = coupled_prepared();
+        let all = qp.retain_constraints(&vec![true; g.rows()]).unwrap();
+        assert_eq!(all.num_constraints(), g.rows());
+        let none = qp.retain_constraints(&vec![false; g.rows()]).unwrap();
+        assert_eq!(none.num_constraints(), 0);
+        let f = Vector::from_slice(&[-1.0, 0.0, 0.5]);
+        let sol = none.solve(&f, &Vector::zeros(0), &[]).unwrap();
+        assert!(sol.active.is_empty());
     }
 
     mod properties {

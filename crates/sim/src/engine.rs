@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use eucon_math::Vector;
-use eucon_tasks::{ProcessorId, TaskId, TaskSet};
+use eucon_tasks::{ProcessorId, TaskError, TaskId, TaskSet};
 
 use crate::event::{EventCore, FiredEvent};
 use crate::{DeadlineStats, EngineCounters, SimConfig, SubtaskStats, TaskStats};
@@ -193,6 +193,12 @@ pub struct Simulator {
     /// transient bursts on top of the configured speeds); all 1.0 nominally.
     speed_override: Vec<f64>,
     suspended: Vec<bool>,
+    /// Permanently departed tasks: the slot (and `TaskId`) stays so no
+    /// index ever shifts, but no further instances release.
+    departed: Vec<bool>,
+    /// Per-task execution-time multipliers (mode changes); all 1.0
+    /// nominally.  Applies to jobs released from now on.
+    task_exec_scale: Vec<f64>,
     deadline_stats: DeadlineStats,
     task_stats: Vec<TaskStats>,
     subtask_stats: Vec<Vec<SubtaskStats>>,
@@ -240,6 +246,8 @@ impl Simulator {
             procs: (0..n).map(|_| ProcState::default()).collect(),
             speed_override: vec![1.0; n],
             suspended: vec![false; m],
+            departed: vec![false; m],
+            task_exec_scale: vec![1.0; m],
             deadline_stats: DeadlineStats::default(),
             task_stats: vec![TaskStats::default(); m],
             subtask_stats: set_subtask_stats,
@@ -352,9 +360,9 @@ impl Simulator {
         self.rates[t] = clamped;
         // Reschedule the pending head release in place under the new
         // period, honouring the release guard on the head subtask.
-        // Suspended tasks keep the new rate but stay dormant (their head
-        // release slot is empty).
-        if !self.suspended[t] {
+        // Suspended or departed tasks keep the new rate but stay dormant
+        // (their head release slot is empty).
+        if !self.suspended[t] && !self.departed[t] {
             let last = self.sub_last_release[t][0];
             let next = if last.is_finite() {
                 (last + 1.0 / clamped).max(self.now)
@@ -409,7 +417,7 @@ impl Simulator {
     /// Panics if the id is out of range.
     pub fn resume_task(&mut self, task: TaskId) {
         assert!(task.0 < self.set.num_tasks(), "task id out of range");
-        if self.suspended[task.0] {
+        if self.suspended[task.0] && !self.departed[task.0] {
             self.suspended[task.0] = false;
             let last = self.sub_last_release[task.0][0];
             let next = if last.is_finite() {
@@ -428,6 +436,95 @@ impl Simulator {
     /// Panics if the id is out of range.
     pub fn is_suspended(&self, task: TaskId) -> bool {
         self.suspended[task.0]
+    }
+
+    /// Admits a new task at runtime: appends it to the task set, grows
+    /// every per-task state table and the event core, and schedules its
+    /// first head release at the current time.  Successor subtasks are
+    /// release-guarded exactly like any static task's.
+    ///
+    /// The returned id is stable forever — departures never shift ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TaskSet::add_task`] error when a subtask references
+    /// a processor outside the set.
+    pub fn admit_task(&mut self, task: eucon_tasks::Task) -> Result<TaskId, TaskError> {
+        let len = task.len();
+        let rate = task.initial_rate();
+        let id = self.set.add_task(task)?;
+        debug_assert_eq!(id.0, self.rates.len());
+        self.rates.push(rate);
+        self.next_instance.push(0);
+        self.sub_last_release.push(vec![f64::NEG_INFINITY; len]);
+        self.inflight.push(InflightRing::default());
+        self.suspended.push(false);
+        self.departed.push(false);
+        self.task_exec_scale.push(1.0);
+        self.task_stats.push(TaskStats::default());
+        self.subtask_stats.push(vec![SubtaskStats::default(); len]);
+        let core_id = self.core.add_task(len);
+        debug_assert_eq!(core_id, id.0);
+        self.core.schedule_task_release(id.0, self.now);
+        Ok(id)
+    }
+
+    /// Departs a task permanently: no further instances release, in-flight
+    /// jobs drain normally (successor subtasks still fire), and the slot —
+    /// hence every other task's id — stays where it is.  Idempotent;
+    /// departed tasks cannot be resumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn depart_task(&mut self, task: TaskId) {
+        assert!(task.0 < self.set.num_tasks(), "task id out of range");
+        if !self.departed[task.0] {
+            self.departed[task.0] = true;
+            self.core.cancel_task_release(task.0);
+        }
+    }
+
+    /// Whether a task has departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn is_departed(&self, task: TaskId) -> bool {
+        self.departed[task.0]
+    }
+
+    /// Number of tasks that are neither suspended nor departed.
+    pub fn active_tasks(&self) -> usize {
+        (0..self.set.num_tasks())
+            .filter(|&t| !self.suspended[t] && !self.departed[t])
+            .count()
+    }
+
+    /// Switches a task to a new mode: jobs released from now on take
+    /// `exec_scale ×` their estimated execution time.  `1.0` restores the
+    /// nominal mode.  This is the plant-side half of a mode change; the
+    /// controller sees it as a scaled allocation-matrix column.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `exec_scale` is positive and finite, or if the id is
+    /// out of range.
+    pub fn set_task_mode(&mut self, task: TaskId, exec_scale: f64) {
+        assert!(
+            exec_scale > 0.0 && exec_scale.is_finite(),
+            "mode execution scale must be positive and finite"
+        );
+        self.task_exec_scale[task.0] = exec_scale;
+    }
+
+    /// The current mode execution-time multiplier of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn task_mode(&self, task: TaskId) -> f64 {
+        self.task_exec_scale[task.0]
     }
 
     /// Crashes a processor: from the current simulation time it executes
@@ -629,10 +726,13 @@ impl Simulator {
             .processor_speeds
             .as_ref()
             .map_or(1.0, |s| s[subtask.processor.0]);
+        // The per-task mode scale is 1.0 nominally — an exact
+        // multiplicative identity, so mode-free runs stay bit-identical.
         let mean = speed
             * self.speed_override[subtask.processor.0]
             * self.cfg.etf.value_at(self.now)
-            * subtask.estimated_time;
+            * subtask.estimated_time
+            * self.task_exec_scale[task];
         // The constant model ignores the uniform draw entirely, so skip
         // the generator on that (hot) path.  The stream only ever feeds
         // execution sampling, so unconsumed draws are unobservable.
@@ -1208,6 +1308,135 @@ mod tests {
             "20 exec / 50 period = 0.4, got {}",
             u[0]
         );
+    }
+
+    #[test]
+    fn admitted_task_releases_and_executes() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let _ = sim.sample_utilizations();
+        // Admit a second task mid-run: same shape, same processor.
+        let r = 1.0 / 100.0;
+        let id = sim
+            .admit_task(
+                Task::builder(r / 10.0, r * 10.0, r)
+                    .subtask(ProcessorId(0), 20.0)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(id, TaskId(1));
+        assert_eq!(sim.task_set().num_tasks(), 2);
+        assert_eq!(sim.active_tasks(), 2);
+        sim.run_until(30_000.0);
+        let u = sim.sample_utilizations();
+        assert!(
+            (u[0] - 0.4).abs() < 0.02,
+            "two tasks at 0.2 each, got {}",
+            u[0]
+        );
+        assert!(sim.task_stats()[1].completed > 150, "new task runs");
+    }
+
+    #[test]
+    fn admitted_task_rejects_bad_processor() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        let r = 1.0 / 100.0;
+        let err = sim.admit_task(
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(7), 20.0)
+                .build()
+                .unwrap(),
+        );
+        assert!(err.is_err());
+        assert_eq!(
+            sim.task_set().num_tasks(),
+            1,
+            "failed admit leaves no trace"
+        );
+    }
+
+    #[test]
+    fn departed_task_drains_in_flight_and_never_returns() {
+        // Two-processor chain so departure leaves a successor in flight.
+        let r = 1.0 / 100.0;
+        let mut set = TaskSet::new(2);
+        set.add_task(
+            Task::builder(r / 10.0, r * 10.0, r)
+                .subtask(ProcessorId(0), 10.0)
+                .subtask(ProcessorId(1), 10.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_005.0); // head of instance ~100 just released
+        let completed_at_depart = sim.task_stats()[0].completed;
+        sim.depart_task(TaskId(0));
+        sim.depart_task(TaskId(0)); // idempotent
+        assert!(sim.is_departed(TaskId(0)));
+        assert_eq!(sim.active_tasks(), 0);
+        let _ = sim.sample_utilizations();
+        sim.run_until(11_000.0);
+        // The in-flight instance drained through its successor.
+        assert!(sim.task_stats()[0].completed >= completed_at_depart);
+        // Resume and rate changes cannot wake a departed task.
+        sim.resume_task(TaskId(0));
+        sim.set_rate(TaskId(0), 0.02);
+        let _ = sim.sample_utilizations();
+        sim.run_until(25_000.0);
+        let u = sim.sample_utilizations();
+        assert!(u[0] < 1e-9, "departed task must stay gone, got {}", u[0]);
+        assert!(u[1] < 1e-9);
+    }
+
+    #[test]
+    fn readmission_after_departure_uses_a_fresh_slot() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(5_000.0);
+        sim.depart_task(TaskId(0));
+        let r = 1.0 / 100.0;
+        let id = sim
+            .admit_task(
+                Task::builder(r / 10.0, r * 10.0, r)
+                    .subtask(ProcessorId(0), 20.0)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(id, TaskId(1), "slots are never recycled");
+        let _ = sim.sample_utilizations();
+        sim.run_until(25_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.02, "replacement runs, got {}", u[0]);
+    }
+
+    #[test]
+    fn mode_change_scales_execution_demand() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.run_until(10_000.0);
+        let _ = sim.sample_utilizations();
+        sim.set_task_mode(TaskId(0), 2.0);
+        assert_eq!(sim.task_mode(TaskId(0)), 2.0);
+        sim.run_until(30_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.4).abs() < 0.02, "2x mode: {}", u[0]);
+        sim.set_task_mode(TaskId(0), 1.0);
+        sim.run_until(60_000.0);
+        let u = sim.sample_utilizations();
+        assert!((u[0] - 0.2).abs() < 0.02, "nominal mode restored: {}", u[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn mode_scale_validated() {
+        let set = single_task_set(20.0, 100.0);
+        let mut sim = Simulator::new(set, SimConfig::constant_etf(1.0));
+        sim.set_task_mode(TaskId(0), 0.0);
     }
 
     #[test]

@@ -48,6 +48,23 @@ struct Pending {
 /// Sentinel for "source not in the heap".
 const ABSENT: u32 = u32::MAX;
 
+/// What a source id denotes.
+///
+/// The original layout was pure arithmetic over `[tasks | processors |
+/// subtasks]`; runtime task admission appends new sources at the end of
+/// the id space, which breaks the arithmetic — so the mapping is an
+/// explicit table, consulted once per pop (a single indexed load, cheaper
+/// than the `partition_point` the arithmetic needed for subtask owners).
+#[derive(Debug, Clone, Copy)]
+enum SourceKind {
+    /// Head-release source of a task.
+    Task(u32),
+    /// Tentative-completion source of a processor.
+    Proc(u32),
+    /// Release-guarded successor subtask `(task, index ≥ 1)`.
+    Sub { task: u32, index: u32 },
+}
+
 /// Heap branching factor.  `(time, seq)` is a strict total order (`seq`
 /// is unique), so the pop sequence is independent of the heap's shape —
 /// arity is purely a constant-factor knob.  Four halves the sift depth
@@ -83,15 +100,24 @@ impl Slot {
 /// (with `i ≥ 1`) → `sub_base[t] + (i − 1)`.
 #[derive(Debug)]
 pub(crate) struct EventCore {
-    num_tasks: usize,
+    /// Source id of the first processor (the initial task count —
+    /// processor ids never move because growth only appends).
+    proc0: u32,
+    /// Kind of every source id.
+    kind: Vec<SourceKind>,
+    /// Head-release source id of each task (original tasks keep `t`,
+    /// appended tasks get ids at the end of the id space).
+    head_src: Vec<u32>,
     /// First subtask-source id of each task (successors only).
     sub_base: Vec<u32>,
     /// Heap of sources with inline keys, ordered by `(time, seq)`.
     heap: Vec<Slot>,
     /// Position of each source in `heap`, or [`ABSENT`].
     pos: Vec<u32>,
-    /// Per-subtask-source pending instances, sorted by `(time, seq)`;
-    /// the front entry is the source's heap key.
+    /// Pending instances per source id, sorted by `(time, seq)`; the
+    /// front entry is the source's heap key.  Only subtask sources ever
+    /// queue entries; task/processor slots stay empty (a few unused
+    /// `Vec`s buy direct indexing by source id, which survives growth).
     pending: Vec<Vec<Pending>>,
     next_seq: u64,
     /// Live events (heap singletons + queued pending entries).
@@ -113,19 +139,36 @@ impl EventCore {
     /// `subtask_counts[t] − 1` successor sources).
     pub fn new(num_tasks: usize, num_procs: usize, subtask_counts: &[usize]) -> Self {
         assert_eq!(subtask_counts.len(), num_tasks);
+        let mut kind = Vec::with_capacity(num_tasks + num_procs);
+        let mut head_src = Vec::with_capacity(num_tasks);
+        for t in 0..num_tasks {
+            kind.push(SourceKind::Task(t as u32));
+            head_src.push(t as u32);
+        }
+        for p in 0..num_procs {
+            kind.push(SourceKind::Proc(p as u32));
+        }
         let mut sub_base = Vec::with_capacity(num_tasks);
         let mut next = (num_tasks + num_procs) as u32;
-        for &len in subtask_counts {
+        for (t, &len) in subtask_counts.iter().enumerate() {
             sub_base.push(next);
+            for i in 1..len {
+                kind.push(SourceKind::Sub {
+                    task: t as u32,
+                    index: i as u32,
+                });
+            }
             next += len.saturating_sub(1) as u32;
         }
         let total = next as usize;
         EventCore {
-            num_tasks,
+            proc0: num_tasks as u32,
+            kind,
+            head_src,
             sub_base,
             heap: Vec::with_capacity(total),
             pos: vec![ABSENT; total],
-            pending: vec![Vec::new(); total - num_tasks - num_procs],
+            pending: vec![Vec::new(); total],
             next_seq: 0,
             live: 0,
             peak: 0,
@@ -133,6 +176,30 @@ impl EventCore {
             #[cfg(debug_assertions)]
             last_popped: (f64::NEG_INFINITY, 0),
         }
+    }
+
+    /// Adds a task with `num_subtasks` subtasks at runtime, returning its
+    /// id (always the next task index).  The new head-release and
+    /// successor sources are appended to the end of the id space;
+    /// existing ids, queued events and the `(time, seq)` pop order are
+    /// untouched.
+    pub fn add_task(&mut self, num_subtasks: usize) -> usize {
+        assert!(num_subtasks >= 1, "a task has at least one subtask");
+        let task = self.head_src.len();
+        let head = self.kind.len() as u32;
+        self.kind.push(SourceKind::Task(task as u32));
+        self.head_src.push(head);
+        self.sub_base.push(head + 1);
+        for i in 1..num_subtasks {
+            self.kind.push(SourceKind::Sub {
+                task: task as u32,
+                index: i as u32,
+            });
+        }
+        let total = self.kind.len();
+        self.pos.resize(total, ABSENT);
+        self.pending.resize_with(total, Vec::new);
+        task
     }
 
     /// Number of live events.
@@ -154,12 +221,12 @@ impl EventCore {
 
     /// Schedules (or reschedules) the next head release of `task`.
     pub fn schedule_task_release(&mut self, task: usize, time: f64) {
-        self.upsert(task as u32, time);
+        self.upsert(self.head_src[task], time);
     }
 
     /// Cancels the pending head release of `task`, if any.
     pub fn cancel_task_release(&mut self, task: usize) {
-        self.cancel(task as u32);
+        self.cancel(self.head_src[task]);
     }
 
     /// Schedules (or reschedules) the tentative completion of the job
@@ -185,8 +252,7 @@ impl EventCore {
             seq,
             instance,
         };
-        let idx = self.pending_idx(s as usize);
-        let list = &mut self.pending[idx];
+        let list = &mut self.pending[s as usize];
         // Sorted insert by (time, seq); lists are a handful of entries at
         // worst (bounded by the release-guard backlog of one subtask).
         let at = list.partition_point(|e| (e.time, e.seq) < (entry.time, entry.seq));
@@ -232,58 +298,45 @@ impl EventCore {
             self.last_popped = at;
         }
         self.live -= 1;
-        let fired = if s < self.num_tasks {
-            self.remove_root();
-            FiredEvent::TaskRelease { task: s }
-        } else if s < self.sub0() + self.num_tasks {
-            self.remove_root();
-            FiredEvent::Completion {
-                processor: s - self.num_tasks,
+        let fired = match self.kind[s] {
+            SourceKind::Task(task) => {
+                self.remove_root();
+                FiredEvent::TaskRelease {
+                    task: task as usize,
+                }
             }
-        } else {
-            let (task, index) = self.sub_owner(s as u32);
-            let idx = self.pending_idx(s);
-            let entry = self.pending[idx].remove(0);
-            debug_assert_eq!((entry.time, entry.seq), at);
-            match self.pending[idx].first().map(|e| (e.time, e.seq)) {
-                Some((t, q)) => self.set_key(s as u32, t, q),
-                None => self.remove_root(),
+            SourceKind::Proc(p) => {
+                self.remove_root();
+                FiredEvent::Completion {
+                    processor: p as usize,
+                }
             }
-            FiredEvent::SubtaskRelease {
-                task,
-                index,
-                instance: entry.instance,
+            SourceKind::Sub { task, index } => {
+                let entry = self.pending[s].remove(0);
+                debug_assert_eq!((entry.time, entry.seq), at);
+                match self.pending[s].first().map(|e| (e.time, e.seq)) {
+                    Some((t, q)) => self.set_key(s as u32, t, q),
+                    None => self.remove_root(),
+                }
+                FiredEvent::SubtaskRelease {
+                    task: task as usize,
+                    index: index as usize,
+                    instance: entry.instance,
+                }
             }
         };
         Some((at.0, fired))
     }
 
-    // ---- source-id arithmetic ----
-
-    fn sub0(&self) -> usize {
-        // Processor sources span [num_tasks, num_tasks + num_procs).
-        self.sub_base.first().map_or(0, |&b| b as usize) - self.num_tasks
-    }
-
-    /// Index of a subtask source's pending list.
-    fn pending_idx(&self, s: usize) -> usize {
-        s - self.num_tasks - self.sub0()
-    }
+    // ---- source-id lookup ----
 
     fn proc_source(&self, p: usize) -> u32 {
-        debug_assert!(p < self.sub0());
-        (self.num_tasks + p) as u32
+        self.proc0 + p as u32
     }
 
     fn sub_source(&self, task: usize, index: usize) -> u32 {
         debug_assert!(index >= 1, "index 0 is the head release source");
         self.sub_base[task] + (index as u32 - 1)
-    }
-
-    /// Maps a subtask source id back to `(task, index)`.
-    fn sub_owner(&self, s: u32) -> (usize, usize) {
-        let task = self.sub_base.partition_point(|&b| b <= s) - 1;
-        (task, (s - self.sub_base[task]) as usize + 1)
     }
 
     // ---- indexed-heap primitives ----
@@ -557,14 +610,79 @@ mod tests {
     }
 
     #[test]
-    fn sub_owner_roundtrip() {
+    fn sub_sources_roundtrip_through_the_kind_table() {
         let q = EventCore::new(4, 3, &[2, 5, 1, 3]);
         for (task, len) in [(0usize, 2usize), (1, 5), (2, 1), (3, 3)] {
             for index in 1..len {
                 let s = q.sub_source(task, index);
-                assert_eq!(q.sub_owner(s), (task, index));
+                match q.kind[s as usize] {
+                    SourceKind::Sub { task: t, index: i } => {
+                        assert_eq!((t as usize, i as usize), (task, index));
+                    }
+                    other => panic!("source {s} should be a subtask, got {other:?}"),
+                }
             }
         }
+    }
+
+    #[test]
+    fn added_task_gets_fresh_sources_and_pops_in_order() {
+        let mut q = core3();
+        q.schedule_task_release(0, 5.0);
+        q.schedule_completion(1, 2.0);
+        q.push_subtask(0, 1, 3, 4.0);
+        // Admit a 3-subtask task at runtime; existing events are untouched.
+        let t = q.add_task(3);
+        assert_eq!(t, 3);
+        q.schedule_task_release(t, 1.0);
+        q.push_subtask(t, 1, 0, 3.0);
+        q.push_subtask(t, 2, 0, 6.0);
+        let popped: Vec<(f64, FiredEvent)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            popped,
+            vec![
+                (1.0, FiredEvent::TaskRelease { task: 3 }),
+                (2.0, FiredEvent::Completion { processor: 1 }),
+                (
+                    3.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 3,
+                        index: 1,
+                        instance: 0
+                    }
+                ),
+                (
+                    4.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 0,
+                        index: 1,
+                        instance: 3
+                    }
+                ),
+                (5.0, FiredEvent::TaskRelease { task: 0 }),
+                (
+                    6.0,
+                    FiredEvent::SubtaskRelease {
+                        task: 3,
+                        index: 2,
+                        instance: 0
+                    }
+                ),
+            ]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn added_single_subtask_task_works() {
+        let mut q = EventCore::new(1, 1, &[1]);
+        let t = q.add_task(1);
+        q.schedule_task_release(t, 2.0);
+        q.schedule_task_release(0, 1.0);
+        q.schedule_completion(0, 3.0);
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 0 });
+        assert_eq!(q.pop().unwrap().1, FiredEvent::TaskRelease { task: 1 });
+        assert_eq!(q.pop().unwrap().1, FiredEvent::Completion { processor: 0 });
     }
 
     #[test]

@@ -21,10 +21,18 @@
 //! A [`FaultPlan`] is pure configuration; a [`FaultInjector`] is its
 //! seeded runtime state, stepped once per sampling period by the closed
 //! loop.  All stochastic draws are deterministic given the plan's seed.
+//!
+//! Plans are built fluently **without panicking**; call
+//! [`FaultPlan::validate`] (the loop builders in `eucon-core` do this for
+//! you) to reject malformed plans — out-of-range processors, empty or
+//! inverted windows, ambiguous same-kind overlaps, out-of-range
+//! probabilities — with a typed [`SimError`](crate::SimError) instead of
+//! a crash mid-experiment.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::SimError;
 use eucon_math::Vector;
 
 /// How a stuck or corrupted utilization sensor misreports.
@@ -125,11 +133,9 @@ impl FaultPlan {
 
     /// Crashes `processor` for sampling periods `from ≤ k < until`.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `from < until`.
+    /// Never panics; [`FaultPlan::validate`] rejects empty windows and
+    /// out-of-range processors.
     pub fn crash(mut self, processor: usize, from: usize, until: usize) -> Self {
-        assert!(from < until, "crash window must be non-empty");
         self.crashes.push(Window {
             processor,
             from,
@@ -141,15 +147,10 @@ impl FaultPlan {
     /// Multiplies execution times on `processor` by `factor` for periods
     /// `from ≤ k < until` (a transient execution-time burst).
     ///
-    /// # Panics
-    ///
-    /// Panics unless `from < until` and `factor` is positive and finite.
+    /// Overlapping bursts on one processor are legal and compound
+    /// multiplicatively.  Never panics; [`FaultPlan::validate`] rejects
+    /// empty windows, out-of-range processors and non-positive factors.
     pub fn burst(mut self, processor: usize, from: usize, until: usize, factor: f64) -> Self {
-        assert!(from < until, "burst window must be non-empty");
-        assert!(
-            factor > 0.0 && factor.is_finite(),
-            "burst factor must be positive and finite"
-        );
         self.bursts.push((
             Window {
                 processor,
@@ -164,9 +165,8 @@ impl FaultPlan {
     /// Corrupts the utilization sensor of `processor` for periods
     /// `from ≤ k < until`.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `from < until`.
+    /// Never panics; [`FaultPlan::validate`] rejects empty windows,
+    /// out-of-range processors and same-processor overlaps.
     pub fn sensor(
         mut self,
         processor: usize,
@@ -174,7 +174,6 @@ impl FaultPlan {
         until: usize,
         kind: SensorFaultKind,
     ) -> Self {
-        assert!(from < until, "sensor fault window must be non-empty");
         self.sensors.push((
             Window {
                 processor,
@@ -191,11 +190,9 @@ impl FaultPlan {
     /// are dead (reports out, commands in), while the processor itself
     /// keeps executing on its in-force rates.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `from < until`.
+    /// Never panics; [`FaultPlan::validate`] rejects empty windows and
+    /// out-of-range processors.
     pub fn partition(mut self, processor: usize, from: usize, until: usize) -> Self {
-        assert!(from < until, "partition window must be non-empty");
         self.partitions.push(Window {
             processor,
             from,
@@ -213,14 +210,8 @@ impl FaultPlan {
     /// with probability `p` (the affected processor's tasks keep their
     /// previous rates that period).
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 ≤ p < 1`.
+    /// Never panics; [`FaultPlan::validate`] rejects `p` outside `[0, 1)`.
     pub fn actuation_loss(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "actuation loss probability must be in [0, 1)"
-        );
         self.actuation_loss = p;
         self
     }
@@ -234,18 +225,9 @@ impl FaultPlan {
 
     /// Adds memoryless random crashes on every processor.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 ≤ crash < 1` and `0 < recover ≤ 1`.
+    /// Never panics; [`FaultPlan::validate`] rejects `crash` outside
+    /// `[0, 1)` and `recover` outside `(0, 1]`.
     pub fn random_crashes(mut self, crash: f64, recover: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&crash),
-            "crash probability must be in [0, 1)"
-        );
-        assert!(
-            recover > 0.0 && recover <= 1.0,
-            "recovery probability must be in (0, 1]"
-        );
         self.random_crashes = Some(RandomCrashes { crash, recover });
         self
     }
@@ -260,6 +242,105 @@ impl FaultPlan {
     pub fn actuation_delay_periods(&self) -> usize {
         self.actuation_delay
     }
+
+    /// Validates the assembled plan against a deployment of
+    /// `num_processors` processors.
+    ///
+    /// Checks, in order: every window's processor is in range; every
+    /// window is non-empty (`from < until`); crash, sensor and partition
+    /// windows do not overlap another window of the same kind on the same
+    /// processor (bursts are exempt — overlapping bursts compound by
+    /// design); burst factors are positive and finite; the actuation-loss
+    /// probability is in `[0, 1)`; random-crash probabilities are in
+    /// `[0, 1)` / `(0, 1]`.
+    ///
+    /// The loop builders in `eucon-core` call this before constructing a
+    /// [`FaultInjector`], so a malformed plan fails the build with a typed
+    /// error instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] found, in the order above.
+    pub fn validate(&self, num_processors: usize) -> Result<(), SimError> {
+        let bursts: Vec<Window> = self.bursts.iter().map(|&(w, _)| w).collect();
+        let sensors: Vec<Window> = self.sensors.iter().map(|&(w, _)| w).collect();
+        // Same-kind overlap on one processor is ambiguous for crashes,
+        // sensors and partitions; bursts compound and are exempt.
+        check_windows("crash", &self.crashes, num_processors, true)?;
+        check_windows("burst", &bursts, num_processors, false)?;
+        check_windows("sensor", &sensors, num_processors, true)?;
+        check_windows("partition", &self.partitions, num_processors, true)?;
+        for &(_, factor) in &self.bursts {
+            if !(factor > 0.0 && factor.is_finite()) {
+                return Err(SimError::InvalidFactor { value: factor });
+            }
+        }
+        if !(0.0..1.0).contains(&self.actuation_loss) {
+            return Err(SimError::InvalidProbability {
+                what: "actuation loss",
+                value: self.actuation_loss,
+            });
+        }
+        if let Some(rc) = self.random_crashes {
+            if !(0.0..1.0).contains(&rc.crash) {
+                return Err(SimError::InvalidProbability {
+                    what: "crash",
+                    value: rc.crash,
+                });
+            }
+            if !(rc.recover > 0.0 && rc.recover <= 1.0) {
+                return Err(SimError::InvalidProbability {
+                    what: "recovery",
+                    value: rc.recover,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Range + emptiness checks for one fault kind's windows; when
+/// `exclusive`, also rejects same-processor overlaps.
+fn check_windows(
+    fault: &'static str,
+    windows: &[Window],
+    num_processors: usize,
+    exclusive: bool,
+) -> Result<(), SimError> {
+    for w in windows {
+        if w.processor >= num_processors {
+            return Err(SimError::ProcessorOutOfRange {
+                fault,
+                processor: w.processor,
+                num_processors,
+            });
+        }
+        if w.from >= w.until {
+            return Err(SimError::EmptyWindow {
+                fault,
+                processor: w.processor,
+                from: w.from,
+                until: w.until,
+            });
+        }
+    }
+    if exclusive {
+        for p in 0..num_processors {
+            let mut ws: Vec<&Window> = windows.iter().filter(|w| w.processor == p).collect();
+            ws.sort_by_key(|w| w.from);
+            for pair in ws.windows(2) {
+                if pair[1].from < pair[0].until {
+                    return Err(SimError::OverlappingWindows {
+                        fault,
+                        processor: p,
+                        first: (pair[0].from, pair[0].until),
+                        second: (pair[1].from, pair[1].until),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runtime state of a [`FaultPlan`], stepped once per sampling period.
@@ -534,14 +615,160 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_window_rejected() {
-        let _ = FaultPlan::none().crash(0, 10, 10);
+    fn validate_accepts_well_formed_plans() {
+        let plan = FaultPlan::none()
+            .crash(1, 60, 100)
+            .crash(1, 120, 140)
+            .burst(0, 10, 20, 2.0)
+            .burst(0, 15, 25, 3.0) // overlapping bursts compound: legal
+            .sensor(2, 0, 30, SensorFaultKind::NaN)
+            .partition(0, 5, 9)
+            .actuation_loss(0.3)
+            .actuation_delay(2)
+            .random_crashes(0.05, 0.3);
+        assert_eq!(plan.validate(3), Ok(()));
+        assert_eq!(FaultPlan::none().validate(0), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "must be in [0, 1)")]
+    fn empty_window_rejected() {
+        let err = FaultPlan::none().crash(0, 10, 10).validate(2).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::EmptyWindow {
+                fault: "crash",
+                processor: 0,
+                from: 10,
+                until: 10,
+            }
+        );
+        // Inverted windows are the same rejection.
+        let err = FaultPlan::none()
+            .sensor(1, 20, 10, SensorFaultKind::Frozen)
+            .validate(2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::EmptyWindow {
+                fault: "sensor",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_processor_rejected() {
+        let err = FaultPlan::none()
+            .partition(5, 0, 10)
+            .validate(3)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProcessorOutOfRange {
+                fault: "partition",
+                processor: 5,
+                num_processors: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_exclusive_windows_rejected_but_bursts_exempt() {
+        let err = FaultPlan::none()
+            .crash(1, 10, 30)
+            .crash(1, 20, 40)
+            .validate(2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OverlappingWindows {
+                fault: "crash",
+                processor: 1,
+                first: (10, 30),
+                second: (20, 40),
+            }
+        );
+        // Same windows on *different* processors are fine.
+        assert_eq!(
+            FaultPlan::none()
+                .crash(0, 10, 30)
+                .crash(1, 20, 40)
+                .validate(2),
+            Ok(())
+        );
+        // Overlapping bursts compound by design and must stay legal.
+        assert_eq!(
+            FaultPlan::none()
+                .burst(0, 10, 30, 2.0)
+                .burst(0, 20, 40, 3.0)
+                .validate(1),
+            Ok(())
+        );
+        // Back-to-back half-open windows share an endpoint, not a period.
+        assert_eq!(
+            FaultPlan::none()
+                .crash(0, 10, 20)
+                .crash(0, 20, 30)
+                .validate(1),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn bad_burst_factor_rejected() {
+        for bad in [0.0, -2.0, f64::INFINITY, f64::NAN] {
+            let err = FaultPlan::none()
+                .burst(0, 0, 5, bad)
+                .validate(1)
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidFactor { .. }), "{bad}");
+        }
+    }
+
+    #[test]
     fn actuation_loss_validated() {
-        let _ = FaultPlan::none().actuation_loss(1.0);
+        let err = FaultPlan::none()
+            .actuation_loss(1.0)
+            .validate(1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidProbability {
+                what: "actuation loss",
+                value: 1.0,
+            }
+        );
+        assert!(FaultPlan::none().actuation_loss(-0.1).validate(1).is_err());
+        assert!(FaultPlan::none().actuation_loss(0.999).validate(1).is_ok());
+    }
+
+    #[test]
+    fn random_crash_probabilities_validated() {
+        let err = FaultPlan::none()
+            .random_crashes(1.5, 0.5)
+            .validate(1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidProbability {
+                what: "crash",
+                value: 1.5,
+            }
+        );
+        let err = FaultPlan::none()
+            .random_crashes(0.1, 0.0)
+            .validate(1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidProbability {
+                what: "recovery",
+                value: 0.0,
+            }
+        );
+        assert!(FaultPlan::none()
+            .random_crashes(0.0, 1.0)
+            .validate(1)
+            .is_ok());
     }
 }

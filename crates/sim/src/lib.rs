@@ -42,11 +42,13 @@
 
 mod config;
 mod engine;
+mod error;
 mod event;
 mod fault;
 mod stats;
 
 pub use config::{EtfProfile, ExecModel, ReleaseGuard, SimConfig};
 pub use engine::Simulator;
+pub use error::SimError;
 pub use fault::{FaultInjector, FaultPlan, RandomCrashes, SensorFaultKind};
 pub use stats::{DeadlineStats, EngineCounters, SubtaskStats, TaskStats};

@@ -40,6 +40,9 @@ fn main() -> Result<(), eucon::Error> {
             eucon::core::admission::AdmissionEvent::Readmitted { period, task } => {
                 println!("  period {period:>3}: re-admitted {task}");
             }
+            // Runtime-churn events (arrivals/departures) never fire here:
+            // this scenario has a static task set.
+            other => println!("  {other:?}"),
         }
     }
 
