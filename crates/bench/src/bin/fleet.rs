@@ -48,6 +48,11 @@ fn main() {
             .join("/"),
         if smoke { "smoke" } else { "full" }
     );
+    let cores = eucon_bench::detected_cores();
+    println!("  [detected cores: {cores}]");
+    if let Some(&max_threads) = thread_sweep.iter().max() {
+        eucon_bench::warn_if_oversubscribed(max_threads);
+    }
 
     let mut rows = Vec::new();
     for &n in &sizes {
@@ -80,10 +85,12 @@ fn main() {
             rows.push(vec![
                 n.to_string(),
                 threads.to_string(),
+                cores.to_string(),
                 format!("{:.1}", report.elapsed_secs * 1e3),
                 format!("{:.0}", report.periods_per_sec()),
                 format!("{:.2}", report.mevents_per_sec()),
                 format!("{speedup:.2}"),
+                report.shared_models.to_string(),
             ]);
         }
     }
@@ -93,10 +100,12 @@ fn main() {
             &[
                 "loops",
                 "threads",
+                "cores",
                 "wall ms",
                 "periods/s",
                 "Mevents/s",
                 "speedup vs 1T",
+                "shared models",
             ],
             &rows
         )
@@ -107,10 +116,12 @@ fn main() {
             &[
                 "loops",
                 "threads",
+                "cores",
                 "wall_ms",
                 "periods_per_s",
                 "mevents_per_s",
                 "speedup",
+                "shared_models",
             ],
             &rows,
         ),

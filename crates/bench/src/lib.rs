@@ -97,6 +97,31 @@ pub fn telemetry_jsonl_line(run: &str, snap: &eucon_core::telemetry::Snapshot) -
     line
 }
 
+/// Detected core count (`std::thread::available_parallelism`), `0` when
+/// the platform cannot report it.  Recorded in benchmark CSV/JSON output
+/// so thread-scaling results carry the hardware context they were
+/// measured on — a single-core container reporting flat scaling is a
+/// hardware property, not a regression, and the output must say so.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
+/// Prints a warning when a benchmark requests more worker threads than
+/// the machine exposes (the requested counts then serialize and scaling
+/// numbers flatten).  Returns `true` when oversubscribed.
+pub fn warn_if_oversubscribed(requested: usize) -> bool {
+    let cores = detected_cores();
+    if cores > 0 && requested > cores {
+        println!(
+            "  [warning: {requested} threads requested on {cores} detected core(s) — \
+             thread-scaling figures will flatten]"
+        );
+        true
+    } else {
+        false
+    }
+}
+
 /// Standard etf grid of the paper's Figure 4 (SIMPLE sweep).
 pub fn fig4_etfs() -> Vec<f64> {
     let mut v = vec![0.2, 0.5];

@@ -194,6 +194,22 @@ impl DecentralizedController {
     pub fn max_local_tasks(&self) -> usize {
         self.locals.iter().map(|l| l.owned.len()).max().unwrap_or(0)
     }
+
+    /// Owned-task count of local controller `i`, in sweep order.
+    pub fn local_tasks(&self, i: usize) -> usize {
+        self.locals[i].owned.len()
+    }
+
+    /// Detected Hessian bandwidth of each local MPC, in sweep order —
+    /// the probe the banded-Cholesky regression tests read.  Anything
+    /// below `2·local_tasks(i) − 1` means that node's factor and solves
+    /// run the banded `O(n·b²)` loops.
+    pub fn hessian_bandwidths(&self) -> Vec<usize> {
+        self.locals
+            .iter()
+            .map(|l| l.mpc.hessian_bandwidth())
+            .collect()
+    }
 }
 
 impl RateController for DecentralizedController {

@@ -45,6 +45,7 @@ mod decentralized;
 mod error;
 mod mpc;
 mod prediction;
+mod shard;
 pub mod stability;
 mod supervisor;
 
@@ -53,6 +54,7 @@ pub use config::{ControlPenalty, MoveHold, MpcConfig};
 pub use decentralized::DecentralizedController;
 pub use error::ControlError;
 pub use mpc::{ModelUpdate, MpcController, MpcStepInfo};
+pub use shard::{BoundaryBus, ShardPlan, ShardPlanner, ShardedController};
 pub use supervisor::{Supervised, SupervisorConfig, SupervisorReport};
 
 use eucon_math::Vector;

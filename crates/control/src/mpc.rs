@@ -351,6 +351,21 @@ impl MpcController {
         };
         Ok(())
     }
+
+    /// Whether `self` and `other` share the same prepared model memory —
+    /// the `Arc`-backed prediction matrix, constraint rows and Cholesky
+    /// factor inside [`PreparedLsq`].  True exactly for clones of one
+    /// controller (the fleet prototype cache relies on this); two
+    /// independently constructed controllers never alias, even over
+    /// identical inputs.
+    pub fn shares_model(&self, other: &MpcController) -> bool {
+        let util_shared = match (&self.solver_util, &other.solver_util) {
+            (Some(a), Some(b)) => a.shares_model(b),
+            (None, None) => true,
+            _ => false,
+        };
+        self.solver_rate.shares_model(&other.solver_rate) && util_shared
+    }
 }
 
 /// How a membership update produced the new prepared solvers.
@@ -807,6 +822,28 @@ mod tests {
         let set = workloads::simple();
         let b = rms_set_points(&set);
         MpcController::new(&set, b, MpcConfig::simple()).unwrap()
+    }
+
+    #[test]
+    fn clones_share_the_prepared_model_and_track_identically() {
+        let mut original = simple_controller();
+        let mut clone = original.clone();
+        assert!(original.shares_model(&clone));
+        assert!(
+            !original.shares_model(&simple_controller()),
+            "independent builds must not alias"
+        );
+        // Shared memory, private trajectories: both evolve bit-identically
+        // on the same inputs while sharing one prepared core.
+        let u = Vector::from_slice(&[0.7, 0.4]);
+        for _ in 0..5 {
+            let a = original.step(&u).unwrap();
+            let b = clone.step(&u).unwrap();
+            for t in 0..a.len() {
+                assert_eq!(a[t].to_bits(), b[t].to_bits());
+            }
+        }
+        assert!(original.shares_model(&clone), "stepping must not unshare");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use eucon_control::{
     ControlError, ControlMode, DecentralizedController, IndependentPid, MpcConfig, MpcController,
-    OpenLoop, RateController, Supervised, SupervisorConfig,
+    OpenLoop, RateController, ShardedController, Supervised, SupervisorConfig,
 };
 use eucon_math::Vector;
 use eucon_sim::{DeadlineStats, EngineCounters, FaultInjector, FaultPlan, SimConfig, Simulator};
@@ -19,6 +19,7 @@ use crate::admission::{
 use crate::distributed::{NetConfig, NetRuntime};
 use crate::lanes::LaneState;
 use crate::metrics::{self, SeriesStats};
+use crate::shardnet::{BoundaryMode, NetShardedController};
 use crate::telemetry::{
     ChurnPeriod, LoopTelemetry, PeriodObservation, PeriodTimings, Registry, Snapshot, TelemetrySink,
 };
@@ -47,6 +48,22 @@ pub enum ControllerSpec {
     /// The decentralized controller team (DEUCON-style): one local MPC
     /// per processor, coordinating by move exchange.
     Decentralized(MpcConfig),
+    /// The cluster-scale sharded team: the processor graph is
+    /// partitioned into shards of about `shard_size` processors by
+    /// F-matrix coupling (see `ShardPlanner`), each shard runs one local
+    /// MPC and shards exchange boundary state per period — in process or
+    /// over per-shard `eucon-net` lanes, per [`BoundaryMode`].
+    ///
+    /// `shard_size = 1` is the decentralized team's problem structure
+    /// and is pinned bit-identical to [`ControllerSpec::Decentralized`].
+    Sharded {
+        /// Local-controller (MPC) configuration.
+        mpc: MpcConfig,
+        /// Target processors per shard (the planner's size cap).
+        shard_size: usize,
+        /// How boundary state travels between shards.
+        boundary: BoundaryMode,
+    },
     /// The EUCON MPC wrapped in a [`Supervised`] watchdog: sensor
     /// validation, graceful degradation to OPEN's design rates when the
     /// sensors or the optimizer fail, automatic re-engagement.
@@ -82,6 +99,25 @@ impl ControllerSpec {
                 set_points.clone(),
                 cfg.clone(),
             )?),
+            ControllerSpec::Sharded {
+                mpc,
+                shard_size,
+                boundary,
+            } => match boundary {
+                BoundaryMode::InProcess => Box::new(ShardedController::with_shard_size(
+                    set,
+                    set_points.clone(),
+                    mpc.clone(),
+                    *shard_size,
+                )?),
+                _ => Box::new(NetShardedController::new(
+                    set,
+                    set_points.clone(),
+                    mpc.clone(),
+                    *shard_size,
+                    boundary,
+                )?),
+            },
             ControllerSpec::SupervisedEucon { mpc, supervisor } => {
                 let inner = MpcController::new(set, set_points.clone(), mpc.clone())?;
                 let open = OpenLoop::design(set, set_points)?;

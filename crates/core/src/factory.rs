@@ -77,6 +77,7 @@ impl ControllerFactory for ControllerSpec {
             ControllerSpec::Open => "OPEN",
             ControllerSpec::Pid { .. } => "PID",
             ControllerSpec::Decentralized(_) => "DEUCON",
+            ControllerSpec::Sharded { .. } => "SHARD-EUCON",
             ControllerSpec::SupervisedEucon { .. } => "SUP-EUCON",
         }
     }

@@ -33,6 +33,23 @@
 //! per-loop arenas allocated at build time, and sink traffic is one drain
 //! per [`FleetConfig::telemetry_batch`] periods instead of one per period.
 //!
+//! # Shared prepared models
+//!
+//! A homogeneous fleet would otherwise prepare the same controller model
+//! — the `C` prediction matrix, constraint rows `G` and the Cholesky
+//! factor of the Hessian — once per loop.  With
+//! [`FleetConfig::share_models`] (the default), the runner builds **one
+//! pristine prototype controller per distinct `(task set, controller,
+//! set points)` group** on the calling thread and ships a clone to each
+//! worker.  Clones share the immutable prepared core behind an `Arc`
+//! ([`eucon_qp::PreparedQp`]), while warm-start state (active sets, LU
+//! memos) stays per-loop, so a 10k-loop replicated fleet holds one copy
+//! of the model instead of 10k.  Sharing is memory-only: the
+//! `shared_prototypes_leave_digests_unchanged` test pins that digests are
+//! bit-identical with sharing on and off.  Specs with churn plans or
+//! admission policies always build their own controller (membership
+//! edits rebuild the model per loop anyway).
+//!
 //! # Example
 //!
 //! ```
@@ -55,9 +72,10 @@
 
 use std::time::Instant;
 
+use eucon_control::{DecentralizedController, MpcController, RateController, ShardedController};
 use eucon_math::Vector;
 use eucon_sim::{FaultPlan, SimConfig};
-use eucon_tasks::TaskSet;
+use eucon_tasks::{rms_set_points, TaskSet};
 
 use crate::admission::{AdmissionPolicy, ChurnPlan, ChurnSummary};
 use crate::telemetry::RingBufferSink;
@@ -137,6 +155,7 @@ pub struct FleetConfig {
     periods: usize,
     threads: Option<usize>,
     telemetry_batch: usize,
+    share_models: bool,
 }
 
 impl FleetConfig {
@@ -149,6 +168,7 @@ impl FleetConfig {
             periods,
             threads: None,
             telemetry_batch: 0,
+            share_models: true,
         }
     }
 
@@ -167,6 +187,15 @@ impl FleetConfig {
     /// leaves loops sink-free — the cheapest configuration.
     pub fn telemetry_batch(mut self, rows: usize) -> Self {
         self.telemetry_batch = rows;
+        self
+    }
+
+    /// Toggles the shared prepared-model prototype cache (see the
+    /// [module docs](self); default on).  Turning it off makes every
+    /// worker prepare its own model — useful only for isolating the
+    /// sharing machinery in benchmarks and tests.
+    pub fn share_models(mut self, on: bool) -> Self {
+        self.share_models = on;
         self
     }
 }
@@ -189,6 +218,9 @@ pub struct FleetReport {
     /// Runtime-membership activity summed across the fleet (all zero in a
     /// churn-free fleet).
     pub churn: ChurnSummary,
+    /// Loops that were seeded from a shared prototype clone (0 when
+    /// [`FleetConfig::share_models`] is off or no two specs matched).
+    pub shared_models: usize,
     /// Wall-clock seconds for the whole fleet.
     pub elapsed_secs: f64,
     /// One FNV-1a digest per loop, in spec order, over every step's time,
@@ -266,11 +298,19 @@ impl FleetRunner {
         let periods = self.config.periods;
         let batch = self.config.telemetry_batch;
         let t0 = Instant::now();
+        let prototypes = if self.config.share_models {
+            share_prototypes(&self.specs)?
+        } else {
+            vec![None; self.specs.len()]
+        };
+        let shared_models = prototypes.iter().filter(|p| p.is_some()).count();
+        let items: Vec<(FleetLoopSpec, Option<Prototype>)> =
+            self.specs.iter().cloned().zip(prototypes).collect();
         let outcomes: Result<Vec<LoopOutcome>, CoreError> = rayon::par_map_init(
-            self.specs.clone(),
+            items,
             self.config.threads,
             || (),
-            |(), spec| run_one(&spec, periods, batch),
+            |(), (spec, proto)| run_one(&spec, proto, periods, batch),
         )
         .into_iter()
         .collect();
@@ -283,6 +323,7 @@ impl FleetRunner {
             control_errors: 0,
             partial_flushes: 0,
             churn: ChurnSummary::default(),
+            shared_models,
             elapsed_secs,
             digests: Vec::with_capacity(outcomes.len()),
         };
@@ -298,6 +339,115 @@ impl FleetRunner {
     }
 }
 
+/// A pristine, cloneable controller prepared once per homogeneous group.
+/// Clones share the immutable prepared QP core (`Arc`-backed) and carry
+/// their own warm-start scratch, so handing one to each loop costs a
+/// reference-count bump instead of a Cholesky factorization.
+#[derive(Debug, Clone)]
+enum Prototype {
+    Mpc(Box<MpcController>),
+    Decentralized(DecentralizedController),
+    Sharded(ShardedController),
+}
+
+impl Prototype {
+    /// Whether the cache covers this spec: a prepared-MPC controller
+    /// (centralized, decentralized or in-process sharded — not open
+    /// loop, PID, networked shards or supervised stacks) with a static
+    /// task set.  Specs with membership churn rebuild the model online,
+    /// so they always prepare their own.
+    fn eligible(spec: &FleetLoopSpec) -> bool {
+        spec.churn.is_empty()
+            && spec.admission.is_none()
+            && matches!(
+                spec.controller,
+                ControllerSpec::Eucon(_)
+                    | ControllerSpec::Decentralized(_)
+                    | ControllerSpec::Sharded {
+                        boundary: crate::BoundaryMode::InProcess,
+                        ..
+                    }
+            )
+    }
+
+    /// Builds the prototype for a sharing-eligible spec (`None` when
+    /// [`Prototype::eligible`] is false).
+    fn build(spec: &FleetLoopSpec) -> Result<Option<Prototype>, CoreError> {
+        if !Prototype::eligible(spec) {
+            return Ok(None);
+        }
+        let b = spec
+            .set_points
+            .clone()
+            .unwrap_or_else(|| rms_set_points(&spec.set));
+        if b.len() != spec.set.num_processors() {
+            // Arity errors surface through the loop builder with its
+            // usual diagnostics; don't preempt them here.
+            return Ok(None);
+        }
+        Ok(match &spec.controller {
+            ControllerSpec::Eucon(cfg) => Some(Prototype::Mpc(Box::new(
+                MpcController::new(&spec.set, b, cfg.clone()).map_err(CoreError::Control)?,
+            ))),
+            ControllerSpec::Decentralized(cfg) => Some(Prototype::Decentralized(
+                DecentralizedController::new(&spec.set, b, cfg.clone())
+                    .map_err(CoreError::Control)?,
+            )),
+            ControllerSpec::Sharded {
+                mpc,
+                shard_size,
+                boundary: crate::BoundaryMode::InProcess,
+            } => Some(Prototype::Sharded(
+                ShardedController::with_shard_size(&spec.set, b, mpc.clone(), *shard_size)
+                    .map_err(CoreError::Control)?,
+            )),
+            _ => None,
+        })
+    }
+
+    fn into_controller(self) -> Box<dyn RateController> {
+        match self {
+            Prototype::Mpc(c) => c,
+            Prototype::Decentralized(c) => Box::new(c),
+            Prototype::Sharded(c) => Box::new(c),
+        }
+    }
+}
+
+/// Groups sharing-eligible specs by `(task set, controller, set points)`
+/// and prepares one prototype per group with at least two members.
+/// Returns one `Option<Prototype>` clone slot per spec, in spec order.
+fn share_prototypes(specs: &[FleetLoopSpec]) -> Result<Vec<Option<Prototype>>, CoreError> {
+    let mut out: Vec<Option<Prototype>> = vec![None; specs.len()];
+    // (representative index, member indices); linear-scan grouping is
+    // O(groups × specs) — fine even at 10k loops, where `groups` is tiny.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if !Prototype::eligible(spec) {
+            continue;
+        }
+        let key = (&spec.set, &spec.controller, &spec.set_points);
+        match groups.iter_mut().find(|(rep, _)| {
+            let r = &specs[*rep];
+            (&r.set, &r.controller, &r.set_points) == key
+        }) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((i, vec![i])),
+        }
+    }
+    for (rep, members) in groups {
+        if members.len() < 2 {
+            continue; // a singleton gains nothing from a main-thread build
+        }
+        if let Some(proto) = Prototype::build(&specs[rep])? {
+            for i in members {
+                out[i] = Some(proto.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// What one worker hands back per loop — small plain data, so the result
 /// collection stays cheap even at 10k+ loops.
 struct LoopOutcome {
@@ -310,13 +460,23 @@ struct LoopOutcome {
 }
 
 /// Builds and runs one loop inside a worker thread.
-fn run_one(spec: &FleetLoopSpec, periods: usize, batch: usize) -> Result<LoopOutcome, CoreError> {
+fn run_one(
+    spec: &FleetLoopSpec,
+    proto: Option<Prototype>,
+    periods: usize,
+    batch: usize,
+) -> Result<LoopOutcome, CoreError> {
     let mut builder = ClosedLoop::builder(spec.set.clone())
         .sim_config(spec.sim.clone())
-        .controller(spec.controller.clone())
         .faults(spec.faults.clone())
         .churn(spec.churn.clone())
         .record_trace(false);
+    builder = match proto {
+        // A prototype clone already carries the prepared model; the
+        // builder consumes it through the prebuilt-controller factory.
+        Some(p) => builder.controller(p.into_controller()),
+        None => builder.controller(spec.controller.clone()),
+    };
     if let Some(b) = &spec.set_points {
         builder = builder.set_points(b.clone());
     }
@@ -469,6 +629,72 @@ mod tests {
         .expect("fleet runs");
         assert_eq!(report.digests, unbatched.digests);
         assert_eq!(unbatched.partial_flushes, 0);
+    }
+
+    #[test]
+    fn shared_prototypes_leave_digests_unchanged() {
+        // The ISSUE's digest-equality gate: the prototype cache is a
+        // memory optimization, so every per-loop trace digest must be
+        // bit-identical with sharing on and off — across centralized,
+        // decentralized and sharded controllers at once.
+        let mut specs = Vec::new();
+        for _ in 0..3 {
+            specs.push(
+                FleetLoopSpec::new(workloads::medium())
+                    .sim_config(SimConfig::constant_etf(0.9).seed(11))
+                    .controller(ControllerSpec::Eucon(MpcConfig::medium())),
+            );
+            specs.push(
+                FleetLoopSpec::new(workloads::medium())
+                    .sim_config(SimConfig::constant_etf(0.9).seed(12))
+                    .controller(ControllerSpec::Decentralized(MpcConfig::medium())),
+            );
+            specs.push(
+                FleetLoopSpec::new(workloads::medium())
+                    .sim_config(SimConfig::constant_etf(0.9).seed(13))
+                    .controller(ControllerSpec::Sharded {
+                        mpc: MpcConfig::medium(),
+                        shard_size: 2,
+                        boundary: crate::BoundaryMode::InProcess,
+                    }),
+            );
+        }
+        // One ineligible spec rides along to prove mixed fleets work.
+        specs.push(
+            FleetLoopSpec::new(workloads::simple())
+                .sim_config(SimConfig::constant_etf(0.5))
+                .controller(ControllerSpec::Pid { kp: 1.0, ki: 0.1 }),
+        );
+        let run_with = |share: bool| {
+            let mut fleet = FleetRunner::new(FleetConfig::new(20).threads(2).share_models(share));
+            for s in &specs {
+                fleet.push(s.clone());
+            }
+            fleet.run().expect("fleet runs")
+        };
+        let shared = run_with(true);
+        let private = run_with(false);
+        assert_eq!(shared.digests, private.digests);
+        // Three groups of three share; the PID singleton does not.
+        assert_eq!(shared.shared_models, 9);
+        assert_eq!(private.shared_models, 0);
+    }
+
+    #[test]
+    fn singletons_and_churned_specs_build_their_own_models() {
+        let eucon = FleetLoopSpec::new(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()));
+        // Two identical churn-carrying specs: grouped, but never shared.
+        let churned = eucon
+            .clone()
+            .churn(ChurnPlan::none().departure(5, eucon_tasks::TaskId(0)));
+        let mut fleet = FleetRunner::new(FleetConfig::new(10).threads(1));
+        fleet.push(eucon); // singleton group
+        fleet.push(churned.clone());
+        fleet.push(churned);
+        let report = fleet.run().expect("fleet runs");
+        assert_eq!(report.shared_models, 0);
     }
 
     #[test]

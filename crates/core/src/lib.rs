@@ -65,6 +65,7 @@ mod fleet;
 mod lanes;
 pub mod metrics;
 pub mod render;
+mod shardnet;
 pub mod svg;
 pub mod telemetry;
 mod trace;
@@ -82,6 +83,7 @@ pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
 pub use factory::{factory_fn, ControllerFactory};
 pub use fleet::{FleetConfig, FleetLoopSpec, FleetReport, FleetRunner};
 pub use lanes::{LaneModel, LaneState};
+pub use shardnet::{BoundaryMode, NetShardedController, ShardBoundaryNet, ShardNetStats};
 pub use trace::{StepAnnotations, Trace, TraceStep};
 
 /// The transport layer of distributed mode, re-exported: the

@@ -111,6 +111,23 @@ impl Cholesky {
         Ok(Cholesky { l, band })
     }
 
+    /// Factors `a` assuming the given lower bandwidth instead of detecting
+    /// it — the forced-bandwidth probe used by regression tests and
+    /// benchmarks to pin the banded path against the dense reference
+    /// (`band >= n - 1` runs the full dense loops).
+    ///
+    /// `band` must be an upper bound on the true lower bandwidth of `a`:
+    /// entries below the assumed band are treated as exactly zero, so an
+    /// understated bound silently factors a different matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotPositiveDefinite`] as [`Cholesky::decompose`]
+    /// does.
+    pub fn decompose_with_bandwidth(a: &Matrix, band: usize) -> Result<Cholesky, MathError> {
+        Cholesky::factor(a, band.min(a.rows().saturating_sub(1)))
+    }
+
     /// Returns the lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l

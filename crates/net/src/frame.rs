@@ -1,22 +1,29 @@
 //! The wire format of the feedback lanes: versioned, compact binary
 //! frames.
 //!
-//! Two frame types cross a lane, mirroring the paper's §4 architecture:
-//! a processor's utilization monitor sends [`Frame::UtilizationReport`]s
-//! to the controller, and the controller sends [`Frame::RateCommand`]s
-//! back to the processor's rate modulator.
+//! Three frame types cross a lane.  Two mirror the paper's §4
+//! architecture: a processor's utilization monitor sends
+//! [`Frame::UtilizationReport`]s to the controller, and the controller
+//! sends [`Frame::RateCommand`]s back to the processor's rate modulator.
+//! The third, [`Frame::BoundaryExchange`], carries the compact boundary
+//! state (home utilizations, committed move vectors) that peer-coupled
+//! shard controllers trade once per period over their shard lanes.
 //!
 //! ## Layout (little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! 0       1     version byte (FRAME_VERSION)
-//! 1       1     kind (1 = UtilizationReport, 2 = RateCommand)
+//! 1       1     kind (1 = UtilizationReport, 2 = RateCommand,
+//!               3 = BoundaryExchange)
 //! 2       2     payload count n (u16)
 //! 4       8     seq   — per-lane monotone sequence number (u64)
 //! 12      8     period — sampling-period index the payload belongs to (u64)
 //! 20      8·n   payload — f64 bit patterns (exact round-trip, NaN-safe)
 //! ```
+//!
+//! Kind 3 inserts a 4-byte trailer between the header and the payload:
+//! a `u16` shard id plus two reserved zero bytes.
 //!
 //! Values are serialized through [`f64::to_bits`], so a frame round-trips
 //! every `f64` bit-for-bit — including the `NaN` a crashed monitor
@@ -38,6 +45,11 @@ pub const MAX_PAYLOAD: usize = 4096;
 
 const KIND_REPORT: u8 = 1;
 const KIND_COMMAND: u8 = 2;
+const KIND_BOUNDARY: u8 = 3;
+
+/// Extra bytes a [`Frame::BoundaryExchange`] carries between the header
+/// and the payload: `u16` shard id + two reserved zero bytes.
+pub const BOUNDARY_TRAILER_LEN: usize = 4;
 
 /// One message crossing a feedback lane.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,28 +75,48 @@ pub enum Frame {
         /// Commanded rates (in the receiving node's task order).
         rates: Vec<f64>,
     },
+    /// Shard ↔ shard-hub: compact boundary state for peer-coupled shard
+    /// control — home-processor utilizations (shard → hub), committed
+    /// rate-change moves (shard → hub), or a neighbor's boundary view
+    /// (hub → shard).  The payload semantics are fixed by the lane
+    /// direction and the sharded-control protocol, not by the frame.
+    BoundaryExchange {
+        /// Per-lane monotone sequence number.
+        seq: u64,
+        /// Sampling-period index the boundary state belongs to.
+        period: u64,
+        /// Originating (or addressed) shard index.
+        shard: u16,
+        /// Boundary values in protocol order (utilizations or moves).
+        values: Vec<f64>,
+    },
 }
 
 impl Frame {
     /// The frame's sequence number.
     pub fn seq(&self) -> u64 {
         match self {
-            Frame::UtilizationReport { seq, .. } | Frame::RateCommand { seq, .. } => *seq,
+            Frame::UtilizationReport { seq, .. }
+            | Frame::RateCommand { seq, .. }
+            | Frame::BoundaryExchange { seq, .. } => *seq,
         }
     }
 
     /// The sampling-period index the frame belongs to.
     pub fn period(&self) -> u64 {
         match self {
-            Frame::UtilizationReport { period, .. } | Frame::RateCommand { period, .. } => *period,
+            Frame::UtilizationReport { period, .. }
+            | Frame::RateCommand { period, .. }
+            | Frame::BoundaryExchange { period, .. } => *period,
         }
     }
 
-    /// The payload values (utilizations or rates).
+    /// The payload values (utilizations, rates or boundary state).
     pub fn values(&self) -> &[f64] {
         match self {
             Frame::UtilizationReport { values, .. } => values,
             Frame::RateCommand { rates, .. } => rates,
+            Frame::BoundaryExchange { values, .. } => values,
         }
     }
 
@@ -92,12 +124,17 @@ impl Frame {
         match self {
             Frame::UtilizationReport { .. } => KIND_REPORT,
             Frame::RateCommand { .. } => KIND_COMMAND,
+            Frame::BoundaryExchange { .. } => KIND_BOUNDARY,
         }
     }
 
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + 8 * self.values().len()
+        let trailer = match self {
+            Frame::BoundaryExchange { .. } => BOUNDARY_TRAILER_LEN,
+            _ => 0,
+        };
+        HEADER_LEN + trailer + 8 * self.values().len()
     }
 
     /// Appends the wire encoding to `out` (no intermediate allocation).
@@ -116,6 +153,10 @@ impl Frame {
         out.extend_from_slice(&(values.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.seq().to_le_bytes());
         out.extend_from_slice(&self.period().to_le_bytes());
+        if let Frame::BoundaryExchange { shard, .. } = self {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&[0u8; 2]);
+        }
         for &v in values {
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
@@ -146,20 +187,26 @@ impl Frame {
             return Err(FrameError::BadVersion(bytes[0]));
         }
         let kind = bytes[1];
-        if kind != KIND_REPORT && kind != KIND_COMMAND {
+        if kind != KIND_REPORT && kind != KIND_COMMAND && kind != KIND_BOUNDARY {
             return Err(FrameError::BadKind(kind));
         }
         let n = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
         if n > MAX_PAYLOAD {
             return Err(FrameError::Oversize(n));
         }
-        let total = HEADER_LEN + 8 * n;
+        let trailer = if kind == KIND_BOUNDARY {
+            BOUNDARY_TRAILER_LEN
+        } else {
+            0
+        };
+        let total = HEADER_LEN + trailer + 8 * n;
         if bytes.len() < total {
             return Ok(None);
         }
         let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
         let period = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-        let values: Vec<f64> = bytes[HEADER_LEN..total]
+        let payload_start = HEADER_LEN + trailer;
+        let values: Vec<f64> = bytes[payload_start..total]
             .chunks_exact(8)
             .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
             .collect();
@@ -167,6 +214,12 @@ impl Frame {
             KIND_REPORT => Frame::UtilizationReport {
                 seq,
                 period,
+                values,
+            },
+            KIND_BOUNDARY => Frame::BoundaryExchange {
+                seq,
+                period,
+                shard: u16::from_le_bytes([bytes[HEADER_LEN], bytes[HEADER_LEN + 1]]),
                 values,
             },
             _ => Frame::RateCommand {
@@ -277,6 +330,74 @@ mod tests {
         };
         let (g, _) = Frame::decode(&f.encode()).unwrap().unwrap();
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn boundary_round_trips_bit_for_bit() {
+        let f = Frame::BoundaryExchange {
+            seq: 11,
+            period: 42,
+            shard: 513,
+            values: vec![0.25, -0.0, f64::NAN, 7e-300],
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + BOUNDARY_TRAILER_LEN + 8 * 4);
+        assert_eq!(bytes.len(), f.encoded_len());
+        let (g, used) = Frame::decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        let Frame::BoundaryExchange {
+            seq,
+            period,
+            shard,
+            values,
+        } = &g
+        else {
+            panic!("decoded wrong kind: {g:?}");
+        };
+        assert_eq!((*seq, *period, *shard), (11, 42, 513));
+        let a: Vec<u64> = f.values().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boundary_incomplete_input_asks_for_more() {
+        let bytes = Frame::BoundaryExchange {
+            seq: 1,
+            period: 1,
+            shard: 3,
+            values: vec![0.5, 0.6],
+        }
+        .encode();
+        // Every truncation point, including mid-trailer, must buffer.
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn reader_interleaves_boundary_with_reports() {
+        let frames = [
+            report(1, &[0.1]),
+            Frame::BoundaryExchange {
+                seq: 2,
+                period: 2,
+                shard: 0,
+                values: vec![],
+            },
+            report(3, &[0.3]),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut got = Vec::new();
+        while let Some(f) = reader.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
     }
 
     #[test]

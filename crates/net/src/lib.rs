@@ -32,7 +32,7 @@ mod transport;
 
 pub use channel::{channel_pair, ChannelTransport};
 pub use error::{FrameError, TransportError};
-pub use frame::{Frame, FrameReader, FRAME_VERSION, HEADER_LEN, MAX_PAYLOAD};
+pub use frame::{Frame, FrameReader, BOUNDARY_TRAILER_LEN, FRAME_VERSION, HEADER_LEN, MAX_PAYLOAD};
 pub use middleware::DelayLoss;
 pub use tcp::{tcp_pair, TcpConfig, TcpTransport};
 pub use transport::{Transport, TransportStats};

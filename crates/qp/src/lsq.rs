@@ -1,5 +1,7 @@
 //! `lsqlin`-style constrained least-squares front end.
 
+use std::sync::Arc;
+
 use eucon_math::{Matrix, Vector};
 
 use crate::solver::{factorize, solve_with_chol};
@@ -264,8 +266,11 @@ fn gauss_normal_matrix(ct: &Matrix, c: &Matrix, regularization: f64) -> Matrix {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PreparedLsq {
-    c: Matrix,
-    ct: Matrix,
+    /// Objective matrix and its transpose, shared across clones like the
+    /// QP core: fanning a homogeneous model out to a fleet copies two
+    /// `Arc`s, not two matrices.
+    c: Arc<Matrix>,
+    ct: Arc<Matrix>,
     qp: PreparedQp,
 }
 
@@ -282,7 +287,11 @@ impl PreparedLsq {
         let ct = c.transpose();
         let hess = gauss_normal_matrix(&ct, &c, regularization);
         let qp = PreparedQp::new(hess, g)?;
-        Ok(PreparedLsq { c, ct, qp })
+        Ok(PreparedLsq {
+            c: Arc::new(c),
+            ct: Arc::new(ct),
+            qp,
+        })
     }
 
     /// Number of decision variables.
@@ -305,6 +314,13 @@ impl PreparedLsq {
     /// The prepared quadratic program (fixed `H = CᵀC + εI` and `G`).
     pub fn qp(&self) -> &PreparedQp {
         &self.qp
+    }
+
+    /// Whether `self` and `other` share one immutable model (`C`, `Cᵀ`
+    /// and the prepared QP core) — true exactly for clones of a common
+    /// ancestor (see [`PreparedQp::shares_model`]).
+    pub fn shares_model(&self, other: &PreparedLsq) -> bool {
+        Arc::ptr_eq(&self.c, &other.c) && self.qp.shares_model(&other.qp)
     }
 
     /// Incremental membership shrink: retains the objective rows,
@@ -379,7 +395,11 @@ impl PreparedLsq {
         let full_g = self.qp.constraints();
         let g = Matrix::from_fn(cons.len(), vars.len(), |r, j| full_g[(cons[r], vars[j])]);
         let qp = PreparedQp::new(hess, g)?;
-        Ok(PreparedLsq { c, ct, qp })
+        Ok(PreparedLsq {
+            c: Arc::new(c),
+            ct: Arc::new(ct),
+            qp,
+        })
     }
 
     /// Solves for a new target `d` and constraint rhs `h`, optionally

@@ -1,6 +1,7 @@
 //! Dual active-set quadratic-program solver (Goldfarb–Idnani).
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use eucon_math::{Cholesky, Lu, MathError, Matrix, Vector};
 
@@ -264,6 +265,25 @@ pub(crate) struct WarmFactors {
     reduced: Option<Lu>,
 }
 
+/// The immutable heart of a [`PreparedQp`]: everything fixed at
+/// preparation time (`H`, `G`, the Cholesky factor, the constraint cache,
+/// the tolerance scale).
+///
+/// Held behind an [`Arc`] so cloning a prepared problem — e.g. fanning a
+/// homogeneous fleet's shared model out to thousands of loops — shares
+/// one copy of the expensive factorizations instead of deep-copying them.
+/// Nothing in here ever mutates after construction; all per-solve mutable
+/// state (the warm-start memo) lives outside the `Arc`, per clone.
+#[derive(Debug)]
+struct QpCore {
+    h: Matrix,
+    g: Matrix,
+    chol: Cholesky,
+    cache: ConstraintCache,
+    /// `max(|G|, |H|, 1)`; the per-solve tolerance also folds in `|h|`.
+    base_scale: f64,
+}
+
 /// A quadratic program with fixed `H` and `G`, prepared for repeated
 /// solves with varying `f` and `h`.
 ///
@@ -273,18 +293,31 @@ pub(crate) struct WarmFactors {
 /// This matches the controller hot path, where the plant model (hence `H`
 /// and the constraint matrix) never changes between sampling periods while
 /// the set-point error (`f`) and constraint slacks (`h`) do.
-#[derive(Debug, Clone)]
+///
+/// Cloning is cheap: the immutable model ([`QpCore`]) is shared through an
+/// `Arc`, and only the per-instance warm-start memo is copied — so N
+/// homogeneous controllers hold one factorization, not N.  A clone's
+/// solves are bit-identical to the original's regardless of sharing
+/// (the shared state never mutates; the memo is deterministic).
+#[derive(Debug)]
 pub struct PreparedQp {
-    h: Matrix,
-    g: Matrix,
-    chol: Cholesky,
-    cache: ConstraintCache,
-    /// `max(|G|, |H|, 1)`; the per-solve tolerance also folds in `|h|`.
-    base_scale: f64,
+    core: Arc<QpCore>,
     /// Warm-start subproblem factors memoized across solves (see
     /// [`WarmFactors`]); interior mutability keeps [`PreparedQp::solve`]
-    /// callable through a shared reference.
+    /// callable through a shared reference.  Per clone, outside the
+    /// shared core.
     warm_factors: RefCell<WarmFactors>,
+}
+
+impl Clone for PreparedQp {
+    /// Shares the immutable model; copies the warm-start memo state as-is
+    /// (a pristine instance clones to a pristine instance).
+    fn clone(&self) -> Self {
+        PreparedQp {
+            core: Arc::clone(&self.core),
+            warm_factors: RefCell::new(self.warm_factors.borrow().clone()),
+        }
+    }
 }
 
 impl PreparedQp {
@@ -310,28 +343,38 @@ impl PreparedQp {
         let cache = ConstraintCache::build(&chol, &g)?;
         let base_scale = g.max_abs().max(h.max_abs()).max(1.0);
         Ok(PreparedQp {
-            h,
-            g,
-            chol,
-            cache,
-            base_scale,
+            core: Arc::new(QpCore {
+                h,
+                g,
+                chol,
+                cache,
+                base_scale,
+            }),
             warm_factors: RefCell::new(WarmFactors::default()),
         })
     }
 
     /// Number of decision variables.
     pub fn num_vars(&self) -> usize {
-        self.h.rows()
+        self.core.h.rows()
     }
 
     /// Number of inequality constraints.
     pub fn num_constraints(&self) -> usize {
-        self.g.rows()
+        self.core.g.rows()
     }
 
     /// The Hessian this problem was prepared with.
     pub fn hessian(&self) -> &Matrix {
-        &self.h
+        &self.core.h
+    }
+
+    /// Whether `self` and `other` share one immutable model (`H`, `G`,
+    /// Cholesky factor, constraint cache) — true exactly for clones of a
+    /// common ancestor.  Probe for the fleet's shared-model cache tests;
+    /// sharing never changes results, only memory.
+    pub fn shares_model(&self, other: &PreparedQp) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     /// Lower bandwidth the Cholesky factorization detected in `H`.
@@ -341,12 +384,12 @@ impl PreparedQp {
     /// `num_vars() - 1` means the banded `O(n·b²)` factor/solve paths are
     /// in effect for this problem.
     pub fn hessian_bandwidth(&self) -> usize {
-        self.chol.bandwidth()
+        self.core.chol.bandwidth()
     }
 
     /// The constraint matrix this problem was prepared with.
     pub fn constraints(&self) -> &Matrix {
-        &self.g
+        &self.core.g
     }
 
     /// Incremental constraint-set shrink: keeps the rows of `G` selected
@@ -379,18 +422,21 @@ impl PreparedQp {
             .enumerate()
             .filter_map(|(i, &k)| k.then_some(i))
             .collect();
-        let g = Matrix::from_fn(kept.len(), self.num_vars(), |r, c| self.g[(kept[r], c)]);
-        let hinv_n: Vec<Vector> = kept.iter().map(|&i| self.cache.hinv_n[i].clone()).collect();
+        let core = &self.core;
+        let g = Matrix::from_fn(kept.len(), self.num_vars(), |r, c| core.g[(kept[r], c)]);
+        let hinv_n: Vec<Vector> = kept.iter().map(|&i| core.cache.hinv_n[i].clone()).collect();
         let d = Matrix::from_fn(kept.len(), kept.len(), |a, b| {
-            self.cache.d[(kept[a], kept[b])]
+            core.cache.d[(kept[a], kept[b])]
         });
-        let base_scale = g.max_abs().max(self.h.max_abs()).max(1.0);
+        let base_scale = g.max_abs().max(core.h.max_abs()).max(1.0);
         Ok(PreparedQp {
-            h: self.h.clone(),
-            g,
-            chol: self.chol.clone(),
-            cache: ConstraintCache { hinv_n, d },
-            base_scale,
+            core: Arc::new(QpCore {
+                h: core.h.clone(),
+                g,
+                chol: core.chol.clone(),
+                cache: ConstraintCache { hinv_n, d },
+                base_scale,
+            }),
             warm_factors: RefCell::new(WarmFactors::default()),
         })
     }
@@ -415,36 +461,39 @@ impl PreparedQp {
                 self.num_vars()
             )));
         }
-        let m0 = self.g.rows();
+        let core = &self.core;
+        let m0 = core.g.rows();
         let g = if m0 == 0 {
             extra.clone()
         } else {
-            self.g.vstack(extra)
+            core.g.vstack(extra)
         };
         let m = g.rows();
-        let mut hinv_n = self.cache.hinv_n.clone();
+        let mut hinv_n = core.cache.hinv_n.clone();
         hinv_n.reserve(m - m0);
         for i in m0..m {
             let ni = Vector::from_iter(g.row(i).iter().map(|v| -v));
-            hinv_n.push(self.chol.solve(&ni)?);
+            hinv_n.push(core.chol.solve(&ni)?);
         }
         let mut d = Matrix::zeros(m, m);
         for a in 0..m {
             for b in 0..m {
                 d[(a, b)] = if a < m0 && b < m0 {
-                    self.cache.d[(a, b)]
+                    core.cache.d[(a, b)]
                 } else {
                     -dot_row(&g, a, &hinv_n[b])
                 };
             }
         }
-        let base_scale = g.max_abs().max(self.h.max_abs()).max(1.0);
+        let base_scale = g.max_abs().max(core.h.max_abs()).max(1.0);
         Ok(PreparedQp {
-            h: self.h.clone(),
-            g,
-            chol: self.chol.clone(),
-            cache: ConstraintCache { hinv_n, d },
-            base_scale,
+            core: Arc::new(QpCore {
+                h: core.h.clone(),
+                g,
+                chol: core.chol.clone(),
+                cache: ConstraintCache { hinv_n, d },
+                base_scale,
+            }),
             warm_factors: RefCell::new(WarmFactors::default()),
         })
     }
@@ -479,12 +528,12 @@ impl PreparedQp {
             return Ok(empty_solution(self.num_constraints()));
         }
         solve_with_chol(
-            &self.chol,
+            &self.core.chol,
             f,
-            &self.g,
+            &self.core.g,
             hvec,
-            self.base_scale,
-            Some(&self.cache),
+            self.core.base_scale,
+            Some(&self.core.cache),
             warm,
             Some(&self.warm_factors),
         )
@@ -1128,6 +1177,44 @@ mod tests {
             }
             warm = sol.active;
         }
+    }
+
+    #[test]
+    fn clones_share_the_model_and_solve_bit_identically() {
+        let (_, _, qp) = coupled_prepared();
+        let f = Vector::from_slice(&[-3.0, 2.0, -1.5]);
+        let hvec = Vector::from_slice(&[0.4, 0.8, 0.3, 0.9, 0.9, 2.0]);
+
+        // Populate the original's warm memo before cloning: the clone
+        // copies that state but then evolves it independently.
+        let seeded = qp.solve(&f, &hvec, &[]).unwrap();
+        let clone = qp.clone();
+        assert!(qp.shares_model(&clone), "clone must share the Arc'd core");
+
+        let (h2, g2, fresh) = coupled_prepared();
+        let _ = (h2, g2);
+        assert!(
+            !qp.shares_model(&fresh),
+            "independent builds must not alias"
+        );
+
+        // Same inputs through clone, original and fresh build: one
+        // trajectory, bit for bit — sharing is memory-only.
+        let a = qp.solve(&f, &hvec, &seeded.active).unwrap();
+        let b = clone.solve(&f, &hvec, &seeded.active).unwrap();
+        let c = fresh.solve(&f, &hvec, &seeded.active).unwrap();
+        assert_bit_identical(&a, &b);
+        assert_bit_identical(&a, &c);
+    }
+
+    #[test]
+    fn derived_problems_do_not_alias_their_parent() {
+        let (_, _, qp) = coupled_prepared();
+        let kept = qp.retain_constraints(&[true; 6]).unwrap();
+        assert!(
+            !qp.shares_model(&kept),
+            "retain builds a new core even for the identity mask"
+        );
     }
 
     #[test]
