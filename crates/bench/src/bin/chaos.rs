@@ -9,18 +9,61 @@
 //! re-convergence) when the idealized sensing/actuation assumptions
 //! break.
 //!
+//! `--engine local` (default) closes the loop in-process; `--engine
+//! pair` and `--engine poll` run every cell over real loopback-TCP
+//! lanes (per-lane transport pairs or the many-lane poll engine), so
+//! the survival table can be reproduced under real transport effects.
+//!
 //! ```text
-//! cargo run --release -p eucon-bench --bin chaos
+//! cargo run --release -p eucon-bench --bin chaos -- --engine poll
 //! ```
+
+use std::time::Duration;
 
 use eucon_control::{MpcConfig, SupervisorConfig};
 use eucon_core::telemetry::{CsvSink, JsonlSink, Snapshot};
-use eucon_core::{metrics, render, ClosedLoop, ControllerSpec, RunResult};
+use eucon_core::{metrics, render, ClosedLoop, ControllerSpec, DistributedLoop, RunResult};
+use eucon_net::TcpConfig;
 use eucon_sim::{FaultPlan, SensorFaultKind, SimConfig};
 use eucon_tasks::{rms_set_points, workloads};
 use rayon::prelude::*;
 
 const PERIODS: usize = 250;
+
+/// Receive window for the TCP engines (stale lanes wait at most this
+/// long per period).
+const RECV_WINDOW: Duration = Duration::from_millis(5);
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Local,
+    Pair,
+    Poll,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Local => "local",
+            Engine::Pair => "pair",
+            Engine::Poll => "poll",
+        }
+    }
+}
+
+fn parse_engine() -> Engine {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        None => Engine::Local,
+        Some("--engine") => match args.next().expect("--engine takes a value").as_str() {
+            "local" => Engine::Local,
+            "pair" => Engine::Pair,
+            "poll" => Engine::Poll,
+            other => panic!("unknown engine '{other}' (supported: local, pair, poll)"),
+        },
+        Some(other) => panic!("unknown argument '{other}' (supported: --engine local|pair|poll)"),
+    }
+}
 /// The scenario whose SUP-EUCON run streams per-period telemetry to
 /// `results/telemetry_chaos.{csv,jsonl}` — the combined crash +
 /// actuation-loss case, where warm-start churn, supervisor transitions
@@ -108,29 +151,60 @@ struct Outcome {
     telemetry: Snapshot,
 }
 
-fn evaluate(scenario: &'static str, plan: FaultPlan, spec: ControllerSpec) -> Outcome {
+fn evaluate(
+    scenario: &'static str,
+    plan: FaultPlan,
+    spec: ControllerSpec,
+    engine: Engine,
+) -> Outcome {
     let set = workloads::simple();
     let b = rms_set_points(&set);
     let label = controller_label(&spec);
-    let mut builder = ClosedLoop::builder(set)
-        .sim_config(SimConfig::constant_etf(0.5))
-        .controller(spec)
-        .faults(plan);
     // The acceptance scenario streams its full per-period telemetry —
     // one CSV and one JSONL row per sampling period.
-    if scenario == TELEMETRY_SCENARIO && label == "SUP-EUCON" {
-        builder = builder
-            .telemetry_sink(
-                CsvSink::create(eucon_bench::results_dir().join("telemetry_chaos.csv"))
-                    .expect("create telemetry csv"),
-            )
-            .telemetry_sink(
-                JsonlSink::create(eucon_bench::results_dir().join("telemetry_chaos.jsonl"))
-                    .expect("create telemetry jsonl"),
-            );
-    }
-    let mut cl = builder.build().expect("controller builds");
-    let result: RunResult = cl.run(PERIODS);
+    let stream_telemetry = scenario == TELEMETRY_SCENARIO && label == "SUP-EUCON";
+    let result: RunResult = if engine == Engine::Local {
+        let mut builder = ClosedLoop::builder(set)
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(spec)
+            .faults(plan);
+        if stream_telemetry {
+            builder = builder
+                .telemetry_sink(
+                    CsvSink::create(eucon_bench::results_dir().join("telemetry_chaos.csv"))
+                        .expect("create telemetry csv"),
+                )
+                .telemetry_sink(
+                    JsonlSink::create(eucon_bench::results_dir().join("telemetry_chaos.jsonl"))
+                        .expect("create telemetry jsonl"),
+                );
+        }
+        let mut cl = builder.build().expect("controller builds");
+        cl.run(PERIODS)
+    } else {
+        let mut builder = DistributedLoop::builder(set)
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(spec)
+            .faults(plan)
+            .recv_timeout(RECV_WINDOW);
+        builder = match engine {
+            Engine::Pair => builder.tcp(TcpConfig::default()),
+            _ => builder.tcp_poll(TcpConfig::default()),
+        };
+        if stream_telemetry {
+            builder = builder
+                .telemetry_sink(
+                    CsvSink::create(eucon_bench::results_dir().join("telemetry_chaos.csv"))
+                        .expect("create telemetry csv"),
+                )
+                .telemetry_sink(
+                    JsonlSink::create(eucon_bench::results_dir().join("telemetry_chaos.jsonl"))
+                        .expect("create telemetry jsonl"),
+                );
+        }
+        let mut dl = builder.build().expect("controller builds");
+        dl.run(PERIODS)
+    };
     let non_finite = result
         .trace
         .steps()
@@ -158,9 +232,13 @@ fn evaluate(scenario: &'static str, plan: FaultPlan, spec: ControllerSpec) -> Ou
 }
 
 fn main() {
+    let engine = parse_engine();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "== Chaos sweep: SIMPLE, etf = 0.5, {PERIODS} periods, tail [{}, {}) ==\n",
-        TAIL.0, TAIL.1
+        "== Chaos sweep: SIMPLE, etf = 0.5, {PERIODS} periods, tail [{}, {}), engine {} ==\n",
+        TAIL.0,
+        TAIL.1,
+        engine.name()
     );
     let jobs: Vec<(&'static str, FaultPlan, ControllerSpec)> = scenarios()
         .into_iter()
@@ -173,7 +251,7 @@ fn main() {
     // Independent closed-loop runs; fan out across the pool.
     let outcomes: Vec<Outcome> = jobs
         .into_par_iter()
-        .map(|(name, plan, spec)| evaluate(name, plan, spec))
+        .map(|(name, plan, spec)| evaluate(name, plan, spec, engine))
         .collect();
 
     let rows: Vec<Vec<String>> = outcomes
@@ -189,6 +267,8 @@ fn main() {
                 o.degraded.to_string(),
                 o.non_finite.to_string(),
                 o.transitions.to_string(),
+                engine.name().to_string(),
+                cores.to_string(),
             ]
         })
         .collect();
@@ -202,6 +282,8 @@ fn main() {
         "degraded Ts",
         "non-finite",
         "transitions",
+        "engine",
+        "cores",
     ];
     println!("{}", render::table(&headers, &rows));
     println!(
@@ -221,6 +303,8 @@ fn main() {
                 "degraded_periods",
                 "non_finite_rates",
                 "mode_transitions",
+                "engine",
+                "cores",
             ],
             &rows,
         ),

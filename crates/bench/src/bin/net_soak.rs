@@ -3,40 +3,83 @@
 //!
 //! Runs the distributed loop (controller node + per-processor nodes
 //! exchanging binary frames) for `--periods` sampling periods (default
-//! 2000) over each backend configuration:
+//! 2000) over each backend configuration of the selected lane engine:
 //!
-//! * ideal in-process channels (the bit-exact reference lane);
-//! * ideal loopback TCP (partial-frame reassembly under real syscalls);
-//! * loopback TCP with 10% report loss and one period of command delay
-//!   (middleware + reassembly + stale-reuse under sustained churn).
+//! * `--engine pair` (default) — per-lane transport pairs: ideal
+//!   in-process channels (the bit-exact reference lane), ideal loopback
+//!   TCP, and TCP with 10% report loss plus one period of command delay.
+//! * `--engine poll` — the many-lane poll engine: ideal poll-TCP, the
+//!   same lossy/delayed configuration, and a `--lanes`-wide (default
+//!   1000) raw [`LaneFabric`] sweep soak with a resident-set gate
+//!   (post-warm-up RSS may at most double, plus 32 MiB of slack).
 //!
 //! Every configuration must finish with **zero frame-decode errors** and
 //! zero controller errors — a single corrupted or torn frame fails the
-//! run.  Stats land in `results/net_soak.csv`.
+//! run.  Stats land in `results/net_soak.csv`, which records the engine
+//! and the core count alongside the counters.
 //!
 //! ```text
-//! cargo run --release -p eucon-bench --bin net_soak -- --periods 2000
+//! cargo run --release -p eucon-bench --bin net_soak -- --engine poll --periods 2000
 //! ```
 
 use std::time::{Duration, Instant};
 
 use eucon_control::MpcConfig;
 use eucon_core::{render, ControllerSpec, DistributedLoop, DistributedLoopBuilder, LaneModel};
-use eucon_net::TcpConfig;
+use eucon_net::{tcp_lane_fabric, FrameKind, LaneFabric, TcpConfig};
 use eucon_sim::SimConfig;
 use eucon_tasks::workloads;
 
-fn parse_periods() -> usize {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        None => 2000,
-        Some("--periods") => args
-            .next()
-            .expect("--periods takes a value")
-            .parse()
-            .expect("--periods takes a positive integer"),
-        Some(other) => panic!("unknown argument '{other}' (supported: --periods N)"),
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Pair,
+    Poll,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Pair => "pair",
+            Engine::Poll => "poll",
+        }
     }
+}
+
+struct Args {
+    periods: usize,
+    engine: Engine,
+    lanes: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        periods: 2000,
+        engine: Engine::Pair,
+        lanes: 1000,
+        seed: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("{arg} takes a value"));
+        match arg.as_str() {
+            "--periods" => parsed.periods = value().parse().expect("--periods takes an integer"),
+            "--lanes" => parsed.lanes = value().parse().expect("--lanes takes an integer"),
+            "--seed" => parsed.seed = value().parse().expect("--seed takes an integer"),
+            "--engine" => {
+                parsed.engine = match value().as_str() {
+                    "pair" => Engine::Pair,
+                    "poll" => Engine::Poll,
+                    other => panic!("unknown engine '{other}' (supported: pair, poll)"),
+                }
+            }
+            other => panic!(
+                "unknown argument '{other}' \
+                 (supported: --periods N, --engine pair|poll, --lanes N, --seed S)"
+            ),
+        }
+    }
+    parsed
 }
 
 struct Soak {
@@ -49,35 +92,177 @@ struct Soak {
 /// stale periods don't dominate wall time.
 const RECV_WINDOW: Duration = Duration::from_millis(5);
 
-fn soaks() -> Vec<Soak> {
-    vec![
-        Soak {
-            name: "channel ideal",
-            configure: |b| b.channel(4),
-        },
-        Soak {
-            name: "tcp ideal",
-            configure: |b| b.tcp(TcpConfig::default()).recv_timeout(RECV_WINDOW),
-        },
-        Soak {
-            name: "tcp 10% report loss + cmd delay 1",
-            configure: |b| {
-                b.tcp(TcpConfig::default())
-                    .report_lanes(LaneModel::lossy(0.1, 77))
-                    .command_lanes(LaneModel::delayed(1))
-                    .recv_timeout(RECV_WINDOW)
+fn soaks(engine: Engine) -> Vec<Soak> {
+    match engine {
+        Engine::Pair => vec![
+            Soak {
+                name: "channel ideal",
+                configure: |b| b.channel(4),
             },
-        },
+            Soak {
+                name: "tcp ideal",
+                configure: |b| b.tcp(TcpConfig::default()).recv_timeout(RECV_WINDOW),
+            },
+            Soak {
+                name: "tcp 10% report loss + cmd delay 1",
+                configure: |b| {
+                    b.tcp(TcpConfig::default())
+                        .report_lanes(LaneModel::lossy(0.1, 77))
+                        .command_lanes(LaneModel::delayed(1))
+                        .recv_timeout(RECV_WINDOW)
+                },
+            },
+        ],
+        Engine::Poll => vec![
+            Soak {
+                name: "tcp-poll ideal",
+                configure: |b| b.tcp_poll(TcpConfig::default()).recv_timeout(RECV_WINDOW),
+            },
+            Soak {
+                name: "tcp-poll 10% report loss + cmd delay 1",
+                configure: |b| {
+                    b.tcp_poll(TcpConfig::default())
+                        .report_lanes(LaneModel::lossy(0.1, 77))
+                        .command_lanes(LaneModel::delayed(1))
+                        .recv_timeout(RECV_WINDOW)
+                },
+            },
+        ],
+    }
+}
+
+/// Resident-set size in bytes, if the platform exposes
+/// `/proc/self/statm` (Linux).  `None` elsewhere — the RSS gate is then
+/// skipped.
+fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// The many-lane sweep soak: `lanes` real loopback-TCP lanes on one
+/// [`LaneFabric`], every lane carrying one report up and one command
+/// down per period, with the RSS gate armed after a warm-up.
+fn fabric_soak(lanes: usize, periods: usize, seed: u64) -> Vec<String> {
+    println!("  [fabric {lanes} lanes] connecting ...");
+    let mut fabric: LaneFabric =
+        tcp_lane_fabric(&TcpConfig::default(), lanes).expect("lane fabric connects");
+    let started = Instant::now();
+    let mut delivered_up = 0u64;
+    let mut delivered_down = 0u64;
+    let mut rss_baseline: Option<u64> = None;
+    let warmup = (periods / 10).clamp(1, 100);
+    for k in 0..periods {
+        let period = k as u64;
+        for lane in 0..lanes {
+            let u = 0.5 + 0.25 * ((lane as u64 ^ seed) as f64 / u64::MAX as f64);
+            fabric
+                .proc
+                .send(
+                    lane,
+                    FrameKind::UtilizationReport,
+                    period,
+                    period,
+                    0,
+                    std::iter::once(u),
+                )
+                .expect("report send");
+            fabric
+                .ctrl
+                .send(
+                    lane,
+                    FrameKind::RateCommand,
+                    period,
+                    period,
+                    0,
+                    [1.0, 2.0].into_iter(),
+                )
+                .expect("command send");
+        }
+        for lane in 0..lanes {
+            delivered_up += fabric
+                .ctrl
+                .drain(lane, |view| {
+                    assert_eq!(view.kind(), FrameKind::UtilizationReport);
+                    assert_eq!(view.len(), 1);
+                })
+                .expect("report drain") as u64;
+            delivered_down += fabric
+                .proc
+                .drain(lane, |view| {
+                    assert_eq!(view.kind(), FrameKind::RateCommand);
+                    assert_eq!(view.len(), 2);
+                })
+                .expect("command drain") as u64;
+        }
+        if k + 1 == warmup {
+            rss_baseline = rss_bytes();
+        }
+    }
+    // Settle: loopback TCP loses nothing, so sweep until every frame
+    // sent has been drained (bounded by a generous deadline).
+    let expected = (lanes * periods) as u64;
+    let settle_deadline = Instant::now() + Duration::from_secs(10);
+    while (delivered_up < expected || delivered_down < expected) && Instant::now() < settle_deadline
+    {
+        for lane in 0..lanes {
+            delivered_up += fabric.ctrl.drain(lane, |_| {}).expect("report drain") as u64;
+            delivered_down += fabric.proc.drain(lane, |_| {}).expect("command drain") as u64;
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = fabric.ctrl.stats().merge(&fabric.proc.stats());
+    assert_eq!(stats.decode_errors, 0, "fabric soak: frame decode errors");
+    assert_eq!(stats.sent, 2 * expected, "every send must succeed");
+    assert_eq!(
+        (delivered_up, delivered_down),
+        (expected, expected),
+        "fabric soak lost frames"
+    );
+    if let (Some(baseline), Some(now)) = (rss_baseline, rss_bytes()) {
+        let limit = 2 * baseline + 32 * 1024 * 1024;
+        assert!(
+            now <= limit,
+            "fabric soak RSS grew past the gate: {now} > {limit} (baseline {baseline})"
+        );
+        println!(
+            "  [fabric {lanes} lanes] RSS {:.1} MiB (baseline {:.1} MiB) within gate",
+            now as f64 / (1024.0 * 1024.0),
+            baseline as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "  [fabric {lanes} lanes] ok: {} frames sent, {} delivered, 0 decode errors ({:.2}s)",
+        stats.sent,
+        delivered_up + delivered_down,
+        elapsed.as_secs_f64()
+    );
+    vec![
+        format!("fabric {lanes} lanes"),
+        stats.sent.to_string(),
+        (delivered_up + delivered_down).to_string(),
+        stats.dropped.to_string(),
+        stats.reconnects.to_string(),
+        "0".to_string(),
+        stats.bytes_sent.to_string(),
+        format!("{:.2}", elapsed.as_secs_f64()),
     ]
 }
 
 fn main() {
-    let periods = parse_periods();
-    println!("== Transport soak: SIMPLE, etf = 0.5, {periods} periods per backend ==\n");
+    let args = parse_args();
+    let periods = args.periods;
+    let engine = args.engine;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "== Transport soak: SIMPLE, etf = 0.5, {periods} periods per backend, \
+         engine {} ==\n",
+        engine.name()
+    );
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for soak in soaks() {
+    for soak in soaks(engine) {
         let builder = DistributedLoop::builder(workloads::simple())
-            .sim_config(SimConfig::constant_etf(0.5).seed(3))
+            .sim_config(SimConfig::constant_etf(0.5).seed(args.seed))
             .controller(ControllerSpec::Eucon(MpcConfig::simple()));
         let mut dl = (soak.configure)(builder).build().expect("loop builds");
         let started = Instant::now();
@@ -123,6 +308,13 @@ fn main() {
             elapsed.as_secs_f64()
         );
     }
+    if engine == Engine::Poll {
+        rows.push(fabric_soak(args.lanes, periods, args.seed));
+    }
+    for row in &mut rows {
+        row.push(engine.name().to_string());
+        row.push(cores.to_string());
+    }
     let headers = [
         "backend",
         "sent",
@@ -132,6 +324,8 @@ fn main() {
         "stale reuse",
         "bytes sent",
         "secs",
+        "engine",
+        "cores",
     ];
     println!("\n{}", render::table(&headers, &rows));
     eucon_bench::write_result(
@@ -146,6 +340,8 @@ fn main() {
                 "stale_reuse",
                 "bytes_sent",
                 "seconds",
+                "engine",
+                "cores",
             ],
             &rows,
         ),

@@ -1,0 +1,120 @@
+//! Service smoke: the multi-tenant daemon end to end over loopback TCP.
+//!
+//! Spawns the `ControlService` daemon, attaches three tenants through
+//! the line-oriented admin protocol — two ideal, one with 20% report
+//! loss — lets every tenant run at least `--periods` sampling periods
+//! (default 400), and then detaches them all, gating on:
+//!
+//! * every tenant stayed `healthy` (no quarantine, no eviction);
+//! * every tenant converged: worst tail set-point error ≤ 0.03, the
+//!   lossy tenant included (stale-hold absorbs the drops);
+//! * zero decode errors on every tenant's lanes;
+//! * a clean detach for all three, and a clean daemon shutdown whose
+//!   event log holds exactly the 3 attach + 3 detach transitions.
+//!
+//! ```text
+//! cargo run --release -p eucon-bench --bin service_smoke -- --seed 7
+//! ```
+
+use std::time::{Duration, Instant};
+
+use eucon_core::{ControlService, EvictionPolicy, ServiceClient};
+
+const CONV_TOL: f64 = 0.03;
+
+fn parse_args() -> (usize, u64) {
+    let (mut periods, mut seed) = (400usize, 1u64);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("{arg} takes a value"));
+        match arg.as_str() {
+            "--periods" => periods = value().parse().expect("--periods takes an integer"),
+            "--seed" => seed = value().parse().expect("--seed takes an integer"),
+            other => panic!("unknown argument '{other}' (supported: --periods N, --seed S)"),
+        }
+    }
+    (periods, seed)
+}
+
+/// Pulls `key=` out of a `DATA k=v k=v ...` line.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key).and_then(|kv| kv.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+}
+
+fn main() {
+    let (periods, seed) = parse_args();
+    println!("== Service smoke: 3 tenants, ≥{periods} periods each, seed {seed} ==\n");
+    let handle = ControlService::spawn(EvictionPolicy::default()).expect("daemon spawns");
+    println!("  daemon on {}", handle.addr());
+    let mut client = ServiceClient::connect(handle.addr()).expect("admin connects");
+    assert!(client.request("PING").expect("ping").ok);
+
+    let attaches = [
+        format!("ATTACH steady simple 0.5 seed={seed}"),
+        format!("ATTACH heavy medium 0.8 seed={}", seed + 1),
+        format!("ATTACH lossy simple 0.6 loss=0.2 seed={}", seed + 2),
+    ];
+    let mut ids = Vec::new();
+    for cmd in &attaches {
+        let resp = client.request(cmd).expect("attach");
+        assert!(resp.ok, "attach failed: {resp:?}");
+        ids.push(resp.status.clone());
+        println!("  attached tenant {} ({cmd})", resp.status);
+    }
+
+    // Poll STATS until every tenant crossed the period target.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let mut done = 0;
+        for id in &ids {
+            let resp = client.request(&format!("STATS {id}")).expect("stats");
+            assert!(resp.ok, "stats failed: {resp:?}");
+            let line = &resp.data[0];
+            assert_eq!(field(line, "health"), "healthy", "tenant degraded: {line}");
+            assert_eq!(field(line, "decode_errors"), "0", "decode errors: {line}");
+            if field(line, "periods").parse::<usize>().expect("periods") >= periods {
+                done += 1;
+            }
+        }
+        if done == ids.len() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tenants did not reach {periods} periods in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let resp = client.request("TENANTS").expect("tenants");
+    assert_eq!(resp.data.len(), 3, "all three tenants listed: {resp:?}");
+
+    for id in &ids {
+        let resp = client.request(&format!("DETACH {id}")).expect("detach");
+        assert!(resp.ok, "detach failed: {resp:?}");
+        let line = &resp.data[0];
+        let worst: f64 = field(line, "worst_err").parse().expect("worst_err");
+        assert!(
+            worst <= CONV_TOL,
+            "tenant {} missed convergence: worst_err {worst} > {CONV_TOL}",
+            field(line, "name")
+        );
+        println!(
+            "  detached {} after {} periods, worst tail err {worst:.4}",
+            field(line, "name"),
+            field(line, "periods")
+        );
+    }
+
+    let summary = handle.shutdown();
+    assert!(summary.reports.is_empty(), "no tenants left at shutdown");
+    assert_eq!(
+        summary.events.len(),
+        6,
+        "3 attaches + 3 detaches: {:#?}",
+        summary.events
+    );
+    println!("\nservice smoke passed: 3 tenants converged within ±{CONV_TOL}, clean detach");
+}

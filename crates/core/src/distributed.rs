@@ -35,7 +35,10 @@ use std::ops::{Deref, DerefMut};
 use std::time::{Duration, Instant};
 
 use eucon_math::Vector;
-use eucon_net::{channel_pair, tcp_pair, DelayLoss, Frame, TcpConfig, Transport, TransportStats};
+use eucon_net::{
+    channel_pair, tcp_lane_fabric, tcp_pair, DelayLoss, DelayLossGate, Frame, FrameKind,
+    LaneFabric, TcpConfig, Transport, TransportStats,
+};
 use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::TaskSet;
 
@@ -58,12 +61,31 @@ pub enum NetBackend {
     Tcp(TcpConfig),
 }
 
+/// How the feedback lanes are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum LaneEngine {
+    /// One transport object per lane endpoint ([`eucon_net::tcp_pair`] /
+    /// [`eucon_net::channel_pair`]), each with its own buffers and
+    /// reconnect logic — the original per-lane runtime.
+    #[default]
+    Pair,
+    /// Every lane multiplexed on one sweep-based readiness loop per node
+    /// ([`eucon_net::PollEngine`]): zero-copy frame decode straight from
+    /// the read buffer, allocation-free sends, no transport object or
+    /// thread per lane.  Requires the TCP backend.
+    Poll,
+}
+
 /// Transport configuration of a [`DistributedLoop`]: the backend plus
 /// the network effects layered on each direction of every lane.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// The transport backend.
     pub backend: NetBackend,
+    /// How the lanes are driven (per-lane transport pairs or one poll
+    /// engine per node).
+    pub engine: LaneEngine,
     /// Delay/loss applied to utilization reports (processor → controller).
     /// Lane `p` draws losses from `seed + p`, so lanes fail independently.
     pub report_lanes: LaneModel,
@@ -82,6 +104,7 @@ impl NetConfig {
     pub fn channel() -> Self {
         NetConfig {
             backend: NetBackend::Channel { capacity: 4 },
+            engine: LaneEngine::Pair,
             report_lanes: LaneModel::ideal(),
             command_lanes: LaneModel::ideal(),
             recv_timeout: Duration::ZERO,
@@ -92,10 +115,42 @@ impl NetConfig {
     pub fn tcp() -> Self {
         NetConfig {
             backend: NetBackend::Tcp(TcpConfig::default()),
+            engine: LaneEngine::Pair,
             report_lanes: LaneModel::ideal(),
             command_lanes: LaneModel::ideal(),
             recv_timeout: Duration::from_millis(2),
         }
+    }
+
+    /// Loopback-TCP lanes multiplexed on the poll engine (one readiness
+    /// sweep over every lane, zero-copy decode, allocation-free sends)
+    /// with a 2 ms receive window.
+    pub fn tcp_poll() -> Self {
+        NetConfig {
+            backend: NetBackend::Tcp(TcpConfig::default()),
+            engine: LaneEngine::Poll,
+            report_lanes: LaneModel::ideal(),
+            command_lanes: LaneModel::ideal(),
+            recv_timeout: Duration::from_millis(2),
+        }
+    }
+
+    /// Replaces the report-lane delay/loss model.
+    pub fn report_lanes(mut self, model: LaneModel) -> Self {
+        self.report_lanes = model;
+        self
+    }
+
+    /// Replaces the command-lane delay/loss model.
+    pub fn command_lanes(mut self, model: LaneModel) -> Self {
+        self.command_lanes = model;
+        self
+    }
+
+    /// Overrides the per-period receive window.
+    pub fn recv_timeout(mut self, window: Duration) -> Self {
+        self.recv_timeout = window;
+        self
     }
 }
 
@@ -120,6 +175,52 @@ fn wrap(inner: Box<dyn Transport>, model: &LaneModel, lane: usize) -> Box<dyn Tr
     }
 }
 
+/// The lane substrate of a distributed loop: either one boxed transport
+/// pair per lane ([`LaneEngine::Pair`]) or two poll engines multiplexing
+/// every lane ([`LaneEngine::Poll`]).
+enum Lanes {
+    /// One `Transport` object per endpoint; network-effect middleware is
+    /// layered per lane via [`DelayLoss`].
+    Pair {
+        /// Controller-node endpoint of each lane (receives reports,
+        /// sends commands; command middleware wraps this side).
+        ctrl: Vec<Box<dyn Transport>>,
+        /// Processor-node endpoint of each lane (sends reports, receives
+        /// commands; report middleware wraps this side).
+        proc: Vec<Box<dyn Transport>>,
+    },
+    /// Every lane a token on one [`eucon_net::PollEngine`] per node.
+    /// Network effects run through bare [`DelayLossGate`]s (empty when
+    /// the models are ideal), seeded exactly like the pair middleware so
+    /// the loss draws match draw-for-draw.
+    Poll {
+        fabric: Box<LaneFabric>,
+        /// Per-lane report-direction gates (processor → controller).
+        report_gates: Vec<DelayLossGate>,
+        /// Per-lane command-direction gates (controller → processor).
+        command_gates: Vec<DelayLossGate>,
+    },
+}
+
+/// Builds the per-lane gates of one direction (none when the model is
+/// ideal — the transparent path costs nothing).  Lane `p` draws from
+/// `model.seed + p`, matching [`wrap`].
+fn gates(model: &LaneModel, lanes: usize) -> Vec<DelayLossGate> {
+    if model.report_delay == 0 && model.loss_probability == 0.0 {
+        Vec::new()
+    } else {
+        (0..lanes)
+            .map(|p| {
+                DelayLossGate::new(
+                    model.report_delay,
+                    model.loss_probability,
+                    model.seed.wrapping_add(p as u64),
+                )
+            })
+            .collect()
+    }
+}
+
 /// The transport side of a distributed loop: one bidirectional lane per
 /// processor, the per-lane freshness/stale bookkeeping, and the merge
 /// scratch for partially delivered rate commands.
@@ -128,12 +229,7 @@ fn wrap(inner: Box<dyn Transport>, model: &LaneModel, lane: usize) -> Box<dyn Tr
 /// period step can route phase 4 (reports) and phase 6 (commands)
 /// through the lanes without duplicating the loop itself.
 pub(crate) struct NetRuntime {
-    /// Controller-node endpoint of each lane (receives reports, sends
-    /// commands; command middleware wraps this side).
-    ctrl: Vec<Box<dyn Transport>>,
-    /// Processor-node endpoint of each lane (sends reports, receives
-    /// commands; report middleware wraps this side).
-    proc: Vec<Box<dyn Transport>>,
+    lanes: Lanes,
     backend_name: &'static str,
     recv_timeout: Duration,
     /// Tasks whose rate modulator lives on each processor, ascending —
@@ -184,41 +280,62 @@ impl NetRuntime {
                 )));
             }
         }
-        let mut ctrl: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
-        let mut proc: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
         let mut backend_name = "channel";
-        for lane in 0..num_procs {
-            let (c, p): (Box<dyn Transport>, Box<dyn Transport>) = match &cfg.backend {
-                NetBackend::Channel { capacity } => {
-                    if *capacity == 0 {
-                        return Err(CoreError::Config("channel lanes need capacity >= 1".into()));
-                    }
-                    let (a, b) = channel_pair(*capacity);
-                    (Box::new(a), Box::new(b))
+        let lanes = match (cfg.engine, &cfg.backend) {
+            (LaneEngine::Poll, NetBackend::Channel { .. }) => {
+                return Err(CoreError::Config(
+                    "the poll lane engine requires the tcp backend".into(),
+                ));
+            }
+            (LaneEngine::Poll, NetBackend::Tcp(tcp)) => {
+                backend_name = "tcp-poll";
+                let fabric =
+                    tcp_lane_fabric(tcp, num_procs).map_err(eucon_net::TransportError::from)?;
+                Lanes::Poll {
+                    fabric: Box::new(fabric),
+                    report_gates: gates(&cfg.report_lanes, num_procs),
+                    command_gates: gates(&cfg.command_lanes, num_procs),
                 }
-                NetBackend::Tcp(tcp) => {
-                    backend_name = "tcp";
-                    let per_lane = TcpConfig {
-                        // De-correlate the lanes' backoff jitter streams
-                        // (tcp_pair itself splits the two endpoints).
-                        jitter_seed: tcp.jitter_seed.wrapping_add(lane as u64 * 2),
-                        ..tcp.clone()
+            }
+            (LaneEngine::Pair, _) => {
+                let mut ctrl: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
+                let mut proc: Vec<Box<dyn Transport>> = Vec::with_capacity(num_procs);
+                for lane in 0..num_procs {
+                    let (c, p): (Box<dyn Transport>, Box<dyn Transport>) = match &cfg.backend {
+                        NetBackend::Channel { capacity } => {
+                            if *capacity == 0 {
+                                return Err(CoreError::Config(
+                                    "channel lanes need capacity >= 1".into(),
+                                ));
+                            }
+                            let (a, b) = channel_pair(*capacity);
+                            (Box::new(a), Box::new(b))
+                        }
+                        NetBackend::Tcp(tcp) => {
+                            backend_name = "tcp";
+                            let per_lane = TcpConfig {
+                                // De-correlate the lanes' backoff jitter streams
+                                // (tcp_pair itself splits the two endpoints).
+                                jitter_seed: tcp.jitter_seed.wrapping_add(lane as u64 * 2),
+                                ..tcp.clone()
+                            };
+                            let (acceptor, connector) =
+                                tcp_pair(&per_lane).map_err(eucon_net::TransportError::from)?;
+                            (Box::new(acceptor), Box::new(connector))
+                        }
                     };
-                    let (acceptor, connector) =
-                        tcp_pair(&per_lane).map_err(eucon_net::TransportError::from)?;
-                    (Box::new(acceptor), Box::new(connector))
+                    ctrl.push(wrap(c, &cfg.command_lanes, lane));
+                    proc.push(wrap(p, &cfg.report_lanes, lane));
                 }
-            };
-            ctrl.push(wrap(c, &cfg.command_lanes, lane));
-            proc.push(wrap(p, &cfg.report_lanes, lane));
-        }
+                Lanes::Pair { ctrl, proc }
+            }
+        };
         let mut tasks_of = vec![Vec::new(); num_procs];
         for (t, &p) in head_proc.iter().enumerate() {
             tasks_of[p].push(t);
         }
         Ok(NetRuntime {
-            ctrl,
-            proc,
+            lanes,
             backend_name,
             recv_timeout: cfg.recv_timeout,
             tasks_of,
@@ -262,58 +379,132 @@ impl NetRuntime {
         u_report: &Vector,
         partitioned: &[usize],
     ) -> Option<Vector> {
-        let n = self.proc.len();
+        let n = self.fresh.len();
         self.rtt_scratch.clear();
         self.period_partition_lost = 0;
         self.report_seq += 1;
         let seq = self.report_seq;
-        for p in 0..n {
-            self.fresh[p] = false;
-            if partitioned.contains(&p) {
-                self.period_partition_lost += 1;
-                self.sent_at[p] = None;
-                continue;
-            }
-            self.sent_at[p] = Some(Instant::now());
-            // Send failures surface in the endpoint stats; the lane is
-            // simply stale this period.
-            let _ = self.proc[p].send(Frame::UtilizationReport {
-                seq,
-                period: k as u64,
-                values: vec![u_report[p]],
-            });
-        }
-        // One tick per period after the sends: the middleware clock.
-        for t in &mut self.proc {
-            t.tick();
-        }
-        // Controller node: drain until every reachable lane delivered at
-        // least one report or the receive window closes.  In-process
-        // channels deliver synchronously, so the first pass suffices.
-        let deadline = Instant::now() + self.recv_timeout;
-        loop {
-            for p in 0..n {
-                if partitioned.contains(&p) {
-                    continue;
+        let hold = &mut self.hold;
+        let fresh = &mut self.fresh;
+        let last_report_seq = &mut self.last_report_seq;
+        let sent_at = &mut self.sent_at;
+        let period_partition_lost = &mut self.period_partition_lost;
+        match &mut self.lanes {
+            Lanes::Pair { ctrl, proc } => {
+                for p in 0..n {
+                    fresh[p] = false;
+                    if partitioned.contains(&p) {
+                        *period_partition_lost += 1;
+                        sent_at[p] = None;
+                        continue;
+                    }
+                    sent_at[p] = Some(Instant::now());
+                    // Send failures surface in the endpoint stats; the
+                    // lane is simply stale this period.
+                    let _ = proc[p].send(Frame::UtilizationReport {
+                        seq,
+                        period: k as u64,
+                        values: vec![u_report[p]],
+                    });
                 }
-                while let Ok(Some(frame)) = self.ctrl[p].try_recv() {
-                    if let Frame::UtilizationReport { seq, values, .. } = frame {
-                        // A delayed frame still counts as the delivery —
-                        // the controller acts on u(k − d), exactly like
-                        // the in-loop lane model.
-                        if seq >= self.last_report_seq[p] && !values.is_empty() {
-                            self.last_report_seq[p] = seq;
-                            self.hold[p] = values[0];
-                            self.fresh[p] = true;
+                // One tick per period after the sends: the middleware clock.
+                for t in proc.iter_mut() {
+                    t.tick();
+                }
+                // Controller node: drain until every reachable lane
+                // delivered at least one report or the receive window
+                // closes.  In-process channels deliver synchronously, so
+                // the first pass suffices.
+                let deadline = Instant::now() + self.recv_timeout;
+                loop {
+                    for p in 0..n {
+                        if partitioned.contains(&p) {
+                            continue;
+                        }
+                        while let Ok(Some(frame)) = ctrl[p].try_recv() {
+                            if let Frame::UtilizationReport { seq, values, .. } = frame {
+                                // A delayed frame still counts as the
+                                // delivery — the controller acts on
+                                // u(k − d), exactly like the in-loop lane
+                                // model.
+                                if seq >= last_report_seq[p] && !values.is_empty() {
+                                    last_report_seq[p] = seq;
+                                    hold[p] = values[0];
+                                    fresh[p] = true;
+                                }
+                            }
                         }
                     }
+                    let missing = (0..n).any(|p| !fresh[p] && !partitioned.contains(&p));
+                    if !missing || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::yield_now();
                 }
             }
-            let missing = (0..n).any(|p| !self.fresh[p] && !partitioned.contains(&p));
-            if !missing || Instant::now() >= deadline {
-                break;
+            Lanes::Poll {
+                fabric,
+                report_gates,
+                ..
+            } => {
+                for p in 0..n {
+                    fresh[p] = false;
+                    if partitioned.contains(&p) {
+                        *period_partition_lost += 1;
+                        sent_at[p] = None;
+                        continue;
+                    }
+                    sent_at[p] = Some(Instant::now());
+                    if report_gates.is_empty() {
+                        // Ideal lanes take the allocation-free hot path:
+                        // the value is encoded straight onto the socket.
+                        let _ = fabric.proc.send(
+                            p,
+                            FrameKind::UtilizationReport,
+                            seq,
+                            k as u64,
+                            0,
+                            std::iter::once(u_report[p]),
+                        );
+                    } else if let Some(frame) = report_gates[p].offer(Frame::UtilizationReport {
+                        seq,
+                        period: k as u64,
+                        values: vec![u_report[p]],
+                    }) {
+                        let _ = fabric.proc.send_frame(p, &frame);
+                    }
+                }
+                for (p, gate) in report_gates.iter_mut().enumerate() {
+                    gate.tick(|frame| {
+                        let _ = fabric.proc.send_frame(p, &frame);
+                    });
+                }
+                let deadline = Instant::now() + self.recv_timeout;
+                loop {
+                    for p in 0..n {
+                        if partitioned.contains(&p) {
+                            continue;
+                        }
+                        // Decode errors tear the lane down inside the
+                        // engine; the loop sees it as a stale lane.
+                        let _ = fabric.ctrl.drain(p, |view| {
+                            if view.kind() == FrameKind::UtilizationReport
+                                && view.seq() >= last_report_seq[p]
+                                && !view.is_empty()
+                            {
+                                last_report_seq[p] = view.seq();
+                                hold[p] = view.value(0);
+                                fresh[p] = true;
+                            }
+                        });
+                    }
+                    let missing = (0..n).any(|p| !fresh[p] && !partitioned.contains(&p));
+                    if !missing || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
             }
-            std::thread::yield_now();
         }
         self.period_stale = self.fresh.iter().filter(|f| !**f).count() as u64;
         let identical = (0..n).all(|p| self.hold[p].to_bits() == u_report[p].to_bits());
@@ -341,59 +532,138 @@ impl NetRuntime {
         in_force: &[f64],
         partitioned: &[usize],
     ) -> &Vector {
-        let n = self.ctrl.len();
+        let n = self.cmd_got.len();
         self.cmd_scratch.copy_from_slice(in_force);
         self.cmd_seq += 1;
         let seq = self.cmd_seq;
-        for p in 0..n {
-            self.cmd_got[p] = false;
-            if partitioned.contains(&p) {
-                self.period_partition_lost += 1;
-                continue;
-            }
-            let rates = self.tasks_of[p].iter().map(|&t| cmd[t]).collect();
-            let _ = self.ctrl[p].send(Frame::RateCommand {
-                seq,
-                period: k as u64,
-                rates,
-            });
-        }
-        for t in &mut self.ctrl {
-            t.tick();
-        }
-        let deadline = Instant::now() + self.recv_timeout;
-        loop {
-            for p in 0..n {
-                if partitioned.contains(&p) {
-                    continue;
+        let cmd_scratch = &mut self.cmd_scratch;
+        let cmd_got = &mut self.cmd_got;
+        let last_cmd_seq = &mut self.last_cmd_seq;
+        let sent_at = &mut self.sent_at;
+        let rtt_scratch = &mut self.rtt_scratch;
+        let tasks_of = &self.tasks_of;
+        let period_partition_lost = &mut self.period_partition_lost;
+        match &mut self.lanes {
+            Lanes::Pair { ctrl, proc } => {
+                for p in 0..n {
+                    cmd_got[p] = false;
+                    if partitioned.contains(&p) {
+                        *period_partition_lost += 1;
+                        continue;
+                    }
+                    let rates = tasks_of[p].iter().map(|&t| cmd[t]).collect();
+                    let _ = ctrl[p].send(Frame::RateCommand {
+                        seq,
+                        period: k as u64,
+                        rates,
+                    });
                 }
-                while let Ok(Some(frame)) = self.proc[p].try_recv() {
-                    if let Frame::RateCommand { seq, period, rates } = frame {
-                        if seq < self.last_cmd_seq[p] {
+                for t in ctrl.iter_mut() {
+                    t.tick();
+                }
+                let deadline = Instant::now() + self.recv_timeout;
+                loop {
+                    for p in 0..n {
+                        if partitioned.contains(&p) {
                             continue;
                         }
-                        self.last_cmd_seq[p] = seq;
-                        // A command delayed past its period still takes
-                        // effect when it arrives (honest lane delay).
-                        if rates.len() == self.tasks_of[p].len() {
-                            for (i, &t) in self.tasks_of[p].iter().enumerate() {
-                                self.cmd_scratch[t] = rates[i];
-                            }
-                        }
-                        if period == k as u64 {
-                            self.cmd_got[p] = true;
-                            if let Some(at) = self.sent_at[p].take() {
-                                self.rtt_scratch.push(at.elapsed().as_nanos() as u64);
+                        while let Ok(Some(frame)) = proc[p].try_recv() {
+                            if let Frame::RateCommand { seq, period, rates } = frame {
+                                if seq < last_cmd_seq[p] {
+                                    continue;
+                                }
+                                last_cmd_seq[p] = seq;
+                                // A command delayed past its period still
+                                // takes effect when it arrives (honest
+                                // lane delay).
+                                if rates.len() == tasks_of[p].len() {
+                                    for (i, &t) in tasks_of[p].iter().enumerate() {
+                                        cmd_scratch[t] = rates[i];
+                                    }
+                                }
+                                if period == k as u64 {
+                                    cmd_got[p] = true;
+                                    if let Some(at) = sent_at[p].take() {
+                                        rtt_scratch.push(at.elapsed().as_nanos() as u64);
+                                    }
+                                }
                             }
                         }
                     }
+                    let missing = (0..n).any(|p| !cmd_got[p] && !partitioned.contains(&p));
+                    if !missing || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::yield_now();
                 }
             }
-            let missing = (0..n).any(|p| !self.cmd_got[p] && !partitioned.contains(&p));
-            if !missing || Instant::now() >= deadline {
-                break;
+            Lanes::Poll {
+                fabric,
+                command_gates,
+                ..
+            } => {
+                for p in 0..n {
+                    cmd_got[p] = false;
+                    if partitioned.contains(&p) {
+                        *period_partition_lost += 1;
+                        continue;
+                    }
+                    if command_gates.is_empty() {
+                        // Allocation-free hot path: the per-lane rate
+                        // slice streams straight into the encoder.
+                        let _ = fabric.ctrl.send(
+                            p,
+                            FrameKind::RateCommand,
+                            seq,
+                            k as u64,
+                            0,
+                            tasks_of[p].iter().map(|&t| cmd[t]),
+                        );
+                    } else if let Some(frame) = command_gates[p].offer(Frame::RateCommand {
+                        seq,
+                        period: k as u64,
+                        rates: tasks_of[p].iter().map(|&t| cmd[t]).collect(),
+                    }) {
+                        let _ = fabric.ctrl.send_frame(p, &frame);
+                    }
+                }
+                for (p, gate) in command_gates.iter_mut().enumerate() {
+                    gate.tick(|frame| {
+                        let _ = fabric.ctrl.send_frame(p, &frame);
+                    });
+                }
+                let deadline = Instant::now() + self.recv_timeout;
+                loop {
+                    for p in 0..n {
+                        if partitioned.contains(&p) {
+                            continue;
+                        }
+                        let _ = fabric.proc.drain(p, |view| {
+                            if view.kind() != FrameKind::RateCommand || view.seq() < last_cmd_seq[p]
+                            {
+                                return;
+                            }
+                            last_cmd_seq[p] = view.seq();
+                            if view.len() == tasks_of[p].len() {
+                                for (i, &t) in tasks_of[p].iter().enumerate() {
+                                    cmd_scratch[t] = view.value(i);
+                                }
+                            }
+                            if view.period() == k as u64 {
+                                cmd_got[p] = true;
+                                if let Some(at) = sent_at[p].take() {
+                                    rtt_scratch.push(at.elapsed().as_nanos() as u64);
+                                }
+                            }
+                        });
+                    }
+                    let missing = (0..n).any(|p| !cmd_got[p] && !partitioned.contains(&p));
+                    if !missing || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
             }
-            std::thread::yield_now();
         }
         &self.cmd_scratch
     }
@@ -402,14 +672,44 @@ impl NetRuntime {
     /// report and command traffic are both counted once, at the sender
     /// and the receiver respectively).
     pub(crate) fn aggregate_stats(&self) -> TransportStats {
-        let mut agg = TransportStats::default();
-        for t in &self.ctrl {
-            agg = agg.merge(&t.stats());
+        match &self.lanes {
+            Lanes::Pair { ctrl, proc } => {
+                let mut agg = TransportStats::default();
+                for t in ctrl {
+                    agg = agg.merge(&t.stats());
+                }
+                for t in proc {
+                    agg = agg.merge(&t.stats());
+                }
+                agg
+            }
+            Lanes::Poll {
+                fabric,
+                report_gates,
+                command_gates,
+            } => {
+                // Mirror the DelayLoss accounting: a gated direction
+                // reports offers as sends and folds loss draws into
+                // drops, regardless of what reached the socket.
+                let mut proc = fabric.proc.stats();
+                if !report_gates.is_empty() {
+                    proc.sent = report_gates.iter().map(DelayLossGate::accepted).sum();
+                    proc.dropped += report_gates.iter().map(DelayLossGate::lost).sum::<u64>();
+                }
+                let mut ctrl = fabric.ctrl.stats();
+                if !command_gates.is_empty() {
+                    ctrl.sent = command_gates.iter().map(DelayLossGate::accepted).sum();
+                    ctrl.dropped += command_gates.iter().map(DelayLossGate::lost).sum::<u64>();
+                }
+                ctrl.merge(&proc)
+            }
         }
-        for t in &self.proc {
-            agg = agg.merge(&t.stats());
-        }
-        agg
+    }
+
+    /// Lanes whose hold value was reused in the last exchange — the
+    /// health signal the control service's eviction policy watches.
+    pub(crate) fn stale_lanes(&self) -> u64 {
+        self.period_stale
     }
 
     pub(crate) fn backend_name(&self) -> &'static str {
@@ -439,7 +739,7 @@ impl std::fmt::Debug for NetRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetRuntime")
             .field("backend", &self.backend_name)
-            .field("lanes", &self.proc.len())
+            .field("lanes", &self.fresh.len())
             .finish_non_exhaustive()
     }
 }
@@ -486,6 +786,12 @@ impl DistributedLoop {
             inner: ClosedLoop::builder(set),
             net: NetConfig::channel(),
         }
+    }
+
+    /// Wraps a closed loop whose lanes were already attached (the
+    /// unified `LoopBuilder` finisher).
+    pub(crate) fn from_inner(inner: ClosedLoop) -> Self {
+        DistributedLoop { inner }
     }
 
     /// Aggregate transport counters over every lane endpoint.
@@ -589,6 +895,12 @@ impl DistributedLoopBuilder {
         self
     }
 
+    /// See [`ClosedLoopBuilder::telemetry_batch`].
+    pub fn telemetry_batch(mut self, rows: usize) -> Self {
+        self.inner = self.inner.telemetry_batch(rows);
+        self
+    }
+
     /// See [`ClosedLoopBuilder::churn`] (arrivals register a fresh slot
     /// on their head processor's command lane).
     pub fn churn(mut self, plan: ChurnPlan) -> Self {
@@ -623,6 +935,21 @@ impl DistributedLoopBuilder {
         if self.net.recv_timeout.is_zero() {
             self.net.recv_timeout = Duration::from_millis(2);
         }
+        self
+    }
+
+    /// Uses loopback-TCP lanes multiplexed on the poll engine: one
+    /// readiness sweep over every lane, zero-copy decode,
+    /// allocation-free sends (see [`LaneEngine::Poll`]).
+    pub fn tcp_poll(mut self, cfg: TcpConfig) -> Self {
+        self.net.engine = LaneEngine::Poll;
+        self.tcp(cfg)
+    }
+
+    /// Selects how the lanes are driven (per-lane transport pairs or
+    /// one poll engine per node).
+    pub fn engine(mut self, engine: LaneEngine) -> Self {
+        self.net.engine = engine;
         self
     }
 
@@ -806,6 +1133,81 @@ mod tests {
             result.telemetry.counter("stale_report_reuse").unwrap() >= 5,
             "each partitioned period reused the hold value"
         );
+    }
+
+    #[test]
+    fn poll_engine_runs_the_loop_bit_identically() {
+        let want = single(0.5, 30);
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .tcp_poll(TcpConfig::default())
+            .recv_timeout(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let result = dl.run(30);
+        assert_eq!(dl.backend_name(), "tcp-poll");
+        assert_eq!(result.control_errors, 0);
+        assert_eq!(result.trace, want.trace, "poll lanes must be lossless");
+        let stats = dl.transport_stats();
+        assert_eq!(stats.sent, 120, "2 lanes × 2 directions × 30 periods");
+        assert_eq!(stats.received, 120);
+        assert_eq!(stats.decode_errors, 0);
+        assert!(stats.bytes_sent > 0, "real bytes crossed the wire");
+        assert!(result.trace.steps().iter().all(|s| s.received.is_none()));
+    }
+
+    #[test]
+    fn poll_engine_lossy_lanes_reuse_hold_values() {
+        let mut dl = DistributedLoop::builder(workloads::simple())
+            .sim_config(SimConfig::constant_etf(0.5))
+            .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+            .tcp_poll(TcpConfig::default())
+            .recv_timeout(Duration::from_millis(20))
+            .report_lanes(LaneModel::lossy(0.3, 11))
+            .build()
+            .unwrap();
+        let result = dl.run(60);
+        assert_eq!(result.control_errors, 0);
+        let stats = dl.transport_stats();
+        assert!(stats.dropped > 0, "30% loss must drop frames");
+        assert_eq!(stats.decode_errors, 0);
+        let stale = result.telemetry.counter("stale_report_reuse").unwrap();
+        assert!(stale > 0, "lost reports reuse the hold value");
+        assert!(result.trace.steps().iter().any(|s| s.received.is_some()));
+    }
+
+    #[test]
+    fn poll_engine_loss_draws_match_the_pair_engine() {
+        // Same seeds, same models: both engines must drop the exact same
+        // report sequence, so the traces are bit-identical.
+        let run = |poll: bool| {
+            let b = DistributedLoop::builder(workloads::simple())
+                .sim_config(SimConfig::constant_etf(0.5))
+                .controller(ControllerSpec::Eucon(MpcConfig::simple()))
+                .report_lanes(LaneModel::lossy(0.25, 5))
+                .command_lanes(LaneModel::delayed(1))
+                .recv_timeout(Duration::from_millis(50));
+            let mut dl = if poll {
+                b.tcp_poll(TcpConfig::default()).build().unwrap()
+            } else {
+                b.tcp(TcpConfig::default()).build().unwrap()
+            };
+            dl.run(40)
+        };
+        let pair = run(false);
+        let poll = run(true);
+        assert_eq!(pair.trace, poll.trace, "engines diverged under loss");
+    }
+
+    #[test]
+    fn poll_engine_requires_tcp() {
+        let err = DistributedLoop::builder(workloads::simple())
+            .channel(4)
+            .engine(LaneEngine::Poll)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Config(ref m) if m.contains("poll")));
     }
 
     #[test]

@@ -63,8 +63,10 @@ pub mod experiments;
 mod factory;
 mod fleet;
 mod lanes;
+mod loop_builder;
 pub mod metrics;
 pub mod render;
+pub mod service;
 mod shardnet;
 pub mod svg;
 pub mod telemetry;
@@ -77,12 +79,17 @@ pub use closed_loop::{
     ClosedLoop, ClosedLoopBuilder, ControllerSpec, FaultSummary, RunMetrics, RunResult,
     DEFAULT_SAMPLING_PERIOD,
 };
-pub use distributed::{DistributedLoop, DistributedLoopBuilder, NetBackend, NetConfig};
+pub use distributed::{DistributedLoop, DistributedLoopBuilder, LaneEngine, NetBackend, NetConfig};
 pub use error::CoreError;
 pub use experiments::{SteadyRun, SweepPoint, VaryingRun};
 pub use factory::{factory_fn, ControllerFactory};
 pub use fleet::{FleetConfig, FleetLoopSpec, FleetReport, FleetRunner};
 pub use lanes::{LaneModel, LaneState};
+pub use loop_builder::{FleetPlan, LoopBuilder};
+pub use service::{
+    AdminResponse, ControlService, EvictionPolicy, ServiceClient, ServiceHandle, ServiceSummary,
+    TenantEvent, TenantHealth, TenantId, TenantReport, TenantSpec,
+};
 pub use shardnet::{BoundaryMode, NetShardedController, ShardBoundaryNet, ShardNetStats};
 pub use trace::{StepAnnotations, Trace, TraceStep};
 

@@ -222,4 +222,22 @@ impl Scenario {
             .expect("distributed loop")
             .run(GOLDEN_PERIODS)
     }
+
+    /// Runs the scenario through the distributed loop over real
+    /// loopback-TCP lanes driven by the many-lane poll engine — must be
+    /// bit-identical to [`Scenario::run_single`].  The generous receive
+    /// window keeps loaded machines deterministic: TCP loses nothing,
+    /// so every report lands within the window and the trace carries no
+    /// timing artifacts.
+    pub fn run_distributed_poll(self) -> RunResult {
+        DistributedLoop::builder(self.workload())
+            .sim_config(self.sim_config())
+            .controller(self.controller())
+            .faults(self.faults())
+            .tcp_poll(Default::default())
+            .recv_timeout(std::time::Duration::from_millis(200))
+            .build()
+            .expect("distributed poll loop")
+            .run(GOLDEN_PERIODS)
+    }
 }

@@ -49,6 +49,30 @@ fn distributed_golden_medium_faulted() {
     assert_eq!(hash_result(&s.run_distributed_channel()), s.golden());
 }
 
+#[test]
+fn poll_engine_golden_simple_fault_free() {
+    let s = Scenario::SimpleFaultFree;
+    assert_eq!(hash_result(&s.run_distributed_poll()), s.golden());
+}
+
+#[test]
+fn poll_engine_golden_medium_fault_free() {
+    let s = Scenario::MediumFaultFree;
+    assert_eq!(hash_result(&s.run_distributed_poll()), s.golden());
+}
+
+#[test]
+fn poll_engine_golden_simple_faulted() {
+    let s = Scenario::SimpleFaulted;
+    assert_eq!(hash_result(&s.run_distributed_poll()), s.golden());
+}
+
+#[test]
+fn poll_engine_golden_medium_faulted() {
+    let s = Scenario::MediumFaulted;
+    assert_eq!(hash_result(&s.run_distributed_poll()), s.golden());
+}
+
 /// What a controller holding the last delivery sees after this period's
 /// frames (if any) are drained from a lane — the distributed runtime's
 /// stale-reuse semantics on a single scalar lane.

@@ -47,6 +47,240 @@ const KIND_REPORT: u8 = 1;
 const KIND_COMMAND: u8 = 2;
 const KIND_BOUNDARY: u8 = 3;
 
+/// The kind of a frame, independent of its payload representation.
+///
+/// [`Frame`] owns its payload; [`FrameView`] borrows it from the read
+/// buffer.  Both report their kind through this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Monitor → controller utilization sample(s).
+    UtilizationReport,
+    /// Controller → rate modulator task rates.
+    RateCommand,
+    /// Shard ↔ shard-hub boundary state.
+    BoundaryExchange,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            KIND_REPORT => Some(FrameKind::UtilizationReport),
+            KIND_COMMAND => Some(FrameKind::RateCommand),
+            KIND_BOUNDARY => Some(FrameKind::BoundaryExchange),
+            _ => None,
+        }
+    }
+
+    fn byte(self) -> u8 {
+        match self {
+            FrameKind::UtilizationReport => KIND_REPORT,
+            FrameKind::RateCommand => KIND_COMMAND,
+            FrameKind::BoundaryExchange => KIND_BOUNDARY,
+        }
+    }
+
+    fn trailer_len(self) -> usize {
+        match self {
+            FrameKind::BoundaryExchange => BOUNDARY_TRAILER_LEN,
+            _ => 0,
+        }
+    }
+}
+
+/// Appends one wire frame built from a value iterator to `out` — the
+/// allocation-free encode path of the poll engine: no intermediate
+/// `Vec<f64>` payload, no owned [`Frame`], just header bytes plus the
+/// iterator's values serialized through [`f64::to_bits`].
+///
+/// `shard` is only encoded for [`FrameKind::BoundaryExchange`] and is
+/// ignored for the other kinds.
+///
+/// # Panics
+///
+/// Panics if the iterator reports more than [`MAX_PAYLOAD`] values.
+pub fn encode_frame<I>(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    seq: u64,
+    period: u64,
+    shard: u16,
+    values: I,
+) where
+    I: ExactSizeIterator<Item = f64>,
+{
+    let n = values.len();
+    assert!(n <= MAX_PAYLOAD, "frame payload too large");
+    out.reserve(HEADER_LEN + kind.trailer_len() + 8 * n);
+    out.push(FRAME_VERSION);
+    out.push(kind.byte());
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&period.to_le_bytes());
+    if kind == FrameKind::BoundaryExchange {
+        out.extend_from_slice(&shard.to_le_bytes());
+        out.extend_from_slice(&[0u8; 2]);
+    }
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// A decoded frame borrowing its payload straight from the read buffer.
+///
+/// This is the zero-copy decode path: the header fields are parsed into
+/// plain integers and the payload stays where the socket wrote it — no
+/// intermediate `Vec<f64>`.  Values are read on demand through
+/// [`FrameView::value`] / [`FrameView::values`], each a direct
+/// [`f64::from_bits`] over eight payload bytes (bit-exact, NaN-safe).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    kind: FrameKind,
+    seq: u64,
+    period: u64,
+    shard: u16,
+    payload: &'a [u8],
+}
+
+/// Validates the header at the start of `bytes` and returns the total
+/// encoded length of the frame it declares, or `Ok(None)` when `bytes`
+/// does not yet hold a complete frame.
+fn frame_len(bytes: &[u8]) -> Result<Option<usize>, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    if bytes[0] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(bytes[0]));
+    }
+    let Some(kind) = FrameKind::from_byte(bytes[1]) else {
+        return Err(FrameError::BadKind(bytes[1]));
+    };
+    let n = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+    if n > MAX_PAYLOAD {
+        return Err(FrameError::Oversize(n));
+    }
+    let total = HEADER_LEN + kind.trailer_len() + 8 * n;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(total))
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses one frame from the start of `bytes` without copying the
+    /// payload.  Returns the view and the number of bytes consumed, or
+    /// `Ok(None)` when `bytes` does not yet hold a complete frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] for an unsupported version byte, an unknown
+    /// frame kind or an oversize payload declaration.
+    pub fn parse(bytes: &'a [u8]) -> Result<Option<(FrameView<'a>, usize)>, FrameError> {
+        let Some(total) = frame_len(bytes)? else {
+            return Ok(None);
+        };
+        let kind = FrameKind::from_byte(bytes[1]).expect("validated by frame_len");
+        let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let period = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let shard = if kind == FrameKind::BoundaryExchange {
+            u16::from_le_bytes([bytes[HEADER_LEN], bytes[HEADER_LEN + 1]])
+        } else {
+            0
+        };
+        let payload = &bytes[HEADER_LEN + kind.trailer_len()..total];
+        Ok(Some((
+            FrameView {
+                kind,
+                seq,
+                period,
+                shard,
+                payload,
+            },
+            total,
+        )))
+    }
+
+    /// The frame's kind.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The frame's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sampling-period index the frame belongs to.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The shard id (0 for non-boundary frames).
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Number of payload values.
+    pub fn len(&self) -> usize {
+        self.payload.len() / 8
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// The `i`-th payload value, decoded in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn value(&self, i: usize) -> f64 {
+        let bytes = &self.payload[8 * i..8 * i + 8];
+        f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Iterates the payload values in order, decoding in place.
+    pub fn values(&self) -> impl ExactSizeIterator<Item = f64> + 'a {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+    }
+
+    /// Copies the payload into `out` (up to `out.len()` values) and
+    /// returns how many were written.
+    pub fn copy_into(&self, out: &mut [f64]) -> usize {
+        let n = self.len().min(out.len());
+        for (i, slot) in out.iter_mut().enumerate().take(n) {
+            *slot = self.value(i);
+        }
+        n
+    }
+
+    /// Materializes an owned [`Frame`] (allocates — the compatibility
+    /// bridge for callers that need ownership).
+    pub fn to_frame(&self) -> Frame {
+        let values: Vec<f64> = self.values().collect();
+        match self.kind {
+            FrameKind::UtilizationReport => Frame::UtilizationReport {
+                seq: self.seq,
+                period: self.period,
+                values,
+            },
+            FrameKind::RateCommand => Frame::RateCommand {
+                seq: self.seq,
+                period: self.period,
+                rates: values,
+            },
+            FrameKind::BoundaryExchange => Frame::BoundaryExchange {
+                seq: self.seq,
+                period: self.period,
+                shard: self.shard,
+                values,
+            },
+        }
+    }
+}
+
 /// Extra bytes a [`Frame::BoundaryExchange`] carries between the header
 /// and the payload: `u16` shard id + two reserved zero bytes.
 pub const BOUNDARY_TRAILER_LEN: usize = 4;
@@ -120,12 +354,17 @@ impl Frame {
         }
     }
 
-    fn kind_byte(&self) -> u8 {
+    /// The frame's kind.
+    pub fn kind(&self) -> FrameKind {
         match self {
-            Frame::UtilizationReport { .. } => KIND_REPORT,
-            Frame::RateCommand { .. } => KIND_COMMAND,
-            Frame::BoundaryExchange { .. } => KIND_BOUNDARY,
+            Frame::UtilizationReport { .. } => FrameKind::UtilizationReport,
+            Frame::RateCommand { .. } => FrameKind::RateCommand,
+            Frame::BoundaryExchange { .. } => FrameKind::BoundaryExchange,
         }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        self.kind().byte()
     }
 
     /// Encoded size in bytes.
@@ -180,55 +419,7 @@ impl Frame {
     /// Returns [`FrameError`] for an unsupported version byte, an unknown
     /// frame kind or an oversize payload declaration.
     pub fn decode(bytes: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
-        if bytes.len() < HEADER_LEN {
-            return Ok(None);
-        }
-        if bytes[0] != FRAME_VERSION {
-            return Err(FrameError::BadVersion(bytes[0]));
-        }
-        let kind = bytes[1];
-        if kind != KIND_REPORT && kind != KIND_COMMAND && kind != KIND_BOUNDARY {
-            return Err(FrameError::BadKind(kind));
-        }
-        let n = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
-        if n > MAX_PAYLOAD {
-            return Err(FrameError::Oversize(n));
-        }
-        let trailer = if kind == KIND_BOUNDARY {
-            BOUNDARY_TRAILER_LEN
-        } else {
-            0
-        };
-        let total = HEADER_LEN + trailer + 8 * n;
-        if bytes.len() < total {
-            return Ok(None);
-        }
-        let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
-        let period = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-        let payload_start = HEADER_LEN + trailer;
-        let values: Vec<f64> = bytes[payload_start..total]
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
-            .collect();
-        let frame = match kind {
-            KIND_REPORT => Frame::UtilizationReport {
-                seq,
-                period,
-                values,
-            },
-            KIND_BOUNDARY => Frame::BoundaryExchange {
-                seq,
-                period,
-                shard: u16::from_le_bytes([bytes[HEADER_LEN], bytes[HEADER_LEN + 1]]),
-                values,
-            },
-            _ => Frame::RateCommand {
-                seq,
-                period,
-                rates: values,
-            },
-        };
-        Ok(Some((frame, total)))
+        Ok(FrameView::parse(bytes)?.map(|(view, used)| (view.to_frame(), used)))
     }
 }
 
@@ -279,6 +470,33 @@ impl FrameReader {
                 Err(e)
             }
         }
+    }
+
+    /// Pops the next complete frame as a zero-copy [`FrameView`]
+    /// borrowing this reader's buffer — the poll engine's drain path
+    /// (no payload copy, no allocation).
+    ///
+    /// The view is valid until the next call that mutates the reader
+    /// (`extend`, `next_frame`, `next_view`, `clear`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameError`] for malformed input; the internal buffer
+    /// is cleared, exactly like [`FrameReader::next_frame`].
+    pub fn next_view(&mut self) -> Result<Option<FrameView<'_>>, FrameError> {
+        let used = match frame_len(&self.buf[self.consumed..]) {
+            Ok(Some(total)) => total,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                self.clear();
+                return Err(e);
+            }
+        };
+        let start = self.consumed;
+        self.consumed += used;
+        let (view, _) = FrameView::parse(&self.buf[start..start + used])?
+            .expect("frame_len validated a complete frame");
+        Ok(Some(view))
     }
 
     /// Bytes currently buffered and not yet decoded.
@@ -446,6 +664,97 @@ mod tests {
         }
         assert_eq!(got, frames);
         assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn view_decodes_in_place_bit_for_bit() {
+        let f = Frame::BoundaryExchange {
+            seq: 9,
+            period: 77,
+            shard: 1024,
+            values: vec![0.5, f64::NAN, -0.0, f64::NEG_INFINITY],
+        };
+        let bytes = f.encode();
+        let (view, used) = FrameView::parse(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(view.kind(), FrameKind::BoundaryExchange);
+        assert_eq!((view.seq(), view.period(), view.shard()), (9, 77, 1024));
+        assert_eq!(view.len(), 4);
+        let a: Vec<u64> = f.values().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = view.values().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(view.value(1).to_bits(), f64::NAN.to_bits());
+        let mut out = [0.0f64; 4];
+        assert_eq!(view.copy_into(&mut out), 4);
+        assert_eq!(out[0], 0.5);
+        // The owned bridge reproduces the original frame exactly.
+        let g = view.to_frame();
+        let c: Vec<u64> = g.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn encode_frame_matches_owned_encoding() {
+        let f = Frame::RateCommand {
+            seq: 21,
+            period: 6,
+            rates: vec![1.5, 0.25, 3.0],
+        };
+        let mut streamed = Vec::new();
+        encode_frame(
+            &mut streamed,
+            FrameKind::RateCommand,
+            21,
+            6,
+            0,
+            [1.5, 0.25, 3.0].into_iter(),
+        );
+        assert_eq!(streamed, f.encode(), "iterator path is byte-identical");
+        let mut boundary = Vec::new();
+        encode_frame(
+            &mut boundary,
+            FrameKind::BoundaryExchange,
+            1,
+            2,
+            513,
+            [0.5].into_iter(),
+        );
+        let g = Frame::BoundaryExchange {
+            seq: 1,
+            period: 2,
+            shard: 513,
+            values: vec![0.5],
+        };
+        assert_eq!(boundary, g.encode());
+    }
+
+    #[test]
+    fn reader_views_drain_dribbled_bytes() {
+        let frames = [report(1, &[0.1]), report(2, &[0.2, 0.3]), report(3, &[])];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            reader.extend(&[b]);
+            while let Some(view) = reader.next_view().unwrap() {
+                got.push(view.to_frame());
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn reader_view_poisoned_buffer_clears_on_error() {
+        let mut reader = FrameReader::new();
+        reader.extend(&[0xFF; 64]);
+        assert!(reader.next_view().is_err());
+        assert_eq!(reader.pending(), 0);
+        reader.extend(&report(5, &[0.9]).encode());
+        assert_eq!(reader.next_view().unwrap().unwrap().seq(), 5);
     }
 
     #[test]

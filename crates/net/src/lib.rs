@@ -15,7 +15,12 @@
 //!   reconnect backoff).
 //! * [`DelayLoss`] — network effects (report delay, report loss) as
 //!   middleware composable over any backend, draw-for-draw compatible
-//!   with the closed loop's `LaneModel`.
+//!   with the closed loop's `LaneModel` (the decision core is exposed
+//!   as [`DelayLossGate`] for transports that bypass the middleware).
+//! * [`PollEngine`] / [`LaneFabric`] — the many-lane runtime: one
+//!   sweep-based readiness loop multiplexing thousands of nonblocking
+//!   TCP lanes with zero-copy [`FrameView`] decode and allocation-free
+//!   [`encode_frame`] sends — no thread per lane.
 //!
 //! The distributed loop runtime in `eucon-core` drives these endpoints;
 //! this crate knows nothing about control theory — it moves frames.
@@ -26,13 +31,20 @@
 mod channel;
 mod error;
 mod frame;
+mod lanes;
 mod middleware;
+mod poll;
 mod tcp;
 mod transport;
 
 pub use channel::{channel_pair, ChannelTransport};
 pub use error::{FrameError, TransportError};
-pub use frame::{Frame, FrameReader, BOUNDARY_TRAILER_LEN, FRAME_VERSION, HEADER_LEN, MAX_PAYLOAD};
-pub use middleware::DelayLoss;
+pub use frame::{
+    encode_frame, Frame, FrameKind, FrameReader, FrameView, BOUNDARY_TRAILER_LEN, FRAME_VERSION,
+    HEADER_LEN, MAX_PAYLOAD,
+};
+pub use lanes::{tcp_lane_fabric, LaneFabric};
+pub use middleware::{DelayLoss, DelayLossGate};
+pub use poll::{LaneToken, PollEngine};
 pub use tcp::{tcp_pair, TcpConfig, TcpTransport};
 pub use transport::{Transport, TransportStats};

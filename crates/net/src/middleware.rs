@@ -11,6 +11,11 @@
 //! same seed, a `DelayLoss` lane and a `LaneModel` produce the same
 //! sequence of loss decisions; the transport-equivalence property test
 //! pins this.
+//!
+//! The decision core lives in [`DelayLossGate`], a transport-free
+//! delay/loss queue that both the `DelayLoss` wrapper and the poll
+//! engine's per-lane gates drive — one implementation, so the draw
+//! sequence cannot diverge between the transport-pair and poll paths.
 
 use std::collections::VecDeque;
 
@@ -21,6 +26,95 @@ use crate::error::TransportError;
 use crate::frame::Frame;
 use crate::transport::{Transport, TransportStats};
 
+/// The delay/loss decision core: a FIFO of in-flight frames released by
+/// [`DelayLossGate::tick`], each crossing frame drawing the loss
+/// probability exactly once at release time.
+///
+/// Knows nothing about transports — the caller supplies the delivery
+/// action.  [`DelayLoss`] layers it over a [`Transport`]; the distributed
+/// runtime's poll path layers it over direct socket encodes.
+#[derive(Debug)]
+pub struct DelayLossGate {
+    /// Whole ticks each frame spends in flight.
+    delay: usize,
+    /// Per-frame drop probability in `[0, 1)`.
+    loss_probability: f64,
+    rng: StdRng,
+    /// Frames not yet released (oldest first); length ≤ delay + 1.
+    in_flight: VecDeque<Frame>,
+    /// Frames dropped on a loss draw.
+    lost: u64,
+    /// Frames accepted for sending.
+    accepted: u64,
+}
+
+impl DelayLossGate {
+    /// A gate with `delay` ticks of latency and per-frame loss
+    /// probability `loss_probability` drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss_probability < 1`.
+    pub fn new(delay: usize, loss_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1)"
+        );
+        DelayLossGate {
+            delay,
+            loss_probability,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: VecDeque::new(),
+            lost: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Whether the gate is a no-op (zero delay, zero loss): offered
+    /// frames should cross immediately without queuing.
+    pub fn is_transparent(&self) -> bool {
+        self.delay == 0 && self.loss_probability == 0.0
+    }
+
+    /// Accepts a frame.  Returns `Some(frame)` when it should cross the
+    /// lane immediately (the transparent configuration); otherwise the
+    /// frame is queued until its delay elapses.
+    pub fn offer(&mut self, frame: Frame) -> Option<Frame> {
+        self.accepted += 1;
+        if self.is_transparent() {
+            return Some(frame);
+        }
+        self.in_flight.push_back(frame);
+        None
+    }
+
+    /// Advances the gate's clock by one tick: every frame whose delay has
+    /// elapsed either crosses (via `deliver`) or is dropped on its loss
+    /// draw.
+    pub fn tick(&mut self, mut deliver: impl FnMut(Frame)) {
+        while self.in_flight.len() > self.delay {
+            let frame = self.in_flight.pop_front().expect("len checked");
+            let dropped =
+                self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability;
+            if dropped {
+                self.lost += 1;
+            } else {
+                deliver(frame);
+            }
+        }
+    }
+
+    /// Frames accepted for sending so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Frames dropped on a loss draw so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+}
+
 /// A lane that delays every frame by a fixed number of ticks and drops
 /// each crossing frame independently with a configured probability.
 ///
@@ -30,17 +124,7 @@ use crate::transport::{Transport, TransportStats};
 #[derive(Debug)]
 pub struct DelayLoss<T> {
     inner: T,
-    /// Whole ticks each frame spends in flight.
-    delay: usize,
-    /// Per-frame drop probability in `[0, 1)`.
-    loss_probability: f64,
-    rng: StdRng,
-    /// Frames not yet released (oldest first); length ≤ delay + 1.
-    in_flight: VecDeque<Frame>,
-    /// Frames this layer dropped on a loss draw.
-    lost: u64,
-    /// Frames this layer accepted for sending.
-    accepted: u64,
+    gate: DelayLossGate,
 }
 
 impl<T: Transport> DelayLoss<T> {
@@ -51,18 +135,9 @@ impl<T: Transport> DelayLoss<T> {
     ///
     /// Panics unless `0 ≤ loss_probability < 1`.
     pub fn new(inner: T, delay: usize, loss_probability: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&loss_probability),
-            "loss probability must be in [0, 1)"
-        );
         DelayLoss {
             inner,
-            delay,
-            loss_probability,
-            rng: StdRng::seed_from_u64(seed),
-            in_flight: VecDeque::new(),
-            lost: 0,
-            accepted: 0,
+            gate: DelayLossGate::new(delay, loss_probability, seed),
         }
     }
 
@@ -70,34 +145,14 @@ impl<T: Transport> DelayLoss<T> {
     pub fn inner(&self) -> &T {
         &self.inner
     }
-
-    /// Releases every frame whose delay has elapsed, drawing the loss
-    /// probability per crossing frame.
-    fn release_due(&mut self) {
-        while self.in_flight.len() > self.delay {
-            let frame = self.in_flight.pop_front().expect("len checked");
-            let dropped =
-                self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability;
-            if dropped {
-                self.lost += 1;
-            } else {
-                // A full inner queue applies its own backpressure policy;
-                // that is not a loss-model drop, so the error is ignored
-                // here and shows up in the inner stats instead.
-                let _ = self.inner.send(frame);
-            }
-        }
-    }
 }
 
 impl<T: Transport> Transport for DelayLoss<T> {
     fn send(&mut self, frame: Frame) -> Result<(), TransportError> {
-        self.accepted += 1;
-        if self.delay == 0 && self.loss_probability == 0.0 {
-            // Degenerate config: transparent passthrough.
+        if let Some(frame) = self.gate.offer(frame) {
+            // Transparent configuration: straight through.
             return self.inner.send(frame);
         }
-        self.in_flight.push_back(frame);
         Ok(())
     }
 
@@ -106,7 +161,13 @@ impl<T: Transport> Transport for DelayLoss<T> {
     }
 
     fn tick(&mut self) {
-        self.release_due();
+        let inner = &mut self.inner;
+        self.gate.tick(|frame| {
+            // A full inner queue applies its own backpressure policy;
+            // that is not a loss-model drop, so the error is ignored
+            // here and shows up in the inner stats instead.
+            let _ = inner.send(frame);
+        });
         self.inner.tick();
     }
 
@@ -114,8 +175,8 @@ impl<T: Transport> Transport for DelayLoss<T> {
         let mut stats = self.inner.stats();
         // The inner backend never saw lost or still-delayed frames, so
         // report sends as what this layer accepted and fold the losses in.
-        stats.sent = self.accepted;
-        stats.dropped += self.lost;
+        stats.sent = self.gate.accepted();
+        stats.dropped += self.gate.lost();
         stats
     }
 
@@ -204,6 +265,32 @@ mod tests {
         lane.send(report(3)).unwrap();
         lane.tick();
         assert_eq!(lane.stats().dropped, u64::from(first_draw_drops));
+    }
+
+    #[test]
+    fn bare_gate_matches_the_wrapped_middleware_draw_for_draw() {
+        // The same seed must produce the same delivery sequence whether
+        // the gate runs inside DelayLoss or standalone (the poll path).
+        let (p, seed, delay) = (0.35, 123, 1);
+        let (tx, mut rx) = channel_pair(1024);
+        let mut wrapped = DelayLoss::new(tx, delay, p, seed);
+        let mut bare = DelayLossGate::new(delay, p, seed);
+        let mut bare_got = Vec::new();
+        let mut wrapped_got = Vec::new();
+        for seq in 0..200u64 {
+            wrapped.send(report(seq)).unwrap();
+            wrapped.tick();
+            while let Ok(Some(f)) = rx.try_recv() {
+                wrapped_got.push(f.seq());
+            }
+            if let Some(f) = bare.offer(report(seq)) {
+                bare_got.push(f.seq());
+            }
+            bare.tick(|f| bare_got.push(f.seq()));
+        }
+        assert_eq!(bare_got, wrapped_got);
+        assert_eq!(bare.lost(), wrapped.stats().dropped);
+        assert_eq!(bare.accepted(), 200);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! `eucon-service` — the multi-tenant control-service daemon.
+//!
+//! Two modes:
+//!
+//! * `eucon-service serve [--quarantine N] [--evict N]` — start the
+//!   daemon, print the admin address on stdout, and run until an admin
+//!   client sends `SHUTDOWN`.
+//! * `eucon-service client <addr> <command ...>` — send one admin
+//!   command line and print the response.
+//!
+//! The admin protocol is line-oriented: `PING`, `ATTACH <name>
+//! <simple|medium> <etf> [loss=P] [delay=D] [seed=S]`, `DETACH <id>`,
+//! `STATS <id>`, `TENANTS`, `EVENTS`, `SHUTDOWN`; responses are zero or
+//! more `DATA ...` lines closed by `OK ...` or `ERR ...`.
+
+use std::process::ExitCode;
+
+use eucon_core::{ControlService, EvictionPolicy, ServiceClient};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  eucon-service serve [--quarantine N] [--evict N]\n  \
+         eucon-service client <addr> <command ...>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut policy = EvictionPolicy::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value =
+            |it: &mut std::slice::Iter<'_, String>| it.next().and_then(|v| v.parse::<u32>().ok());
+        match arg.as_str() {
+            "--quarantine" => match value(&mut it) {
+                Some(n) => policy.quarantine_after = n,
+                None => return usage(),
+            },
+            "--evict" => match value(&mut it) {
+                Some(n) => policy.evict_after = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let handle = match ControlService::spawn(policy) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("eucon-service: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address line is the machine-readable contract: scripts parse
+    // it to find the admin port.
+    println!("eucon-service listening on {}", handle.addr());
+    let summary = handle.join();
+    println!(
+        "eucon-service: exiting ({} events, {} tenants detached at shutdown)",
+        summary.events.len(),
+        summary.reports.len()
+    );
+    for event in &summary.events {
+        println!("  {event:?}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let Ok(addr) = addr.parse() else {
+        eprintln!("eucon-service: bad address {addr:?}");
+        return ExitCode::from(2);
+    };
+    let command = args[1..].join(" ");
+    if command.is_empty() {
+        return usage();
+    }
+    let mut client = match ServiceClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("eucon-service: connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&command) {
+        Ok(resp) => {
+            for line in &resp.data {
+                println!("{line}");
+            }
+            if resp.ok {
+                println!("OK {}", resp.status);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("ERR {}", resp.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("eucon-service: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,6 +8,12 @@
 //! suspends tasks until the system fits, then re-admits them when the
 //! scene clears.
 //!
+//! This is *task-level* admission inside one loop.  For *loop-level*
+//! admission — many independent control loops admitted to and evicted
+//! from one long-running daemon — see [`eucon::core::service`]
+//! (`ControlService`, the `eucon-service` binary) and README
+//! "Running as a service".
+//!
 //! Run with: `cargo run --release --example admission_control`
 
 use eucon::core::admission::{AdaptiveLoop, AdmissionPolicy};

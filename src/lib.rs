@@ -18,15 +18,18 @@
 //! * [`control`] — the EUCON MPC, OPEN and PID baselines, stability
 //!   analysis.
 //! * [`core`] — the closed feedback loop, experiment protocols, metrics,
-//!   and the telemetry surface (fixed metric registry, span timers,
-//!   pluggable sinks — re-exported from `eucon-telemetry`).
+//!   the multi-tenant [`ControlService`] daemon, and the telemetry
+//!   surface (fixed metric registry, span timers, pluggable sinks).
 //! * [`net`] — the feedback-lane transport runtime: the [`Transport`]
 //!   trait, versioned binary frames, in-process channel and loopback-TCP
-//!   backends, delay/loss middleware.
+//!   backends, the many-lane poll engine, delay/loss middleware.
 //!
 //! [`Transport`]: prelude::Transport
+//! [`ControlService`]: prelude::ControlService
 //!
-//! # Quickstart
+//! # Quickstart (v0.3)
+//!
+//! One builder, three execution modes — pick with the finisher:
 //!
 //! ```
 //! use eucon::prelude::*;
@@ -34,16 +37,34 @@
 //! # fn main() -> Result<(), eucon::Error> {
 //! // Close the loop on the paper's SIMPLE workload with actual execution
 //! // times at half their estimates; EUCON still settles on the RMS bound.
-//! let mut cl = ClosedLoop::builder(workloads::simple())
+//! let mut cl = LoopBuilder::new(workloads::simple())
 //!     .sim_config(SimConfig::constant_etf(0.5))
 //!     .controller(ControllerSpec::Eucon(MpcConfig::simple()))
-//!     .build()?;
+//!     .local()?;
 //! let result = cl.run(150);
 //! let tail = metrics::window(&result.trace.utilization_series(0), 100, 150);
 //! assert!((tail.mean - 0.828).abs() < 0.03);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same experiment runs distributed over real transport lanes with
+//! `.distributed(NetConfig::tcp_poll())`, or as `n` replicas on the
+//! work-stealing fleet runner with `.fleet(n)` — and a long-running
+//! multi-tenant daemon is one [`ControlService::spawn`] away (see the
+//! README's "Running as a service").
+//!
+//! # Migrating from v0.2
+//!
+//! * `ClosedLoop::builder(set).build()` → `LoopBuilder::new(set).local()`
+//!   (the old builders still work, behind deprecated aliases).
+//! * `DistributedLoop::builder(set).tcp(cfg).build()` →
+//!   `LoopBuilder::new(set).distributed(NetConfig::tcp())`.
+//! * Matching on `eucon::Error` variants → [`Error::kind`] (the stable
+//!   [`ErrorKind`] taxonomy); the full layer-specific errors remain
+//!   reachable through `source()`.
+//!
+//! [`ControlService::spawn`]: prelude::ControlService::spawn
 
 #![forbid(unsafe_code)]
 
@@ -57,69 +78,157 @@ pub use eucon_qp as qp;
 pub use eucon_sim as sim;
 pub use eucon_tasks as tasks;
 
-/// Top-level error of the facade: everything the builders, loops and
-/// transports can fail with, behind one type so application code needs a
-/// single `?` conversion.
+/// Top-level error of the facade: everything the builders, loops,
+/// services and transports can fail with, behind one opaque type so
+/// application code needs a single `?` conversion.
+///
+/// Classify with [`Error::kind`] — a small, stable taxonomy — instead
+/// of matching on layer-specific error enums; the underlying error
+/// remains reachable through [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum Error {
-    /// Assembling or running a closed loop failed.
+pub struct Error {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
     Core(core::CoreError),
-    /// Controller construction or update failed.
     Control(control::ControlError),
-    /// A feedback-lane transport failed.
     Transport(net::TransportError),
+    Sim(sim::SimError),
+    Task(tasks::TaskError),
+}
+
+/// Stable classification of an [`Error`], independent of which layer
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A builder or service input failed validation.
+    Config,
+    /// Controller construction or update failed.
+    Controller,
+    /// The workload definition was invalid.
+    Workload,
+    /// A feedback-lane transport or admin connection failed.
+    Transport,
+    /// Simulator-side configuration (fault plans, probabilities) was
+    /// rejected.
+    Simulation,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Config => "config",
+            ErrorKind::Controller => "controller",
+            ErrorKind::Workload => "workload",
+            ErrorKind::Transport => "transport",
+            ErrorKind::Simulation => "simulation",
+        })
+    }
+}
+
+impl Error {
+    /// Which part of the stack rejected the operation.
+    pub fn kind(&self) -> ErrorKind {
+        match &self.repr {
+            Repr::Core(core::CoreError::Control(_)) => ErrorKind::Controller,
+            Repr::Core(core::CoreError::Task(_)) => ErrorKind::Workload,
+            Repr::Core(core::CoreError::Transport(_)) => ErrorKind::Transport,
+            Repr::Core(core::CoreError::Sim(_)) => ErrorKind::Simulation,
+            Repr::Core(_) => ErrorKind::Config,
+            Repr::Control(_) => ErrorKind::Controller,
+            Repr::Transport(_) => ErrorKind::Transport,
+            Repr::Sim(_) => ErrorKind::Simulation,
+            Repr::Task(_) => ErrorKind::Workload,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Error::Core(e) => write!(f, "{e}"),
-            Error::Control(e) => write!(f, "controller failure: {e}"),
-            Error::Transport(e) => write!(f, "transport failure: {e}"),
+        match &self.repr {
+            Repr::Core(e) => write!(f, "{e}"),
+            Repr::Control(e) => write!(f, "controller failure: {e}"),
+            Repr::Transport(e) => write!(f, "transport failure: {e}"),
+            Repr::Sim(e) => write!(f, "simulator rejected the configuration: {e}"),
+            Repr::Task(e) => write!(f, "invalid workload: {e}"),
         }
     }
 }
 
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Error::Core(e) => Some(e),
-            Error::Control(e) => Some(e),
-            Error::Transport(e) => Some(e),
+        match &self.repr {
+            Repr::Core(e) => Some(e),
+            Repr::Control(e) => Some(e),
+            Repr::Transport(e) => Some(e),
+            Repr::Sim(e) => Some(e),
+            Repr::Task(e) => Some(e),
         }
     }
 }
 
 impl From<core::CoreError> for Error {
     fn from(e: core::CoreError) -> Self {
-        Error::Core(e)
+        Error {
+            repr: Repr::Core(e),
+        }
     }
 }
 
 impl From<control::ControlError> for Error {
     fn from(e: control::ControlError) -> Self {
-        Error::Control(e)
+        Error {
+            repr: Repr::Control(e),
+        }
     }
 }
 
 impl From<net::TransportError> for Error {
     fn from(e: net::TransportError) -> Self {
-        Error::Transport(e)
+        Error {
+            repr: Repr::Transport(e),
+        }
     }
 }
 
-/// Convenient single-import surface for applications.
+impl From<net::FrameError> for Error {
+    fn from(e: net::FrameError) -> Self {
+        Error {
+            repr: Repr::Transport(net::TransportError::Frame(e)),
+        }
+    }
+}
+
+impl From<sim::SimError> for Error {
+    fn from(e: sim::SimError) -> Self {
+        Error { repr: Repr::Sim(e) }
+    }
+}
+
+impl From<tasks::TaskError> for Error {
+    fn from(e: tasks::TaskError) -> Self {
+        Error {
+            repr: Repr::Task(e),
+        }
+    }
+}
+
+/// Convenient single-import surface for applications (the v0.3 API).
 pub mod prelude {
-    pub use crate::Error;
+    pub use crate::{Error, ErrorKind};
     pub use eucon_control::{
         ControlMode, ControlPenalty, DecentralizedController, IndependentPid, MpcConfig,
         MpcController, OpenLoop, RateController, Supervised, SupervisorConfig, SupervisorReport,
     };
     pub use eucon_core::{
-        factory_fn, metrics, render, telemetry, ClosedLoop, ClosedLoopBuilder, ControllerFactory,
-        ControllerSpec, DistributedLoop, DistributedLoopBuilder, FaultSummary, LaneModel,
-        NetBackend, NetConfig, RunMetrics, RunResult, SteadyRun, VaryingRun,
+        factory_fn, metrics, render, telemetry, AdminResponse, ClosedLoop, ControlService,
+        ControllerFactory, ControllerSpec, DistributedLoop, EvictionPolicy, FaultSummary,
+        FleetPlan, FleetReport, LaneEngine, LaneModel, LoopBuilder, NetBackend, NetConfig,
+        RunMetrics, RunResult, ServiceClient, ServiceHandle, ServiceSummary, SteadyRun,
+        TenantEvent, TenantHealth, TenantId, TenantReport, TenantSpec, VaryingRun,
     };
     pub use eucon_math::{Matrix, Vector};
     pub use eucon_net::{TcpConfig, Transport, TransportStats};
@@ -129,6 +238,37 @@ pub mod prelude {
     pub use eucon_tasks::{
         liu_layland_bound, rms_set_points, workloads, ProcessorId, Task, TaskId, TaskSet,
     };
+
+    /// The v0.2 mode-specific builder, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "use LoopBuilder with the .local() finisher")]
+    pub type ClosedLoopBuilder = eucon_core::ClosedLoopBuilder;
+
+    /// The v0.2 mode-specific builder, kept as a thin alias.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use LoopBuilder with the .distributed(net) finisher"
+    )]
+    pub type DistributedLoopBuilder = eucon_core::DistributedLoopBuilder;
+
+    /// The v0.2 fleet configuration, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "use LoopBuilder with the .fleet(n) finisher")]
+    pub type FleetConfig = eucon_core::FleetConfig;
+
+    /// Layer-specific error, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
+    pub type CoreError = eucon_core::CoreError;
+
+    /// Layer-specific error, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
+    pub type ControlError = eucon_control::ControlError;
+
+    /// Layer-specific error, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
+    pub type TransportError = eucon_net::TransportError;
+
+    /// Layer-specific error, kept as a thin alias.
+    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
+    pub type SimError = eucon_sim::SimError;
 }
 
 #[cfg(test)]
@@ -136,24 +276,66 @@ mod tests {
     use super::*;
 
     #[test]
-    fn error_wraps_every_layer_with_source_chains() {
-        let c: Error = core::CoreError::Config("bad".into()).into();
-        assert!(matches!(c, Error::Core(_)));
-        assert!(std::error::Error::source(&c).is_some());
-        let t: Error = net::TransportError::Disconnected.into();
-        assert!(t.to_string().contains("transport failure"));
-        let k: Error = control::ControlError::DimensionMismatch("x".into()).into();
-        assert!(k.to_string().contains("controller failure"));
+    fn kind_classifies_every_layer() {
+        let e: Error = core::CoreError::Config("bad".into()).into();
+        assert_eq!(e.kind(), ErrorKind::Config);
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = core::CoreError::Transport(net::TransportError::Disconnected).into();
+        assert_eq!(e.kind(), ErrorKind::Transport);
+
+        let e: Error = net::TransportError::Disconnected.into();
+        assert_eq!(e.kind(), ErrorKind::Transport);
+        assert!(e.to_string().contains("transport failure"));
+
+        let e: Error = control::ControlError::DimensionMismatch("x".into()).into();
+        assert_eq!(e.kind(), ErrorKind::Controller);
+        assert!(e.to_string().contains("controller failure"));
+
+        let e: Error = tasks::TaskError::EmptyTaskSet.into();
+        assert_eq!(e.kind(), ErrorKind::Workload);
+
+        let e: Error = sim::SimError::InvalidProbability {
+            what: "loss",
+            value: 2.0,
+        }
+        .into();
+        assert_eq!(e.kind(), ErrorKind::Simulation);
+    }
+
+    #[test]
+    fn source_reaches_the_layer_error() {
+        let e: Error =
+            core::CoreError::Control(control::ControlError::DimensionMismatch("h".into())).into();
+        assert_eq!(e.kind(), ErrorKind::Controller);
+        let src = std::error::Error::source(&e).unwrap();
+        assert!(src.downcast_ref::<core::CoreError>().is_some());
+        // The chain continues one level deeper to the control layer.
+        assert!(src
+            .source()
+            .unwrap()
+            .downcast_ref::<control::ControlError>()
+            .is_some());
     }
 
     #[test]
     fn question_mark_converts_from_the_builders() {
         fn build() -> Result<(), Error> {
             use crate::prelude::*;
-            let _ = ClosedLoop::builder(workloads::simple()).build()?;
-            let _ = DistributedLoop::builder(workloads::simple())
-                .channel(4)
-                .build()?;
+            let _ = LoopBuilder::new(workloads::simple()).local()?;
+            let _ = LoopBuilder::new(workloads::simple()).distributed(NetConfig::channel())?;
+            Ok(())
+        }
+        build().unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_compile() {
+        fn build() -> Result<(), Error> {
+            use crate::prelude::*;
+            let b: ClosedLoopBuilder = ClosedLoop::builder(workloads::simple());
+            let _ = b.build()?;
             Ok(())
         }
         build().unwrap();

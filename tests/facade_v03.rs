@@ -1,0 +1,118 @@
+//! v0.3 facade pins: the [`LoopBuilder`] finishers and the unified
+//! [`Error`] type must be *surface*, not behaviour.
+//!
+//! The golden hashes the core crate pins for the four closed-loop
+//! scenarios (see `crates/core/tests/trace_hash/`) must come out
+//! bit-identical when the same scenarios are assembled through the new
+//! `eucon::LoopBuilder` facade — both the `.local()` finisher and the
+//! `.distributed(NetConfig::tcp_poll())` finisher over the many-lane
+//! poll engine.  And every failure the facade can produce must surface
+//! as `eucon::Error` with a stable [`ErrorKind`] and a reachable
+//! `source()` chain.
+
+#[path = "../crates/core/tests/trace_hash/mod.rs"]
+mod trace_hash;
+
+use std::error::Error as StdError;
+use std::time::Duration;
+
+use eucon::prelude::*;
+use trace_hash::{hash_result, Scenario, GOLDEN_PERIODS};
+
+/// Assembles a golden scenario through the v0.3 facade.
+fn facade_builder(s: Scenario) -> LoopBuilder {
+    let (set, sim, controller, faults) = match s {
+        Scenario::SimpleFaultFree => (
+            workloads::simple(),
+            SimConfig::constant_etf(0.5),
+            ControllerSpec::Eucon(MpcConfig::simple()),
+            FaultPlan::none(),
+        ),
+        Scenario::MediumFaultFree => (
+            workloads::medium(),
+            SimConfig::constant_etf(1.0)
+                .exec_model(ExecModel::Uniform { half_width: 0.2 })
+                .seed(1),
+            ControllerSpec::Eucon(MpcConfig::medium()),
+            FaultPlan::none(),
+        ),
+        Scenario::SimpleFaulted => (
+            workloads::simple(),
+            SimConfig::constant_etf(0.5),
+            ControllerSpec::SupervisedEucon {
+                mpc: MpcConfig::simple(),
+                supervisor: Default::default(),
+            },
+            FaultPlan::none()
+                .crash(1, 10, 18)
+                .actuation_loss(0.3)
+                .seed(7),
+        ),
+        Scenario::MediumFaulted => (
+            workloads::medium(),
+            SimConfig::constant_etf(1.0)
+                .exec_model(ExecModel::Uniform { half_width: 0.2 })
+                .seed(1),
+            ControllerSpec::SupervisedEucon {
+                mpc: MpcConfig::medium(),
+                supervisor: Default::default(),
+            },
+            FaultPlan::none()
+                .crash(1, 10, 18)
+                .actuation_loss(0.3)
+                .seed(7),
+        ),
+    };
+    LoopBuilder::new(set)
+        .sim_config(sim)
+        .controller(controller)
+        .faults(faults)
+}
+
+#[test]
+fn local_finisher_reproduces_all_four_golden_hashes() {
+    for s in Scenario::ALL {
+        let mut cl = facade_builder(s).local().expect("local loop");
+        assert_eq!(
+            hash_result(&cl.run(GOLDEN_PERIODS)),
+            s.golden(),
+            "{} drifted through LoopBuilder::local()",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn poll_engine_finisher_reproduces_all_four_golden_hashes() {
+    for s in Scenario::ALL {
+        let mut dl = facade_builder(s)
+            .distributed(NetConfig::tcp_poll().recv_timeout(Duration::from_millis(200)))
+            .expect("distributed poll loop");
+        assert_eq!(
+            hash_result(&dl.run(GOLDEN_PERIODS)),
+            s.golden(),
+            "{} drifted through LoopBuilder::distributed(tcp_poll)",
+            s.name()
+        );
+        assert_eq!(dl.backend_name(), "tcp-poll");
+        assert_eq!(dl.transport_stats().decode_errors, 0);
+    }
+}
+
+#[test]
+fn facade_failures_surface_as_unified_errors_with_kinds() {
+    // An in-loop lane model composed with a real transport is a config
+    // error — the facade rejects it before anything binds a socket.
+    let err: Error = facade_builder(Scenario::SimpleFaultFree)
+        .lanes(LaneModel {
+            report_delay: 1,
+            loss_probability: 0.1,
+            seed: 3,
+        })
+        .distributed(NetConfig::tcp_poll())
+        .expect_err("lane model + transport must be rejected")
+        .into();
+    assert_eq!(err.kind(), ErrorKind::Config);
+    // The layer error is still reachable for callers that need detail.
+    assert!(err.source().is_some(), "unified error lost its source");
+}
