@@ -181,7 +181,7 @@ pub struct Supervised<C> {
 
 impl<C: RateController> Supervised<C> {
     /// Wraps `inner` for the given task set.  The fallback law defaults
-    /// to slewing toward `Rmin`; see [`Supervised::with_safe_rates`] for
+    /// to slewing toward `Rmin`; see [`Supervised::safe_rates`] for
     /// a design-rate fallback.
     ///
     /// # Errors
@@ -226,12 +226,23 @@ impl<C: RateController> Supervised<C> {
     /// # Panics
     ///
     /// Panics if the length does not match, or any rate is non-finite.
-    pub fn with_safe_rates(mut self, safe: Vector) -> Self {
+    pub fn safe_rates(mut self, safe: Vector) -> Self {
         assert_eq!(safe.len(), self.rates.len(), "one safe rate per task");
         assert!(safe.is_finite(), "safe rates must be finite");
         self.safe_rates =
             Vector::from_iter((0..safe.len()).map(|t| safe[t].clamp(self.rmin[t], self.rmax[t])));
         self
+    }
+
+    /// Deprecated spelling of [`Supervised::safe_rates`] — builder
+    /// options are bare setters throughout the workspace (one-release
+    /// deprecation policy; removed next release).
+    #[deprecated(
+        since = "0.3.0",
+        note = "renamed to safe_rates for builder-method consistency"
+    )]
+    pub fn with_safe_rates(self, safe: Vector) -> Self {
+        self.safe_rates(safe)
     }
 
     /// The wrapper's accumulated counters.
@@ -646,7 +657,7 @@ mod tests {
         let mpc = MpcController::new(&set, b, MpcConfig::simple()).unwrap();
         let mut sup = Supervised::new(mpc, &set, SupervisorConfig::default().max_stale(2))
             .unwrap()
-            .with_safe_rates(design.clone());
+            .safe_rates(design.clone());
         for _ in 0..60 {
             sup.update(&Vector::from_slice(&[f64::NAN, f64::NAN]))
                 .unwrap();

@@ -19,6 +19,7 @@ use crate::admission::{
 use crate::distributed::{NetConfig, NetRuntime};
 use crate::lanes::LaneState;
 use crate::metrics::{self, SeriesStats};
+use crate::plant::{Plant, PlantFactory, SimPlant};
 use crate::shardnet::{BoundaryMode, NetShardedController};
 use crate::telemetry::{
     ChurnPeriod, LoopTelemetry, PeriodObservation, PeriodTimings, Registry, Snapshot, TelemetrySink,
@@ -123,7 +124,7 @@ impl ControllerSpec {
                 let open = OpenLoop::design(set, set_points)?;
                 Box::new(
                     Supervised::new(inner, set, supervisor.clone())?
-                        .with_safe_rates(open.rates().clone()),
+                        .safe_rates(open.rates().clone()),
                 )
             }
         })
@@ -267,7 +268,9 @@ impl RunMetrics<'_> {
 /// # }
 /// ```
 pub struct ClosedLoop {
-    sim: Simulator,
+    /// The plant under control — the simulator by default; a telemetry
+    /// replayer or a real-OS shim via the `plant(...)` builder option.
+    plant: Box<dyn Plant>,
     controller: Box<dyn RateController>,
     ts: f64,
     period: usize,
@@ -359,12 +362,14 @@ pub struct ClosedLoopBuilder {
     batch_rows: usize,
     churn: ChurnPlan,
     admission_policy: Option<AdmissionPolicy>,
+    plant: Option<Box<dyn PlantFactory>>,
 }
 
 impl std::fmt::Debug for ClosedLoopBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClosedLoopBuilder")
             .field("controller", &self.factory.label())
+            .field("plant", &self.plant.as_ref().map_or("sim", |p| p.label()))
             .field("ts", &self.ts)
             .field("lanes", &self.lanes)
             .finish_non_exhaustive()
@@ -388,6 +393,19 @@ impl ClosedLoopBuilder {
     /// [`crate::factory_fn`].
     pub fn controller(mut self, factory: impl ControllerFactory + 'static) -> Self {
         self.factory = Box::new(factory);
+        self
+    }
+
+    /// Chooses the plant backend the loop senses and actuates (default:
+    /// the `eucon-sim` simulator, exactly as before this option
+    /// existed).
+    ///
+    /// Accepts any [`PlantFactory`]: [`crate::SimPlantFactory`] (the
+    /// explicit spelling of the default), a loaded
+    /// [`crate::ReplayTrace`], or — with the `os-plant` feature — an
+    /// `OsPlantConfig` driving real worker processes.
+    pub fn plant(mut self, factory: impl PlantFactory + 'static) -> Self {
+        self.plant = Some(Box::new(factory));
         self
     }
 
@@ -588,11 +606,42 @@ impl ClosedLoopBuilder {
         } else {
             None
         };
-        let mut sim = Simulator::new(self.set, self.sim_config);
+        let mut plant: Box<dyn Plant> = match self.plant {
+            Some(factory) => {
+                let plant = factory.build_plant(&self.set, &self.sim_config)?;
+                if plant.num_processors() != num_procs {
+                    return Err(CoreError::Config(format!(
+                        "plant backend '{}' exposes {} processors, workload has {}",
+                        plant.name(),
+                        plant.num_processors(),
+                        num_procs
+                    )));
+                }
+                if plant.num_tasks() != num_tasks {
+                    return Err(CoreError::Config(format!(
+                        "plant backend '{}' exposes {} tasks, workload has {}",
+                        plant.name(),
+                        plant.num_tasks(),
+                        num_tasks
+                    )));
+                }
+                plant
+            }
+            // The default path moves the set and config straight into the
+            // simulator — no clone, bit-identical to the pre-`Plant` loop.
+            None => Box::new(SimPlant::new(Simulator::new(self.set, self.sim_config))),
+        };
+        if admission.is_some() && !plant.supports_membership() {
+            return Err(CoreError::Config(format!(
+                "plant backend '{}' does not support runtime membership; \
+                 churn plans and admission policies need a simulator-backed plant",
+                plant.name()
+            )));
+        }
         // Apply the controller's initial rates from time zero (OPEN's
         // design rates take effect immediately; feedback controllers start
         // from the task set's initial rates, a no-op here).
-        sim.set_rates(controller.rates());
+        plant.apply_rates(controller.rates());
         // The full metric registry is declared (and allocated) here, once;
         // per-period recording updates it strictly in place.
         let mut telemetry = Box::new(LoopTelemetry::new(num_procs));
@@ -603,7 +652,7 @@ impl ClosedLoopBuilder {
             telemetry.set_batch(self.batch_rows);
         }
         Ok(ClosedLoop {
-            sim,
+            plant,
             controller,
             ts: self.ts,
             period: 0,
@@ -650,6 +699,7 @@ impl ClosedLoop {
             batch_rows: 0,
             churn: ChurnPlan::none(),
             admission_policy: None,
+            plant: None,
         }
     }
 
@@ -674,9 +724,22 @@ impl ClosedLoop {
         self.control_errors
     }
 
+    /// Borrow the live plant (read-only).
+    pub fn plant(&self) -> &dyn Plant {
+        &*self.plant
+    }
+
     /// Borrow the live simulator (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the loop drives a non-simulator backend (a replay
+    /// trace or a real-OS plant) — use [`ClosedLoop::plant`] for
+    /// backend-agnostic access.
     pub fn simulator(&self) -> &Simulator {
-        &self.sim
+        self.plant
+            .as_simulator()
+            .expect("loop is not driving the simulator backend")
     }
 
     /// Connects the transport lanes of a distributed loop (called by
@@ -726,12 +789,12 @@ impl ClosedLoop {
             ann.crashed = inj.begin_period(k);
             self.summary.crashed_periods += ann.crashed.len();
             for p in 0..self.set_points.len() {
-                self.sim
+                self.plant
                     .set_speed_override(ProcessorId(p), inj.speed_factor(k, p));
                 if ann.crashed.contains(&p) {
-                    self.sim.crash_processor(ProcessorId(p));
+                    self.plant.crash_processor(ProcessorId(p));
                 } else {
-                    self.sim.recover_processor(ProcessorId(p));
+                    self.plant.recover_processor(ProcessorId(p));
                 }
             }
         }
@@ -747,9 +810,9 @@ impl ClosedLoop {
         // 2. Run the plant and sample the true utilizations into the
         // persistent scratch (no allocation).
         let t_end = self.period as f64 * self.ts;
-        self.sim.run_until(t_end);
+        self.plant.advance_to(t_end);
         let t_simulated = Instant::now();
-        self.sim.sample_utilizations_into(&mut self.u_scratch);
+        self.plant.sample_into(&mut self.u_scratch);
 
         // 3. Sensor faults corrupt what the monitors report (a crashed
         // processor's monitor dies with it and reports NaN).  Without an
@@ -831,7 +894,7 @@ impl ClosedLoop {
             && self.net.is_none()
             && self.admission.is_none()
         {
-            self.sim.set_rates(self.controller.rates());
+            self.plant.apply_rates(self.controller.rates());
         } else {
             // Assemble this period's full sim-arity command into the
             // persistent scratch (no allocation in steady state).
@@ -840,7 +903,7 @@ impl ClosedLoop {
                 // than the sim has slots: start from the rates in force
                 // (departed / unmanaged slots keep theirs) and route the
                 // controller's output through the live column map.
-                self.act_cmd.copy_from_slice(self.sim.rates_slice());
+                self.act_cmd.copy_from_slice(self.plant.rates_in_force());
                 let rates = self.controller.rates();
                 for (c, &tid) in self.ctrl_cols.iter().enumerate() {
                     let r = rates[c];
@@ -867,9 +930,9 @@ impl ClosedLoop {
                     // `clone_from` (not `copy_from`): a queued command may
                     // predate an admission and be one entry short.
                     self.act_cmd.clone_from(&front);
-                    while self.act_cmd.len() < self.sim.rates_slice().len() {
+                    while self.act_cmd.len() < self.plant.rates_in_force().len() {
                         let t = self.act_cmd.len();
-                        self.act_cmd.push(self.sim.rates_slice()[t]);
+                        self.act_cmd.push(self.plant.rates_in_force()[t]);
                     }
                     true
                 } else {
@@ -889,7 +952,7 @@ impl ClosedLoop {
                     self.dropped
                         .extend((0..n).filter(|&p| inj.actuation_lost(p)));
                     if !self.dropped.is_empty() {
-                        let in_force = self.sim.rates_slice();
+                        let in_force = self.plant.rates_in_force();
                         for (t, &p) in self.head_proc.iter().enumerate() {
                             if self.dropped.contains(&p) {
                                 self.act_cmd[t] = in_force[t];
@@ -902,21 +965,25 @@ impl ClosedLoop {
                     // Distributed mode: the command crosses the lanes and
                     // the modulators merge whatever arrived (a silent or
                     // partitioned lane keeps its tasks' rates in force).
-                    let merged =
-                        net.actuate(k, &self.act_cmd, self.sim.rates_slice(), &ann.partitioned);
-                    self.sim.set_rates(merged);
+                    let merged = net.actuate(
+                        k,
+                        &self.act_cmd,
+                        self.plant.rates_in_force(),
+                        &ann.partitioned,
+                    );
+                    self.plant.apply_rates(merged);
                 } else {
                     if !ann.partitioned.is_empty() {
                         // Partitioned lanes can't deliver commands either:
                         // their tasks keep the rates in force.
-                        let in_force = self.sim.rates_slice();
+                        let in_force = self.plant.rates_in_force();
                         for (t, &p) in self.head_proc.iter().enumerate() {
                             if ann.partitioned.contains(&p) {
                                 self.act_cmd[t] = in_force[t];
                             }
                         }
                     }
-                    self.sim.set_rates(&self.act_cmd);
+                    self.plant.apply_rates(&self.act_cmd);
                 }
             }
         }
@@ -948,7 +1015,7 @@ impl ClosedLoop {
                 .injector
                 .as_ref()
                 .map_or(0, |inj| inj.actuation_drops()),
-            engine: self.sim.counters(),
+            engine: self.plant.counters(),
             timings: PeriodTimings {
                 simulate_ns: (t_simulated - t0).as_nanos() as u64,
                 sample_ns: (t_sampled - t_simulated).as_nanos() as u64,
@@ -970,7 +1037,7 @@ impl ClosedLoop {
         } else {
             None
         };
-        self.last.rates.copy_from_slice(self.sim.rates_slice());
+        self.last.rates.copy_from_slice(self.plant.rates_in_force());
         self.last.annotations = ann;
         if self.record {
             self.trace.push(self.last.clone());
@@ -991,11 +1058,11 @@ impl ClosedLoop {
         self.telemetry.flush();
         RunResult {
             trace: std::mem::take(&mut self.trace),
-            deadlines: self.sim.deadline_stats(),
+            deadlines: self.plant.deadline_stats(),
             set_points: self.set_points.clone(),
             control_errors: self.control_errors,
             faults: self.fault_summary(),
-            engine: self.sim.counters(),
+            engine: self.plant.counters(),
             telemetry: self.telemetry.snapshot(),
             churn: self.churn_summary(),
             admission_events: self.admission_events().to_vec(),
@@ -1008,7 +1075,7 @@ impl ClosedLoop {
         RunResult {
             control_errors: self.control_errors,
             faults: self.fault_summary(),
-            engine: self.sim.counters(),
+            engine: self.plant.counters(),
             telemetry: self.telemetry.snapshot(),
             churn: self.churn_summary(),
             admission_events: self
@@ -1017,7 +1084,7 @@ impl ClosedLoop {
                 .map(|a| a.log().to_vec())
                 .unwrap_or_default(),
             trace: self.trace,
-            deadlines: self.sim.deadline_stats(),
+            deadlines: self.plant.deadline_stats(),
             set_points: self.set_points,
         }
     }
@@ -1082,8 +1149,8 @@ impl ClosedLoop {
                 ChurnEvent::Departure { task, .. } => self.depart(&mut adm, k, task),
                 ChurnEvent::ModeChange { task, scale, .. } => {
                     if let Some(tid) = adm.resolve(task) {
-                        if !self.sim.is_departed(tid) {
-                            self.sim.set_task_mode(tid, scale);
+                        if !self.plant.is_departed(tid) {
+                            self.plant.set_task_mode(tid, scale);
                             adm.log.push(AdmissionEvent::ModeChanged {
                                 period: k,
                                 task: tid,
@@ -1167,7 +1234,7 @@ impl ClosedLoop {
             .map_err(|_| (RejectReason::ControllerRefused, false))?;
         adm.note_update(update, t0.elapsed().as_nanos() as u64);
         let tid = self
-            .sim
+            .plant
             .admit_task(task.clone())
             .expect("churn plan validated at build time");
         self.ctrl_cols.push(tid);
@@ -1182,7 +1249,7 @@ impl ClosedLoop {
                     .collect(),
             );
         }
-        let started = self.sim.rates_slice()[tid.0];
+        let started = self.plant.rates_in_force()[tid.0];
         self.last.rates.push(started);
         self.act_cmd.push(started);
         // Commands already in the delay queue predate this task; they will
@@ -1200,10 +1267,10 @@ impl ClosedLoop {
         let Some(tid) = adm.resolve(plan_task) else {
             return; // a rejected arrival: nothing to depart
         };
-        if self.sim.is_departed(tid) {
+        if self.plant.is_departed(tid) {
             return; // idempotent
         }
-        self.sim.depart_task(tid);
+        self.plant.depart_task(tid);
         if let Some(col) = self.ctrl_cols.iter().position(|&t| t == tid) {
             adm.keep_scratch.clear();
             adm.keep_scratch

@@ -864,6 +864,13 @@ impl DistributedLoopBuilder {
         self
     }
 
+    /// See [`ClosedLoopBuilder::plant`] — the transport lanes compose
+    /// with any backend.
+    pub fn plant(mut self, factory: impl crate::PlantFactory + 'static) -> Self {
+        self.inner = self.inner.plant(factory);
+        self
+    }
+
     /// See [`ClosedLoopBuilder::faults`] (lane-partition windows in the
     /// plan silence the affected lanes in both directions).
     pub fn faults(mut self, plan: FaultPlan) -> Self {

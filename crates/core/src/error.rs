@@ -26,6 +26,10 @@ pub enum CoreError {
     /// validation — out-of-range processor, empty/inverted window,
     /// ambiguous overlap, out-of-range probability.
     Sim(SimError),
+    /// A telemetry recording fed to the replay plant failed to decode
+    /// against the supported schema version, or did not match the
+    /// workload it was asked to drive.
+    Replay(crate::replay::ReplayError),
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Transport(e) => write!(f, "feedback-lane transport failure: {e}"),
             CoreError::Sim(e) => write!(f, "fault-plan validation failed: {e}"),
+            CoreError::Replay(e) => write!(f, "invalid replay recording: {e}"),
         }
     }
 }
@@ -48,6 +53,7 @@ impl Error for CoreError {
             CoreError::Config(_) => None,
             CoreError::Transport(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Replay(e) => Some(e),
         }
     }
 }
@@ -77,6 +83,13 @@ impl From<ControlError> for CoreError {
 impl From<TaskError> for CoreError {
     fn from(e: TaskError) -> Self {
         CoreError::Task(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<crate::replay::ReplayError> for CoreError {
+    fn from(e: crate::replay::ReplayError) -> Self {
+        CoreError::Replay(e)
     }
 }
 

@@ -70,6 +70,7 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use eucon_control::{DecentralizedController, MpcController, RateController, ShardedController};
@@ -78,14 +79,16 @@ use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::{rms_set_points, TaskSet};
 
 use crate::admission::{AdmissionPolicy, ChurnPlan, ChurnSummary};
+use crate::plant::PlantFactory;
 use crate::telemetry::RingBufferSink;
 use crate::{ClosedLoop, ControllerSpec, CoreError};
 
 /// A `Send + Clone` description of one closed loop in a fleet.
 ///
 /// Everything here is plain configuration data; the loop itself (with its
-/// non-`Send` solver caches) is built inside the worker that runs it.
-#[derive(Debug, Clone)]
+/// non-`Send` solver caches and its plant) is built inside the worker
+/// that runs it.
+#[derive(Clone)]
 pub struct FleetLoopSpec {
     set: TaskSet,
     sim: SimConfig,
@@ -94,6 +97,17 @@ pub struct FleetLoopSpec {
     faults: FaultPlan,
     churn: ChurnPlan,
     admission: Option<AdmissionPolicy>,
+    plant: Option<Arc<dyn PlantFactory>>,
+}
+
+impl std::fmt::Debug for FleetLoopSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetLoopSpec")
+            .field("controller", &self.controller)
+            .field("plant", &self.plant.as_ref().map_or("sim", |p| p.label()))
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FleetLoopSpec {
@@ -108,7 +122,16 @@ impl FleetLoopSpec {
             faults: FaultPlan::none(),
             churn: ChurnPlan::none(),
             admission: None,
+            plant: None,
         }
+    }
+
+    /// Chooses the plant backend every replica drives (default: the
+    /// `eucon-sim` simulator).  The factory is shared by reference
+    /// across workers; each builds its own plant.
+    pub fn plant(mut self, factory: impl PlantFactory + 'static) -> Self {
+        self.plant = Some(Arc::new(factory));
+        self
     }
 
     /// Chooses the simulator configuration.
@@ -482,6 +505,9 @@ fn run_one(
     }
     if let Some(policy) = &spec.admission {
         builder = builder.admission(policy.clone());
+    }
+    if let Some(factory) = &spec.plant {
+        builder = builder.plant(factory.clone());
     }
     if batch > 0 {
         builder = builder

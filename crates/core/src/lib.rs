@@ -12,6 +12,11 @@
 //!   over pluggable transport lanes (`eucon-net`) — ideal in-process
 //!   channels (bit-identical traces) or loopback TCP.
 //! * [`ControllerSpec`] — pick EUCON, OPEN, or the PID ablation baseline.
+//! * [`Plant`] — the sensing/actuation surface behind every loop: the
+//!   simulator ([`SimPlant`], the default), recorded-telemetry replay
+//!   ([`ReplayPlant`]), or real OS worker processes (`OsPlant`, behind
+//!   the `os-plant` feature); chosen per loop with the `plant(...)`
+//!   builder option (see DESIGN.md §18).
 //! * [`FleetRunner`] — thousands of independent loops packed onto a
 //!   work-stealing thread pool, with per-loop trace digests that are
 //!   bit-identical across thread counts (see DESIGN.md §14).
@@ -65,7 +70,11 @@ mod fleet;
 mod lanes;
 mod loop_builder;
 pub mod metrics;
+#[cfg(feature = "os-plant")]
+pub mod os_plant;
+mod plant;
 pub mod render;
+mod replay;
 pub mod service;
 mod shardnet;
 pub mod svg;
@@ -86,6 +95,10 @@ pub use factory::{factory_fn, ControllerFactory};
 pub use fleet::{FleetConfig, FleetLoopSpec, FleetReport, FleetRunner};
 pub use lanes::{LaneModel, LaneState};
 pub use loop_builder::{FleetPlan, LoopBuilder};
+#[cfg(feature = "os-plant")]
+pub use os_plant::{OsPlant, OsPlantConfig};
+pub use plant::{Plant, PlantFactory, SimPlant, SimPlantFactory};
+pub use replay::{ReplayError, ReplayPlant, ReplayTrace, REPLAY_SCHEMA_VERSION};
 pub use service::{
     AdminResponse, ControlService, EvictionPolicy, ServiceClient, ServiceHandle, ServiceSummary,
     TenantEvent, TenantHealth, TenantId, TenantReport, TenantSpec,

@@ -19,10 +19,13 @@
 //! every finisher lowers onto them, so the golden trace hashes are
 //! unchanged through this facade (pinned in `tests/facade_v03.rs`).
 
+use std::sync::Arc;
+
 use eucon_math::Vector;
 use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::TaskSet;
 
+use crate::plant::PlantFactory;
 use crate::{
     AdmissionPolicy, ChurnPlan, ClosedLoop, ClosedLoopBuilder, ControllerSpec, CoreError,
     DistributedLoop, FleetConfig, FleetLoopSpec, FleetReport, FleetRunner, LaneModel, NetConfig,
@@ -53,7 +56,6 @@ use crate::{
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct LoopBuilder {
     set: TaskSet,
     sim: SimConfig,
@@ -67,6 +69,17 @@ pub struct LoopBuilder {
     record_trace: Option<bool>,
     sampling_period: Option<f64>,
     telemetry_batch: Option<usize>,
+    plant: Option<Arc<dyn PlantFactory>>,
+}
+
+impl std::fmt::Debug for LoopBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopBuilder")
+            .field("controller", &self.controller)
+            .field("plant", &self.plant.as_ref().map_or("sim", |p| p.label()))
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LoopBuilder {
@@ -87,7 +100,22 @@ impl LoopBuilder {
             record_trace: None,
             sampling_period: None,
             telemetry_batch: None,
+            plant: None,
         }
+    }
+
+    /// Chooses the plant backend every mode senses and actuates
+    /// (default: the `eucon-sim` simulator).
+    ///
+    /// Accepts any [`PlantFactory`] — [`crate::SimPlantFactory`] (the
+    /// explicit default), a loaded [`crate::ReplayTrace`], or an
+    /// `OsPlantConfig` (feature `os-plant`) driving real worker
+    /// processes — and composes with every finisher:
+    /// [`LoopBuilder::local`], [`LoopBuilder::distributed`] and
+    /// [`LoopBuilder::fleet`].
+    pub fn plant(mut self, factory: impl PlantFactory + 'static) -> Self {
+        self.plant = Some(Arc::new(factory));
+        self
     }
 
     /// Chooses the simulator configuration.
@@ -191,6 +219,9 @@ impl LoopBuilder {
         if let Some(rows) = self.telemetry_batch {
             b = b.telemetry_batch(rows);
         }
+        if let Some(factory) = self.plant {
+            b = b.plant(factory);
+        }
         b
     }
 
@@ -252,6 +283,9 @@ impl LoopBuilder {
         }
         if let Some(policy) = self.admission {
             spec = spec.admission(policy);
+        }
+        if let Some(factory) = self.plant {
+            spec = spec.plant(factory);
         }
         FleetPlan {
             spec,

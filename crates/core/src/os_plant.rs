@@ -1,0 +1,400 @@
+//! Real-OS plant (feature `os-plant`, Linux-only): CPU-bound worker
+//! processes on the host scheduler.
+//!
+//! One worker process per task runs a busy loop; the EUCON rate command
+//! for a task becomes a CPU bandwidth share for its worker, actuated
+//! through a cgroup v2 `cpu.max` quota (with `renice` as a best-effort
+//! fallback when cgroups are unavailable), and per-processor utilization
+//! is sampled from `/proc/<pid>/stat` CPU-time deltas over the wall
+//! clock.  The loop's sampling period maps to a configurable slice of
+//! wall time ([`OsPlantConfig::wall_period`]).
+//!
+//! This is deliberately the *smallest* real-workload shim that closes
+//! the paper's loop against an actual scheduler — the point the related
+//! CPS work makes (PAPERS.md): the controller does not care whether the
+//! plant is an event-driven simulation or real processes, as long as
+//! utilizations come in and rate commands take effect.  It trades
+//! fidelity for portability: "processor `p`" is an accounting group of
+//! workers, not a pinned core, and deadline statistics are not tracked.
+//!
+//! Construction degrades explicitly: [`OsPlantConfig::cgroups_available`]
+//! probes for a writable cgroup v2 CPU controller, and
+//! [`OsPlantConfig::require_cgroups`] turns a failed probe into a
+//! [`CoreError::Config`] instead of the renice fallback.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use eucon_math::Vector;
+use eucon_sim::SimConfig;
+use eucon_tasks::TaskSet;
+
+use crate::plant::{Plant, PlantFactory};
+use crate::CoreError;
+
+/// `/proc` CPU-time tick rate.  `sysconf(_SC_CLK_TCK)` is 100 on every
+/// mainstream Linux; reading it portably needs libc, which this crate
+/// does not link.
+const CLK_TCK: f64 = 100.0;
+
+/// Configuration (and [`PlantFactory`]) for the real-OS backend.
+///
+/// ```no_run
+/// use eucon_core::{LoopBuilder, OsPlantConfig};
+/// use eucon_tasks::workloads;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), eucon_core::CoreError> {
+/// let mut cl = LoopBuilder::new(workloads::simple())
+///     .plant(OsPlantConfig::new().wall_period(Duration::from_millis(250)))
+///     .local()?;
+/// cl.run(20); // ~5 s of wall clock against real worker processes
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OsPlantConfig {
+    wall_period: Duration,
+    max_share: f64,
+    require_cgroups: bool,
+}
+
+impl Default for OsPlantConfig {
+    fn default() -> Self {
+        OsPlantConfig {
+            wall_period: Duration::from_millis(500),
+            max_share: 0.5,
+            require_cgroups: false,
+        }
+    }
+}
+
+impl OsPlantConfig {
+    /// The defaults: 500 ms of wall clock per sampling period, a task at
+    /// `Rmax` granted half a CPU, renice fallback allowed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock duration of one sampling period (default 500 ms).
+    /// The loop's simulated-time arguments are ignored; real time is
+    /// the clock here.
+    pub fn wall_period(mut self, period: Duration) -> Self {
+        self.wall_period = period;
+        self
+    }
+
+    /// CPU fraction granted to a worker whose task runs at `Rmax`
+    /// (default 0.5); lower rates scale the share proportionally.
+    pub fn max_share(mut self, share: f64) -> Self {
+        self.max_share = share;
+        self
+    }
+
+    /// Fails construction (instead of falling back to `renice`) when no
+    /// writable cgroup v2 CPU controller is found.
+    pub fn require_cgroups(mut self, on: bool) -> Self {
+        self.require_cgroups = on;
+        self
+    }
+
+    /// Whether a writable cgroup v2 CPU controller is available to this
+    /// process — the probe the Linux smoke test gates on.
+    pub fn cgroups_available() -> bool {
+        CgroupRoot::probe().is_some()
+    }
+}
+
+impl PlantFactory for OsPlantConfig {
+    fn build_plant(&self, set: &TaskSet, _sim: &SimConfig) -> Result<Box<dyn Plant>, CoreError> {
+        Ok(Box::new(OsPlant::spawn(set, self.clone())?))
+    }
+
+    fn label(&self) -> &'static str {
+        "os"
+    }
+}
+
+/// A writable cgroup v2 subtree dedicated to one plant instance.
+#[derive(Debug)]
+struct CgroupRoot {
+    dir: PathBuf,
+}
+
+impl CgroupRoot {
+    /// Finds a writable cgroup v2 mount with the CPU controller and
+    /// claims a fresh `eucon-<pid>` subtree under it; `None` when any
+    /// step fails (non-Linux, cgroup v1, read-only delegation).
+    fn probe() -> Option<CgroupRoot> {
+        let base = PathBuf::from("/sys/fs/cgroup");
+        let controllers = fs::read_to_string(base.join("cgroup.controllers")).ok()?;
+        if !controllers.split_whitespace().any(|c| c == "cpu") {
+            return None;
+        }
+        // Best effort: delegation may already be in place.
+        let _ = fs::write(base.join("cgroup.subtree_control"), "+cpu");
+        let dir = base.join(format!("eucon-{}", std::process::id()));
+        fs::create_dir(&dir).ok()?;
+        let _ = fs::write(dir.join("cgroup.subtree_control"), "+cpu");
+        // The claim only counts if we can actually write a quota.
+        let probe = dir.join("probe");
+        let usable = fs::create_dir(&probe).is_ok()
+            && fs::write(probe.join("cpu.max"), "max 100000").is_ok();
+        let _ = fs::remove_dir(&probe);
+        if usable {
+            Some(CgroupRoot { dir })
+        } else {
+            let _ = fs::remove_dir(&dir);
+            None
+        }
+    }
+
+    /// Creates the per-worker leaf group and moves `pid` into it.
+    fn adopt(&self, index: usize, pid: u32) -> Option<PathBuf> {
+        let leaf = self.dir.join(format!("w{index}"));
+        fs::create_dir(&leaf).ok()?;
+        fs::write(leaf.join("cgroup.procs"), pid.to_string()).ok()?;
+        Some(leaf)
+    }
+}
+
+impl Drop for CgroupRoot {
+    fn drop(&mut self) {
+        // Leaves must be empty (workers killed first) for rmdir to work.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let _ = fs::remove_dir(e.path());
+            }
+        }
+        let _ = fs::remove_dir(&self.dir);
+    }
+}
+
+/// One CPU-bound worker process standing in for a task.
+#[derive(Debug)]
+struct Worker {
+    child: Child,
+    /// Accounting group ("processor") this worker reports into: the
+    /// task's head processor.
+    processor: usize,
+    /// cgroup leaf directory when quota actuation is active.
+    cgroup: Option<PathBuf>,
+    /// utime+stime ticks at the last sample.
+    last_ticks: u64,
+    /// Nice value currently applied (renice fallback only).
+    nice: i32,
+}
+
+impl Worker {
+    /// Total CPU ticks (utime + stime) consumed so far, from
+    /// `/proc/<pid>/stat` (fields 14 and 15; parsed after the last `)`
+    /// so command names with spaces cannot shift the split).
+    fn cpu_ticks(&self) -> u64 {
+        let path = format!("/proc/{}/stat", self.child.id());
+        let Ok(stat) = fs::read_to_string(&path) else {
+            return self.last_ticks; // worker died: utilization freezes at 0 delta
+        };
+        let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+            return self.last_ticks;
+        };
+        let mut fields = rest.split_whitespace();
+        let utime = fields.nth(11).and_then(|f| f.parse::<u64>().ok());
+        let stime = fields.next().and_then(|f| f.parse::<u64>().ok());
+        match (utime, stime) {
+            (Some(u), Some(s)) => u + s,
+            _ => self.last_ticks,
+        }
+    }
+}
+
+/// The real-OS [`Plant`]: see the [module docs](self).
+#[derive(Debug)]
+pub struct OsPlant {
+    workers: Vec<Worker>,
+    /// Rates in force, one per task (clamped into the task's range).
+    rates: Vec<f64>,
+    /// Per-task `(Rmin, Rmax)`.
+    bounds: Vec<(f64, f64)>,
+    num_processors: usize,
+    cfg: OsPlantConfig,
+    cgroups: Option<CgroupRoot>,
+    /// Wall-clock start of the period being measured.
+    period_start: Instant,
+    /// Utilization of the last completed period, per processor.
+    u_cache: Vec<f64>,
+}
+
+impl OsPlant {
+    /// Spawns one busy-loop worker per task in `set` and applies the
+    /// tasks' initial rates.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] when a worker fails to spawn, or when
+    /// [`OsPlantConfig::require_cgroups`] is set and no writable cgroup
+    /// v2 CPU controller is found.
+    pub fn spawn(set: &TaskSet, cfg: OsPlantConfig) -> Result<Self, CoreError> {
+        if !(cfg.max_share > 0.0 && cfg.max_share <= 1.0) {
+            return Err(CoreError::Config(format!(
+                "os plant max_share must be in (0, 1], got {}",
+                cfg.max_share
+            )));
+        }
+        let cgroups = CgroupRoot::probe();
+        if cfg.require_cgroups && cgroups.is_none() {
+            return Err(CoreError::Config(
+                "os plant: no writable cgroup v2 cpu controller (and require_cgroups is set)"
+                    .into(),
+            ));
+        }
+        let mut plant = OsPlant {
+            workers: Vec::with_capacity(set.num_tasks()),
+            rates: set.tasks().iter().map(|t| t.initial_rate()).collect(),
+            bounds: set
+                .tasks()
+                .iter()
+                .map(|t| (t.rate_min(), t.rate_max()))
+                .collect(),
+            num_processors: set.num_processors(),
+            cfg,
+            cgroups,
+            period_start: Instant::now(),
+            u_cache: vec![0.0; set.num_processors()],
+        };
+        for (i, task) in set.tasks().iter().enumerate() {
+            let child = Command::new("sh")
+                .arg("-c")
+                .arg("while :; do :; done")
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| CoreError::Config(format!("os plant: spawning worker {i}: {e}")))?;
+            let cgroup = plant
+                .cgroups
+                .as_ref()
+                .and_then(|root| root.adopt(i, child.id()));
+            plant.workers.push(Worker {
+                child,
+                processor: task.subtasks()[0].processor.0,
+                cgroup,
+                last_ticks: 0,
+                nice: 0,
+            });
+        }
+        for t in 0..plant.workers.len() {
+            plant.workers[t].last_ticks = plant.workers[t].cpu_ticks();
+            plant.actuate(t);
+        }
+        plant.period_start = Instant::now();
+        Ok(plant)
+    }
+
+    /// Whether rate commands actuate through cgroup CPU quotas (`false`
+    /// means the best-effort `renice` fallback).
+    pub fn using_cgroups(&self) -> bool {
+        self.cgroups.is_some()
+    }
+
+    /// The CPU share worker `t` should get at its current rate.
+    fn share(&self, t: usize) -> f64 {
+        let (_, rmax) = self.bounds[t];
+        self.cfg.max_share * (self.rates[t] / rmax)
+    }
+
+    /// Pushes worker `t`'s share to the scheduler.
+    fn actuate(&mut self, t: usize) {
+        let share = self.share(t);
+        if let Some(leaf) = &self.workers[t].cgroup {
+            // cpu.max: "<quota> <period>" in microseconds.
+            const PERIOD_US: f64 = 100_000.0;
+            let quota = ((share * PERIOD_US) as u64).max(1_000);
+            let _ = fs::write(leaf.join("cpu.max"), format!("{quota} 100000"));
+        } else {
+            // Fallback: map the share onto nice 19 (tiny) .. 0 (full).
+            let nice = 19 - (share / self.cfg.max_share * 19.0).round() as i32;
+            let nice = nice.clamp(0, 19);
+            if nice != self.workers[t].nice {
+                let pid = self.workers[t].child.id().to_string();
+                let ok = Command::new("renice")
+                    .args(["-n", &nice.to_string(), "-p", &pid])
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .status()
+                    .map(|s| s.success())
+                    .unwrap_or(false);
+                if ok {
+                    self.workers[t].nice = nice;
+                }
+            }
+        }
+    }
+}
+
+impl Plant for OsPlant {
+    fn name(&self) -> &'static str {
+        "os"
+    }
+
+    fn num_processors(&self) -> usize {
+        self.num_processors
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sleeps out the rest of the wall-clock period, then folds each
+    /// worker's CPU-time delta into its processor's utilization.  The
+    /// simulated-time argument is ignored: real time is the clock here.
+    fn advance_to(&mut self, _t_end: f64) {
+        let elapsed = self.period_start.elapsed();
+        if elapsed < self.cfg.wall_period {
+            std::thread::sleep(self.cfg.wall_period - elapsed);
+        }
+        let wall = self.period_start.elapsed().as_secs_f64();
+        self.period_start = Instant::now();
+        for u in &mut self.u_cache {
+            *u = 0.0;
+        }
+        for t in 0..self.workers.len() {
+            let ticks = self.workers[t].cpu_ticks();
+            let delta = ticks.saturating_sub(self.workers[t].last_ticks);
+            self.workers[t].last_ticks = ticks;
+            let cpu_secs = delta as f64 / CLK_TCK;
+            self.u_cache[self.workers[t].processor] += cpu_secs / wall;
+        }
+    }
+
+    fn sample_into(&mut self, out: &mut Vector) {
+        out.copy_from_slice(&self.u_cache);
+    }
+
+    fn apply_rates(&mut self, rates: &Vector) {
+        for t in 0..self.rates.len() {
+            let (lo, hi) = self.bounds[t];
+            let clamped = rates[t].clamp(lo, hi);
+            if clamped != self.rates[t] {
+                self.rates[t] = clamped;
+                self.actuate(t);
+            }
+        }
+    }
+
+    fn rates_in_force(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl Drop for OsPlant {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+        // `self.cgroups` drops after the workers are dead, so the leaf
+        // rmdirs in `CgroupRoot::drop` find empty groups.
+    }
+}

@@ -1,0 +1,519 @@
+//! Trace-replay plant: recorded per-period telemetry played back
+//! through the closed loop.
+//!
+//! PR 4's telemetry sinks already serialize every sampling period as one
+//! flat JSONL object (`results/*.jsonl`): `period`, `time`, and the
+//! metric registry's columns — including the per-processor utilizations
+//! `u_p1..u_pN`.  [`ReplayTrace`] decodes that stream (schema v1) once,
+//! and [`ReplayPlant`] feeds it back to the loop one row per period:
+//! the controller sees exactly the utilizations the recorded system
+//! produced, which makes recorded incidents reproducible regression and
+//! bench input without the simulator in the loop.
+//!
+//! Round-trip fidelity: the JSONL writer formats `f64` values with
+//! Rust's shortest-roundtrip `Display`, so decoding them back with
+//! `str::parse::<f64>` is bit-exact.  Recording a [`crate::ClosedLoop`]
+//! run to JSONL and replaying it therefore reproduces the utilization
+//! sequence — and, the controller being deterministic, the rate
+//! sequence — f64-bit-identically (pinned by the `replay_roundtrip`
+//! suite).
+//!
+//! Decode failures carry the schema version and the offending line as a
+//! typed [`ReplayError`], surfaced as [`CoreError::Replay`] (facade
+//! kind: `ErrorKind::Workload` — the recording *is* the workload here).
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use eucon_math::Vector;
+use eucon_sim::SimConfig;
+use eucon_tasks::TaskSet;
+
+use crate::plant::{Plant, PlantFactory};
+use crate::CoreError;
+
+/// The JSONL telemetry schema this decoder understands: flat one-object
+/// lines with `period`, `time` and `u_p<i>` utilization columns, as
+/// written by `eucon_telemetry::JsonlSink` since PR 4.
+pub const REPLAY_SCHEMA_VERSION: u32 = 1;
+
+/// A typed telemetry-decode failure: which line of the recording broke,
+/// against which schema version, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number in the recording (0 for file-level failures
+    /// such as an unreadable path or an empty recording).
+    pub line: usize,
+    /// The schema version the decoder expected.
+    pub schema: u32,
+    /// Human-readable diagnosis.
+    pub reason: String,
+}
+
+impl ReplayError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        ReplayError {
+            line,
+            schema: REPLAY_SCHEMA_VERSION,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "telemetry schema v{}: {}", self.schema, self.reason)
+        } else {
+            write!(
+                f,
+                "telemetry schema v{}, line {}: {}",
+                self.schema, self.line, self.reason
+            )
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// A decoded telemetry recording, ready to replay.
+///
+/// Cheap to clone (rows live behind an [`Arc`]) and `Send + Sync`, so
+/// one loaded trace can fan out across a whole fleet.  Use it directly
+/// as the `plant(...)` option of any builder:
+///
+/// ```no_run
+/// use eucon_core::{LoopBuilder, ReplayTrace};
+/// use eucon_tasks::workloads;
+///
+/// # fn main() -> Result<(), eucon_core::CoreError> {
+/// let trace = ReplayTrace::load("results/telemetry_medium.jsonl")?;
+/// let mut cl = LoopBuilder::new(workloads::medium())
+///     .plant(trace)
+///     .local()?;
+/// cl.run(60);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    /// One utilization vector (length `num_processors`) per recorded
+    /// period, in period order.
+    rows: Arc<Vec<Vec<f64>>>,
+    num_processors: usize,
+}
+
+impl ReplayTrace {
+    /// Loads and decodes a JSONL telemetry recording from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Replay`] when the file cannot be read or any line
+    /// fails to decode against schema v[`REPLAY_SCHEMA_VERSION`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ReplayError::new(0, format!("cannot read {}: {e}", path.display())))?;
+        Ok(ReplayTrace::parse(&text)?)
+    }
+
+    /// Decodes a JSONL telemetry recording from memory.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError`] for an empty recording, a line that is not a
+    /// complete flat JSON object, missing or non-contiguous `u_p*`
+    /// columns, or a row whose processor count differs from the first.
+    pub fn parse(text: &str) -> Result<Self, ReplayError> {
+        let mut rows = Vec::new();
+        let mut num_processors = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row = decode_row(line, lineno)?;
+            if rows.is_empty() {
+                num_processors = row.len();
+            } else if row.len() != num_processors {
+                return Err(ReplayError::new(
+                    lineno,
+                    format!(
+                        "row has {} utilization columns, recording started with {}",
+                        row.len(),
+                        num_processors
+                    ),
+                ));
+            }
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            return Err(ReplayError::new(0, "recording holds no telemetry rows"));
+        }
+        Ok(ReplayTrace {
+            rows: Arc::new(rows),
+            num_processors,
+        })
+    }
+
+    /// Number of recorded periods.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the recording is empty (never true for a decoded trace).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of processors (utilization columns) in the recording.
+    pub fn num_processors(&self) -> usize {
+        self.num_processors
+    }
+}
+
+impl PlantFactory for ReplayTrace {
+    fn build_plant(&self, set: &TaskSet, _sim: &SimConfig) -> Result<Box<dyn Plant>, CoreError> {
+        if self.num_processors != set.num_processors() {
+            return Err(ReplayError::new(
+                0,
+                format!(
+                    "recording drives {} processors, workload has {}",
+                    self.num_processors,
+                    set.num_processors()
+                ),
+            )
+            .into());
+        }
+        Ok(Box::new(ReplayPlant::new(self.clone(), set)))
+    }
+
+    fn label(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// A [`Plant`] that replays a [`ReplayTrace`]: each period's sample is
+/// the recorded utilization row; rate commands are clamped into each
+/// task's range and held (they steer nothing, but the loop's trace
+/// records them exactly as it would against a live plant).  A loop run
+/// past the end of the recording holds the final row.
+#[derive(Debug)]
+pub struct ReplayPlant {
+    trace: ReplayTrace,
+    /// Rows consumed so far (the next sample reads row `cursor - 1`).
+    cursor: usize,
+    /// Rates in force at the (virtual) modulators.
+    rates: Vec<f64>,
+    /// Per-task `(Rmin, Rmax)` — commands clamp exactly like the
+    /// simulator's modulators, keeping round-trip traces bit-identical.
+    bounds: Vec<(f64, f64)>,
+}
+
+impl ReplayPlant {
+    /// Builds a replay plant for `set` (rates start at the tasks'
+    /// initial rates, as in the simulator).
+    pub fn new(trace: ReplayTrace, set: &TaskSet) -> Self {
+        ReplayPlant {
+            trace,
+            cursor: 0,
+            rates: set.tasks().iter().map(|t| t.initial_rate()).collect(),
+            bounds: set
+                .tasks()
+                .iter()
+                .map(|t| (t.rate_min(), t.rate_max()))
+                .collect(),
+        }
+    }
+
+    /// Periods of recording left to replay.
+    pub fn remaining(&self) -> usize {
+        self.trace.len().saturating_sub(self.cursor)
+    }
+}
+
+impl Plant for ReplayPlant {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn num_processors(&self) -> usize {
+        self.trace.num_processors
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn advance_to(&mut self, _t_end: f64) {
+        if self.cursor < self.trace.len() {
+            self.cursor += 1;
+        }
+    }
+
+    fn sample_into(&mut self, out: &mut Vector) {
+        let row = self.cursor.saturating_sub(1).min(self.trace.len() - 1);
+        out.copy_from_slice(&self.trace.rows[row]);
+    }
+
+    fn apply_rates(&mut self, rates: &Vector) {
+        for (t, &r) in rates.iter().enumerate() {
+            let (lo, hi) = self.bounds[t];
+            self.rates[t] = r.clamp(lo, hi);
+        }
+    }
+
+    fn rates_in_force(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+/// Decodes one flat JSONL object into its `u_p1..u_pN` utilization row.
+fn decode_row(line: &str, lineno: usize) -> Result<Vec<f64>, ReplayError> {
+    let bad = |reason: String| ReplayError::new(lineno, reason);
+    let body = line.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| bad("not a JSON object (truncated line?)".into()))?;
+    // Indexed by processor (0-based); `u_p1` → slot 0.
+    let mut slots: Vec<Option<f64>> = Vec::new();
+    for (key, value) in FlatPairs::new(body, lineno) {
+        let (key, value) = (key, value?);
+        let Some(idx) = key
+            .strip_prefix("u_p")
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if idx == 0 {
+            return Err(bad("utilization columns are 1-based (u_p1..)".into()));
+        }
+        if slots.len() < idx {
+            slots.resize(idx, None);
+        }
+        let u = match value {
+            // A crashed monitor's NaN was serialized as null; replay it
+            // as the NaN the controller originally saw.
+            "null" => f64::NAN,
+            num => num
+                .parse::<f64>()
+                .map_err(|_| bad(format!("column {key} holds non-numeric value {num:?}")))?,
+        };
+        slots[idx - 1] = Some(u);
+    }
+    if slots.is_empty() {
+        return Err(bad("no u_p* utilization columns in row".into()));
+    }
+    slots
+        .iter()
+        .enumerate()
+        .map(|(p, s)| s.ok_or_else(|| bad(format!("utilization column u_p{} missing", p + 1))))
+        .collect()
+}
+
+/// Iterator over the `"key":value` pairs of one flat JSON object body
+/// (string keys; number / null / string values; no nesting — the
+/// telemetry schema is flat by construction).
+struct FlatPairs<'a> {
+    rest: &'a str,
+    lineno: usize,
+    failed: bool,
+}
+
+impl<'a> FlatPairs<'a> {
+    fn new(body: &'a str, lineno: usize) -> Self {
+        FlatPairs {
+            rest: body.trim(),
+            lineno,
+            failed: false,
+        }
+    }
+
+    fn fail(&mut self, reason: String) -> Option<(&'a str, Result<&'a str, ReplayError>)> {
+        self.failed = true;
+        Some(("", Err(ReplayError::new(self.lineno, reason))))
+    }
+}
+
+impl<'a> Iterator for FlatPairs<'a> {
+    /// The raw key (unescaped — telemetry keys never need escapes) and
+    /// the raw value token, or the decode error that ended the scan.
+    type Item = (&'a str, Result<&'a str, ReplayError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.rest.is_empty() {
+            return None;
+        }
+        // "key"
+        let Some(after_quote) = self.rest.strip_prefix('"') else {
+            return self.fail(format!("expected a quoted key at {:?}", clip(self.rest)));
+        };
+        let Some(key_end) = scan_string(after_quote) else {
+            return self.fail("unterminated key (truncated line?)".into());
+        };
+        let key = &after_quote[..key_end];
+        let rest = &after_quote[key_end + 1..];
+        // :
+        let Some(rest) = rest.trim_start().strip_prefix(':') else {
+            return self.fail(format!("expected ':' after key {key:?}"));
+        };
+        let rest = rest.trim_start();
+        // value: a string, or a bare token up to the next ',' / end.
+        let (value, rest) = if let Some(after) = rest.strip_prefix('"') {
+            let Some(end) = scan_string(after) else {
+                return self.fail(format!("unterminated value for key {key:?}"));
+            };
+            (&rest[..end + 2], &after[end + 1..])
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            (rest[..end].trim_end(), &rest[end..])
+        };
+        if value.is_empty() {
+            return self.fail(format!("missing value for key {key:?}"));
+        }
+        // , or end
+        let rest = rest.trim_start();
+        self.rest = match rest.strip_prefix(',') {
+            Some(r) => {
+                let r = r.trim_start();
+                if r.is_empty() {
+                    return self.fail("trailing comma (truncated line?)".into());
+                }
+                r
+            }
+            None if rest.is_empty() => rest,
+            None => return self.fail(format!("expected ',' after value of {key:?}")),
+        };
+        Some((key, Ok(value)))
+    }
+}
+
+/// Index of the closing quote of a JSON string (input starts just after
+/// the opening quote), honouring backslash escapes.
+fn scan_string(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// First few characters of a malformed remainder, for diagnostics.
+fn clip(s: &str) -> &str {
+    let end = s.char_indices().nth(12).map(|(i, _)| i).unwrap_or(s.len());
+    &s[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eucon_tasks::workloads;
+
+    const TWO_PROC: &str = concat!(
+        "{\"period\":0,\"time\":1000,\"u_p1\":0.5,\"u_p2\":0.25,\"qp_iterations\":2}\n",
+        "{\"period\":1,\"time\":2000,\"u_p1\":0.75,\"u_p2\":null}\n",
+    );
+
+    #[test]
+    fn parses_utilization_columns_in_order() {
+        let trace = ReplayTrace::parse(TWO_PROC).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.num_processors(), 2);
+        assert_eq!(trace.rows[0], vec![0.5, 0.25]);
+        assert_eq!(trace.rows[1][0], 0.75);
+        assert!(trace.rows[1][1].is_nan(), "null replays as NaN");
+    }
+
+    #[test]
+    fn replay_plant_feeds_rows_and_holds_the_last() {
+        let trace = ReplayTrace::parse(TWO_PROC).unwrap();
+        let set = workloads::simple();
+        let mut plant = ReplayPlant::new(trace.clone(), &set);
+        assert_eq!(plant.name(), "replay");
+        assert_eq!(plant.remaining(), 2);
+        let mut u = Vector::zeros(2);
+        plant.advance_to(1000.0);
+        plant.sample_into(&mut u);
+        assert_eq!(u.as_slice()[0], 0.5);
+        plant.advance_to(2000.0);
+        plant.sample_into(&mut u);
+        assert_eq!(u.as_slice()[0], 0.75);
+        // Past the end: the final row holds.
+        plant.advance_to(3000.0);
+        plant.sample_into(&mut u);
+        assert_eq!(u.as_slice()[0], 0.75);
+        assert_eq!(plant.remaining(), 0);
+    }
+
+    #[test]
+    fn rate_commands_clamp_like_the_simulator() {
+        let trace = ReplayTrace::parse(TWO_PROC).unwrap();
+        let set = workloads::simple();
+        let mut plant = ReplayPlant::new(trace, &set);
+        let huge = Vector::filled(set.num_tasks(), 1e9);
+        plant.apply_rates(&huge);
+        for (t, task) in set.tasks().iter().enumerate() {
+            assert_eq!(plant.rates_in_force()[t], task.rate_max());
+        }
+    }
+
+    #[test]
+    fn truncated_line_is_a_typed_schema_error() {
+        let err = ReplayTrace::parse(
+            "{\"period\":0,\"u_p1\":0.5,\"u_p2\":0.25}\n{\"period\":1,\"u_p1\":0.",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.schema, REPLAY_SCHEMA_VERSION);
+        assert!(err.to_string().contains("schema v1"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_value_names_the_column() {
+        let err = ReplayTrace::parse("{\"u_p1\":0.5,\"u_p2\":bogus}").unwrap_err();
+        assert!(err.reason.contains("u_p2"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_inconsistent_columns_are_rejected() {
+        let err = ReplayTrace::parse("{\"period\":0,\"time\":0}").unwrap_err();
+        assert!(err.reason.contains("no u_p*"), "{err}");
+        // A gap in the 1..=N contiguous column range.
+        let err = ReplayTrace::parse("{\"u_p1\":0.5,\"u_p3\":0.5}").unwrap_err();
+        assert!(err.reason.contains("u_p2 missing"), "{err}");
+        // Arity drift mid-recording.
+        let err = ReplayTrace::parse("{\"u_p1\":0.5}\n{\"u_p1\":0.5,\"u_p2\":0.5}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = ReplayTrace::parse("").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn factory_rejects_arity_mismatch_as_replay_error() {
+        let trace = ReplayTrace::parse("{\"u_p1\":0.5}").unwrap();
+        let err = trace
+            .build_plant(&workloads::simple(), &SimConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Replay(ref e) if e.reason.contains("workload has 2")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn string_values_and_escapes_are_skipped_cleanly() {
+        let trace =
+            ReplayTrace::parse("{\"note\":\"a, \\\"quoted\\\" comma\",\"u_p1\":0.125}").unwrap();
+        assert_eq!(trace.rows[0], vec![0.125]);
+    }
+}

@@ -50,6 +50,7 @@ use eucon_net::TransportStats;
 use eucon_sim::{FaultPlan, SimConfig};
 use eucon_tasks::{workloads, TaskSet};
 
+use crate::plant::PlantFactory;
 use crate::{ControllerSpec, CoreError, DistributedLoop, LaneModel, NetConfig, RunResult};
 
 /// Identifies one tenant inside a [`ControlService`].
@@ -156,7 +157,6 @@ pub enum TenantEvent {
 
 /// Everything needed to stand up one tenant: the plant, the controller
 /// and the lane configuration (poll-engine TCP lanes by default).
-#[derive(Debug)]
 pub struct TenantSpec {
     name: String,
     set: TaskSet,
@@ -165,6 +165,17 @@ pub struct TenantSpec {
     set_points: Option<Vector>,
     faults: FaultPlan,
     net: NetConfig,
+    plant: Option<Arc<dyn PlantFactory>>,
+}
+
+impl std::fmt::Debug for TenantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSpec")
+            .field("name", &self.name)
+            .field("controller", &self.controller)
+            .field("plant", &self.plant.as_ref().map_or("sim", |p| p.label()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl TenantSpec {
@@ -181,7 +192,15 @@ impl TenantSpec {
             set_points: None,
             faults: FaultPlan::none(),
             net,
+            plant: None,
         }
+    }
+
+    /// Chooses the tenant's plant backend (default: the `eucon-sim`
+    /// simulator).
+    pub fn plant(mut self, factory: impl PlantFactory + 'static) -> Self {
+        self.plant = Some(Arc::new(factory));
+        self
     }
 
     /// Sets the simulated-plant configuration.
@@ -241,6 +260,9 @@ impl TenantSpec {
             .net(self.net);
         if let Some(points) = self.set_points {
             b = b.set_points(points);
+        }
+        if let Some(factory) = self.plant {
+            b = b.plant(factory);
         }
         Ok((self.name, b.build()?))
     }
@@ -677,7 +699,9 @@ fn handle_command(service: &mut ControlService, line: &str) -> (String, bool) {
     match verb.as_str() {
         "PING" => ("OK pong\n".into(), false),
         "SHUTDOWN" => ("OK bye\n".into(), true),
-        "ATTACH" => match parse_attach(&args).and_then(|spec| service.attach(spec)) {
+        "ATTACH" => match parse_attach(&args)
+            .and_then(|spec| service.attach(spec).map_err(AttachError::Other))
+        {
             Ok(id) => (format!("OK {id}\n"), false),
             Err(e) => (format!("ERR {e}\n"), false),
         },
@@ -743,10 +767,32 @@ fn parse_tenant_id(args: &[&str]) -> Result<TenantId, CoreError> {
         .ok_or_else(|| CoreError::Config("expected a numeric tenant id".into()))
 }
 
+/// Why an `ATTACH` command was refused, with a stable machine-readable
+/// first token on the wire (`ERR unknown-workload ...` vs a plain
+/// `ERR <config message>`), so admin tooling can branch on the cause
+/// without parsing free-form prose.
+enum AttachError {
+    /// The workload name is not in the built-in catalog.
+    UnknownWorkload(String),
+    /// Any other parse or attach failure.
+    Other(CoreError),
+}
+
+impl fmt::Display for AttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttachError::UnknownWorkload(w) => {
+                write!(f, "unknown-workload {w} (expected simple|medium)")
+            }
+            AttachError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// Parses `ATTACH <name> <simple|medium> <etf> [loss=P] [delay=D]
 /// [seed=N]` into a [`TenantSpec`].
-fn parse_attach(args: &[&str]) -> Result<TenantSpec, CoreError> {
-    let bad = |m: &str| CoreError::Config(m.to_string());
+fn parse_attach(args: &[&str]) -> Result<TenantSpec, AttachError> {
+    let bad = |m: &str| AttachError::Other(CoreError::Config(m.to_string()));
     let name = *args.first().ok_or_else(|| bad("ATTACH needs a name"))?;
     let workload = *args.get(1).ok_or_else(|| bad("ATTACH needs a workload"))?;
     let etf: f64 = args
@@ -756,7 +802,7 @@ fn parse_attach(args: &[&str]) -> Result<TenantSpec, CoreError> {
     let (set, mpc) = match workload {
         "simple" => (workloads::simple(), MpcConfig::simple()),
         "medium" => (workloads::medium(), MpcConfig::medium()),
-        other => return Err(bad(&format!("unknown workload {other}"))),
+        other => return Err(AttachError::UnknownWorkload(other.to_string())),
     };
     let mut loss = 0.0f64;
     let mut delay = 0usize;

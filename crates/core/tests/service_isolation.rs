@@ -106,3 +106,41 @@ fn a_dying_tenant_never_perturbs_its_neighbour_trace() {
         svc.events()
     );
 }
+
+/// `ATTACH` with an unknown workload answers with a *typed* first
+/// token — `ERR unknown-workload ...` — so scripted clients can branch
+/// on the refusal without scraping a generic parse-failure string.
+#[test]
+fn attach_with_unknown_workload_returns_typed_error() {
+    let handle = eucon_core::ControlService::spawn(EvictionPolicy::default())
+        .expect("service daemon spawns");
+    let mut client =
+        eucon_core::ServiceClient::connect(handle.addr()).expect("admin client connects");
+
+    let resp = client
+        .request("ATTACH ghost haskell 0.5")
+        .expect("daemon answers");
+    assert!(!resp.ok, "bogus workload must be refused: {resp:?}");
+    assert!(
+        resp.status.starts_with("unknown-workload"),
+        "refusal must lead with the machine-readable token: {:?}",
+        resp.status
+    );
+    assert!(
+        resp.status.contains("haskell") && resp.status.contains("simple|medium"),
+        "refusal names the offender and the accepted set: {:?}",
+        resp.status
+    );
+
+    // Ordinary malformed ATTACHes still read as generic config errors,
+    // not the typed token.
+    let resp = client.request("ATTACH lonely").expect("daemon answers");
+    assert!(!resp.ok);
+    assert!(
+        !resp.status.starts_with("unknown-workload"),
+        "missing-argument errors must stay generic: {:?}",
+        resp.status
+    );
+
+    handle.shutdown();
+}

@@ -56,13 +56,18 @@
 //!
 //! # Migrating from v0.2
 //!
-//! * `ClosedLoop::builder(set).build()` → `LoopBuilder::new(set).local()`
-//!   (the old builders still work, behind deprecated aliases).
+//! * `ClosedLoop::builder(set).build()` → `LoopBuilder::new(set).local()`.
 //! * `DistributedLoop::builder(set).tcp(cfg).build()` →
 //!   `LoopBuilder::new(set).distributed(NetConfig::tcp())`.
 //! * Matching on `eucon::Error` variants → [`Error::kind`] (the stable
 //!   [`ErrorKind`] taxonomy); the full layer-specific errors remain
 //!   reachable through `source()`.
+//! * The v0.2 prelude aliases (`ClosedLoopBuilder`,
+//!   `DistributedLoopBuilder`, `FleetConfig` and the layer-error
+//!   aliases) were deprecated in 0.3.0 and are now removed, per the
+//!   one-release deprecation policy (see the README's migration
+//!   section); the originals remain available from [`core`] for code
+//!   that needs the mode-specific builders directly.
 //!
 //! [`ControlService::spawn`]: prelude::ControlService::spawn
 
@@ -137,6 +142,9 @@ impl Error {
             Repr::Core(core::CoreError::Task(_)) => ErrorKind::Workload,
             Repr::Core(core::CoreError::Transport(_)) => ErrorKind::Transport,
             Repr::Core(core::CoreError::Sim(_)) => ErrorKind::Simulation,
+            // A replay recording stands in for the workload, so its
+            // decode failures classify as workload errors.
+            Repr::Core(core::CoreError::Replay(_)) => ErrorKind::Workload,
             Repr::Core(_) => ErrorKind::Config,
             Repr::Control(_) => ErrorKind::Controller,
             Repr::Transport(_) => ErrorKind::Transport,
@@ -226,10 +234,13 @@ pub mod prelude {
     pub use eucon_core::{
         factory_fn, metrics, render, telemetry, AdminResponse, ClosedLoop, ControlService,
         ControllerFactory, ControllerSpec, DistributedLoop, EvictionPolicy, FaultSummary,
-        FleetPlan, FleetReport, LaneEngine, LaneModel, LoopBuilder, NetBackend, NetConfig,
-        RunMetrics, RunResult, ServiceClient, ServiceHandle, ServiceSummary, SteadyRun,
-        TenantEvent, TenantHealth, TenantId, TenantReport, TenantSpec, VaryingRun,
+        FleetPlan, FleetReport, LaneEngine, LaneModel, LoopBuilder, NetBackend, NetConfig, Plant,
+        PlantFactory, ReplayError, ReplayPlant, ReplayTrace, RunMetrics, RunResult, ServiceClient,
+        ServiceHandle, ServiceSummary, SimPlant, SimPlantFactory, SteadyRun, TenantEvent,
+        TenantHealth, TenantId, TenantReport, TenantSpec, VaryingRun,
     };
+    #[cfg(feature = "os-plant")]
+    pub use eucon_core::{OsPlant, OsPlantConfig};
     pub use eucon_math::{Matrix, Vector};
     pub use eucon_net::{TcpConfig, Transport, TransportStats};
     pub use eucon_sim::{
@@ -238,37 +249,6 @@ pub mod prelude {
     pub use eucon_tasks::{
         liu_layland_bound, rms_set_points, workloads, ProcessorId, Task, TaskId, TaskSet,
     };
-
-    /// The v0.2 mode-specific builder, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "use LoopBuilder with the .local() finisher")]
-    pub type ClosedLoopBuilder = eucon_core::ClosedLoopBuilder;
-
-    /// The v0.2 mode-specific builder, kept as a thin alias.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use LoopBuilder with the .distributed(net) finisher"
-    )]
-    pub type DistributedLoopBuilder = eucon_core::DistributedLoopBuilder;
-
-    /// The v0.2 fleet configuration, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "use LoopBuilder with the .fleet(n) finisher")]
-    pub type FleetConfig = eucon_core::FleetConfig;
-
-    /// Layer-specific error, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
-    pub type CoreError = eucon_core::CoreError;
-
-    /// Layer-specific error, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
-    pub type ControlError = eucon_control::ControlError;
-
-    /// Layer-specific error, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
-    pub type TransportError = eucon_net::TransportError;
-
-    /// Layer-specific error, kept as a thin alias.
-    #[deprecated(since = "0.3.0", note = "match on eucon::Error::kind() instead")]
-    pub type SimError = eucon_sim::SimError;
 }
 
 #[cfg(test)]
@@ -301,6 +281,12 @@ mod tests {
         }
         .into();
         assert_eq!(e.kind(), ErrorKind::Simulation);
+
+        // A replay recording stands in for the workload.
+        let replay = core::ReplayTrace::parse("not json").unwrap_err();
+        let e: Error = core::CoreError::from(replay).into();
+        assert_eq!(e.kind(), ErrorKind::Workload);
+        assert!(e.to_string().contains("invalid replay recording"), "{e}");
     }
 
     #[test]
@@ -330,11 +316,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_compile() {
+    fn mode_specific_builders_remain_reachable_through_core() {
+        // The deprecated prelude aliases are gone (one-release policy);
+        // the originals stay addressable for direct users.
         fn build() -> Result<(), Error> {
             use crate::prelude::*;
-            let b: ClosedLoopBuilder = ClosedLoop::builder(workloads::simple());
+            let b: crate::core::ClosedLoopBuilder = ClosedLoop::builder(workloads::simple());
             let _ = b.build()?;
             Ok(())
         }

@@ -99,6 +99,106 @@ fn poll_engine_finisher_reproduces_all_four_golden_hashes() {
     }
 }
 
+/// The explicitly selected simulator backend is the same plant the
+/// default path uses: all four golden hashes must survive
+/// `.plant(SimPlantFactory)` bit-for-bit.
+#[test]
+fn sim_plant_backend_reproduces_all_four_golden_hashes() {
+    for s in Scenario::ALL {
+        let mut cl = facade_builder(s)
+            .plant(SimPlantFactory)
+            .local()
+            .expect("sim-plant loop");
+        assert_eq!(cl.plant().name(), "sim");
+        assert_eq!(
+            hash_result(&cl.run(GOLDEN_PERIODS)),
+            s.golden(),
+            "{} drifted through LoopBuilder::plant(SimPlantFactory)",
+            s.name()
+        );
+    }
+}
+
+/// Backends compose with every finisher, not just `.local()`: the
+/// distributed poll engine driving an explicit sim plant stays golden.
+#[test]
+fn distributed_finisher_composes_with_sim_plant_backend() {
+    let s = Scenario::SimpleFaultFree;
+    let mut dl = facade_builder(s)
+        .plant(SimPlantFactory)
+        .distributed(NetConfig::tcp_poll().recv_timeout(Duration::from_millis(200)))
+        .expect("distributed sim-plant loop");
+    assert_eq!(
+        hash_result(&dl.run(GOLDEN_PERIODS)),
+        s.golden(),
+        "{} drifted through .plant(SimPlantFactory).distributed(tcp_poll)",
+        s.name()
+    );
+}
+
+/// ...and with `.fleet(n)`: the factory travels into the worker threads.
+#[test]
+fn fleet_finisher_composes_with_sim_plant_backend() {
+    let report = LoopBuilder::new(workloads::simple())
+        .plant(SimPlantFactory)
+        .fleet(3)
+        .run(10)
+        .expect("sim-plant fleet runs");
+    assert_eq!(report.loops, 3);
+    assert_eq!(report.total_periods, 30);
+    assert_eq!(report.control_errors, 0);
+}
+
+/// The trace-replay backend: a hand-written schema-v1 JSONL recording
+/// drives the loop, and the sampled utilizations are the recorded
+/// values bit-for-bit.
+#[test]
+fn replay_backend_composes_through_the_facade() {
+    let mut text = String::new();
+    for k in 0..20 {
+        text.push_str(&format!(
+            "{{\"period\":{k},\"time\":{}.0,\"u_p1\":0.6,\"u_p2\":0.55}}\n",
+            (k + 1) * 1000
+        ));
+    }
+    let trace = ReplayTrace::parse(&text).expect("schema-v1 rows parse");
+    let mut cl = LoopBuilder::new(workloads::simple())
+        .plant(trace)
+        .record_trace(true)
+        .local()
+        .expect("replay loop builds");
+    assert_eq!(cl.plant().name(), "replay");
+    let result = cl.run(20);
+    for (k, step) in result.trace.steps().iter().enumerate() {
+        assert_eq!(
+            step.utilization.as_slice(),
+            &[0.6, 0.55],
+            "period {k}: replayed utilization must be the recorded bits"
+        );
+    }
+}
+
+/// The real-OS backend composes through the same `.plant(...)` seam.
+/// Workers are real processes, so this stays tiny (and skips when the
+/// host cannot spawn them).
+#[cfg(feature = "os-plant")]
+#[test]
+fn os_plant_backend_composes_through_the_facade() {
+    use std::time::Duration;
+    let built = LoopBuilder::new(workloads::simple())
+        .plant(OsPlantConfig::new().wall_period(Duration::from_millis(50)))
+        .local();
+    let mut cl = match built {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("skipping os-plant facade test: {e}");
+            return;
+        }
+    };
+    assert_eq!(cl.plant().name(), "os");
+    cl.run(3);
+}
+
 #[test]
 fn facade_failures_surface_as_unified_errors_with_kinds() {
     // An in-loop lane model composed with a real transport is a config
